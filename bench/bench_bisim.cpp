@@ -1,0 +1,99 @@
+/// \file bench_bisim.cpp
+/// Experiment E10a: cost of the aggregation machinery itself — weak
+/// bisimulation minimization on composed models of growing size, plus the
+/// counting-vs-subset gate ablation called out in DESIGN.md (the
+/// single-firing discipline keeps elementary gates linear instead of
+/// exponential).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "dft/corpus.hpp"
+#include "ioimc/bisimulation.hpp"
+#include "ioimc/compose.hpp"
+#include "ioimc/ops.hpp"
+#include "semantics/elements.hpp"
+
+namespace {
+
+using namespace imcdft;
+
+/// Composes n independent hot basic events with an AND gate, unaggregated.
+ioimc::IOIMC composedAndOfN(int n, bool subset) {
+  auto symbols = ioimc::makeSymbolTable();
+  std::vector<std::string> inputs;
+  std::vector<ioimc::IOIMC> parts;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "E" + std::to_string(i);
+    inputs.push_back("f_" + name);
+    parts.push_back(semantics::basicEvent(symbols, name, 1.0, 1.0,
+                                          std::nullopt, "f_" + name));
+  }
+  semantics::GateThreshold k{static_cast<std::uint32_t>(n)};
+  parts.push_back(subset ? semantics::subsetGate(symbols, "G", k, inputs, "f_G")
+                         : semantics::countingGate(symbols, "G", k, inputs,
+                                                   "f_G"));
+  ioimc::IOIMC acc = std::move(parts[0]);
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    acc = ioimc::compose(acc, parts[i]);
+  // Hide everything but the gate output so aggregation has work to do.
+  std::vector<ioimc::ActionId> hidden;
+  for (ioimc::ActionId o : acc.signature().outputs())
+    if (acc.actionName(o) != "f_G") hidden.push_back(o);
+  return ioimc::hide(acc, hidden);
+}
+
+void printReproduction() {
+  std::printf("== E10a: aggregation machinery ==\n");
+  std::printf("%-6s %-26s %-26s\n", "n", "counting gate (raw->agg)",
+              "subset gate (raw->agg)");
+  for (int n : {2, 4, 6, 8}) {
+    ioimc::IOIMC counting = composedAndOfN(n, false);
+    ioimc::IOIMC subset = composedAndOfN(n, true);
+    ioimc::IOIMC aggC = ioimc::aggregate(counting);
+    ioimc::IOIMC aggS = ioimc::aggregate(subset);
+    std::printf("%-6d %6zu -> %-15zu %6zu -> %-15zu\n", n,
+                counting.numStates(), aggC.numStates(), subset.numStates(),
+                aggS.numStates());
+  }
+  std::printf("\n");
+}
+
+void BM_WeakBisimulation(benchmark::State& state) {
+  ioimc::IOIMC m = composedAndOfN(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ioimc::aggregate(m).numStates());
+  }
+  state.counters["raw_states"] = static_cast<double>(m.numStates());
+}
+BENCHMARK(BM_WeakBisimulation)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StrongBisimulation(benchmark::State& state) {
+  ioimc::IOIMC m = composedAndOfN(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ioimc::strongQuotient(m).numStates());
+  }
+}
+BENCHMARK(BM_StrongBisimulation)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Composition(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        composedAndOfN(static_cast<int>(state.range(0)), false).numStates());
+  }
+}
+BENCHMARK(BM_Composition)->Arg(4)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file bench_cas.cpp
+/// Experiment E1 (paper Section 5.1, Fig. 7): the cardiac assist system.
+/// Regenerates the paper's reported numbers — system unreliability at
+/// mission time 1, the per-module aggregated I/O-IMC sizes (6 states each
+/// in the paper), and the Galileo/DIFTree comparison (biggest module CTMC:
+/// the pump unit with 8 states) — then times both pipelines.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "dft/corpus.hpp"
+#include "diftree/modular.hpp"
+#include "diftree/monolithic.hpp"
+
+namespace {
+
+using namespace imcdft;
+
+void printReproduction() {
+  dft::Dft cas = dft::corpus::cas();
+  analysis::DftAnalysis a = analysis::analyzeDft(cas);
+  diftree::ModularResult m = diftree::modularAnalysis(cas, 1.0);
+
+  std::printf("== E1: cardiac assist system (Section 5.1) ==\n");
+  std::printf("%-44s %-10s %s\n", "quantity", "paper", "measured");
+  std::printf("%-44s %-10s %.4f\n", "unreliability at t=1 (compositional)",
+              "0.6579", analysis::unreliability(a, 1.0));
+  std::printf("%-44s %-10s %.4f\n", "unreliability at t=1 (DIFTree modular)",
+              "0.6579", m.unreliability);
+  for (const analysis::ModuleResult& mod : a.stats.modules) {
+    if (mod.name == "CPU_unit" || mod.name == "Motor_unit" ||
+        mod.name == "Pump_unit")
+      std::printf("%-44s %-10s %zu states\n",
+                  ("aggregated I/O-IMC of " + mod.name).c_str(), "6 states",
+                  mod.states);
+  }
+  std::size_t pump = 0;
+  for (const diftree::ModularSolveInfo& info : m.modules)
+    if (info.moduleName == "Pump_unit") pump = info.mcStates;
+  std::printf("%-44s %-10s %zu states\n",
+              "biggest Galileo-style module CTMC (pump)", "8 states", pump);
+  std::printf("\n");
+}
+
+void BM_CasCompositional(benchmark::State& state) {
+  dft::Dft cas = dft::corpus::cas();
+  for (auto _ : state) {
+    analysis::DftAnalysis a = analysis::analyzeDft(cas);
+    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+  }
+}
+BENCHMARK(BM_CasCompositional)->Unit(benchmark::kMillisecond);
+
+void BM_CasDiftreeModular(benchmark::State& state) {
+  dft::Dft cas = dft::corpus::cas();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diftree::modularAnalysis(cas, 1.0).unreliability);
+  }
+}
+BENCHMARK(BM_CasDiftreeModular)->Unit(benchmark::kMillisecond);
+
+void BM_CasMonolithic(benchmark::State& state) {
+  dft::Dft cas = dft::corpus::cas();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diftree::monolithicUnreliability(cas, 1.0));
+  }
+}
+BENCHMARK(BM_CasMonolithic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file bench_scaling.cpp
+/// Experiment E9 (the Section 5.2 scaling argument): on the CPS family
+/// (k AND-modules of m basic events each under a PAND cascade) the
+/// compositional peak stays polynomially small while the monolithic chain
+/// grows exponentially with the number of basic events.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "dft/corpus.hpp"
+#include "diftree/monolithic.hpp"
+
+namespace {
+
+using namespace imcdft;
+
+void printReproduction() {
+  std::printf("== E9: state-space scaling on the CPS family ==\n");
+  std::printf("%-10s %-6s %-28s %-28s\n", "modules", "BEs",
+              "compositional peak (st/tr)", "monolithic full (st/tr)");
+  for (int modules : {2, 3, 4}) {
+    for (int bes : {2, 3, 4}) {
+      dft::Dft d = dft::corpus::cascadedPands(modules, bes);
+      analysis::DftAnalysis a = analysis::analyzeDft(d);
+      diftree::MonolithicResult mono = diftree::generateMonolithic(d, {false});
+      std::printf("%-10d %-6d %8zu / %-15zu %10zu / %-15zu\n", modules,
+                  modules * bes, a.stats.peakComposedStates,
+                  a.stats.peakComposedTransitions, mono.numStates,
+                  mono.numTransitions);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_CompositionalScaling(benchmark::State& state) {
+  dft::Dft d = dft::corpus::cascadedPands(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    analysis::DftAnalysis a = analysis::analyzeDft(d);
+    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+  }
+  state.counters["peak_states"] = static_cast<double>(
+      analysis::analyzeDft(d).stats.peakComposedStates);
+}
+BENCHMARK(BM_CompositionalScaling)
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Args({4, 3})
+    ->Args({3, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonolithicScaling(benchmark::State& state) {
+  dft::Dft d = dft::corpus::cascadedPands(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diftree::generateMonolithic(d, {false}).numStates);
+  }
+}
+BENCHMARK(BM_MonolithicScaling)
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Args({4, 3})
+    ->Args({3, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

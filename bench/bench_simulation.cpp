@@ -1,0 +1,96 @@
+/// \file bench_simulation.cpp
+/// Cross-engine agreement on the two case studies plus the HECS system:
+/// the compositional I/O-IMC pipeline (exact), the DIFTree monolithic
+/// baseline (exact) and the Monte-Carlo simulator (statistical) implement
+/// the same semantics three different ways; this harness prints all three
+/// side by side and times the simulator's throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "ctmc/transient.hpp"
+#include "dft/corpus.hpp"
+#include "diftree/monolithic.hpp"
+#include "simulation/simulator.hpp"
+
+namespace {
+
+using namespace imcdft;
+
+void printReproduction() {
+  std::printf("== cross-engine agreement (t = 1, 50k runs) ==\n");
+  std::printf("%-18s %-14s %-14s %s\n", "system", "compositional",
+              "monolithic", "Monte-Carlo (95% ci)");
+  struct Case {
+    const char* name;
+    dft::Dft tree;
+  };
+  Case cases[] = {{"CAS", dft::corpus::cas()},
+                  {"CPS", dft::corpus::cps()},
+                  {"HECS", dft::corpus::hecs()}};
+  for (Case& c : cases) {
+    analysis::DftAnalysis a = analysis::analyzeDft(c.tree);
+    double exact = analysis::unreliability(a, 1.0);
+    double mono = ctmc::probabilityOfLabelAt(
+        diftree::generateMonolithic(c.tree).chain, "down", 1.0);
+    simulation::Estimate mc =
+        simulation::simulateUnreliability(c.tree, 1.0, {50'000, 17});
+    std::printf("%-18s %-14.6f %-14.6f %.6f +- %.6f\n", c.name, exact, mono,
+                mc.value, mc.halfWidth95);
+  }
+  std::printf("\n");
+}
+
+void BM_SimulateCas(benchmark::State& state) {
+  dft::Dft d = dft::corpus::cas();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulation::simulateUnreliability(
+            d, 1.0, {static_cast<std::uint64_t>(state.range(0)), 17})
+            .value);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateCas)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateHecs(benchmark::State& state) {
+  dft::Dft d = dft::corpus::hecs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulation::simulateUnreliability(
+            d, 1.0, {static_cast<std::uint64_t>(state.range(0)), 17})
+            .value);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateHecs)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HecsCompositional(benchmark::State& state) {
+  dft::Dft d = dft::corpus::hecs();
+  for (auto _ : state) {
+    analysis::DftAnalysis a = analysis::analyzeDft(d);
+    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+  }
+}
+BENCHMARK(BM_HecsCompositional)->Unit(benchmark::kMillisecond);
+
+void BM_HecsMonolithic(benchmark::State& state) {
+  dft::Dft d = dft::corpus::hecs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diftree::monolithicUnreliability(d, 1.0));
+  }
+}
+BENCHMARK(BM_HecsMonolithic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

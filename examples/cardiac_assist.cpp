@@ -1,0 +1,49 @@
+/// \file cardiac_assist.cpp
+/// The paper's Section 5.1 case study end to end: parse the cardiac assist
+/// system from its Galileo description, run the compositional aggregation,
+/// report the per-module aggregated I/O-IMC sizes and the system
+/// unreliability, and cross-check against the DIFTree-style baseline —
+/// exactly the comparison the paper makes against the Galileo tool.
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "ctmc/transient.hpp"
+#include "dft/corpus.hpp"
+#include "diftree/modular.hpp"
+#include "diftree/monolithic.hpp"
+
+int main() {
+  using namespace imcdft;
+
+  dft::Dft cas = dft::corpus::cas();
+  std::printf("cardiac assist system (DSN'07, Fig. 7): %zu elements\n",
+              cas.size());
+
+  analysis::DftAnalysis result = analysis::analyzeDft(cas);
+  std::printf("\ncompositional aggregation (this paper's approach):\n");
+  for (const analysis::ModuleResult& m : result.stats.modules)
+    std::printf("  module %-12s aggregated to %3zu states, %3zu transitions\n",
+                m.name.c_str(), m.states, m.transitions);
+  std::printf("  final model: %zu states\n", result.closedModel.numStates());
+
+  double u = analysis::unreliability(result, 1.0);
+  std::printf("\nunreliability at t=1: %.4f   (paper: 0.6579)\n", u);
+
+  diftree::ModularResult galileoStyle = diftree::modularAnalysis(cas, 1.0);
+  std::printf("\nDIFTree-style modular baseline:\n");
+  for (const diftree::ModularSolveInfo& m : galileoStyle.modules) {
+    if (m.dynamic && m.mcStates > 0)
+      std::printf("  module %-12s Markov chain with %zu states\n",
+                  m.moduleName.c_str(), m.mcStates);
+  }
+  std::printf("  biggest module chain: %zu states (paper: pump unit, 8)\n",
+              galileoStyle.largestMcStates);
+  std::printf("  unreliability at t=1: %.4f (must match)\n",
+              galileoStyle.unreliability);
+
+  std::printf("\nunreliability curve (compositional):\n  t     U(t)\n");
+  for (double t : {0.5, 1.0, 2.0, 5.0})
+    std::printf("  %-5.1f %.6f\n", t, analysis::unreliability(result, t));
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file cascaded_pand.cpp
+/// Section 5.2 of the paper: the cascaded PAND system.  Demonstrates
+///  1. the modular compositional analysis (independent modules under a
+///     *dynamic* gate, which DIFTree cannot modularize),
+///  2. explicit reuse of one aggregated module by signal renaming — the
+///     paper generates the I/O-IMC of module A once and instantiates it
+///     for the identical modules C and D,
+///  3. the state-space comparison against the monolithic baseline.
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "dft/corpus.hpp"
+#include "diftree/monolithic.hpp"
+#include "ioimc/bisimulation.hpp"
+#include "ioimc/compose.hpp"
+#include "ioimc/export.hpp"
+#include "ioimc/ops.hpp"
+#include "semantics/elements.hpp"
+
+namespace {
+
+/// Builds the aggregated I/O-IMC of one AND-of-four module directly from
+/// the elementary models, the way Section 5.2 describes module A.
+imcdft::ioimc::IOIMC buildModule(imcdft::ioimc::SymbolTablePtr symbols,
+                                 const std::string& name) {
+  using namespace imcdft;
+  std::vector<std::string> inputs;
+  std::vector<ioimc::IOIMC> bes;
+  for (int i = 1; i <= 4; ++i) {
+    std::string be = name + std::to_string(i);
+    inputs.push_back("f_" + be);
+    bes.push_back(semantics::basicEvent(symbols, be, 1.0, 1.0, std::nullopt,
+                                        "f_" + be));
+  }
+  // Start from the gate so every BE firing signal is consumed inside the
+  // accumulator and can be hidden as soon as its BE has been folded in.
+  ioimc::IOIMC acc =
+      semantics::countingGate(symbols, name, {4}, inputs, "f_" + name);
+  for (ioimc::IOIMC& be : bes) {
+    acc = ioimc::compose(acc, be);
+    std::vector<ioimc::ActionId> hidden;
+    for (ioimc::ActionId o : acc.signature().outputs())
+      if (acc.actionName(o) != "f_" + name) hidden.push_back(o);
+    acc = ioimc::aggregate(
+        ioimc::collapseUnobservableSinks(ioimc::hide(acc, hidden)));
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace imcdft;
+
+  // --- 1. Module reuse by renaming (Fig. 9). ---
+  auto symbols = ioimc::makeSymbolTable();
+  ioimc::IOIMC moduleA = buildModule(symbols, "A");
+  std::printf("module A aggregated I/O-IMC: %zu states, %zu transitions\n",
+              moduleA.numStates(), moduleA.numTransitions());
+  std::printf("%s", ioimc::toDot(moduleA).c_str());
+
+  // C and D are identical: instantiate them by renaming f_A.
+  ioimc::IOIMC moduleC =
+      ioimc::renameActions(moduleA, {{symbols->find("f_A"), "f_C"}});
+  ioimc::IOIMC moduleD =
+      ioimc::renameActions(moduleA, {{symbols->find("f_A"), "f_D"}});
+  std::printf("modules C, D instantiated by renaming: %zu states each\n",
+              moduleC.numStates());
+  (void)moduleD;
+
+  // --- 2. Full modular analysis of the CPS. ---
+  dft::Dft cps = dft::corpus::cps();
+  analysis::DftAnalysis result = analysis::analyzeDft(cps);
+  std::printf("\ncompositional aggregation of the whole CPS:\n");
+  std::printf("  biggest composed I/O-IMC: %zu states, %zu transitions\n",
+              result.stats.peakComposedStates,
+              result.stats.peakComposedTransitions);
+  std::printf("  (paper: 156 states, 490 transitions)\n");
+
+  // --- 3. The DIFTree baseline explodes. ---
+  diftree::MonolithicResult mono =
+      diftree::generateMonolithic(cps, {/*truncateAtSystemFailure=*/false});
+  std::printf("\nDIFTree-style monolithic chain: %zu states, %zu transitions\n",
+              mono.numStates, mono.numTransitions);
+  std::printf("  (paper: 4113 states, 24608 transitions)\n");
+
+  double u = analysis::unreliability(result, 1.0);
+  std::printf("\nunreliability at t=1: %.5f (paper: 0.00135)\n", u);
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// \file quickstart.cpp
+/// Smallest end-to-end use of the library: build a dynamic fault tree in
+/// code, run the compositional I/O-IMC analysis, print the unreliability
+/// curve, and show what the aggregation did.
+///
+/// The system: a primary power feed with a warm spare feed, plus a pump
+/// that depends functionally on a controller.
+
+#include <cstdio>
+
+#include "analysis/measures.hpp"
+#include "dft/builder.hpp"
+
+int main() {
+  using namespace imcdft;
+
+  dft::Dft tree = dft::DftBuilder()
+                      .basicEvent("primary_feed", 0.8)
+                      .basicEvent("spare_feed", 0.8, /*dormancy=*/0.3)
+                      .basicEvent("pump", 0.5)
+                      .basicEvent("controller", 0.2)
+                      .spareGate("power", dft::SpareKind::Warm,
+                                 {"primary_feed", "spare_feed"})
+                      .fdep("ctrl_dep", "controller", {"pump"})
+                      .orGate("system", {"power", "pump"})
+                      .top("system")
+                      .build();
+
+  analysis::DftAnalysis result = analysis::analyzeDft(tree);
+
+  std::printf("quickstart: warm-spare power + controller-dependent pump\n");
+  std::printf("  community folded in %zu composition steps\n",
+              result.stats.steps.size());
+  std::printf("  peak intermediate model: %zu states (aggregated peak: %zu)\n",
+              result.stats.peakComposedStates,
+              result.stats.peakAggregatedStates);
+  std::printf("  final aggregated I/O-IMC: %zu states, %zu transitions\n",
+              result.closedModel.numStates(),
+              result.closedModel.numTransitions());
+
+  std::printf("\n  t      unreliability\n");
+  for (double t : {0.25, 0.5, 1.0, 2.0, 4.0})
+    std::printf("  %-6.2f %.6f\n", t, analysis::unreliability(result, t));
+  return 0;
+}

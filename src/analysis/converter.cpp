@@ -1,0 +1,358 @@
+#include "analysis/converter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "semantics/elements.hpp"
+#include "semantics/signals.hpp"
+#include "semantics/spare_gate.hpp"
+
+namespace imcdft::analysis {
+
+using dft::Dft;
+using dft::Element;
+using dft::ElementId;
+using dft::ElementType;
+
+namespace {
+
+using semantics::activationSignal;
+using semantics::claimSignal;
+using semantics::firingSignal;
+using semantics::isolatedFiringSignal;
+using semantics::repairSignal;
+
+bool isSpareLike(const Element& e) {
+  return e.type == ElementType::Spare || e.type == ElementType::Seq;
+}
+
+/// Structural descendants of \p root following gate inputs only (no FDEP /
+/// sharing edges); this is the subtree activation flows through.
+std::vector<ElementId> structuralSubtree(const Dft& dft, ElementId root) {
+  std::vector<bool> seen(dft.size(), false);
+  std::vector<ElementId> out, stack{root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    ElementId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    for (ElementId in : dft.element(id).inputs)
+      if (!seen[in]) {
+        seen[in] = true;
+        stack.push_back(in);
+      }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// True when \p id sits in a primary/spare slot of some spare or seq gate.
+bool isSlotElement(const Dft& dft, ElementId id) {
+  return dft.primaryUser(id).has_value() || !dft.spareUsers(id).empty();
+}
+
+}  // namespace
+
+void checkConvertible(const Dft& dft) {
+  const bool repairable = dft.isRepairable();
+  for (ElementId id = 0; id < dft.size(); ++id) {
+    const Element& e = dft.element(id);
+    if (repairable && e.type != ElementType::BasicEvent &&
+        e.type != ElementType::And && e.type != ElementType::Or &&
+        e.type != ElementType::Voting) {
+      throw UnsupportedError(
+          "repairable trees support only AND/OR/K-M gates (the paper does "
+          "not define repairable dynamic gates); offending element: '" +
+          e.name + "'");
+    }
+    // Duplicate inputs break the single-firing discipline of the gates.
+    std::vector<ElementId> ins = e.inputs;
+    std::sort(ins.begin(), ins.end());
+    require(std::adjacent_find(ins.begin(), ins.end()) == ins.end(),
+            "gate '" + e.name + "' lists the same input twice");
+
+    // FDEP dependents cannot also be inhibited (auxiliary stacking is
+    // undefined in the paper).
+    if (!dft.fdepsTargeting(id).empty())
+      require(dft.inhibitorsOf(id).empty(),
+              "element '" + e.name +
+                  "' is both FDEP-dependent and inhibited; this combination "
+                  "is not defined");
+
+    if (isSpareLike(e)) {
+      // Primary used by exactly one gate; nothing is both primary and spare.
+      ElementId primary = e.inputs.front();
+      require(dft.spareUsers(primary).empty(),
+              "element '" + dft.element(primary).name +
+                  "' is used both as a primary and as a spare");
+      std::size_t primaryUses = 0;
+      for (ElementId p : dft.parents(primary))
+        if (isSpareLike(dft.element(p)) &&
+            dft.element(p).inputs.front() == primary)
+          ++primaryUses;
+      require(primaryUses == 1, "element '" + dft.element(primary).name +
+                                    "' is the primary of several spare gates");
+    }
+  }
+  if (repairable && !dft.inhibitions().empty())
+    throw UnsupportedError("repairable trees do not support inhibitions");
+
+  // Slot subtrees must be structurally independent: every element below a
+  // primary/spare slot may only be input to gates inside the same subtree
+  // (FDEPs may still *target* inside elements: that is failure semantics,
+  // not activation).  This is the paper's Section 6.1 independence
+  // requirement, generalized.
+  for (ElementId id = 0; id < dft.size(); ++id) {
+    if (!isSlotElement(dft, id)) continue;
+    std::vector<ElementId> subtree = structuralSubtree(dft, id);
+    for (ElementId member : subtree) {
+      if (member == id) continue;
+      for (ElementId p : dft.parents(member)) {
+        if (dft.element(p).type == ElementType::Fdep) continue;
+        require(std::binary_search(subtree.begin(), subtree.end(), p),
+                "element '" + dft.element(member).name +
+                    "' inside spare module '" + dft.element(id).name +
+                    "' is referenced from outside the module");
+      }
+    }
+  }
+}
+
+std::vector<ActivationContext> activationContexts(const Dft& dft) {
+  std::vector<ActivationContext> ctx(dft.size());
+
+  // Parent-first order: gates before their inputs.
+  std::vector<ElementId> order = dft.topologicalOrder();
+  std::reverse(order.begin(), order.end());
+
+  for (ElementId id : order) {
+    const Element& e = dft.element(id);
+    ActivationContext c;
+
+    if (auto gate = dft.primaryUser(id)) {
+      // Primary slot: activated by its gate when the gate becomes active.
+      // An always-active gate activates its primary at time zero, so the
+      // primary is simply always active.
+      const ActivationContext& gateCtx = ctx[*gate];
+      if (gateCtx.alwaysActive) {
+        c.alwaysActive = true;
+      } else {
+        c.alwaysActive = false;
+        c.signal = claimSignal(e.name, dft.element(*gate).name);
+      }
+    } else if (std::vector<ElementId> users = dft.spareUsers(id);
+               !users.empty()) {
+      // Spare slot: activated when some gate claims it.  With several
+      // sharers the activation auxiliary merges the claim signals.
+      c.alwaysActive = false;
+      c.signal = users.size() == 1
+                     ? claimSignal(e.name, dft.element(users.front()).name)
+                     : activationSignal(e.name);
+    } else {
+      // Inherit from the structural parents (FDEPs do not activate).
+      bool first = true;
+      bool haveParent = false;
+      for (ElementId p : dft.parents(id)) {
+        if (dft.element(p).type == ElementType::Fdep) continue;
+        haveParent = true;
+        const ActivationContext& pc = ctx[p];
+        if (first) {
+          c = pc;
+          first = false;
+        } else {
+          require(c.alwaysActive == pc.alwaysActive && c.signal == pc.signal,
+                  "element '" + e.name +
+                      "' inherits conflicting activation contexts");
+        }
+      }
+      if (!haveParent) c.alwaysActive = true;  // top or FDEP-only references
+    }
+    ctx[id] = c;
+  }
+  return ctx;
+}
+
+Community convertDft(const Dft& dft, const ConversionOptions& opts) {
+  checkConvertible(dft);
+  Community community;
+  community.symbols = makeSymbolTable();
+  community.repairable = dft.isRepairable();
+  community.contexts = activationContexts(dft);
+  const auto& ctx = community.contexts;
+  ioimc::SymbolTablePtr symbols = community.symbols;
+
+  // Canonical firing signal of each element, and whether it is wrapped by a
+  // firing or inhibition auxiliary.
+  auto isWrapped = [&](ElementId id) {
+    return !dft.fdepsTargeting(id).empty() || !dft.inhibitorsOf(id).empty();
+  };
+  auto ownOutput = [&](ElementId id) {
+    const std::string& name = dft.element(id).name;
+    return isWrapped(id) ? isolatedFiringSignal(name) : firingSignal(name);
+  };
+  auto activationInput = [&](ElementId id) -> std::optional<std::string> {
+    if (ctx[id].alwaysActive) return std::nullopt;
+    return ctx[id].signal;
+  };
+  auto isRepairableElement = [&](ElementId id) {
+    const Element& e = dft.element(id);
+    if (e.isBasicEvent()) return e.be.repairRate.has_value();
+    return community.repairable;  // all gates of a repairable tree repair
+  };
+
+  auto addModel = [&](ioimc::IOIMC model, std::vector<ElementId> elements) {
+    community.models.push_back({std::move(model), std::move(elements)});
+  };
+
+  for (ElementId id = 0; id < dft.size(); ++id) {
+    const Element& e = dft.element(id);
+    switch (e.type) {
+      case ElementType::BasicEvent: {
+        if (e.be.repairRate) {
+          addModel(semantics::repairableBasicEvent(
+                       symbols, e.name, e.be.lambda, *e.be.repairRate,
+                       e.be.dormancy, activationInput(id), ownOutput(id),
+                       repairSignal(e.name), e.be.phases),
+                   {id});
+        } else {
+          addModel(semantics::basicEvent(symbols, e.name, e.be.lambda,
+                                         e.be.dormancy, activationInput(id),
+                                         ownOutput(id), e.be.phases),
+                   {id});
+        }
+        break;
+      }
+      case ElementType::And:
+      case ElementType::Or:
+      case ElementType::Voting: {
+        const std::uint32_t n = static_cast<std::uint32_t>(e.inputs.size());
+        const std::uint32_t k = e.type == ElementType::And ? n
+                                : e.type == ElementType::Or
+                                    ? 1
+                                    : e.votingThreshold;
+        if (community.repairable) {
+          std::vector<semantics::RepairableInput> ins;
+          for (ElementId in : e.inputs) {
+            semantics::RepairableInput ri;
+            ri.firingInput = firingSignal(dft.element(in).name);
+            if (isRepairableElement(in))
+              ri.repairInput = repairSignal(dft.element(in).name);
+            ins.push_back(std::move(ri));
+          }
+          addModel(semantics::repairableThresholdGate(
+                       symbols, e.name, {k}, ins, ownOutput(id),
+                       repairSignal(e.name)),
+                   {id});
+        } else {
+          std::vector<std::string> ins;
+          for (ElementId in : e.inputs)
+            ins.push_back(firingSignal(dft.element(in).name));
+          ioimc::IOIMC gate =
+              opts.subsetGates
+                  ? semantics::subsetGate(symbols, e.name, {k}, ins,
+                                          ownOutput(id))
+                  : semantics::countingGate(symbols, e.name, {k}, ins,
+                                            ownOutput(id));
+          addModel(std::move(gate), {id});
+        }
+        break;
+      }
+      case ElementType::Pand: {
+        std::vector<std::string> ins;
+        for (ElementId in : e.inputs)
+          ins.push_back(firingSignal(dft.element(in).name));
+        addModel(semantics::pandGate(symbols, e.name, ins, ownOutput(id)),
+                 {id});
+        break;
+      }
+      case ElementType::Spare:
+      case ElementType::Seq: {
+        semantics::SpareGateSpec spec;
+        spec.name = e.name;
+        spec.firingOutput = ownOutput(id);
+        spec.activationInput = activationInput(id);
+        ElementId primary = e.inputs.front();
+        spec.primaryFiringInput = firingSignal(dft.element(primary).name);
+        if (!ctx[primary].alwaysActive)
+          spec.primaryActivationOutput =
+              claimSignal(dft.element(primary).name, e.name);
+        std::vector<ElementId> involved{id};
+        for (std::size_t i = 1; i < e.inputs.size(); ++i) {
+          ElementId spare = e.inputs[i];
+          semantics::SpareSlot slot;
+          slot.firingInput = firingSignal(dft.element(spare).name);
+          slot.claimOutput = claimSignal(dft.element(spare).name, e.name);
+          for (ElementId user : dft.spareUsers(spare)) {
+            if (user == id) continue;
+            slot.otherClaimInputs.push_back(
+                claimSignal(dft.element(spare).name, dft.element(user).name));
+            involved.push_back(user);
+          }
+          spec.spares.push_back(std::move(slot));
+        }
+        addModel(semantics::spareGate(symbols, spec), std::move(involved));
+        break;
+      }
+      case ElementType::Fdep:
+        // FDEP gates have no model of their own; the firing auxiliaries of
+        // their dependents (below) carry the semantics.
+        break;
+    }
+
+    // Firing auxiliary for FDEP dependents (Fig. 5).
+    const std::vector<ElementId> fdeps = dft.fdepsTargeting(id);
+    if (!fdeps.empty()) {
+      std::vector<std::string> ins{isolatedFiringSignal(e.name)};
+      std::vector<ElementId> involved{id};
+      for (ElementId f : fdeps) {
+        ElementId trigger = dft.element(f).inputs.front();
+        ins.push_back(firingSignal(dft.element(trigger).name));
+        involved.push_back(f);
+        involved.push_back(trigger);
+      }
+      addModel(semantics::orAuxiliary(symbols, "FA_" + e.name, ins,
+                                      firingSignal(e.name)),
+               std::move(involved));
+    }
+
+    // Inhibition auxiliary (Fig. 12).
+    const std::vector<ElementId> inhibitors = dft.inhibitorsOf(id);
+    if (!inhibitors.empty()) {
+      std::vector<std::string> inhIns;
+      std::vector<ElementId> involved{id};
+      for (ElementId a : inhibitors) {
+        inhIns.push_back(firingSignal(dft.element(a).name));
+        involved.push_back(a);
+      }
+      addModel(semantics::inhibitionAuxiliary(symbols, "IA_" + e.name,
+                                              isolatedFiringSignal(e.name),
+                                              inhIns, firingSignal(e.name)),
+               std::move(involved));
+    }
+
+    // Activation auxiliary for spares shared by several gates.
+    const std::vector<ElementId> users = dft.spareUsers(id);
+    if (users.size() > 1) {
+      std::vector<std::string> claims;
+      std::vector<ElementId> involved{id};
+      for (ElementId user : users) {
+        claims.push_back(claimSignal(e.name, dft.element(user).name));
+        involved.push_back(user);
+      }
+      addModel(semantics::orAuxiliary(symbols, "AA_" + e.name, claims,
+                                      activationSignal(e.name)),
+               std::move(involved));
+    }
+  }
+
+  // Top-event monitor; its "down" label is what every measure observes.
+  community.topFiringSignal = firingSignal(dft.element(dft.top()).name);
+  std::optional<std::string> repairIn;
+  if (community.repairable && isRepairableElement(dft.top()))
+    repairIn = repairSignal(dft.element(dft.top()).name);
+  addModel(semantics::monitor(symbols, community.topFiringSignal, repairIn),
+           {dft.top()});
+  return community;
+}
+
+}  // namespace imcdft::analysis

@@ -1,0 +1,278 @@
+#include "analysis/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "common/error.hpp"
+#include "dft/modules.hpp"
+#include "ioimc/compose.hpp"
+#include "ioimc/ops.hpp"
+
+namespace imcdft::analysis {
+
+using ioimc::IOIMC;
+
+namespace {
+
+/// Mutable pool of community members; slots become empty as pairs merge.
+class Composer {
+ public:
+  Composer(Community community, const EngineOptions& opts)
+      : opts_(opts) {
+    for (CommunityModel& m : community.models)
+      slots_.push_back(std::move(m.model));
+  }
+
+  std::size_t numSlots() const { return slots_.size(); }
+  const IOIMC& slot(std::size_t i) const { return *slots_[i]; }
+  bool alive(std::size_t i) const { return slots_[i].has_value(); }
+
+  /// Hides the outputs of \p m that no other live model consumes, then
+  /// aggregates.
+  IOIMC hideAndAggregate(IOIMC m, std::size_t skipA, std::size_t skipB) {
+    std::vector<ioimc::ActionId> hidden;
+    for (ioimc::ActionId out : m.signature().outputs()) {
+      bool used = false;
+      for (std::size_t i = 0; i < slots_.size() && !used; ++i) {
+        if (!slots_[i] || i == skipA || i == skipB) continue;
+        used = slots_[i]->signature().isInput(out);
+      }
+      if (!used) hidden.push_back(out);
+    }
+    IOIMC result = ioimc::hide(m, hidden);
+    if (opts_.collapseSinks) result = ioimc::collapseUnobservableSinks(result);
+    if (opts_.aggregateEachStep) result = ioimc::aggregate(result, opts_.weak);
+    return result;
+  }
+
+  /// Composes slots \p a and \p b; stores the result in a fresh slot whose
+  /// index is returned.
+  std::size_t composePair(std::size_t a, std::size_t b) {
+    CompositionStep step;
+    step.name = slots_[a]->name() + " || " + slots_[b]->name();
+    step.leftStates = slots_[a]->numStates();
+    step.rightStates = slots_[b]->numStates();
+    IOIMC composed = ioimc::compose(*slots_[a], *slots_[b]);
+    step.composedStates = composed.numStates();
+    step.composedTransitions = composed.numTransitions();
+    IOIMC result = hideAndAggregate(std::move(composed), a, b);
+    step.aggregatedStates = result.numStates();
+    step.aggregatedTransitions = result.numTransitions();
+
+    stats_.peakComposedStates =
+        std::max(stats_.peakComposedStates, step.composedStates);
+    stats_.peakComposedTransitions =
+        std::max(stats_.peakComposedTransitions, step.composedTransitions);
+    stats_.peakAggregatedStates =
+        std::max(stats_.peakAggregatedStates, step.aggregatedStates);
+    stats_.peakAggregatedTransitions =
+        std::max(stats_.peakAggregatedTransitions, step.aggregatedTransitions);
+    stats_.steps.push_back(std::move(step));
+
+    slots_[a].reset();
+    slots_[b].reset();
+    slots_.push_back(std::move(result));
+    return slots_.size() - 1;
+  }
+
+  /// True when the two models share a synchronizing action.
+  bool synchronize(std::size_t a, std::size_t b) const {
+    const ioimc::Signature& sa = slots_[a]->signature();
+    const ioimc::Signature& sb = slots_[b]->signature();
+    auto anyShared = [](const std::vector<ioimc::ActionId>& xs,
+                        const ioimc::Signature& other) {
+      return std::any_of(xs.begin(), xs.end(), [&](ioimc::ActionId x) {
+        return other.isInput(x) || other.isOutput(x);
+      });
+    };
+    return anyShared(sa.outputs(), sb) || anyShared(sa.inputs(), sb);
+  }
+
+  /// Greedily merges the given live slots into one; returns its index.
+  std::size_t mergePool(std::vector<std::size_t> pool) {
+    require(!pool.empty(), "composeCommunity: empty module pool");
+    while (pool.size() > 1) {
+      // Cheapest synchronizing pair; fall back to cheapest pair overall.
+      std::size_t bestI = 0, bestJ = 1;
+      double bestCost = std::numeric_limits<double>::infinity();
+      bool bestSync = false;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        for (std::size_t j = i + 1; j < pool.size(); ++j) {
+          double cost = static_cast<double>(slots_[pool[i]]->numStates()) *
+                        static_cast<double>(slots_[pool[j]]->numStates());
+          bool sync = synchronize(pool[i], pool[j]);
+          if ((sync && !bestSync) ||
+              (sync == bestSync && cost < bestCost)) {
+            bestI = i;
+            bestJ = j;
+            bestCost = cost;
+            bestSync = sync;
+          }
+        }
+      }
+      std::size_t merged = composePair(pool[bestI], pool[bestJ]);
+      pool.erase(pool.begin() + bestJ);
+      pool.erase(pool.begin() + bestI);
+      pool.push_back(merged);
+    }
+    return pool.front();
+  }
+
+  CompositionStats takeStats() { return std::move(stats_); }
+  IOIMC takeModel(std::size_t idx) { return std::move(*slots_[idx]); }
+
+  void recordModule(const std::string& name, std::size_t idx) {
+    stats_.modules.push_back(
+        {name, slots_[idx]->numStates(), slots_[idx]->numTransitions()});
+  }
+
+ private:
+  EngineOptions opts_;
+  std::vector<std::optional<IOIMC>> slots_;
+  CompositionStats stats_;
+};
+
+/// Node of the module containment tree used by the Modular strategy.
+struct ModuleNode {
+  std::string name;
+  std::vector<std::size_t> ownModels;   // community model indices
+  std::vector<std::size_t> childModules;  // indices into the node array
+};
+
+}  // namespace
+
+EngineResult composeCommunity(Community community, const dft::Dft& dft,
+                              const EngineOptions& opts) {
+  require(!community.models.empty(), "composeCommunity: empty community");
+
+  // Remember the element sets before handing the models to the composer.
+  std::vector<std::vector<dft::ElementId>> modelElements;
+  for (const CommunityModel& m : community.models)
+    modelElements.push_back(m.elements);
+
+  Composer composer(std::move(community), opts);
+  std::size_t finalIdx = 0;
+
+  if (opts.strategy != CompositionStrategy::Modular) {
+    std::vector<std::size_t> pool(composer.numSlots());
+    for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+    if (opts.strategy == CompositionStrategy::Declaration) {
+      std::size_t acc = pool.front();
+      for (std::size_t i = 1; i < pool.size(); ++i)
+        acc = composer.composePair(acc, pool[i]);
+      finalIdx = acc;
+    } else {
+      finalIdx = composer.mergePool(std::move(pool));
+    }
+  } else {
+    // Build the module containment tree (modules sorted by size, so a
+    // module's parent is the first later module that contains its root).
+    std::vector<dft::ModuleInfo> modules = dft::independentModules(dft);
+    std::vector<ModuleNode> nodes(modules.size());
+    std::vector<int> parent(modules.size(), -1);
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      nodes[i].name = dft.element(modules[i].root).name;
+      for (std::size_t j = i + 1; j < modules.size(); ++j) {
+        if (std::binary_search(modules[j].members.begin(),
+                               modules[j].members.end(), modules[i].root) &&
+            modules[j].root != modules[i].root) {
+          parent[i] = static_cast<int>(j);
+          break;
+        }
+      }
+      if (parent[i] >= 0)
+        nodes[parent[i]].childModules.push_back(i);
+    }
+    // The root module (whole tree) is the largest one containing top.
+    // Trees where an element below the top is also watched by a gate
+    // outside the top's dependency closure have no independent module
+    // around the top at all; fall back to plain greedy composition then.
+    int rootNode = -1;
+    for (std::size_t i = 0; i < modules.size(); ++i)
+      if (parent[i] < 0 && std::binary_search(modules[i].members.begin(),
+                                              modules[i].members.end(),
+                                              dft.top()))
+        rootNode = static_cast<int>(i);
+    if (rootNode < 0) {
+      std::vector<std::size_t> pool(composer.numSlots());
+      for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+      finalIdx = composer.mergePool(std::move(pool));
+      EngineResult fallback{composer.takeModel(finalIdx),
+                            composer.takeStats()};
+      fallback.model = ioimc::hideAllOutputs(fallback.model);
+      if (opts.collapseSinks)
+        fallback.model = ioimc::collapseUnobservableSinks(fallback.model);
+      fallback.model = ioimc::aggregate(fallback.model, opts.weak);
+      return fallback;
+    }
+    // Any other parentless module hangs off the root (conservative).
+    for (std::size_t i = 0; i < modules.size(); ++i)
+      if (parent[i] < 0 && static_cast<int>(i) != rootNode) {
+        parent[i] = rootNode;
+        nodes[rootNode].childModules.push_back(i);
+      }
+
+    // Assign every community model to the smallest module containing all
+    // the elements it involves.
+    for (std::size_t m = 0; m < modelElements.size(); ++m) {
+      int best = rootNode;
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        bool containsAll = std::all_of(
+            modelElements[m].begin(), modelElements[m].end(),
+            [&](dft::ElementId e) {
+              return std::binary_search(modules[i].members.begin(),
+                                        modules[i].members.end(), e);
+            });
+        if (containsAll) {
+          best = static_cast<int>(i);
+          break;  // modules are sorted by size: first hit is smallest
+        }
+      }
+      nodes[best].ownModels.push_back(m);
+    }
+
+    // Depth-first composition: children first, then the module's own pool.
+    // Iterative post-order over the containment tree.
+    struct Frame {
+      int node;
+      std::size_t child = 0;
+      std::vector<std::size_t> pool;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({rootNode, 0, {}});
+    std::size_t resultIdx = 0;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      ModuleNode& node = nodes[f.node];
+      if (f.child == 0) f.pool = node.ownModels;
+      if (f.child < node.childModules.size()) {
+        int child = static_cast<int>(node.childModules[f.child++]);
+        stack.push_back({child, 0, {}});
+        continue;
+      }
+      // A module with a single member does not need composing, but modules
+      // with several members fold into one model.
+      const bool properModule = f.pool.size() > 1;
+      std::size_t merged = composer.mergePool(f.pool);
+      if (properModule) composer.recordModule(node.name, merged);
+      stack.pop_back();
+      if (stack.empty()) {
+        resultIdx = merged;
+      } else {
+        stack.back().pool.push_back(merged);
+      }
+    }
+    finalIdx = resultIdx;
+  }
+
+  EngineResult result{composer.takeModel(finalIdx), composer.takeStats()};
+  // A single-model community may still carry unhidden outputs.
+  result.model = ioimc::hideAllOutputs(result.model);
+  if (opts.collapseSinks)
+    result.model = ioimc::collapseUnobservableSinks(result.model);
+  result.model = ioimc::aggregate(result.model, opts.weak);
+  return result;
+}
+
+}  // namespace imcdft::analysis

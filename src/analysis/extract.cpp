@@ -1,0 +1,91 @@
+#include "analysis/extract.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imcdft::analysis {
+
+using ioimc::IOIMC;
+using ioimc::StateId;
+
+Extraction extract(const IOIMC& closed, const std::string& goalLabel) {
+  for (StateId s = 0; s < closed.numStates(); ++s)
+    for (const auto& t : closed.interactive(s))
+      require(closed.signature().isInternal(t.action),
+              "extract: model still has visible transition on action '" +
+                  closed.actionName(t.action) +
+                  "' — the community was not fully composed/hidden");
+
+  const std::size_t n = closed.numStates();
+  std::vector<std::vector<StateId>> tauSucc(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const auto& t : closed.interactive(s)) tauSucc[s].push_back(t.to);
+    std::sort(tauSucc[s].begin(), tauSucc[s].end());
+    tauSucc[s].erase(std::unique(tauSucc[s].begin(), tauSucc[s].end()),
+                     tauSucc[s].end());
+  }
+  auto vanishing = [&](StateId s) { return !tauSucc[s].empty(); };
+
+  Extraction out;
+  out.deterministic = true;
+  for (StateId s = 0; s < n; ++s)
+    if (tauSucc[s].size() > 1) out.deterministic = false;
+
+  const int goalIdx = closed.labelIndex(goalLabel);
+
+  // --- CTMDP view: keep every state; choices at vanishing states. ---
+  ctmdp::Ctmdp& mdp = out.mdp;
+  mdp.initial = closed.initial();
+  mdp.rates.resize(n);
+  mdp.choices.resize(n);
+  mdp.goal.assign(n, false);
+  for (StateId s = 0; s < n; ++s) {
+    mdp.goal[s] = closed.hasLabel(s, goalIdx);
+    if (vanishing(s)) {
+      mdp.choices[s] = tauSucc[s];  // maximal progress: rates are dead here
+    } else {
+      for (const auto& t : closed.markovian(s))
+        mdp.rates[s].push_back({t.rate, t.to});
+    }
+  }
+
+  if (!out.deterministic) return out;
+
+  // --- Deterministic: eliminate vanishing states by forwarding. ---
+  std::vector<StateId> resolved(n, static_cast<StateId>(-1));
+  for (StateId s = 0; s < n; ++s) {
+    if (resolved[s] != static_cast<StateId>(-1)) continue;
+    std::vector<StateId> path;
+    StateId cur = s;
+    while (vanishing(cur) && resolved[cur] == static_cast<StateId>(-1)) {
+      path.push_back(cur);
+      cur = tauSucc[cur].front();
+      require(std::find(path.begin(), path.end(), cur) == path.end(),
+              "extract: divergent internal cycle (time-lock)");
+    }
+    StateId target = vanishing(cur) ? resolved[cur] : cur;
+    for (StateId p : path) resolved[p] = target;
+    resolved[s] = target;
+  }
+
+  std::vector<StateId> remap(n, static_cast<StateId>(-1));
+  ctmc::Ctmc& chain = out.chain;
+  chain.labelNames = closed.labelNames();
+  for (StateId s = 0; s < n; ++s) {
+    if (vanishing(s)) continue;
+    remap[s] = static_cast<StateId>(chain.rates.size());
+    chain.rates.emplace_back();
+    chain.labelMasks.push_back(closed.labelMask(s));
+  }
+  for (StateId s = 0; s < n; ++s) {
+    if (vanishing(s)) continue;
+    for (const auto& t : closed.markovian(s))
+      chain.rates[remap[s]].push_back({t.rate, remap[resolved[t.to]]});
+  }
+  chain.initial = remap[resolved[closed.initial()]];
+  chain.validate();
+  return out;
+}
+
+}  // namespace imcdft::analysis

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "ctmdp/ctmdp.hpp"
+#include "ioimc/model.hpp"
+
+/// \file extract.hpp
+/// Step 6 of the paper's algorithm: read the single remaining I/O-IMC as a
+/// CTMC — or, when FDEP-induced nondeterminism survives (Section 4.4), as a
+/// CTMDP.  The model must be fully hidden: only internal and Markovian
+/// transitions may remain (the engine guarantees this; leftover input or
+/// output transitions indicate a wiring bug and raise ModelError).
+///
+/// Internal transitions take no time (maximal progress), so states that
+/// have them are *vanishing*.  When every vanishing state has a unique
+/// successor the model is deterministic and vanishing states are eliminated
+/// by forwarding; otherwise the vanishing choices become the CTMDP's
+/// immediate nondeterminism.
+
+namespace imcdft::analysis {
+
+struct Extraction {
+  bool deterministic = false;
+  ctmc::Ctmc chain;   ///< filled when deterministic
+  ctmdp::Ctmdp mdp;   ///< always filled (degenerate when deterministic)
+};
+
+/// Extracts from a closed model.  \p goalLabel marks the CTMDP goal states
+/// (they must already be absorbing for the CTMDP to validate; use
+/// ioimc::makeLabelAbsorbing first for reachability measures).
+Extraction extract(const ioimc::IOIMC& closed, const std::string& goalLabel);
+
+}  // namespace imcdft::analysis

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/converter.hpp"
+#include "analysis/engine.hpp"
+#include "analysis/extract.hpp"
+#include "ctmdp/reachability.hpp"
+#include "dft/model.hpp"
+
+/// \file measures.hpp
+/// The end-to-end facade: DFT in, reliability measures out.  This is the
+/// public API the examples and benchmarks use.
+
+namespace imcdft::analysis {
+
+/// The state label the top-event monitor attaches to failed states.
+inline constexpr const char* kDownLabel = "down";
+
+struct AnalysisOptions {
+  ConversionOptions conversion;
+  EngineOptions engine;
+};
+
+/// Result of the compositional-aggregation pipeline, ready for measures.
+struct DftAnalysis {
+  /// The single aggregated I/O-IMC of the whole tree, all signals hidden.
+  ioimc::IOIMC closedModel;
+  CompositionStats stats;
+  /// Extraction of the failure-absorbed model (for unreliability).
+  Extraction absorbed;
+  /// True when FDEP-induced simultaneity left real nondeterminism, in which
+  /// case unreliability() throws and unreliabilityBounds() applies
+  /// (Section 4.4 of the paper).
+  bool nondeterministic = false;
+  bool repairable = false;
+};
+
+/// Runs conversion, compositional aggregation and extraction.
+DftAnalysis analyzeDft(const dft::Dft& dft, const AnalysisOptions& opts = {});
+
+/// P(system failed by time t), the paper's headline measure.  Requires a
+/// deterministic model; see unreliabilityBounds() otherwise.
+double unreliability(const DftAnalysis& analysis, double missionTime);
+
+/// Unreliability evaluated at several mission times.
+std::vector<double> unreliabilityCurve(const DftAnalysis& analysis,
+                                       const std::vector<double>& times);
+
+/// [min, max] over schedulers, for nondeterministic models (also valid for
+/// deterministic ones, where both bounds coincide).
+ctmdp::ReachabilityBounds unreliabilityBounds(const DftAnalysis& analysis,
+                                              double missionTime);
+
+/// P(system is down at time t) for repairable models (Section 7.2).
+double unavailability(const DftAnalysis& analysis, double t);
+
+/// Long-run fraction of time the system is down (repairable models).
+double steadyStateUnavailability(const DftAnalysis& analysis);
+
+}  // namespace imcdft::analysis

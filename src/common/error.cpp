@@ -1,0 +1,9 @@
+#include "common/error.hpp"
+
+namespace imcdft {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw ModelError(message);
+}
+
+}  // namespace imcdft

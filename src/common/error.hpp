@@ -1,0 +1,55 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Library-wide error types.  All user-facing failures (malformed models,
+/// unsupported constructs, numerical breakdowns) are reported as exceptions
+/// derived from imcdft::Error so callers can distinguish library errors from
+/// std failures.
+
+namespace imcdft {
+
+/// Base class of all imcdft exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model (DFT, I/O-IMC, CTMC, ...) violates a structural requirement.
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Input text (Galileo file, ...) could not be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  /// 1-based line number of the offending input.
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// A requested analysis is not defined for the given model (for example
+/// repairable PAND gates, which the paper does not define).
+class UnsupportedError : public Error {
+ public:
+  explicit UnsupportedError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or was given parameters outside
+/// its domain.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ModelError with the given message when \p condition is false.
+void require(bool condition, const std::string& message);
+
+}  // namespace imcdft

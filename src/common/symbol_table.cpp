@@ -1,0 +1,28 @@
+#include "common/symbol_table.hpp"
+
+#include "common/error.hpp"
+
+namespace imcdft {
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? npos : it->second;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  require(id < names_.size(), "SymbolTable: id out of range");
+  return names_[id];
+}
+
+SymbolTablePtr makeSymbolTable() { return std::make_shared<SymbolTable>(); }
+
+}  // namespace imcdft

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file symbol_table.hpp
+/// String interning.  Action names (firing, activation, repair signals) are
+/// interned once and referred to by dense 32-bit ids everywhere else, which
+/// keeps composition and bisimulation free of string comparisons.
+
+namespace imcdft {
+
+/// Dense id of an interned string.  Ids are assigned consecutively from 0.
+using SymbolId = std::uint32_t;
+
+/// An append-only bidirectional map between strings and dense SymbolIds.
+///
+/// A SymbolTable is shared (via std::shared_ptr) by all I/O-IMC models that
+/// may ever be composed with each other; composition asserts the tables
+/// match so that equal ids always mean equal action names.
+class SymbolTable {
+ public:
+  /// Returns the id of \p name, interning it if it is new.
+  SymbolId intern(std::string_view name);
+
+  /// Returns the id of \p name or npos when it was never interned.
+  SymbolId find(std::string_view name) const;
+
+  /// Returns the string for a previously interned id.
+  const std::string& name(SymbolId id) const;
+
+  /// Number of interned symbols.
+  std::size_t size() const { return names_.size(); }
+
+  /// Sentinel returned by find() for unknown names.
+  static constexpr SymbolId npos = static_cast<SymbolId>(-1);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+/// Shared handle used across a community of composable models.
+using SymbolTablePtr = std::shared_ptr<SymbolTable>;
+
+/// Convenience factory.
+SymbolTablePtr makeSymbolTable();
+
+}  // namespace imcdft

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file text.hpp
+/// Small string helpers shared by the parser and the report printers.
+
+namespace imcdft {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits \p s on \p sep, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// True when \p s starts with \p prefix.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Formats \p value with \p digits significant digits (for report tables).
+std::string formatSig(double value, int digits);
+
+}  // namespace imcdft

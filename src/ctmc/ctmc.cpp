@@ -1,0 +1,58 @@
+#include "ctmc/ctmc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imcdft::ctmc {
+
+std::size_t Ctmc::numTransitions() const {
+  std::size_t n = 0;
+  for (const auto& v : rates) n += v.size();
+  return n;
+}
+
+double Ctmc::exitRate(StateId s) const {
+  double sum = 0.0;
+  for (const auto& t : rates[s]) sum += t.rate;
+  return sum;
+}
+
+double Ctmc::maxExitRate() const {
+  double m = 0.0;
+  for (StateId s = 0; s < numStates(); ++s) m = std::max(m, exitRate(s));
+  return m;
+}
+
+int Ctmc::labelIndex(const std::string& label) const {
+  for (std::size_t i = 0; i < labelNames.size(); ++i)
+    if (labelNames[i] == label) return static_cast<int>(i);
+  return -1;
+}
+
+void Ctmc::validate() const {
+  require(!rates.empty(), "Ctmc: no states");
+  require(initial < rates.size(), "Ctmc: initial state out of range");
+  require(labelMasks.size() == rates.size(), "Ctmc: label array size mismatch");
+  require(labelNames.size() <= 32, "Ctmc: more than 32 labels");
+  for (const auto& out : rates)
+    for (const auto& t : out) {
+      require(t.rate > 0.0, "Ctmc: non-positive rate");
+      require(t.to < rates.size(), "Ctmc: transition target out of range");
+    }
+}
+
+double probabilityOfLabel(const Ctmc& chain,
+                          const std::vector<double>& distribution,
+                          const std::string& label) {
+  int idx = chain.labelIndex(label);
+  require(idx >= 0, "Ctmc: unknown label '" + label + "'");
+  require(distribution.size() == chain.numStates(),
+          "Ctmc: distribution size mismatch");
+  double p = 0.0;
+  for (StateId s = 0; s < chain.numStates(); ++s)
+    if (chain.hasLabel(s, idx)) p += distribution[s];
+  return p;
+}
+
+}  // namespace imcdft::ctmc

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file ctmc.hpp
+/// Explicit-state continuous-time Markov chains.  The analysis layer
+/// extracts these from fully composed, fully hidden, deterministic I/O-IMC
+/// (Section 5 of the paper: "The final I/O-IMC reduces in many cases to a
+/// CTMC.  This CTMC can then be solved using standard methods").
+
+namespace imcdft::ctmc {
+
+using StateId = std::uint32_t;
+
+/// One exponential transition.
+struct Transition {
+  double rate;
+  StateId to;
+};
+
+/// A CTMC with labelled states.  Aggregate type; invariants are checked by
+/// validate() which every solver calls.
+struct Ctmc {
+  StateId initial = 0;
+  std::vector<std::vector<Transition>> rates;  ///< out-adjacency per state
+  std::vector<std::uint32_t> labelMasks;       ///< bitset over labelNames
+  std::vector<std::string> labelNames;
+
+  std::size_t numStates() const { return rates.size(); }
+  std::size_t numTransitions() const;
+
+  /// Total outgoing rate of \p s (self-loops included).
+  double exitRate(StateId s) const;
+
+  /// Largest exit rate over all states (uniformization constant base).
+  double maxExitRate() const;
+
+  /// Index of \p label in labelNames or -1.
+  int labelIndex(const std::string& label) const;
+  bool hasLabel(StateId s, int labelIdx) const {
+    return labelIdx >= 0 && (labelMasks[s] >> labelIdx) & 1u;
+  }
+
+  /// Throws ModelError on malformed chains (negative rates, bad targets,
+  /// mismatched array sizes).
+  void validate() const;
+};
+
+/// Sums \p distribution over the states carrying \p label.
+double probabilityOfLabel(const Ctmc& chain,
+                          const std::vector<double>& distribution,
+                          const std::string& label);
+
+}  // namespace imcdft::ctmc

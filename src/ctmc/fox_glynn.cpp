@@ -1,0 +1,50 @@
+#include "ctmc/fox_glynn.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imcdft::ctmc {
+
+PoissonWeights poissonWeights(double q, double epsilon) {
+  if (q < 0.0) throw NumericalError("poissonWeights: negative parameter");
+  require(epsilon > 0.0 && epsilon < 1.0, "poissonWeights: bad epsilon");
+  PoissonWeights out;
+  if (q == 0.0) {
+    out.left = 0;
+    out.weights = {1.0};
+    out.totalMass = 1.0;
+    return out;
+  }
+
+  auto logPmf = [q](std::size_t k) {
+    return -q + static_cast<double>(k) * std::log(q) -
+           std::lgamma(static_cast<double>(k) + 1.0);
+  };
+
+  const std::size_t mode = static_cast<std::size_t>(q);
+  // Walk left from the mode until the pmf is negligible relative to the
+  // mode, then accumulate rightwards until 1 - epsilon mass is captured.
+  const double logCut = logPmf(mode) + std::log(epsilon) - 40.0;
+  std::size_t left = mode;
+  while (left > 0 && logPmf(left - 1) > logCut) --left;
+
+  std::vector<double> weights;
+  double mass = 0.0;
+  std::size_t k = left;
+  while (true) {
+    double w = std::exp(logPmf(k));
+    weights.push_back(w);
+    mass += w;
+    if (k >= mode && mass >= 1.0 - epsilon) break;
+    ++k;
+    if (k > mode + 10 * (std::sqrt(q) + 50.0) + 1e6)
+      throw NumericalError("poissonWeights: truncation failed to converge");
+  }
+  out.left = left;
+  out.weights = std::move(weights);
+  out.totalMass = mass;
+  return out;
+}
+
+}  // namespace imcdft::ctmc

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file fox_glynn.hpp
+/// Poisson probability weights for uniformization, in the spirit of
+/// Fox & Glynn (1988).  Weights are computed in log space (numerically safe
+/// for large q = Lambda*t) and truncated once the captured probability mass
+/// reaches 1 - epsilon.
+
+namespace imcdft::ctmc {
+
+/// Truncated Poisson distribution with parameter \p q.
+struct PoissonWeights {
+  std::size_t left = 0;            ///< first index with non-negligible mass
+  std::vector<double> weights;     ///< weights[k] = P(N = left + k)
+  double totalMass = 0.0;          ///< sum of weights (>= 1 - epsilon)
+
+  std::size_t right() const { return left + weights.size() - 1; }
+};
+
+/// Computes weights such that the truncated mass is at least 1 - epsilon.
+/// \p q must be non-negative; q == 0 yields the point mass at 0.
+PoissonWeights poissonWeights(double q, double epsilon);
+
+}  // namespace imcdft::ctmc

@@ -1,0 +1,77 @@
+#include "ctmc/lumping.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace imcdft::ctmc {
+
+namespace {
+
+using RateVector = std::vector<std::pair<std::uint32_t, double>>;
+
+RateVector rateSignature(const Ctmc& chain,
+                         const std::vector<std::uint32_t>& classOf,
+                         StateId s) {
+  std::vector<std::pair<std::uint32_t, double>> raw;
+  for (const auto& t : chain.rates[s]) raw.emplace_back(classOf[t.to], t.rate);
+  std::sort(raw.begin(), raw.end());
+  RateVector out;
+  for (const auto& [cls, rate] : raw) {
+    if (!out.empty() && out.back().first == cls)
+      out.back().second += rate;
+    else
+      out.emplace_back(cls, rate);
+  }
+  return out;
+}
+
+}  // namespace
+
+LumpResult lump(const Ctmc& chain) {
+  chain.validate();
+  const std::size_t n = chain.numStates();
+  std::vector<std::uint32_t> classOf(n);
+  std::uint32_t numClasses = 0;
+  {
+    std::map<std::uint32_t, std::uint32_t> byMask;
+    for (StateId s = 0; s < n; ++s) {
+      auto [it, inserted] = byMask.try_emplace(chain.labelMasks[s], numClasses);
+      if (inserted) ++numClasses;
+      classOf[s] = it->second;
+    }
+  }
+  while (true) {
+    std::map<std::pair<std::uint32_t, RateVector>, std::uint32_t> next;
+    std::vector<std::uint32_t> newClassOf(n);
+    for (StateId s = 0; s < n; ++s) {
+      auto key = std::make_pair(classOf[s], rateSignature(chain, classOf, s));
+      auto [it, inserted] =
+          next.try_emplace(std::move(key), static_cast<std::uint32_t>(next.size()));
+      (void)inserted;
+      newClassOf[s] = it->second;
+    }
+    bool stable = next.size() == numClasses;
+    numClasses = static_cast<std::uint32_t>(next.size());
+    classOf = std::move(newClassOf);
+    if (stable) break;
+  }
+
+  LumpResult result;
+  result.classOf = classOf;
+  Ctmc& q = result.quotient;
+  q.rates.resize(numClasses);
+  q.labelMasks.resize(numClasses, 0);
+  q.labelNames = chain.labelNames;
+  q.initial = classOf[chain.initial];
+  std::vector<StateId> rep(numClasses, static_cast<StateId>(-1));
+  for (StateId s = static_cast<StateId>(n); s-- > 0;) rep[classOf[s]] = s;
+  for (std::uint32_t c = 0; c < numClasses; ++c) {
+    q.labelMasks[c] = chain.labelMasks[rep[c]];
+    for (const auto& [cls, rate] : rateSignature(chain, classOf, rep[c]))
+      q.rates[c].push_back({rate, cls});
+  }
+  q.validate();
+  return result;
+}
+
+}  // namespace imcdft::ctmc

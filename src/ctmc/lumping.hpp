@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+/// \file lumping.hpp
+/// Exact (ordinary) lumping of CTMCs: the special case of the paper's
+/// aggregation when no interactive transitions are present.  Lumping
+/// respects state labels and preserves all transient and steady-state
+/// label probabilities.
+
+namespace imcdft::ctmc {
+
+struct LumpResult {
+  Ctmc quotient;
+  std::vector<std::uint32_t> classOf;  ///< original state -> quotient state
+};
+
+/// Computes the coarsest exact lumping that respects labels.
+LumpResult lump(const Ctmc& chain);
+
+}  // namespace imcdft::ctmc

@@ -1,0 +1,55 @@
+#include "ctmc/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace imcdft::ctmc {
+
+std::vector<double> steadyStateDistribution(const Ctmc& chain,
+                                            const SteadyStateOptions& opts) {
+  chain.validate();
+  const std::size_t n = chain.numStates();
+  const double maxExit = chain.maxExitRate();
+  if (maxExit == 0.0) {
+    // Every state is absorbing: the chain never leaves its initial state.
+    std::vector<double> pi(n, 0.0);
+    pi[chain.initial] = 1.0;
+    return pi;
+  }
+  const double lambda = opts.uniformizationSlack * maxExit;
+
+  // Start from the initial state (correct limit for unichains; for chains
+  // with several closed classes the limit depends on the start state, which
+  // is exactly what the caller observes this way).
+  std::vector<double> current(n, 0.0), next(n, 0.0);
+  current[chain.initial] = 1.0;
+
+  for (std::size_t iter = 0; iter < opts.maxIterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (StateId s = 0; s < n; ++s) {
+      double mass = current[s];
+      if (mass == 0.0) continue;
+      double exit = 0.0;
+      for (const auto& t : chain.rates[s]) {
+        next[t.to] += mass * (t.rate / lambda);
+        exit += t.rate;
+      }
+      next[s] += mass * (1.0 - exit / lambda);
+    }
+    double diff = 0.0;
+    for (StateId s = 0; s < n; ++s)
+      diff = std::max(diff, std::fabs(next[s] - current[s]));
+    std::swap(current, next);
+    if (diff < opts.tolerance) return current;
+  }
+  throw NumericalError("steadyStateDistribution: power iteration did not converge");
+}
+
+double steadyStateLabelProbability(const Ctmc& chain, const std::string& label,
+                                   const SteadyStateOptions& opts) {
+  return probabilityOfLabel(chain, steadyStateDistribution(chain, opts), label);
+}
+
+}  // namespace imcdft::ctmc

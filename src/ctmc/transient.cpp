@@ -1,0 +1,89 @@
+#include "ctmc/transient.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ctmc/fox_glynn.hpp"
+
+namespace imcdft::ctmc {
+
+namespace {
+
+/// One vector-matrix product with the uniformized DTMC:
+/// out = in * P where P(s,s') = rate(s,s')/Lambda and
+/// P(s,s) additionally carries 1 - exit(s)/Lambda.
+void stepUniformized(const Ctmc& chain, double lambda,
+                     const std::vector<double>& in, std::vector<double>& out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (StateId s = 0; s < chain.numStates(); ++s) {
+    double mass = in[s];
+    if (mass == 0.0) continue;
+    double exit = 0.0;
+    for (const auto& t : chain.rates[s]) {
+      out[t.to] += mass * (t.rate / lambda);
+      exit += t.rate;
+    }
+    out[s] += mass * (1.0 - exit / lambda);
+  }
+}
+
+}  // namespace
+
+std::vector<double> transientDistribution(const Ctmc& chain,
+                                          std::vector<double> initial,
+                                          double t,
+                                          const TransientOptions& opts) {
+  chain.validate();
+  require(t >= 0.0, "transientDistribution: negative time");
+  require(initial.size() == chain.numStates(),
+          "transientDistribution: initial distribution size mismatch");
+  const double maxExit = chain.maxExitRate();
+  if (t == 0.0 || maxExit == 0.0) return initial;
+
+  const double lambda = opts.uniformizationSlack * maxExit;
+  PoissonWeights pw = poissonWeights(lambda * t, opts.epsilon);
+
+  std::vector<double> current = std::move(initial);
+  std::vector<double> next(chain.numStates());
+  std::vector<double> result(chain.numStates(), 0.0);
+
+  // Advance to the left truncation point, then accumulate weighted iterates.
+  for (std::size_t k = 0; k < pw.left; ++k) {
+    stepUniformized(chain, lambda, current, next);
+    std::swap(current, next);
+  }
+  for (std::size_t i = 0; i < pw.weights.size(); ++i) {
+    const double w = pw.weights[i] / pw.totalMass;  // renormalized truncation
+    for (StateId s = 0; s < chain.numStates(); ++s)
+      result[s] += w * current[s];
+    if (i + 1 < pw.weights.size()) {
+      stepUniformized(chain, lambda, current, next);
+      std::swap(current, next);
+    }
+  }
+  return result;
+}
+
+std::vector<double> transientDistribution(const Ctmc& chain, double t,
+                                          const TransientOptions& opts) {
+  std::vector<double> initial(chain.numStates(), 0.0);
+  initial[chain.initial] = 1.0;
+  return transientDistribution(chain, std::move(initial), t, opts);
+}
+
+double probabilityOfLabelAt(const Ctmc& chain, const std::string& label,
+                            double t, const TransientOptions& opts) {
+  return probabilityOfLabel(chain, transientDistribution(chain, t, opts),
+                            label);
+}
+
+std::vector<double> labelCurve(const Ctmc& chain, const std::string& label,
+                               const std::vector<double>& times,
+                               const TransientOptions& opts) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(probabilityOfLabelAt(chain, label, t, opts));
+  return out;
+}
+
+}  // namespace imcdft::ctmc

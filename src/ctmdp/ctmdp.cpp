@@ -1,0 +1,50 @@
+#include "ctmdp/ctmdp.hpp"
+
+#include "common/error.hpp"
+
+namespace imcdft::ctmdp {
+
+void Ctmdp::validate() const {
+  const std::size_t n = rates.size();
+  require(n > 0, "Ctmdp: no states");
+  require(choices.size() == n && goal.size() == n,
+          "Ctmdp: inconsistent state arrays");
+  require(initial < n, "Ctmdp: initial state out of range");
+  for (StateId s = 0; s < n; ++s) {
+    require(rates[s].empty() || choices[s].empty(),
+            "Ctmdp: state has both Markovian and immediate behavior");
+    for (const auto& t : rates[s]) {
+      require(t.rate > 0.0, "Ctmdp: non-positive rate");
+      require(t.to < n, "Ctmdp: transition target out of range");
+    }
+    for (StateId c : choices[s])
+      require(c < n, "Ctmdp: choice target out of range");
+    if (goal[s])
+      require(rates[s].empty() && choices[s].empty(),
+              "Ctmdp: goal states must be absorbing");
+  }
+  // Acyclicity of the vanishing graph via iterative DFS coloring.
+  std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  for (StateId root = 0; root < n; ++root) {
+    if (!isVanishing(root) || color[root] != 0) continue;
+    std::vector<std::pair<StateId, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      if (idx < choices[v].size()) {
+        StateId w = choices[v][idx++];
+        if (!isVanishing(w)) continue;
+        require(color[w] != 1, "Ctmdp: cycle among vanishing states");
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace imcdft::ctmdp

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file ctmdp.hpp
+/// Continuous-time Markov decision processes with *immediate* choice states.
+///
+/// When FDEP-induced simultaneity leaves inherent nondeterminism in a DFT
+/// (Section 4.4 of the paper), the fully composed and aggregated I/O-IMC is
+/// not a CTMC but a CTMDP.  In the models our pipeline produces, all
+/// nondeterminism lives in *vanishing* states: states whose outgoing
+/// transitions are internal and therefore take no time.  Tangible states
+/// have purely Markovian behavior.  This matches the structure assumed
+/// here: a state either has exponential `rates` or immediate `choices`.
+
+namespace imcdft::ctmdp {
+
+using StateId = std::uint32_t;
+
+struct Transition {
+  double rate;
+  StateId to;
+};
+
+/// A CTMDP where nondeterminism is confined to vanishing states.
+struct Ctmdp {
+  StateId initial = 0;
+  /// Exponential transitions of tangible states (empty for vanishing ones).
+  std::vector<std::vector<Transition>> rates;
+  /// Immediate successor choices of vanishing states (empty for tangible
+  /// ones).  A state must not have both rates and choices.
+  std::vector<std::vector<StateId>> choices;
+  /// Goal indicator (e.g. "system down").  Goal states must be tangible and
+  /// absorbing; use the analysis layer's goal-absorption first.
+  std::vector<bool> goal;
+
+  std::size_t numStates() const { return rates.size(); }
+  bool isVanishing(StateId s) const { return !choices[s].empty(); }
+
+  /// Structural checks; also verifies that the vanishing-choice graph is
+  /// acyclic (our weak-bisimulation quotients guarantee this; a cycle would
+  /// mean time-locked divergence).
+  void validate() const;
+};
+
+}  // namespace imcdft::ctmdp

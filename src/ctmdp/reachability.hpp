@@ -1,0 +1,37 @@
+#pragma once
+
+#include "ctmdp/ctmdp.hpp"
+
+/// \file reachability.hpp
+/// Time-bounded reachability for uniformizable CTMDPs, in the style of
+/// Baier, Hermanns, Katoen & Haverkort (Theor. Comput. Sci. 345(1), 2005),
+/// which is the algorithm the paper points to for analysing the CTMDPs that
+/// arise from nondeterministic DFTs.
+///
+/// The implementation uniformizes the tangible states and runs a backward
+/// value iteration over the truncated Poisson terms; at every step the
+/// vanishing states resolve their immediate choices by max (upper bound /
+/// best-case adversary) or min (lower bound), in reverse topological order
+/// of the (acyclic) vanishing graph.
+
+namespace imcdft::ctmdp {
+
+struct ReachabilityOptions {
+  double epsilon = 1e-10;
+  double uniformizationSlack = 1.02;
+};
+
+/// P(reach a goal state within time \p t), optimized over schedulers.
+/// \p maximize selects the supremum (true) or infimum (false).
+double timeBoundedReachability(const Ctmdp& mdp, double t, bool maximize,
+                               const ReachabilityOptions& opts = {});
+
+/// Both bounds at once: [min, max].
+struct ReachabilityBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+ReachabilityBounds reachabilityBounds(const Ctmdp& mdp, double t,
+                                      const ReachabilityOptions& opts = {});
+
+}  // namespace imcdft::ctmdp

@@ -1,0 +1,157 @@
+#include "dft/builder.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace imcdft::dft {
+
+DftBuilder::PendingElement& DftBuilder::add(const std::string& name,
+                                            ElementType type) {
+  require(!name.empty(), "DftBuilder: empty element name");
+  for (const auto& p : pending_)
+    require(p.element.name != name,
+            "DftBuilder: duplicate element name '" + name + "'");
+  PendingElement p;
+  p.element.name = name;
+  p.element.type = type;
+  pending_.push_back(std::move(p));
+  return pending_.back();
+}
+
+DftBuilder& DftBuilder::basicEvent(const std::string& name, double lambda,
+                                   std::optional<double> dormancy,
+                                   std::optional<double> repairRate,
+                                   std::uint32_t phases) {
+  PendingElement& p = add(name, ElementType::BasicEvent);
+  p.element.be.lambda = lambda;
+  if (dormancy) {
+    p.element.be.dormancy = *dormancy;
+    p.dormancyExplicit = true;
+  }
+  p.element.be.repairRate = repairRate;
+  p.element.be.phases = phases;
+  return *this;
+}
+
+DftBuilder& DftBuilder::andGate(const std::string& name,
+                                const std::vector<std::string>& inputs) {
+  add(name, ElementType::And).inputNames = inputs;
+  return *this;
+}
+
+DftBuilder& DftBuilder::orGate(const std::string& name,
+                               const std::vector<std::string>& inputs) {
+  add(name, ElementType::Or).inputNames = inputs;
+  return *this;
+}
+
+DftBuilder& DftBuilder::votingGate(const std::string& name, std::uint32_t k,
+                                   const std::vector<std::string>& inputs) {
+  PendingElement& p = add(name, ElementType::Voting);
+  p.element.votingThreshold = k;
+  p.inputNames = inputs;
+  return *this;
+}
+
+DftBuilder& DftBuilder::pandGate(const std::string& name,
+                                 const std::vector<std::string>& inputs) {
+  add(name, ElementType::Pand).inputNames = inputs;
+  return *this;
+}
+
+DftBuilder& DftBuilder::spareGate(const std::string& name, SpareKind kind,
+                                  const std::vector<std::string>& inputs) {
+  PendingElement& p = add(name, ElementType::Spare);
+  p.element.spareKind = kind;
+  p.inputNames = inputs;
+  return *this;
+}
+
+DftBuilder& DftBuilder::seqGate(const std::string& name,
+                                const std::vector<std::string>& inputs) {
+  PendingElement& p = add(name, ElementType::Seq);
+  p.element.spareKind = SpareKind::Cold;
+  p.inputNames = inputs;
+  return *this;
+}
+
+DftBuilder& DftBuilder::fdep(const std::string& name,
+                             const std::string& trigger,
+                             const std::vector<std::string>& dependents) {
+  PendingElement& p = add(name, ElementType::Fdep);
+  p.inputNames.push_back(trigger);
+  p.inputNames.insert(p.inputNames.end(), dependents.begin(),
+                      dependents.end());
+  return *this;
+}
+
+DftBuilder& DftBuilder::inhibition(const std::string& inhibitor,
+                                   const std::string& target) {
+  inhibitions_.emplace_back(inhibitor, target);
+  return *this;
+}
+
+DftBuilder& DftBuilder::mutex(const std::vector<std::string>& elements) {
+  for (std::size_t i = 0; i < elements.size(); ++i)
+    for (std::size_t j = 0; j < elements.size(); ++j)
+      if (i != j) inhibitions_.emplace_back(elements[i], elements[j]);
+  return *this;
+}
+
+DftBuilder& DftBuilder::top(const std::string& name) {
+  topName_ = name;
+  return *this;
+}
+
+Dft DftBuilder::build() {
+  require(!topName_.empty(), "DftBuilder: top element not set");
+  std::unordered_map<std::string, ElementId> byName;
+  for (ElementId id = 0; id < pending_.size(); ++id)
+    byName.emplace(pending_[id].element.name, id);
+  auto resolve = [&](const std::string& name) {
+    auto it = byName.find(name);
+    require(it != byName.end(), "DftBuilder: unknown element '" + name + "'");
+    return it->second;
+  };
+
+  // Apply the spare-kind dormancy defaults to directly attached spare BEs.
+  for (const PendingElement& gate : pending_) {
+    if (gate.element.type != ElementType::Spare &&
+        gate.element.type != ElementType::Seq)
+      continue;
+    for (std::size_t i = 1; i < gate.inputNames.size(); ++i) {
+      PendingElement& spare = pending_[resolve(gate.inputNames[i])];
+      if (!spare.element.isBasicEvent() || spare.dormancyExplicit) continue;
+      switch (gate.element.spareKind) {
+        case SpareKind::Cold:
+          spare.element.be.dormancy = 0.0;
+          spare.dormancyExplicit = true;
+          break;
+        case SpareKind::Hot:
+          spare.element.be.dormancy = 1.0;
+          spare.dormancyExplicit = true;
+          break;
+        case SpareKind::Warm:
+          throw ModelError(
+              "DftBuilder: warm spare basic event '" +
+              spare.element.name +
+              "' needs an explicit dormancy factor (dorm attribute)");
+      }
+    }
+  }
+
+  std::vector<Element> elements;
+  elements.reserve(pending_.size());
+  for (PendingElement& p : pending_) {
+    for (const std::string& in : p.inputNames)
+      p.element.inputs.push_back(resolve(in));
+    elements.push_back(std::move(p.element));
+  }
+  std::vector<Inhibition> inhibitions;
+  for (const auto& [inhibitor, target] : inhibitions_)
+    inhibitions.push_back({resolve(inhibitor), resolve(target)});
+  return Dft(std::move(elements), resolve(topName_), std::move(inhibitions));
+}
+
+}  // namespace imcdft::dft

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/model.hpp"
+
+/// \file builder.hpp
+/// Programmatic construction of DFTs (the quickstart example uses this;
+/// files use parseGalileo()).  Inputs may be referenced by name before they
+/// are declared; resolution happens in build().
+
+namespace imcdft::dft {
+
+class DftBuilder {
+ public:
+  /// Adds a basic event.  \p dormancy is the factor alpha of Section 2
+  /// (0 = cold, 1 = hot).  When left unspecified it defaults to hot, except
+  /// for basic events directly attached as spares: a csp implies 0, an hsp
+  /// implies 1, and a wsp demands an explicit value.  \p repairRate enables
+  /// the Section 7.2 repair extension.
+  DftBuilder& basicEvent(const std::string& name, double lambda,
+                         std::optional<double> dormancy = std::nullopt,
+                         std::optional<double> repairRate = std::nullopt,
+                         std::uint32_t phases = 1);
+
+  DftBuilder& andGate(const std::string& name,
+                      const std::vector<std::string>& inputs);
+  DftBuilder& orGate(const std::string& name,
+                     const std::vector<std::string>& inputs);
+  /// Fails when at least \p k of the inputs have failed.
+  DftBuilder& votingGate(const std::string& name, std::uint32_t k,
+                         const std::vector<std::string>& inputs);
+  /// Fails when all inputs fail in left-to-right order.
+  DftBuilder& pandGate(const std::string& name,
+                       const std::vector<std::string>& inputs);
+  /// inputs[0] is the primary, the rest are spares in claim order.
+  DftBuilder& spareGate(const std::string& name, SpareKind kind,
+                        const std::vector<std::string>& inputs);
+  /// Sequence-enforcing gate (analysed as a cold spare, footnote 4).
+  DftBuilder& seqGate(const std::string& name,
+                      const std::vector<std::string>& inputs);
+  /// The failure of \p trigger immediately fails every element of
+  /// \p dependents.
+  DftBuilder& fdep(const std::string& name, const std::string& trigger,
+                   const std::vector<std::string>& dependents);
+  /// The failure of \p inhibitor, if it happens first, prevents the failure
+  /// of \p target (Section 7.1).
+  DftBuilder& inhibition(const std::string& inhibitor,
+                         const std::string& target);
+  /// Pairwise mutual exclusion between all named elements.
+  DftBuilder& mutex(const std::vector<std::string>& elements);
+
+  DftBuilder& top(const std::string& name);
+
+  /// Resolves names, applies the csp/hsp dormancy defaults to directly
+  /// attached spare basic events, validates, and returns the tree.
+  Dft build();
+
+ private:
+  struct PendingElement {
+    Element element;                    // inputs filled during build()
+    std::vector<std::string> inputNames;
+    bool dormancyExplicit = false;
+  };
+  PendingElement& add(const std::string& name, ElementType type);
+
+  std::vector<PendingElement> pending_;
+  std::vector<std::pair<std::string, std::string>> inhibitions_;
+  std::string topName_;
+};
+
+}  // namespace imcdft::dft

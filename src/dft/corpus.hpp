@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+
+#include "dft/model.hpp"
+
+/// \file corpus.hpp
+/// The example systems of the paper, reconstructed from Sections 5-7, plus
+/// a parametric family used by the scaling benchmark.  Each model is also
+/// available as Galileo text (galileo* functions) so the parser round-trip
+/// is exercised.
+
+namespace imcdft::dft::corpus {
+
+/// Section 5.1: the cardiac assist system (CAS, Fig. 7).
+///  * CPU unit: warm spare P/B, both FDEP-triggered by CS or SS;
+///  * motor unit: spare MA/MB, switch MS relevant only before MA
+///    (PAND(MS, MA) FDEP-kills the spare MB);
+///  * pump unit: two primary pumps PA/PB sharing the cold spare PS, all
+///    three must fail.
+/// Expected unreliability at t = 1: 0.6579 (both the paper's tool and
+/// Galileo DIFTree).
+std::string galileoCas();
+Dft cas();
+
+/// Section 5.2: the cascaded PAND system (CPS, Fig. 8): PAND over module A
+/// and PAND(C, D), where A, C, D are AND gates over four basic events each
+/// (all rates 1).  Expected unreliability at t = 1: 0.00135.
+std::string galileoCps();
+Dft cps();
+
+/// The CPS family generalized: \p modules AND gates with \p besPerModule
+/// basic events each, cascaded under a chain of PANDs (modules >= 2).
+Dft cascadedPands(int modules, int besPerModule, double lambda = 1.0);
+
+/// Fig. 6.a: an FDEP trigger kills both PAND inputs simultaneously —
+/// inherently nondeterministic (the PAND may or may not fire).
+Dft figure6a();
+
+/// Fig. 6.b: an FDEP trigger kills both primaries of two spare gates
+/// sharing one spare — the claim race is nondeterministic.  The gates feed
+/// a PAND so the race is observable in the measure (under a symmetric AND
+/// the two resolutions are weakly bisimilar and aggregation correctly
+/// removes the nondeterminism).
+Dft figure6b();
+
+/// Fig. 10.a: a spare gate whose primary and spare are AND modules.
+Dft figure10a();
+
+/// Fig. 10.b: nested spare gates — the spare module is itself a spare gate.
+Dft figure10b();
+
+/// Fig. 10.c: an FDEP whose dependent is a gate (sub-system) rather than a
+/// basic event.
+Dft figure10c();
+
+/// Section 7.1: a switch with mutually exclusive failure modes feeding an
+/// OR (failing open vs failing closed).
+Dft mutexSwitch();
+
+/// Section 7.2 / Fig. 15: repairable AND of two repairable basic events.
+Dft repairableAnd(double lambda = 1.0, double mu = 2.0);
+
+/// The classic hypothetical example computer system (HECS) of the Dugan
+/// DFT tradition, with illustrative rates: two processors sharing a cold
+/// spare, five memory units behind two interface units (M3 reachable via
+/// either), redundant buses, and hardware/software application failure.
+/// Exercises shared spares, gate-triggered FDEPs and voting together.
+std::string galileoHecs();
+Dft hecs();
+
+}  // namespace imcdft::dft::corpus

@@ -1,0 +1,224 @@
+#include "dft/execution.hpp"
+
+namespace imcdft::dft {
+
+namespace {
+
+bool isSpareLike(const Element& e) {
+  return e.type == ElementType::Spare || e.type == ElementType::Seq;
+}
+
+std::uint32_t staticThreshold(const Element& e) {
+  switch (e.type) {
+    case ElementType::And:
+      return static_cast<std::uint32_t>(e.inputs.size());
+    case ElementType::Or:
+      return 1;
+    case ElementType::Voting:
+      return e.votingThreshold;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ExecutionState::pack() const {
+  std::vector<std::uint8_t> key;
+  key.reserve(failed.size() * 5 + spareCurrent.size());
+  key.insert(key.end(), failed.begin(), failed.end());
+  key.insert(key.end(), active.begin(), active.end());
+  key.insert(key.end(), inhibited.begin(), inhibited.end());
+  key.insert(key.end(), pandOk.begin(), pandOk.end());
+  key.insert(key.end(), phase.begin(), phase.end());
+  for (std::int8_t c : spareCurrent)
+    key.push_back(static_cast<std::uint8_t>(c + 1));
+  return key;
+}
+
+ExecutionState Executor::initialState() const {
+  ExecutionState state;
+  const std::size_t n = dft_.size();
+  state.failed.assign(n, 0);
+  state.active.assign(n, 0);
+  state.inhibited.assign(n, 0);
+  state.pandOk.assign(n, 1);
+  state.phase.assign(n, 0);
+  state.spareCurrent.assign(n, -1);
+  activate(state, dft_.top());
+  return state;
+}
+
+void Executor::failAndPropagate(ExecutionState& state, ElementId x) const {
+  std::deque<ElementId> queue{x};
+  while (!queue.empty()) {
+    ElementId e = queue.front();
+    queue.pop_front();
+    fail(state, e, queue);
+  }
+}
+
+void Executor::repairAndPropagate(ExecutionState& state, ElementId x) const {
+  state.failed[x] = 0;
+  state.phase[x] = 0;
+  // Walk upwards: a failed static gate whose condition no longer holds
+  // becomes operational again.
+  std::deque<ElementId> queue{x};
+  while (!queue.empty()) {
+    ElementId e = queue.front();
+    queue.pop_front();
+    for (ElementId p : dft_.parents(e)) {
+      const Element& gate = dft_.element(p);
+      if (!state.failed[p]) continue;
+      if (countFailedInputs(state, p) < staticThreshold(gate)) {
+        state.failed[p] = 0;
+        queue.push_back(p);
+      }
+    }
+  }
+}
+
+void Executor::activate(ExecutionState& state, ElementId e) const {
+  if (state.active[e]) return;
+  state.active[e] = 1;
+  const Element& el = dft_.element(e);
+  if (el.isBasicEvent()) return;
+  if (isSpareLike(el)) {
+    if (state.failed[e]) return;
+    // Activate the primary if usable, otherwise claim a spare now.
+    if (!state.failed[el.inputs.front()]) {
+      state.spareCurrent[e] = 0;
+      activate(state, el.inputs.front());
+    } else {
+      std::deque<ElementId> queue;
+      claimNextSpare(state, e, queue);
+      // A failure discovered while claiming (exhaustion) must cascade.
+      while (!queue.empty()) {
+        ElementId q = queue.front();
+        queue.pop_front();
+        fail(state, q, queue);
+      }
+    }
+    return;
+  }
+  if (el.type == ElementType::Fdep) return;
+  for (ElementId in : el.inputs) activate(state, in);
+}
+
+double Executor::failureRate(const ExecutionState& state, ElementId x) const {
+  const Element& e = dft_.element(x);
+  if (state.failed[x] || state.inhibited[x]) return 0.0;
+  return state.active[x] ? e.be.lambda : e.be.dormancy * e.be.lambda;
+}
+
+std::uint32_t Executor::countFailedInputs(const ExecutionState& state,
+                                          ElementId gate) const {
+  std::uint32_t c = 0;
+  for (ElementId in : dft_.element(gate).inputs) c += state.failed[in] ? 1 : 0;
+  return c;
+}
+
+bool Executor::spareAvailable(const ExecutionState& state, ElementId gate,
+                              ElementId spare) const {
+  if (state.failed[spare]) return false;
+  for (ElementId user : dft_.spareUsers(spare)) {
+    if (user == gate) continue;
+    const Element& u = dft_.element(user);
+    std::int8_t cur = state.spareCurrent[user];
+    if (cur >= 1 && u.inputs[static_cast<std::size_t>(cur)] == spare)
+      return false;  // taken
+  }
+  return true;
+}
+
+void Executor::claimNextSpare(ExecutionState& state, ElementId gate,
+                              std::deque<ElementId>& queue) const {
+  const Element& e = dft_.element(gate);
+  for (std::size_t i = 1; i < e.inputs.size(); ++i) {
+    if (spareAvailable(state, gate, e.inputs[i])) {
+      state.spareCurrent[gate] = static_cast<std::int8_t>(i);
+      activate(state, e.inputs[i]);
+      // The claim makes this spare unavailable to the sharers; a dormant
+      // sharer with a failed primary may thereby become exhausted.
+      for (ElementId user : dft_.spareUsers(e.inputs[i]))
+        if (user != gate) reconsiderSpareGate(state, user, queue);
+      return;
+    }
+  }
+  state.spareCurrent[gate] = -1;
+  queue.push_back(gate);  // primary failed, no spare: the gate fires
+}
+
+void Executor::reconsiderSpareGate(ExecutionState& state, ElementId gate,
+                                   std::deque<ElementId>& queue) const {
+  if (state.failed[gate]) return;
+  const Element& e = dft_.element(gate);
+  if (!state.failed[e.inputs.front()]) return;  // primary still fine
+  std::int8_t cur = state.spareCurrent[gate];
+  if (cur >= 1 && !state.failed[e.inputs[static_cast<std::size_t>(cur)]])
+    return;  // using a healthy spare
+  if (!state.active[gate]) {
+    // Dormant gates claim nothing, but they do fire on exhaustion.
+    for (std::size_t i = 1; i < e.inputs.size(); ++i)
+      if (spareAvailable(state, gate, e.inputs[i])) return;
+    queue.push_back(gate);
+    return;
+  }
+  claimNextSpare(state, gate, queue);
+}
+
+void Executor::fail(ExecutionState& state, ElementId x,
+                    std::deque<ElementId>& queue) const {
+  if (state.failed[x] || state.inhibited[x]) return;
+  state.failed[x] = 1;
+
+  // Inhibitions caused by x (Section 7.1): targets not yet failed can
+  // never fail any more.
+  for (const Inhibition& inh : dft_.inhibitions())
+    if (inh.inhibitor == x && !state.failed[inh.target])
+      state.inhibited[inh.target] = 1;
+
+  // FDEP cascades: x triggering means the dependents fail now (the
+  // deterministic declaration-order resolution).
+  for (ElementId p : dft_.parents(x)) {
+    const Element& gate = dft_.element(p);
+    if (gate.type == ElementType::Fdep && gate.inputs.front() == x)
+      for (std::size_t i = 1; i < gate.inputs.size(); ++i)
+        queue.push_back(gate.inputs[i]);
+  }
+
+  // Parent gates react.
+  for (ElementId p : dft_.parents(x)) {
+    const Element& gate = dft_.element(p);
+    if (state.failed[p]) continue;
+    switch (gate.type) {
+      case ElementType::And:
+      case ElementType::Or:
+      case ElementType::Voting:
+        if (countFailedInputs(state, p) >= staticThreshold(gate))
+          queue.push_back(p);
+        break;
+      case ElementType::Pand: {
+        // Order is respected only if everything left of x already failed.
+        std::size_t idx = 0;
+        while (gate.inputs[idx] != x) ++idx;
+        for (std::size_t j = 0; j < idx; ++j)
+          if (!state.failed[gate.inputs[j]]) state.pandOk[p] = 0;
+        if (state.pandOk[p] && countFailedInputs(state, p) == gate.inputs.size())
+          queue.push_back(p);
+        break;
+      }
+      case ElementType::Spare:
+      case ElementType::Seq:
+        // Covers the primary, the spare in use, and non-current spares
+        // whose failure exhausts a waiting gate.
+        reconsiderSpareGate(state, p, queue);
+        break;
+      case ElementType::Fdep:
+      case ElementType::BasicEvent:
+        break;
+    }
+  }
+}
+
+}  // namespace imcdft::dft

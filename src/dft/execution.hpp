@@ -1,0 +1,81 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "dft/model.hpp"
+
+/// \file execution.hpp
+/// A direct, token-game execution semantics for DFTs: a global
+/// configuration plus an instantaneous propagation engine (FDEP cascades,
+/// spare claiming and activation, gate firing, inhibition, repair).
+///
+/// This is the semantics the DIFTree-style monolithic generator expands
+/// exhaustively and the Monte-Carlo simulator samples; having both share
+/// one engine while the compositional I/O-IMC pipeline implements the
+/// semantics completely independently gives the differential test suite
+/// two genuinely different oracles.
+///
+/// Where the I/O-IMC semantics is nondeterministic (simultaneous FDEP
+/// kills, claim races, Section 4.4 of the paper) this engine resolves
+/// deterministically in declaration order.
+
+namespace imcdft::dft {
+
+/// Global configuration of a tree during execution.
+struct ExecutionState {
+  std::vector<std::uint8_t> failed;     ///< per element
+  std::vector<std::uint8_t> active;     ///< per element (BEs & spare gates)
+  std::vector<std::uint8_t> inhibited;  ///< per element
+  std::vector<std::uint8_t> pandOk;     ///< per element (PANDs only)
+  std::vector<std::uint8_t> phase;      ///< per element (Erlang BEs only)
+  /// Per spare gate: -1 none, 0 primary, i >= 1 spare i.
+  std::vector<std::int8_t> spareCurrent;
+
+  /// Canonical byte encoding (used as the state key by the monolithic
+  /// generator).
+  std::vector<std::uint8_t> pack() const;
+};
+
+/// The instantaneous propagation engine.  Stateless apart from the tree
+/// reference; all mutation happens on caller-owned ExecutionStates.
+class Executor {
+ public:
+  explicit Executor(const Dft& dft) : dft_(dft) {}
+
+  /// All-operational configuration with the top's subtree activated.
+  ExecutionState initialState() const;
+
+  /// Fails element \p x and runs the cascade to fixpoint.
+  void failAndPropagate(ExecutionState& state, ElementId x) const;
+
+  /// Repairs basic event \p x (static repairable trees only).  The Erlang
+  /// failure process restarts from phase zero.
+  void repairAndPropagate(ExecutionState& state, ElementId x) const;
+
+  /// Recursively activates an element's subtree, claiming spares where a
+  /// dormant spare gate with a failed primary becomes active.
+  void activate(ExecutionState& state, ElementId e) const;
+
+  /// Current failure rate of basic event \p x (0 when failed, inhibited,
+  /// or cold-dormant); per Erlang phase.
+  double failureRate(const ExecutionState& state, ElementId x) const;
+
+  const Dft& dft() const { return dft_; }
+
+ private:
+  std::uint32_t countFailedInputs(const ExecutionState& state,
+                                  ElementId gate) const;
+  bool spareAvailable(const ExecutionState& state, ElementId gate,
+                      ElementId spare) const;
+  void claimNextSpare(ExecutionState& state, ElementId gate,
+                      std::deque<ElementId>& queue) const;
+  void reconsiderSpareGate(ExecutionState& state, ElementId gate,
+                           std::deque<ElementId>& queue) const;
+  void fail(ExecutionState& state, ElementId x,
+            std::deque<ElementId>& queue) const;
+
+  const Dft& dft_;
+};
+
+}  // namespace imcdft::dft

@@ -1,0 +1,268 @@
+#include "dft/galileo.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dft/builder.hpp"
+
+namespace imcdft::dft {
+
+namespace {
+
+struct Token {
+  enum class Kind { Name, Equals, Semicolon, End };
+  Kind kind = Kind::End;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= text_.size()) {
+      tok.kind = Token::Kind::End;
+      return tok;
+    }
+    char c = text_[pos_];
+    if (c == ';') {
+      ++pos_;
+      tok.kind = Token::Kind::Semicolon;
+      return tok;
+    }
+    if (c == '=') {
+      ++pos_;
+      tok.kind = Token::Kind::Equals;
+      return tok;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string name;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\n') ++line_;
+        name += text_[pos_++];
+      }
+      if (pos_ >= text_.size())
+        throw ParseError("unterminated quoted name", tok.line);
+      ++pos_;  // closing quote
+      tok.kind = Token::Kind::Name;
+      tok.text = std::move(name);
+      return tok;
+    }
+    if (isWordChar(c)) {
+      std::string word;
+      while (pos_ < text_.size() && isWordChar(text_[pos_]))
+        word += text_[pos_++];
+      tok.kind = Token::Kind::Name;
+      tok.text = std::move(word);
+      return tok;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line_);
+  }
+
+ private:
+  static bool isWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-' || c == '+';
+  }
+
+  void skipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= text_.size())
+          throw ParseError("unterminated block comment", line_);
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string toLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Parses "KofM" (e.g. "2of3"); returns K when the word has that shape.
+std::optional<std::uint32_t> parseVoting(const std::string& word,
+                                         std::size_t* outOf) {
+  std::size_t pos = word.find("of");
+  if (pos == std::string::npos || pos == 0 || pos + 2 >= word.size())
+    return std::nullopt;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (i >= pos && i < pos + 2) continue;
+    if (!std::isdigit(static_cast<unsigned char>(word[i]))) return std::nullopt;
+  }
+  std::uint32_t k = static_cast<std::uint32_t>(
+      std::strtoul(word.substr(0, pos).c_str(), nullptr, 10));
+  *outOf = std::strtoul(word.substr(pos + 2).c_str(), nullptr, 10);
+  return k;
+}
+
+double parseNumber(const std::string& text, int line) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0')
+    throw ParseError("expected a number, got '" + text + "'", line);
+  return value;
+}
+
+}  // namespace
+
+Dft parseGalileo(const std::string& text) {
+  Lexer lexer(text);
+  DftBuilder builder;
+  bool sawToplevel = false;
+
+  Token tok = lexer.next();
+  while (tok.kind != Token::Kind::End) {
+    if (tok.kind != Token::Kind::Name)
+      throw ParseError("expected a statement", tok.line);
+    const int stmtLine = tok.line;
+
+    // Collect the raw statement up to the semicolon.
+    std::vector<Token> stmt;
+    stmt.push_back(tok);
+    while (true) {
+      tok = lexer.next();
+      if (tok.kind == Token::Kind::End)
+        throw ParseError("missing ';' at end of input", stmtLine);
+      if (tok.kind == Token::Kind::Semicolon) break;
+      stmt.push_back(tok);
+    }
+    tok = lexer.next();  // lookahead for the next statement
+
+    const std::string head = toLower(stmt[0].text);
+    if (head == "toplevel") {
+      if (stmt.size() != 2 || stmt[1].kind != Token::Kind::Name)
+        throw ParseError("toplevel expects exactly one element name", stmtLine);
+      builder.top(stmt[1].text);
+      sawToplevel = true;
+      continue;
+    }
+
+    if (stmt.size() < 2) throw ParseError("incomplete statement", stmtLine);
+
+    if (stmt[1].kind == Token::Kind::Equals || (stmt.size() >= 3 &&
+        stmt[2].kind == Token::Kind::Equals)) {
+      // Basic event: <name> attr=value ...
+      const std::string name = stmt[0].text;
+      std::optional<double> lambda, dorm, mu;
+      std::uint32_t phases = 1;
+      std::size_t i = 1;
+      while (i < stmt.size()) {
+        if (i + 2 >= stmt.size())
+          throw ParseError("malformed attribute", stmtLine);
+        if (stmt[i].kind != Token::Kind::Name ||
+            stmt[i + 1].kind != Token::Kind::Equals ||
+            stmt[i + 2].kind != Token::Kind::Name)
+          throw ParseError("malformed attribute (expected key=value)",
+                           stmtLine);
+        const std::string key = toLower(stmt[i].text);
+        const double value = parseNumber(stmt[i + 2].text, stmt[i + 2].line);
+        if (key == "lambda" || key == "rate")
+          lambda = value;
+        else if (key == "dorm")
+          dorm = value;
+        else if (key == "mu" || key == "repair")
+          mu = value;
+        else if (key == "phases")
+          phases = static_cast<std::uint32_t>(value);
+        else
+          throw ParseError("unknown basic event attribute '" + key + "'",
+                           stmtLine);
+        i += 3;
+      }
+      if (!lambda)
+        throw ParseError("basic event '" + name + "' needs lambda=", stmtLine);
+      builder.basicEvent(name, *lambda, dorm, mu, phases);
+      continue;
+    }
+
+    // Gate: <name> <type> <input>+
+    const std::string name = stmt[0].text;
+    const std::string type = toLower(stmt[1].text);
+    std::vector<std::string> inputs;
+    for (std::size_t i = 2; i < stmt.size(); ++i) {
+      if (stmt[i].kind != Token::Kind::Name)
+        throw ParseError("expected input name", stmt[i].line);
+      inputs.push_back(stmt[i].text);
+    }
+    if (inputs.empty())
+      throw ParseError("gate '" + name + "' has no inputs", stmtLine);
+
+    std::size_t outOf = 0;
+    if (auto k = parseVoting(type, &outOf)) {
+      if (outOf != inputs.size())
+        throw ParseError("voting gate '" + name + "' declares " +
+                             std::to_string(outOf) + " inputs but lists " +
+                             std::to_string(inputs.size()),
+                         stmtLine);
+      builder.votingGate(name, *k, inputs);
+    } else if (type == "and") {
+      builder.andGate(name, inputs);
+    } else if (type == "or") {
+      builder.orGate(name, inputs);
+    } else if (type == "pand") {
+      builder.pandGate(name, inputs);
+    } else if (type == "wsp" || type == "spare") {
+      builder.spareGate(name, SpareKind::Warm, inputs);
+    } else if (type == "csp") {
+      builder.spareGate(name, SpareKind::Cold, inputs);
+    } else if (type == "hsp") {
+      builder.spareGate(name, SpareKind::Hot, inputs);
+    } else if (type == "seq") {
+      builder.seqGate(name, inputs);
+    } else if (type == "fdep") {
+      if (inputs.size() < 2)
+        throw ParseError("fdep '" + name + "' needs a trigger and dependents",
+                         stmtLine);
+      builder.fdep(name, inputs.front(),
+                   {inputs.begin() + 1, inputs.end()});
+    } else if (type == "mutex") {
+      builder.mutex(inputs);
+    } else if (type == "inhibit") {
+      if (inputs.size() < 2)
+        throw ParseError(
+            "inhibit '" + name + "' needs a target and at least one inhibitor",
+            stmtLine);
+      for (std::size_t i = 1; i < inputs.size(); ++i)
+        builder.inhibition(inputs[i], inputs.front());
+    } else {
+      throw ParseError("unknown gate type '" + type + "'", stmtLine);
+    }
+  }
+
+  if (!sawToplevel) throw ParseError("missing toplevel declaration", 1);
+  return builder.build();
+}
+
+}  // namespace imcdft::dft

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "dft/model.hpp"
+
+/// \file galileo.hpp
+/// Parser for the Galileo DFT textual format [11], the input format the
+/// paper's conversion tool consumes, extended with the paper's Section 7
+/// elements:
+///
+/// \code
+///   toplevel "System";
+///   "System" or "CPU" "Motors";
+///   "CPU"    wsp "P" "B";           // primary first, spares in claim order
+///   "V"      2of3 "x" "y" "z";      // voting gate
+///   "F"      fdep "T" "P" "B";      // trigger first, then dependents
+///   "S"      seq "a" "b" "c";       // sequence enforcing
+///   "M"      mutex "open" "closed"; // Section 7.1 mutual exclusivity
+///   "I"      inhibit "B" "A";       // A inhibits B (A first prevents B)
+///   "P"      lambda=0.5 dorm=0.3 mu=1.2;   // BE: rate, dormancy, repair
+/// \endcode
+///
+/// Comments: // to end of line and /* ... */.  Names may be quoted or bare
+/// words.  Gate keywords are case-insensitive; `spare` is a synonym for
+/// `wsp`.
+
+namespace imcdft::dft {
+
+/// Parses a Galileo description into a validated Dft.
+/// Throws ParseError (with line information) on syntax errors and
+/// ModelError on structural ones.
+Dft parseGalileo(const std::string& text);
+
+}  // namespace imcdft::dft

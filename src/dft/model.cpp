@@ -1,0 +1,178 @@
+#include "dft/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imcdft::dft {
+
+Dft::Dft(std::vector<Element> elements, ElementId top,
+         std::vector<Inhibition> inhibitions)
+    : elements_(std::move(elements)),
+      top_(top),
+      inhibitions_(std::move(inhibitions)) {
+  parents_.resize(elements_.size());
+  for (ElementId id = 0; id < elements_.size(); ++id) {
+    require(byName_.emplace(elements_[id].name, id).second,
+            "Dft: duplicate element name '" + elements_[id].name + "'");
+    for (ElementId in : elements_[id].inputs) {
+      require(in < elements_.size(), "Dft: input id out of range");
+      parents_[in].push_back(id);
+    }
+  }
+  validate();
+}
+
+ElementId Dft::byName(const std::string& name) const {
+  auto it = byName_.find(name);
+  require(it != byName_.end(), "Dft: unknown element '" + name + "'");
+  return it->second;
+}
+
+std::optional<ElementId> Dft::findByName(const std::string& name) const {
+  auto it = byName_.find(name);
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ElementId> Dft::spareUsers(ElementId id) const {
+  std::vector<ElementId> out;
+  for (ElementId p : parents_[id]) {
+    const Element& g = elements_[p];
+    if (g.type != ElementType::Spare && g.type != ElementType::Seq) continue;
+    for (std::size_t i = 1; i < g.inputs.size(); ++i)
+      if (g.inputs[i] == id) {
+        out.push_back(p);
+        break;
+      }
+  }
+  return out;
+}
+
+std::optional<ElementId> Dft::primaryUser(ElementId id) const {
+  for (ElementId p : parents_[id]) {
+    const Element& g = elements_[p];
+    if ((g.type == ElementType::Spare || g.type == ElementType::Seq) &&
+        g.inputs.front() == id)
+      return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<ElementId> Dft::fdepsTargeting(ElementId id) const {
+  std::vector<ElementId> out;
+  for (ElementId p : parents_[id]) {
+    const Element& g = elements_[p];
+    if (g.type != ElementType::Fdep) continue;
+    for (std::size_t i = 1; i < g.inputs.size(); ++i)
+      if (g.inputs[i] == id) {
+        out.push_back(p);
+        break;
+      }
+  }
+  return out;
+}
+
+std::vector<ElementId> Dft::inhibitorsOf(ElementId id) const {
+  std::vector<ElementId> out;
+  for (const Inhibition& inh : inhibitions_)
+    if (inh.target == id) out.push_back(inh.inhibitor);
+  return out;
+}
+
+bool Dft::isDynamic() const {
+  if (!inhibitions_.empty()) return true;
+  return std::any_of(elements_.begin(), elements_.end(),
+                     [](const Element& e) { return e.isDynamicGate(); });
+}
+
+bool Dft::isRepairable() const {
+  return std::any_of(elements_.begin(), elements_.end(), [](const Element& e) {
+    return e.isBasicEvent() && e.be.repairRate.has_value();
+  });
+}
+
+std::vector<ElementId> Dft::topologicalOrder() const {
+  std::vector<std::uint32_t> pendingInputs(elements_.size(), 0);
+  for (ElementId id = 0; id < elements_.size(); ++id)
+    pendingInputs[id] = static_cast<std::uint32_t>(elements_[id].inputs.size());
+  std::vector<ElementId> ready, order;
+  for (ElementId id = 0; id < elements_.size(); ++id)
+    if (pendingInputs[id] == 0) ready.push_back(id);
+  while (!ready.empty()) {
+    ElementId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (ElementId p : parents_[id])
+      if (--pendingInputs[p] == 0) ready.push_back(p);
+  }
+  require(order.size() == elements_.size(), "Dft: cycle among elements");
+  return order;
+}
+
+void Dft::validate() const {
+  require(!elements_.empty(), "Dft: empty tree");
+  require(top_ < elements_.size(), "Dft: top element out of range");
+  require(elements_[top_].type != ElementType::Fdep,
+          "Dft: the top element may not be an FDEP gate (dummy output)");
+
+  for (ElementId id = 0; id < elements_.size(); ++id) {
+    const Element& e = elements_[id];
+    switch (e.type) {
+      case ElementType::BasicEvent:
+        require(e.inputs.empty(), "Dft: basic event '" + e.name + "' has inputs");
+        require(e.be.lambda > 0.0,
+                "Dft: basic event '" + e.name + "' needs lambda > 0");
+        require(e.be.dormancy >= 0.0 && e.be.dormancy <= 1.0,
+                "Dft: basic event '" + e.name + "' needs dormancy in [0,1]");
+        if (e.be.repairRate)
+          require(*e.be.repairRate > 0.0,
+                  "Dft: basic event '" + e.name + "' needs repair rate > 0");
+        require(e.be.phases >= 1 && e.be.phases <= 64,
+                "Dft: basic event '" + e.name + "' needs phases in [1, 64]");
+        break;
+      case ElementType::And:
+      case ElementType::Or:
+        require(!e.inputs.empty(), "Dft: gate '" + e.name + "' has no inputs");
+        break;
+      case ElementType::Voting:
+        require(!e.inputs.empty(), "Dft: gate '" + e.name + "' has no inputs");
+        require(e.votingThreshold >= 1 &&
+                    e.votingThreshold <= e.inputs.size(),
+                "Dft: voting gate '" + e.name + "' has threshold out of range");
+        break;
+      case ElementType::Pand:
+        require(e.inputs.size() >= 2,
+                "Dft: PAND gate '" + e.name + "' needs at least 2 inputs");
+        break;
+      case ElementType::Spare:
+      case ElementType::Seq:
+        require(e.inputs.size() >= 2,
+                "Dft: spare/seq gate '" + e.name +
+                    "' needs a primary and at least one spare");
+        break;
+      case ElementType::Fdep:
+        require(e.inputs.size() >= 2,
+                "Dft: FDEP gate '" + e.name +
+                    "' needs a trigger and at least one dependent");
+        break;
+    }
+    // FDEP outputs are dummy: nothing may use an FDEP as an input, and
+    // FDEP gates themselves may not be triggers/dependents/spares.
+    for (ElementId in : e.inputs)
+      require(elements_[in].type != ElementType::Fdep,
+              "Dft: FDEP gate '" + elements_[in].name +
+                  "' used as an input of '" + e.name + "'");
+  }
+  for (const Inhibition& inh : inhibitions_) {
+    require(inh.inhibitor < elements_.size() && inh.target < elements_.size(),
+            "Dft: inhibition ids out of range");
+    require(elements_[inh.target].type != ElementType::Fdep &&
+                elements_[inh.inhibitor].type != ElementType::Fdep,
+            "Dft: FDEP gates cannot take part in inhibitions");
+  }
+  // Acyclicity (throws on cycles).
+  (void)topologicalOrder();
+}
+
+}  // namespace imcdft::dft

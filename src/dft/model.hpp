@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file model.hpp
+/// Dynamic fault trees as a directed acyclic graph of elements (Section 2
+/// of the paper): basic events, static gates (AND, OR, K/M voting) and
+/// dynamic gates (PAND, SPARE, FDEP), plus the paper's Section 7
+/// extensions (inhibition / mutual exclusivity, repairable basic events)
+/// and the SEQ gate (emulated by a cold spare per the paper's footnote 4).
+
+namespace imcdft::dft {
+
+using ElementId = std::uint32_t;
+
+enum class ElementType : std::uint8_t {
+  BasicEvent,
+  And,
+  Or,
+  Voting,  ///< K/M gate: fails when at least K of M inputs fail
+  Pand,    ///< fails when all inputs fail, left to right
+  Spare,   ///< inputs[0] = primary, inputs[1..] = spares (in claim order)
+  Fdep,    ///< inputs[0] = trigger, inputs[1..] = dependent elements
+  Seq,     ///< sequence enforcing; analysed as a cold spare gate
+};
+
+/// Dormancy class of a spare gate, mirroring the Galileo csp/wsp/hsp types.
+/// It only affects the *default* dormancy factor given to directly attached
+/// spare basic events; an explicit `dorm` attribute always wins.
+enum class SpareKind : std::uint8_t { Cold, Warm, Hot };
+
+/// Attributes of a basic event.
+struct BasicEventAttrs {
+  double lambda = 0.0;    ///< active failure rate (per Erlang phase)
+  double dormancy = 1.0;  ///< dormancy factor alpha in [0, 1]
+  std::optional<double> repairRate;  ///< mu, when the BE is repairable
+  /// Erlang shape parameter: the failure delay is the sum of `phases`
+  /// exponential phases of rate lambda.  1 = plain exponential.  This is
+  /// the paper's Section 8 future-work item (3): phase-type distributions
+  /// integrate naturally into the I/O-IMC framework.
+  std::uint32_t phases = 1;
+};
+
+/// One node of the DFT DAG.
+struct Element {
+  std::string name;
+  ElementType type = ElementType::BasicEvent;
+  std::vector<ElementId> inputs;
+  std::uint32_t votingThreshold = 0;  ///< K for Voting gates
+  SpareKind spareKind = SpareKind::Warm;
+  BasicEventAttrs be;
+
+  bool isBasicEvent() const { return type == ElementType::BasicEvent; }
+  bool isGate() const { return !isBasicEvent(); }
+  /// Dynamic gates are the ones whose behavior depends on event order.
+  bool isDynamicGate() const {
+    return type == ElementType::Pand || type == ElementType::Spare ||
+           type == ElementType::Fdep || type == ElementType::Seq;
+  }
+};
+
+/// An inhibition relation (Section 7.1): if `inhibitor` fails before
+/// `target`, the failure of `target` is prevented forever.
+struct Inhibition {
+  ElementId inhibitor;
+  ElementId target;
+};
+
+/// An immutable, validated dynamic fault tree.  Use DftBuilder or
+/// parseGalileo() to create one.
+class Dft {
+ public:
+  Dft(std::vector<Element> elements, ElementId top,
+      std::vector<Inhibition> inhibitions);
+
+  std::size_t size() const { return elements_.size(); }
+  const Element& element(ElementId id) const { return elements_[id]; }
+  ElementId top() const { return top_; }
+  const std::vector<Inhibition>& inhibitions() const { return inhibitions_; }
+
+  /// Id lookup by name; throws ModelError for unknown names.
+  ElementId byName(const std::string& name) const;
+  /// Like byName but returns nullopt instead of throwing.
+  std::optional<ElementId> findByName(const std::string& name) const;
+
+  /// Gates that list \p id among their inputs (FDEPs included).
+  const std::vector<ElementId>& parents(ElementId id) const {
+    return parents_[id];
+  }
+
+  /// Spare gates that use \p id as a spare (inputs[1..]).
+  std::vector<ElementId> spareUsers(ElementId id) const;
+  /// The spare gate using \p id as primary, if any.
+  std::optional<ElementId> primaryUser(ElementId id) const;
+  /// FDEP gates listing \p id as a dependent element.
+  std::vector<ElementId> fdepsTargeting(ElementId id) const;
+  /// Inhibitors of \p id, in declaration order.
+  std::vector<ElementId> inhibitorsOf(ElementId id) const;
+
+  /// True when the tree contains a dynamic gate or an inhibition.
+  bool isDynamic() const;
+  /// True when any basic event is repairable.
+  bool isRepairable() const;
+
+  /// All element ids in a topological order with inputs before gates.
+  std::vector<ElementId> topologicalOrder() const;
+
+ private:
+  void validate() const;
+
+  std::vector<Element> elements_;
+  ElementId top_;
+  std::vector<Inhibition> inhibitions_;
+  std::vector<std::vector<ElementId>> parents_;
+  std::unordered_map<std::string, ElementId> byName_;
+};
+
+}  // namespace imcdft::dft

@@ -1,0 +1,110 @@
+#include "dft/modules.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace imcdft::dft {
+
+std::vector<ElementId> directDependencies(const Dft& dft, ElementId id) {
+  std::vector<ElementId> deps;
+  const Element& e = dft.element(id);
+  deps.insert(deps.end(), e.inputs.begin(), e.inputs.end());
+  // A dependent element's behavior is driven by the FDEPs that target it
+  // (and through them by the triggers).
+  for (ElementId f : dft.fdepsTargeting(id)) deps.push_back(f);
+  // Gates sharing one of our spares influence spare availability.
+  if (e.type == ElementType::Spare || e.type == ElementType::Seq) {
+    for (std::size_t i = 1; i < e.inputs.size(); ++i)
+      for (ElementId user : dft.spareUsers(e.inputs[i]))
+        if (user != id) deps.push_back(user);
+  }
+  // Inhibitors shape the target's failure behavior.
+  for (ElementId inh : dft.inhibitorsOf(id)) deps.push_back(inh);
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
+}
+
+std::vector<ElementId> dependencyClosure(const Dft& dft, ElementId root) {
+  std::vector<bool> seen(dft.size(), false);
+  std::vector<ElementId> closure;
+  std::queue<ElementId> frontier;
+  seen[root] = true;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    ElementId id = frontier.front();
+    frontier.pop();
+    closure.push_back(id);
+    for (ElementId d : directDependencies(dft, id)) {
+      if (!seen[d]) {
+        seen[d] = true;
+        frontier.push(d);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+std::vector<ModuleInfo> independentModules(const Dft& dft) {
+  // Referencers: X references d when d is a direct dependency of X.
+  std::vector<std::vector<ElementId>> referencers(dft.size());
+  for (ElementId x = 0; x < dft.size(); ++x)
+    for (ElementId d : directDependencies(dft, x)) referencers[d].push_back(x);
+
+  std::vector<ModuleInfo> modules;
+  for (ElementId root = 0; root < dft.size(); ++root) {
+    if (dft.element(root).type == ElementType::Fdep) continue;
+    std::vector<ElementId> members = dependencyClosure(dft, root);
+    bool independent = true;
+    for (ElementId m : members) {
+      if (m == root) continue;
+      for (ElementId r : referencers[m]) {
+        if (!std::binary_search(members.begin(), members.end(), r)) {
+          independent = false;
+          break;
+        }
+      }
+      if (!independent) break;
+    }
+    if (!independent) continue;
+    ModuleInfo info;
+    info.root = root;
+    info.dynamic = std::any_of(members.begin(), members.end(), [&](ElementId m) {
+      return dft.element(m).isDynamicGate();
+    });
+    for (const Inhibition& inh : dft.inhibitions())
+      if (std::binary_search(members.begin(), members.end(), inh.target))
+        info.dynamic = true;
+    info.members = std::move(members);
+    modules.push_back(std::move(info));
+  }
+  std::sort(modules.begin(), modules.end(),
+            [](const ModuleInfo& a, const ModuleInfo& b) {
+              return a.members.size() < b.members.size();
+            });
+  return modules;
+}
+
+Dft extractModule(const Dft& dft, ElementId root) {
+  std::vector<ElementId> members = dependencyClosure(dft, root);
+  std::vector<ElementId> remap(dft.size(), static_cast<ElementId>(-1));
+  for (std::size_t i = 0; i < members.size(); ++i)
+    remap[members[i]] = static_cast<ElementId>(i);
+  std::vector<Element> elements;
+  elements.reserve(members.size());
+  for (ElementId m : members) {
+    Element e = dft.element(m);
+    for (ElementId& in : e.inputs) in = remap[in];
+    elements.push_back(std::move(e));
+  }
+  std::vector<Inhibition> inhibitions;
+  for (const Inhibition& inh : dft.inhibitions()) {
+    // The closure contains the inhibitor whenever it contains the target.
+    if (std::binary_search(members.begin(), members.end(), inh.target))
+      inhibitions.push_back({remap[inh.inhibitor], remap[inh.target]});
+  }
+  return Dft(std::move(elements), remap[root], std::move(inhibitions));
+}
+
+}  // namespace imcdft::dft

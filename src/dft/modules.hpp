@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "dft/model.hpp"
+
+/// \file modules.hpp
+/// Independent-module detection (Sections 2 and 5 of the paper).
+///
+/// An element is an independent module when nothing below it is referenced
+/// from outside.  "Below" is taken over the *dependency closure*, which
+/// adds to the plain gate-input edges the couplings dynamic constructs
+/// introduce: FDEP gates couple their trigger and all dependents, spare
+/// gates couple every gate sharing one of their spares, and inhibitions
+/// couple inhibitor and target.  This is what makes, e.g., the whole pump
+/// unit of the cardiac assist system one module even though it contains two
+/// spare gates.
+
+namespace imcdft::dft {
+
+struct ModuleInfo {
+  ElementId root;
+  std::vector<ElementId> members;  ///< dependency closure, sorted, incl. root
+  bool dynamic = false;  ///< contains a dynamic gate or an inhibition
+};
+
+/// Elements whose behavior element \p id directly depends on.
+std::vector<ElementId> directDependencies(const Dft& dft, ElementId id);
+
+/// The dependency closure below \p root (members of the would-be module).
+std::vector<ElementId> dependencyClosure(const Dft& dft, ElementId root);
+
+/// All independent modules, in ascending order of member count.  The top
+/// element always appears (the whole tree is a module).
+std::vector<ModuleInfo> independentModules(const Dft& dft);
+
+/// Builds a standalone sub-DFT from the dependency closure of \p root
+/// (element names are preserved; ids are remapped).
+Dft extractModule(const Dft& dft, ElementId root);
+
+}  // namespace imcdft::dft

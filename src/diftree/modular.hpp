@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/model.hpp"
+
+/// \file modular.hpp
+/// The DIFTree modular analysis (Sections 2 and 5 of the paper):
+/// the tree is split into independent modules; static modules are solved
+/// with BDDs, dynamic modules by whole-module Markov chains, and each
+/// solved module is replaced by a pseudo basic event with a constant
+/// failure probability — which, as the paper stresses, is only sound when
+/// the surrounding module is *static*.  A dynamic module is therefore
+/// solved in one piece, which is precisely why DIFTree explodes on the
+/// cascaded PAND system while the compositional approach does not.
+
+namespace imcdft::diftree {
+
+struct ModularSolveInfo {
+  std::string moduleName;
+  bool dynamic = false;
+  /// Markov chain size for dynamic modules; 0 for BDD-solved static ones.
+  std::size_t mcStates = 0;
+  std::size_t mcTransitions = 0;
+  double probability = 0.0;  ///< module failure probability at mission time
+};
+
+struct ModularResult {
+  double unreliability = 0.0;
+  std::vector<ModularSolveInfo> modules;
+  /// The largest Markov chain any dynamic module needed.
+  std::size_t largestMcStates = 0;
+  std::size_t largestMcTransitions = 0;
+};
+
+/// Runs the DIFTree modular analysis at the given mission time.
+/// Unrepairable trees only.
+ModularResult modularAnalysis(const dft::Dft& dft, double missionTime);
+
+/// Solves a purely static (sub)tree with the BDD engine; \p beProbability
+/// gives each basic event's failure probability at the mission time.
+double staticUnreliability(const dft::Dft& dft,
+                           const std::vector<double>& beProbability);
+
+/// Classic component-importance measures for static trees, computed on the
+/// BDD (part of what DIFTree-era tooling reported for static modules).
+struct ImportanceResult {
+  std::string name;
+  double failureProbability = 0.0;  ///< p_i at the mission time
+  /// Birnbaum importance: dU/dp_i = U(p_i:=1) - U(p_i:=0).
+  double birnbaum = 0.0;
+  /// Criticality importance: birnbaum * p_i / U.
+  double criticality = 0.0;
+};
+
+/// Importance of every basic event of a *static* tree at \p missionTime.
+/// Throws UnsupportedError on dynamic trees.
+std::vector<ImportanceResult> birnbaumImportance(const dft::Dft& dft,
+                                                 double missionTime);
+
+/// Minimal cut sets of a static tree, as sorted lists of element names.
+std::vector<std::vector<std::string>> minimalCutSets(const dft::Dft& dft);
+
+}  // namespace imcdft::diftree

@@ -1,0 +1,89 @@
+#include "diftree/monolithic.hpp"
+
+#include <deque>
+#include <map>
+
+#include "analysis/converter.hpp"
+#include "common/error.hpp"
+#include "ctmc/transient.hpp"
+#include "dft/execution.hpp"
+
+namespace imcdft::diftree {
+
+using dft::Dft;
+using dft::Element;
+using dft::ElementId;
+using dft::ExecutionState;
+using dft::Executor;
+
+MonolithicResult generateMonolithic(const Dft& dft,
+                                    const MonolithicOptions& opts) {
+  analysis::checkConvertible(dft);
+  Executor executor(dft);
+
+  std::map<std::vector<std::uint8_t>, ctmc::StateId> ids;
+  std::vector<ExecutionState> states;
+  std::deque<ctmc::StateId> frontier;
+  auto stateOf = [&](ExecutionState g) {
+    auto [it, inserted] = ids.try_emplace(g.pack(), 0);
+    if (inserted) {
+      it->second = static_cast<ctmc::StateId>(states.size());
+      states.push_back(std::move(g));
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  MonolithicResult result;
+  ctmc::Ctmc& chain = result.chain;
+  chain.labelNames = {"down"};
+  chain.initial = stateOf(executor.initialState());
+
+  while (!frontier.empty()) {
+    ctmc::StateId id = frontier.front();
+    frontier.pop_front();
+    ExecutionState g = states[id];  // copy: the states vector grows below
+    const bool down = g.failed[dft.top()] != 0;
+    if (chain.rates.size() <= id) {
+      chain.rates.resize(id + 1);
+      chain.labelMasks.resize(id + 1, 0);
+    }
+    if (down && opts.truncateAtSystemFailure) continue;
+
+    for (ElementId x = 0; x < dft.size(); ++x) {
+      const Element& e = dft.element(x);
+      if (!e.isBasicEvent()) continue;
+      double rate = executor.failureRate(g, x);
+      if (rate > 0.0) {
+        ExecutionState next = g;
+        // Erlang events advance through their phases before failing.
+        if (next.phase[x] + 1u < e.be.phases) {
+          ++next.phase[x];
+        } else {
+          executor.failAndPropagate(next, x);
+        }
+        chain.rates[id].push_back({rate, stateOf(std::move(next))});
+      }
+      if (e.be.repairRate && g.failed[x]) {
+        ExecutionState next = g;
+        executor.repairAndPropagate(next, x);
+        chain.rates[id].push_back({*e.be.repairRate, stateOf(std::move(next))});
+      }
+    }
+  }
+  chain.rates.resize(states.size());
+  chain.labelMasks.resize(states.size(), 0);
+  for (ctmc::StateId s = 0; s < states.size(); ++s)
+    if (states[s].failed[dft.top()]) chain.labelMasks[s] |= 1u;
+  chain.validate();
+  result.numStates = chain.numStates();
+  result.numTransitions = chain.numTransitions();
+  return result;
+}
+
+double monolithicUnreliability(const Dft& dft, double missionTime) {
+  MonolithicResult result = generateMonolithic(dft);
+  return ctmc::probabilityOfLabelAt(result.chain, "down", missionTime);
+}
+
+}  // namespace imcdft::diftree

@@ -1,0 +1,362 @@
+#include "ioimc/bisimulation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "ioimc/builder.hpp"
+#include "ioimc/ops.hpp"
+
+namespace imcdft::ioimc {
+
+namespace {
+
+/// Rate vector: cumulative rate into each partition class, sorted by class.
+using RateVector = std::vector<std::pair<std::uint32_t, double>>;
+
+/// Signature of one state under the current partition.
+struct WeakSig {
+  std::vector<std::uint32_t> tauTargets;  ///< classes weakly reachable by tau
+  std::vector<std::pair<ActionId, std::uint32_t>> visible;  ///< weak moves
+  std::vector<RateVector> stableRates;  ///< rate vectors of stable derivatives
+};
+
+bool operator<(const WeakSig& a, const WeakSig& b) {
+  return std::tie(a.tauTargets, a.visible, a.stableRates) <
+         std::tie(b.tauTargets, b.visible, b.stableRates);
+}
+
+/// Tau-reachability (reflexive-transitive closure over internal
+/// transitions) plus per-state stability.  Closures are computed per SCC of
+/// the tau graph, in the reverse-topological order Tarjan produces.
+struct TauInfo {
+  std::vector<std::vector<StateId>> closure;  ///< sorted, includes self
+  std::vector<bool> stable;
+};
+
+std::vector<StateId> sortedUnion(const std::vector<StateId>& a,
+                                 const std::vector<StateId>& b) {
+  std::vector<StateId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+TauInfo computeTauInfo(const IOIMC& m, bool outputsUrgent) {
+  const std::size_t n = m.numStates();
+  std::vector<std::vector<StateId>> tauSucc(n);
+  TauInfo info;
+  info.stable.assign(n, true);
+  for (StateId s = 0; s < n; ++s) {
+    for (const auto& t : m.interactive(s)) {
+      if (m.signature().isInternal(t.action)) {
+        tauSucc[s].push_back(t.to);
+        info.stable[s] = false;
+      } else if (outputsUrgent && m.signature().isOutput(t.action)) {
+        info.stable[s] = false;
+      }
+    }
+    std::sort(tauSucc[s].begin(), tauSucc[s].end());
+    tauSucc[s].erase(std::unique(tauSucc[s].begin(), tauSucc[s].end()),
+                     tauSucc[s].end());
+  }
+
+  // Iterative Tarjan SCC over the tau graph.
+  constexpr StateId kUndef = static_cast<StateId>(-1);
+  std::vector<StateId> index(n, kUndef), low(n, 0), comp(n, kUndef);
+  std::vector<bool> onStack(n, false);
+  std::vector<StateId> stack;
+  std::uint32_t nextIndex = 0, numComps = 0;
+  struct Frame {
+    StateId v;
+    std::size_t child;
+  };
+  std::vector<Frame> callStack;
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kUndef) continue;
+    callStack.push_back({root, 0});
+    while (!callStack.empty()) {
+      Frame& f = callStack.back();
+      StateId v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = nextIndex++;
+        stack.push_back(v);
+        onStack[v] = true;
+      }
+      bool descended = false;
+      while (f.child < tauSucc[v].size()) {
+        StateId w = tauSucc[v][f.child++];
+        if (index[w] == kUndef) {
+          callStack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (onStack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          StateId w = stack.back();
+          stack.pop_back();
+          onStack[w] = false;
+          comp[w] = numComps;
+          if (w == v) break;
+        }
+        ++numComps;
+      }
+      callStack.pop_back();
+      if (!callStack.empty()) {
+        StateId parent = callStack.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+
+  // Components are numbered such that every tau successor's component id is
+  // strictly smaller (Tarjan closes sinks first); compute closures bottom-up.
+  std::vector<std::vector<StateId>> compMembers(numComps);
+  for (StateId s = 0; s < n; ++s) compMembers[comp[s]].push_back(s);
+  std::vector<std::vector<StateId>> compClosure(numComps);
+  for (std::uint32_t c = 0; c < numComps; ++c) {
+    std::vector<StateId> acc = compMembers[c];
+    std::sort(acc.begin(), acc.end());
+    std::vector<std::uint32_t> succComps;
+    for (StateId s : compMembers[c])
+      for (StateId t : tauSucc[s])
+        if (comp[t] != c) succComps.push_back(comp[t]);
+    std::sort(succComps.begin(), succComps.end());
+    succComps.erase(std::unique(succComps.begin(), succComps.end()),
+                    succComps.end());
+    for (std::uint32_t sc : succComps) acc = sortedUnion(acc, compClosure[sc]);
+    compClosure[c] = std::move(acc);
+  }
+  info.closure.resize(n);
+  for (StateId s = 0; s < n; ++s) info.closure[s] = compClosure[comp[s]];
+  return info;
+}
+
+/// Deterministically accumulates (class, rate) pairs into a rate vector.
+RateVector accumulateRates(std::vector<std::pair<std::uint32_t, double>> raw) {
+  std::sort(raw.begin(), raw.end());
+  RateVector out;
+  for (const auto& [cls, rate] : raw) {
+    if (!out.empty() && out.back().first == cls)
+      out.back().second += rate;
+    else
+      out.emplace_back(cls, rate);
+  }
+  return out;
+}
+
+Partition initialByLabel(const IOIMC& m) {
+  Partition p;
+  p.classOf.resize(m.numStates());
+  std::map<std::uint32_t, std::uint32_t> byMask;
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    auto [it, inserted] =
+        byMask.try_emplace(m.labelMask(s), p.numClasses);
+    if (inserted) ++p.numClasses;
+    p.classOf[s] = it->second;
+  }
+  return p;
+}
+
+WeakSig weakSignature(const IOIMC& m, const TauInfo& tau, const Partition& p,
+                      StateId s) {
+  WeakSig sig;
+  for (StateId u : tau.closure[s]) sig.tauTargets.push_back(p.classOf[u]);
+  std::sort(sig.tauTargets.begin(), sig.tauTargets.end());
+  sig.tauTargets.erase(
+      std::unique(sig.tauTargets.begin(), sig.tauTargets.end()),
+      sig.tauTargets.end());
+
+  auto inTauTargets = [&](std::uint32_t c) {
+    return std::binary_search(sig.tauTargets.begin(), sig.tauTargets.end(), c);
+  };
+
+  for (StateId u : tau.closure[s]) {
+    for (const auto& t : m.interactive(u)) {
+      if (m.signature().isInternal(t.action)) continue;
+      const bool isInput = m.signature().isInput(t.action);
+      for (StateId v : tau.closure[t.to]) {
+        std::uint32_t c = p.classOf[v];
+        // Implicit input self-loops make every tau-target an input target
+        // for free; recording those adds no discriminating power, so filter
+        // them to obtain the coarsest (minimal) quotient.
+        if (isInput && inTauTargets(c)) continue;
+        sig.visible.emplace_back(t.action, c);
+      }
+    }
+    if (tau.stable[u]) {
+      std::vector<std::pair<std::uint32_t, double>> raw;
+      for (const auto& t : m.markovian(u))
+        raw.emplace_back(p.classOf[t.to], t.rate);
+      sig.stableRates.push_back(accumulateRates(std::move(raw)));
+    }
+  }
+  std::sort(sig.visible.begin(), sig.visible.end());
+  sig.visible.erase(std::unique(sig.visible.begin(), sig.visible.end()),
+                    sig.visible.end());
+  std::sort(sig.stableRates.begin(), sig.stableRates.end());
+  sig.stableRates.erase(
+      std::unique(sig.stableRates.begin(), sig.stableRates.end()),
+      sig.stableRates.end());
+  return sig;
+}
+
+}  // namespace
+
+Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts) {
+  TauInfo tau = computeTauInfo(m, opts.outputsUrgent);
+  Partition p = initialByLabel(m);
+  while (true) {
+    std::map<std::pair<std::uint32_t, WeakSig>, std::uint32_t> next;
+    std::vector<std::uint32_t> newClassOf(m.numStates());
+    for (StateId s = 0; s < m.numStates(); ++s) {
+      auto key = std::make_pair(p.classOf[s], weakSignature(m, tau, p, s));
+      auto [it, inserted] =
+          next.try_emplace(std::move(key),
+                           static_cast<std::uint32_t>(next.size()));
+      (void)inserted;
+      newClassOf[s] = it->second;
+    }
+    std::uint32_t newCount = static_cast<std::uint32_t>(next.size());
+    bool stable = newCount == p.numClasses;
+    p.classOf = std::move(newClassOf);
+    p.numClasses = newCount;
+    if (stable) break;
+  }
+  return p;
+}
+
+IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts) {
+  TauInfo tau = computeTauInfo(m, opts.outputsUrgent);
+  Partition p = weakBisimulation(m, opts);
+
+  // Representative (lowest state id) per class, and its converged signature.
+  std::vector<StateId> rep(p.numClasses, static_cast<StateId>(-1));
+  for (StateId s = m.numStates(); s-- > 0;) rep[p.classOf[s]] = s;
+
+  IOIMCBuilder b(m.name() + "/weak", m.symbols());
+  b.reserveStates(p.numClasses);
+  b.setInitial(p.classOf[m.initial()]);
+  // Preserve the full visible signature for later composition.
+  for (ActionId a : m.signature().inputs()) b.input(m.actionName(a));
+  for (ActionId a : m.signature().outputs()) b.output(m.actionName(a));
+  for (const std::string& labelName : m.labelNames()) b.declareLabel(labelName);
+  ActionId tauAction = b.internal(kTauName);
+
+  for (std::uint32_t c = 0; c < p.numClasses; ++c) {
+    StateId r = rep[c];
+    WeakSig sig = weakSignature(m, tau, p, r);
+    // Labels.
+    std::uint32_t mask = m.labelMask(r);
+    for (std::size_t i = 0; i < m.labelNames().size(); ++i)
+      if ((mask >> i) & 1u) b.label(c, m.labelNames()[i]);
+    // Cross-class tau moves.
+    bool hasCrossTau = false;
+    for (std::uint32_t c2 : sig.tauTargets) {
+      if (c2 == c) continue;
+      b.interactive(c, tauAction, c2);
+      hasCrossTau = true;
+    }
+    // Visible moves (input self-targets were already filtered away; an
+    // output to the own class is observable and kept).
+    for (const auto& [act, c2] : sig.visible) b.interactive(c, act, c2);
+    // Markovian behavior only for classes without cross-class tau moves.
+    if (!hasCrossTau && !sig.stableRates.empty()) {
+      require(sig.stableRates.size() == 1,
+              "weakQuotient: ambiguous rate vector in a stable class");
+      for (const auto& [c2, rate] : sig.stableRates.front())
+        b.markovian(c, rate, c2);
+    }
+  }
+  return std::move(b).build();
+}
+
+IOIMC aggregate(const IOIMC& m, const WeakOptions& opts) {
+  return restrictToReachable(weakQuotient(m, opts));
+}
+
+namespace {
+
+/// Strong signature: exact moves per action plus the full rate vector.
+struct StrongSig {
+  std::vector<std::pair<ActionId, std::uint32_t>> moves;
+  RateVector rates;
+};
+
+bool operator<(const StrongSig& a, const StrongSig& b) {
+  return std::tie(a.moves, a.rates) < std::tie(b.moves, b.rates);
+}
+
+StrongSig strongSignature(const IOIMC& m, const Partition& p, StateId s) {
+  StrongSig sig;
+  for (const auto& t : m.interactive(s)) {
+    std::uint32_t c = p.classOf[t.to];
+    // Implicit input self-loop equivalence: an explicit input move into the
+    // own class is indistinguishable from having no explicit move.
+    if (m.signature().isInput(t.action) && c == p.classOf[s]) continue;
+    sig.moves.emplace_back(t.action, c);
+  }
+  std::sort(sig.moves.begin(), sig.moves.end());
+  sig.moves.erase(std::unique(sig.moves.begin(), sig.moves.end()),
+                  sig.moves.end());
+  std::vector<std::pair<std::uint32_t, double>> raw;
+  for (const auto& t : m.markovian(s)) raw.emplace_back(p.classOf[t.to], t.rate);
+  sig.rates = accumulateRates(std::move(raw));
+  return sig;
+}
+
+}  // namespace
+
+Partition strongBisimulation(const IOIMC& m) {
+  Partition p = initialByLabel(m);
+  while (true) {
+    std::map<std::pair<std::uint32_t, StrongSig>, std::uint32_t> next;
+    std::vector<std::uint32_t> newClassOf(m.numStates());
+    for (StateId s = 0; s < m.numStates(); ++s) {
+      auto key = std::make_pair(p.classOf[s], strongSignature(m, p, s));
+      auto [it, inserted] =
+          next.try_emplace(std::move(key),
+                           static_cast<std::uint32_t>(next.size()));
+      (void)inserted;
+      newClassOf[s] = it->second;
+    }
+    std::uint32_t newCount = static_cast<std::uint32_t>(next.size());
+    bool stable = newCount == p.numClasses;
+    p.classOf = std::move(newClassOf);
+    p.numClasses = newCount;
+    if (stable) break;
+  }
+  return p;
+}
+
+IOIMC strongQuotient(const IOIMC& m) {
+  Partition p = strongBisimulation(m);
+  std::vector<StateId> rep(p.numClasses, static_cast<StateId>(-1));
+  for (StateId s = m.numStates(); s-- > 0;) rep[p.classOf[s]] = s;
+
+  IOIMCBuilder b(m.name() + "/strong", m.symbols());
+  b.reserveStates(p.numClasses);
+  b.setInitial(p.classOf[m.initial()]);
+  for (ActionId a : m.signature().inputs()) b.input(m.actionName(a));
+  for (ActionId a : m.signature().outputs()) b.output(m.actionName(a));
+  for (ActionId a : m.signature().internals()) b.internal(m.actionName(a));
+  for (const std::string& labelName : m.labelNames()) b.declareLabel(labelName);
+
+  for (std::uint32_t c = 0; c < p.numClasses; ++c) {
+    StateId r = rep[c];
+    StrongSig sig = strongSignature(m, p, r);
+    std::uint32_t mask = m.labelMask(r);
+    for (std::size_t i = 0; i < m.labelNames().size(); ++i)
+      if ((mask >> i) & 1u) b.label(c, m.labelNames()[i]);
+    for (const auto& [act, c2] : sig.moves) b.interactive(c, act, c2);
+    for (const auto& [c2, rate] : sig.rates) b.markovian(c, rate, c2);
+  }
+  return restrictToReachable(std::move(b).build());
+}
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ioimc/model.hpp"
+
+/// \file bisimulation.hpp
+/// State-space aggregation (step 4 of the paper's algorithm).
+///
+/// Weak bisimulation for I/O-IMC follows Hermanns' IMC weak bisimulation
+/// [12] extended with the I/O conventions of the paper:
+///  * internal transitions are abstracted (tau-saturation);
+///  * maximal progress: Markovian behavior is measured only in *stable*
+///    states.  A state is stable when it enables no internal transition and
+///    (since I/O-IMC outputs are locally controlled and immediate) no output
+///    transition;
+///  * implicit input self-loops are taken into account;
+///  * atomic state labels (e.g. the monitor's "down") are respected.
+///
+/// The implementation is signature-based partition refinement (Blom/Orzan
+/// style) over the tau-closure, which for our model sizes is simple and
+/// fast, followed by quotient construction from the converged signatures.
+
+namespace imcdft::ioimc {
+
+/// A computed partition of a model's states.
+struct Partition {
+  std::vector<std::uint32_t> classOf;  ///< state -> class index
+  std::uint32_t numClasses = 0;
+};
+
+/// Options for weak bisimulation.
+struct WeakOptions {
+  /// Treat states with enabled output transitions as unstable (I/O-IMC
+  /// urgency).  Disable to get plain IMC weak bisimulation.
+  bool outputsUrgent = true;
+};
+
+/// Computes the weak bisimulation partition of \p m.
+Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts = {});
+
+/// Computes the strong bisimulation partition (no tau abstraction, no
+/// maximal progress — this is exact CTMC lumping when the model has no
+/// interactive transitions).
+Partition strongBisimulation(const IOIMC& m);
+
+/// Builds the quotient model induced by a weak-bisimulation partition.
+/// All internal actions of the quotient are collapsed to the canonical
+/// action "__tau"; inert (intra-class) internal moves disappear.
+IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts = {});
+
+/// Builds the quotient induced by strongBisimulation().
+IOIMC strongQuotient(const IOIMC& m);
+
+/// Convenience: weakQuotient followed by reachability restriction.
+IOIMC aggregate(const IOIMC& m, const WeakOptions& opts = {});
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,92 @@
+#include "ioimc/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace imcdft::ioimc {
+
+IOIMCBuilder::IOIMCBuilder(std::string name, SymbolTablePtr symbols)
+    : name_(std::move(name)), symbols_(std::move(symbols)) {
+  require(symbols_ != nullptr, "IOIMCBuilder: null symbol table");
+}
+
+StateId IOIMCBuilder::addState() {
+  inter_.emplace_back();
+  markov_.emplace_back();
+  labelMasks_.push_back(0);
+  return static_cast<StateId>(inter_.size() - 1);
+}
+
+void IOIMCBuilder::reserveStates(std::size_t n) {
+  while (inter_.size() < n) addState();
+}
+
+void IOIMCBuilder::setInitial(StateId s) {
+  require(s < inter_.size(), "IOIMCBuilder: initial state out of range");
+  initial_ = s;
+  initialSet_ = true;
+}
+
+ActionId IOIMCBuilder::input(std::string_view action) {
+  ActionId id = symbols_->intern(action);
+  signature_.add(id, ActionKind::Input);
+  return id;
+}
+
+ActionId IOIMCBuilder::output(std::string_view action) {
+  ActionId id = symbols_->intern(action);
+  signature_.add(id, ActionKind::Output);
+  return id;
+}
+
+ActionId IOIMCBuilder::internal(std::string_view action) {
+  ActionId id = symbols_->intern(action);
+  signature_.add(id, ActionKind::Internal);
+  return id;
+}
+
+void IOIMCBuilder::interactive(StateId from, std::string_view action,
+                               StateId to) {
+  SymbolId id = symbols_->find(action);
+  require(id != SymbolTable::npos && signature_.hasAction(id),
+          "IOIMCBuilder '" + name_ + "': undeclared action '" +
+              std::string(action) + "'");
+  interactive(from, id, to);
+}
+
+void IOIMCBuilder::interactive(StateId from, ActionId action, StateId to) {
+  require(from < inter_.size() && to < inter_.size(),
+          "IOIMCBuilder '" + name_ + "': transition state out of range");
+  inter_[from].push_back({action, to});
+}
+
+void IOIMCBuilder::markovian(StateId from, double rate, StateId to) {
+  require(from < inter_.size() && to < inter_.size(),
+          "IOIMCBuilder '" + name_ + "': transition state out of range");
+  require(rate > 0.0, "IOIMCBuilder '" + name_ + "': rate must be positive");
+  markov_[from].push_back({rate, to});
+}
+
+void IOIMCBuilder::declareLabel(const std::string& labelName) {
+  for (const std::string& existing : labelNames_)
+    if (existing == labelName) return;
+  require(labelNames_.size() < 32, "IOIMCBuilder: more than 32 labels");
+  labelNames_.push_back(labelName);
+}
+
+void IOIMCBuilder::label(StateId s, const std::string& labelName) {
+  require(s < inter_.size(), "IOIMCBuilder: label state out of range");
+  declareLabel(labelName);
+  int idx = -1;
+  for (std::size_t i = 0; i < labelNames_.size(); ++i)
+    if (labelNames_[i] == labelName) idx = static_cast<int>(i);
+  labelMasks_[s] |= 1u << idx;
+}
+
+IOIMC IOIMCBuilder::build() && {
+  require(initialSet_, "IOIMCBuilder '" + name_ + "': initial state not set");
+  return IOIMC(std::move(name_), std::move(symbols_), std::move(signature_),
+               initial_, std::move(inter_), std::move(markov_),
+               std::move(labelMasks_), std::move(labelNames_));
+}
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ioimc/model.hpp"
+
+/// \file builder.hpp
+/// Mutable construction interface for I/O-IMC models.
+
+namespace imcdft::ioimc {
+
+/// Incrementally builds an IOIMC, then validates it on build().
+///
+/// Typical use:
+/// \code
+///   IOIMCBuilder b("BE_A", symbols);
+///   auto s0 = b.addState();
+///   auto s1 = b.addState();
+///   b.setInitial(s0);
+///   b.input("aA");
+///   b.output("fA");
+///   b.interactive(s0, "aA", s1);
+///   b.markovian(s1, 0.5, s2);
+///   IOIMC m = std::move(b).build();
+/// \endcode
+class IOIMCBuilder {
+ public:
+  IOIMCBuilder(std::string name, SymbolTablePtr symbols);
+
+  /// Adds a fresh state and returns its id.
+  StateId addState();
+  /// Ensures at least \p n states exist.
+  void reserveStates(std::size_t n);
+  void setInitial(StateId s);
+
+  /// Declares actions in the signature (idempotent).
+  ActionId input(std::string_view action);
+  ActionId output(std::string_view action);
+  ActionId internal(std::string_view action);
+
+  /// Adds an interactive transition; the action must have been declared.
+  void interactive(StateId from, std::string_view action, StateId to);
+  void interactive(StateId from, ActionId action, StateId to);
+
+  /// Adds a Markovian transition with strictly positive \p rate.
+  void markovian(StateId from, double rate, StateId to);
+
+  /// Attaches an atomic label to a state (registers the label on first use).
+  void label(StateId s, const std::string& labelName);
+
+  /// Registers a label name without attaching it to any state (so quotients
+  /// keep the label universe of their source model even when no state
+  /// carries a given label any more).
+  void declareLabel(const std::string& labelName);
+
+  std::size_t numStates() const { return inter_.size(); }
+  const SymbolTablePtr& symbols() const { return symbols_; }
+
+  /// Validates and produces the immutable model.
+  IOIMC build() &&;
+
+ private:
+  std::string name_;
+  SymbolTablePtr symbols_;
+  Signature signature_;
+  StateId initial_ = 0;
+  bool initialSet_ = false;
+  std::vector<std::vector<InteractiveTransition>> inter_;
+  std::vector<std::vector<MarkovianTransition>> markov_;
+  std::vector<std::uint32_t> labelMasks_;
+  std::vector<std::string> labelNames_;
+};
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,180 @@
+#include "ioimc/compose.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace imcdft::ioimc {
+
+namespace {
+
+/// Interactive transitions of one state, grouped by action.
+using ByAction = std::unordered_map<ActionId, std::vector<StateId>>;
+
+ByAction groupByAction(const IOIMC& m, StateId s) {
+  ByAction out;
+  for (const auto& t : m.interactive(s)) out[t.action].push_back(t.to);
+  return out;
+}
+
+void checkCompatible(const IOIMC& a, const IOIMC& b) {
+  require(a.symbols() == b.symbols(),
+          "compose: models must share one symbol table");
+  for (ActionId o : a.signature().outputs())
+    require(!b.signature().isOutput(o),
+            "compose: models '" + a.name() + "' and '" + b.name() +
+                "' share output action '" + a.actionName(o) + "'");
+  auto checkInternal = [](const IOIMC& x, const IOIMC& y) {
+    for (ActionId i : x.signature().internals())
+      require(!y.signature().isInput(i) && !y.signature().isOutput(i),
+              "compose: internal action '" + x.actionName(i) + "' of '" +
+                  x.name() + "' collides with a visible action of '" +
+                  y.name() + "'");
+  };
+  checkInternal(a, b);
+  checkInternal(b, a);
+}
+
+Signature compositeSignature(const IOIMC& a, const IOIMC& b) {
+  Signature sig;
+  for (ActionId o : a.signature().outputs()) sig.add(o, ActionKind::Output);
+  for (ActionId o : b.signature().outputs()) sig.add(o, ActionKind::Output);
+  for (ActionId i : a.signature().inputs())
+    if (!sig.isOutput(i)) sig.add(i, ActionKind::Input);
+  for (ActionId i : b.signature().inputs())
+    if (!sig.isOutput(i)) sig.add(i, ActionKind::Input);
+  for (ActionId h : a.signature().internals()) sig.add(h, ActionKind::Internal);
+  for (ActionId h : b.signature().internals()) sig.add(h, ActionKind::Internal);
+  return sig;
+}
+
+}  // namespace
+
+IOIMC compose(const IOIMC& a, const IOIMC& b) {
+  checkCompatible(a, b);
+  Signature sig = compositeSignature(a, b);
+
+  // Merge the two label universes.
+  std::vector<std::string> labelNames = a.labelNames();
+  std::vector<int> bLabelRemap(b.labelNames().size());
+  for (std::size_t i = 0; i < b.labelNames().size(); ++i) {
+    const std::string& ln = b.labelNames()[i];
+    auto it = std::find(labelNames.begin(), labelNames.end(), ln);
+    if (it == labelNames.end()) {
+      require(labelNames.size() < 32, "compose: more than 32 labels");
+      labelNames.push_back(ln);
+      bLabelRemap[i] = static_cast<int>(labelNames.size() - 1);
+    } else {
+      bLabelRemap[i] = static_cast<int>(it - labelNames.begin());
+    }
+  }
+  auto compositeMask = [&](StateId sa, StateId sb) {
+    std::uint32_t mask = a.labelMask(sa);
+    std::uint32_t mb = b.labelMask(sb);
+    for (std::size_t i = 0; i < bLabelRemap.size(); ++i)
+      if ((mb >> i) & 1u) mask |= 1u << bLabelRemap[i];
+    return mask;
+  };
+
+  // BFS over reachable state pairs.
+  auto key = [](StateId sa, StateId sb) {
+    return (static_cast<std::uint64_t>(sa) << 32) | sb;
+  };
+  std::unordered_map<std::uint64_t, StateId> ids;
+  std::vector<std::pair<StateId, StateId>> pairs;
+  std::queue<StateId> frontier;
+  auto stateOf = [&](StateId sa, StateId sb) {
+    auto [it, inserted] = ids.try_emplace(key(sa, sb),
+                                          static_cast<StateId>(pairs.size()));
+    if (inserted) {
+      pairs.emplace_back(sa, sb);
+      frontier.push(it->second);
+    }
+    return it->second;
+  };
+
+  std::vector<std::vector<InteractiveTransition>> inter;
+  std::vector<std::vector<MarkovianTransition>> markov;
+  std::vector<std::uint32_t> labels;
+
+  stateOf(a.initial(), b.initial());
+  while (!frontier.empty()) {
+    StateId id = frontier.front();
+    frontier.pop();
+    auto [sa, sb] = pairs[id];
+    if (inter.size() <= id) {
+      inter.resize(id + 1);
+      markov.resize(id + 1);
+      labels.resize(id + 1);
+    }
+    labels[id] = compositeMask(sa, sb);
+
+    // Markovian interleaving.
+    for (const auto& t : a.markovian(sa))
+      markov[id].push_back({t.rate, stateOf(t.to, sb)});
+    for (const auto& t : b.markovian(sb))
+      markov[id].push_back({t.rate, stateOf(sa, t.to)});
+
+    ByAction fromA = groupByAction(a, sa);
+    ByAction fromB = groupByAction(b, sb);
+
+    auto emit = [&](ActionId act, StateId ta, StateId tb) {
+      inter[id].push_back({act, stateOf(ta, tb)});
+    };
+
+    // Transitions rooted at A's side.
+    for (const auto& [act, targetsA] : fromA) {
+      const bool internalA = a.signature().isInternal(act);
+      const bool sharedWithB = !internalA && b.signature().hasAction(act);
+      if (!sharedWithB) {
+        // Interleave: internal actions and actions B does not know about.
+        for (StateId ta : targetsA) emit(act, ta, sb);
+        continue;
+      }
+      if (a.signature().isInput(act) && b.signature().isOutput(act)) {
+        // Occurrence is controlled by B; handled on B's side below.
+        continue;
+      }
+      // act is an output of A (B listens), or an input of both.
+      auto itB = fromB.find(act);
+      if (itB == fromB.end()) {
+        for (StateId ta : targetsA) emit(act, ta, sb);  // B stays (implicit)
+      } else {
+        for (StateId ta : targetsA)
+          for (StateId tb : itB->second) emit(act, ta, tb);
+      }
+    }
+
+    // Transitions rooted at B's side.
+    for (const auto& [act, targetsB] : fromB) {
+      const bool internalB = b.signature().isInternal(act);
+      const bool sharedWithA = !internalB && a.signature().hasAction(act);
+      if (!sharedWithA) {
+        for (StateId tb : targetsB) emit(act, sa, tb);
+        continue;
+      }
+      if (b.signature().isInput(act) && a.signature().isOutput(act)) {
+        continue;  // controlled by A; handled above
+      }
+      // act is an output of B, or an input of both.
+      auto itA = fromA.find(act);
+      if (itA == fromA.end()) {
+        for (StateId tb : targetsB) emit(act, sa, tb);  // A stays (implicit)
+      } else if (b.signature().isOutput(act)) {
+        // B controls the occurrence; A reacts with its explicit inputs.
+        // (A's side skipped this case above.)
+        for (StateId ta : itA->second)
+          for (StateId tb : targetsB) emit(act, ta, tb);
+      }
+      // Input-of-both with both explicit: already emitted on A's side.
+    }
+  }
+
+  return IOIMC("(" + a.name() + "||" + b.name() + ")", a.symbols(),
+               std::move(sig), 0, std::move(inter), std::move(markov),
+               std::move(labels), std::move(labelNames));
+}
+
+}  // namespace imcdft::ioimc

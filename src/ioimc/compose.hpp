@@ -1,0 +1,30 @@
+#pragma once
+
+#include "ioimc/model.hpp"
+
+/// \file compose.hpp
+/// Parallel composition of I/O-IMC (Section 3 of the paper).
+///
+/// Two models synchronize on the actions shared by their signatures:
+///  * an output of one matched with an input of the other occurs when the
+///    *owner* outputs; the receiving side takes its explicit input
+///    transition, or stays put (implicit input self-loop) when it has none;
+///  * an action that is an input of both stays an input of the composite
+///    and moves every component that has an explicit transition;
+///  * two models may not share an output action (I/O automata
+///    compatibility);
+///  * Markovian transitions, internal actions and non-shared actions
+///    interleave.
+///
+/// The composite signature is: outputs = out(A) u out(B),
+/// inputs = (in(A) u in(B)) \ outputs, internal = int(A) u int(B).
+
+namespace imcdft::ioimc {
+
+/// Composes two compatible I/O-IMC, exploring only reachable pairs.
+/// Throws ModelError when the models are incompatible (shared outputs,
+/// different symbol tables, or an internal action of one colliding with a
+/// visible action of the other).
+IOIMC compose(const IOIMC& a, const IOIMC& b);
+
+}  // namespace imcdft::ioimc

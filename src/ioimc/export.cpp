@@ -1,0 +1,63 @@
+#include "ioimc/export.hpp"
+
+#include <sstream>
+
+namespace imcdft::ioimc {
+
+namespace {
+
+std::string decoratedAction(const IOIMC& m, ActionId a) {
+  std::string name = m.actionName(a);
+  switch (m.signature().kindOf(a)) {
+    case ActionKind::Input:
+      return name + "?";
+    case ActionKind::Output:
+      return name + "!";
+    case ActionKind::Internal:
+      return name + ";";
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string toDot(const IOIMC& m) {
+  std::ostringstream os;
+  os << "digraph \"" << m.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    os << "  s" << s << " [label=\"" << s;
+    std::uint32_t mask = m.labelMask(s);
+    for (std::size_t i = 0; i < m.labelNames().size(); ++i)
+      if ((mask >> i) & 1u) os << "\\n" << m.labelNames()[i];
+    os << "\"";
+    if (s == m.initial()) os << ", style=bold";
+    os << "];\n";
+  }
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    for (const auto& t : m.interactive(s))
+      os << "  s" << s << " -> s" << t.to << " [label=\""
+         << decoratedAction(m, t.action) << "\"];\n";
+    for (const auto& t : m.markovian(s))
+      os << "  s" << s << " -> s" << t.to << " [label=\"" << t.rate
+         << "\", style=dashed];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string toAut(const IOIMC& m) {
+  std::ostringstream os;
+  os << "des (" << m.initial() << ", " << m.numTransitions() << ", "
+     << m.numStates() << ")\n";
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    for (const auto& t : m.interactive(s))
+      os << "(" << s << ", \"" << decoratedAction(m, t.action) << "\", "
+         << t.to << ")\n";
+    for (const auto& t : m.markovian(s))
+      os << "(" << s << ", \"rate " << t.rate << "\", " << t.to << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace imcdft::ioimc

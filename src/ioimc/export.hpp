@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "ioimc/model.hpp"
+
+/// \file export.hpp
+/// Textual exporters so intermediate models stay inspectable, mirroring the
+/// TIPP-tool workflow the paper used.
+
+namespace imcdft::ioimc {
+
+/// Graphviz DOT rendering.  Markovian transitions are dashed and annotated
+/// with their rate; interactive transitions carry the action name decorated
+/// with ? (input), ! (output) or ; (internal), matching the paper's figures.
+std::string toDot(const IOIMC& m);
+
+/// Aldebaran (.aut) rendering: interactive transitions keep their decorated
+/// action names, Markovian transitions are written as "rate <r>".
+std::string toAut(const IOIMC& m);
+
+}  // namespace imcdft::ioimc

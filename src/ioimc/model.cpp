@@ -1,0 +1,128 @@
+#include "ioimc/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace imcdft::ioimc {
+
+bool Signature::contains(const std::vector<ActionId>& v, ActionId a) {
+  return std::binary_search(v.begin(), v.end(), a);
+}
+
+void Signature::insertSorted(std::vector<ActionId>& v, ActionId a) {
+  auto it = std::lower_bound(v.begin(), v.end(), a);
+  if (it == v.end() || *it != a) v.insert(it, a);
+}
+
+void Signature::eraseSorted(std::vector<ActionId>& v, ActionId a) {
+  auto it = std::lower_bound(v.begin(), v.end(), a);
+  if (it != v.end() && *it == a) v.erase(it);
+}
+
+void Signature::add(ActionId action, ActionKind kind) {
+  if (hasAction(action)) {
+    require(kindOf(action) == kind,
+            "Signature: action already present with a different role");
+    return;
+  }
+  switch (kind) {
+    case ActionKind::Input:
+      insertSorted(inputs_, action);
+      break;
+    case ActionKind::Output:
+      insertSorted(outputs_, action);
+      break;
+    case ActionKind::Internal:
+      insertSorted(internals_, action);
+      break;
+  }
+}
+
+ActionKind Signature::kindOf(ActionId action) const {
+  if (isInput(action)) return ActionKind::Input;
+  if (isOutput(action)) return ActionKind::Output;
+  require(isInternal(action), "Signature: action not in signature");
+  return ActionKind::Internal;
+}
+
+bool Signature::hasAction(ActionId action) const {
+  return isInput(action) || isOutput(action) || isInternal(action);
+}
+
+void Signature::hideOutput(ActionId action) {
+  require(isOutput(action), "Signature: can only hide output actions");
+  eraseSorted(outputs_, action);
+  insertSorted(internals_, action);
+}
+
+IOIMC::IOIMC(std::string name, SymbolTablePtr symbols, Signature signature,
+             StateId initial,
+             std::vector<std::vector<InteractiveTransition>> inter,
+             std::vector<std::vector<MarkovianTransition>> markov,
+             std::vector<std::uint32_t> labelMasks,
+             std::vector<std::string> labelNames)
+    : name_(std::move(name)),
+      symbols_(std::move(symbols)),
+      signature_(std::move(signature)),
+      initial_(initial),
+      inter_(std::move(inter)),
+      markov_(std::move(markov)),
+      labelMasks_(std::move(labelMasks)),
+      labelNames_(std::move(labelNames)) {
+  validate();
+}
+
+void IOIMC::validate() const {
+  require(symbols_ != nullptr, "IOIMC: missing symbol table");
+  const std::size_t n = inter_.size();
+  require(markov_.size() == n && labelMasks_.size() == n,
+          "IOIMC '" + name_ + "': inconsistent state arrays");
+  require(n > 0, "IOIMC '" + name_ + "': no states");
+  require(initial_ < n, "IOIMC '" + name_ + "': initial state out of range");
+  require(labelNames_.size() <= 32,
+          "IOIMC '" + name_ + "': more than 32 labels");
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& t : inter_[s]) {
+      require(t.to < n, "IOIMC '" + name_ + "': transition target out of range");
+      require(signature_.hasAction(t.action),
+              "IOIMC '" + name_ + "': transition uses action '" +
+                  symbols_->name(t.action) + "' missing from signature");
+    }
+    for (const auto& t : markov_[s]) {
+      require(t.to < n, "IOIMC '" + name_ + "': transition target out of range");
+      require(t.rate > 0.0, "IOIMC '" + name_ + "': non-positive rate");
+    }
+  }
+}
+
+std::size_t IOIMC::numTransitions() const {
+  std::size_t total = 0;
+  for (const auto& v : inter_) total += v.size();
+  for (const auto& v : markov_) total += v.size();
+  return total;
+}
+
+bool IOIMC::isStable(StateId s) const {
+  for (const auto& t : inter_[s])
+    if (signature_.isInternal(t.action)) return false;
+  return true;
+}
+
+bool IOIMC::isClosed() const {
+  return signature_.inputs().empty() && signature_.outputs().empty();
+}
+
+bool IOIMC::isMarkovChain() const {
+  for (const auto& v : inter_)
+    if (!v.empty()) return false;
+  return true;
+}
+
+int IOIMC::labelIndex(const std::string& label) const {
+  for (std::size_t i = 0; i < labelNames_.size(); ++i)
+    if (labelNames_[i] == label) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,184 @@
+#include "ioimc/ops.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace imcdft::ioimc {
+
+IOIMC hide(const IOIMC& m, const std::vector<ActionId>& actions) {
+  Signature sig = m.signature();
+  for (ActionId a : actions) sig.hideOutput(a);
+  std::vector<std::vector<InteractiveTransition>> inter;
+  std::vector<std::vector<MarkovianTransition>> markov;
+  inter.reserve(m.numStates());
+  markov.reserve(m.numStates());
+  std::vector<std::uint32_t> labels;
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    inter.push_back(m.interactive(s));
+    markov.push_back(m.markovian(s));
+    labels.push_back(m.labelMask(s));
+  }
+  return IOIMC(m.name(), m.symbols(), std::move(sig), m.initial(),
+               std::move(inter), std::move(markov), std::move(labels),
+               m.labelNames());
+}
+
+IOIMC hideAllOutputs(const IOIMC& m) { return hide(m, m.signature().outputs()); }
+
+IOIMC renameActions(
+    const IOIMC& m,
+    const std::unordered_map<ActionId, std::string>& renaming) {
+  auto mapAction = [&](ActionId a) -> ActionId {
+    auto it = renaming.find(a);
+    return it == renaming.end() ? a : m.symbols()->intern(it->second);
+  };
+  Signature sig;
+  for (ActionId a : m.signature().inputs())
+    sig.add(mapAction(a), ActionKind::Input);
+  for (ActionId a : m.signature().outputs())
+    sig.add(mapAction(a), ActionKind::Output);
+  for (ActionId a : m.signature().internals())
+    sig.add(mapAction(a), ActionKind::Internal);
+  std::vector<std::vector<InteractiveTransition>> inter(m.numStates());
+  std::vector<std::vector<MarkovianTransition>> markov(m.numStates());
+  std::vector<std::uint32_t> labels(m.numStates());
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    for (const auto& t : m.interactive(s))
+      inter[s].push_back({mapAction(t.action), t.to});
+    markov[s] = m.markovian(s);
+    labels[s] = m.labelMask(s);
+  }
+  return IOIMC(m.name(), m.symbols(), std::move(sig), m.initial(),
+               std::move(inter), std::move(markov), std::move(labels),
+               m.labelNames());
+}
+
+IOIMC restrictToReachable(const IOIMC& m) {
+  const StateId kUnvisited = static_cast<StateId>(-1);
+  std::vector<StateId> remap(m.numStates(), kUnvisited);
+  std::vector<StateId> order;
+  std::queue<StateId> frontier;
+  remap[m.initial()] = 0;
+  order.push_back(m.initial());
+  frontier.push(m.initial());
+  while (!frontier.empty()) {
+    StateId s = frontier.front();
+    frontier.pop();
+    auto visit = [&](StateId t) {
+      if (remap[t] == kUnvisited) {
+        remap[t] = static_cast<StateId>(order.size());
+        order.push_back(t);
+        frontier.push(t);
+      }
+    };
+    for (const auto& t : m.interactive(s)) visit(t.to);
+    for (const auto& t : m.markovian(s)) visit(t.to);
+  }
+  std::vector<std::vector<InteractiveTransition>> inter(order.size());
+  std::vector<std::vector<MarkovianTransition>> markov(order.size());
+  std::vector<std::uint32_t> labels(order.size());
+  for (StateId ns = 0; ns < order.size(); ++ns) {
+    StateId os = order[ns];
+    for (const auto& t : m.interactive(os))
+      inter[ns].push_back({t.action, remap[t.to]});
+    for (const auto& t : m.markovian(os))
+      markov[ns].push_back({t.rate, remap[t.to]});
+    labels[ns] = m.labelMask(os);
+  }
+  return IOIMC(m.name(), m.symbols(), m.signature(), 0, std::move(inter),
+               std::move(markov), std::move(labels), m.labelNames());
+}
+
+IOIMC makeLabelAbsorbing(const IOIMC& m, const std::string& label) {
+  int idx = m.labelIndex(label);
+  require(idx >= 0, "makeLabelAbsorbing: model has no label '" + label + "'");
+  std::vector<std::vector<InteractiveTransition>> inter(m.numStates());
+  std::vector<std::vector<MarkovianTransition>> markov(m.numStates());
+  std::vector<std::uint32_t> labels(m.numStates());
+  for (StateId s = 0; s < m.numStates(); ++s) {
+    labels[s] = m.labelMask(s);
+    if (m.hasLabel(s, idx)) continue;  // drop all outgoing transitions
+    inter[s] = m.interactive(s);
+    markov[s] = m.markovian(s);
+  }
+  IOIMC out(m.name(), m.symbols(), m.signature(), m.initial(),
+            std::move(inter), std::move(markov), std::move(labels),
+            m.labelNames());
+  return restrictToReachable(out);
+}
+
+IOIMC collapseUnobservableSinks(const IOIMC& m) {
+  const std::size_t n = m.numStates();
+  // A state is a "boundary" when it can itself produce visible behavior or
+  // directly change the observable label mask.
+  std::vector<std::uint8_t> bad(n, 0);
+  std::vector<std::vector<StateId>> predecessors(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const auto& t : m.interactive(s)) {
+      predecessors[t.to].push_back(s);
+      if (!m.signature().isInternal(t.action)) bad[s] = 1;
+      if (m.labelMask(t.to) != m.labelMask(s)) bad[s] = 1;
+    }
+    for (const auto& t : m.markovian(s)) {
+      predecessors[t.to].push_back(s);
+      if (m.labelMask(t.to) != m.labelMask(s)) bad[s] = 1;
+    }
+  }
+  // Backward closure: anything that can reach a boundary state stays.
+  std::vector<StateId> frontier;
+  for (StateId s = 0; s < n; ++s)
+    if (bad[s]) frontier.push_back(s);
+  while (!frontier.empty()) {
+    StateId s = frontier.back();
+    frontier.pop_back();
+    for (StateId p : predecessors[s])
+      if (!bad[p]) {
+        bad[p] = 1;
+        frontier.push_back(p);
+      }
+  }
+
+  // One absorbing sink per label mask found among sinkable states.
+  std::unordered_map<std::uint32_t, StateId> sinkOf;
+  std::vector<StateId> remap(n);
+  StateId next = 0;
+  for (StateId s = 0; s < n; ++s)
+    if (bad[s]) remap[s] = next++;
+  for (StateId s = 0; s < n; ++s) {
+    if (bad[s]) continue;
+    auto [it, inserted] = sinkOf.try_emplace(m.labelMask(s), next);
+    if (inserted) ++next;
+    remap[s] = it->second;
+  }
+
+  std::vector<std::vector<InteractiveTransition>> inter(next);
+  std::vector<std::vector<MarkovianTransition>> markov(next);
+  std::vector<std::uint32_t> labels(next, 0);
+  for (StateId s = 0; s < n; ++s) {
+    labels[remap[s]] = m.labelMask(s);
+    if (!bad[s]) continue;  // sinks are absorbing
+    for (const auto& t : m.interactive(s))
+      inter[remap[s]].push_back({t.action, remap[t.to]});
+    for (const auto& t : m.markovian(s))
+      markov[remap[s]].push_back({t.rate, remap[t.to]});
+  }
+  IOIMC out(m.name(), m.symbols(), m.signature(), remap[m.initial()],
+            std::move(inter), std::move(markov), std::move(labels),
+            m.labelNames());
+  return restrictToReachable(out);
+}
+
+std::vector<ActionId> usedInputs(const std::vector<const IOIMC*>& others) {
+  std::vector<ActionId> used;
+  for (const IOIMC* m : others)
+    used.insert(used.end(), m->signature().inputs().begin(),
+                m->signature().inputs().end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ioimc/model.hpp"
+
+/// \file ops.hpp
+/// Basic model transformations: hiding, renaming, reachability restriction
+/// and goal-absorption.  All operations are pure and return new models.
+
+namespace imcdft::ioimc {
+
+/// Hides the given output actions: they become internal actions (step 3 of
+/// the paper's conversion/analysis algorithm).  Hidden actions no longer
+/// synchronize in later compositions and are abstracted by weak
+/// bisimulation.  Throws ModelError when an action is not an output.
+IOIMC hide(const IOIMC& m, const std::vector<ActionId>& actions);
+
+/// Hides every output action of \p m (used once the community has been
+/// reduced to a single model).
+IOIMC hideAllOutputs(const IOIMC& m);
+
+/// Renames actions according to \p renaming (old action id -> new name).
+/// This implements the reuse-by-renaming of Section 5.2 of the paper:
+/// an aggregated module I/O-IMC is instantiated for a second module by
+/// renaming its activation and firing signals.  Kinds are preserved.
+IOIMC renameActions(const IOIMC& m,
+                    const std::unordered_map<ActionId, std::string>& renaming);
+
+/// Removes states unreachable from the initial state.
+IOIMC restrictToReachable(const IOIMC& m);
+
+/// Deletes all outgoing transitions of states carrying \p label, making them
+/// absorbing.  Sound for time-bounded reachability of \p label (the measure
+/// the paper computes: system unreliability).
+IOIMC makeLabelAbsorbing(const IOIMC& m, const std::string& label);
+
+/// Returns the ids of all actions that appear as an input anywhere in
+/// \p others (used to decide which outputs can be hidden after a
+/// composition step).
+std::vector<ActionId> usedInputs(const std::vector<const IOIMC*>& others);
+
+/// Collapses *unobservable sinks*: maximal sets of states from which no
+/// visible (input or output) transition is reachable and whose reachable
+/// label masks are all identical.  Each such set merges into one absorbing
+/// state carrying that mask.
+///
+/// This removes the semantically dead evolution that keeps running after a
+/// module has fired (spare parts of a failed module failing one by one):
+/// no measure defined on visible actions and state labels can tell the
+/// difference, but ordinary weak bisimulation cannot merge those states
+/// because their Markovian structure differs.  Applying this pass after
+/// hiding is what keeps the aggregated module I/O-IMC as small as the
+/// paper reports (Section 5.1: six states per CAS module).
+IOIMC collapseUnobservableSinks(const IOIMC& m);
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,324 @@
+#include "semantics/elements.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "ioimc/builder.hpp"
+
+namespace imcdft::semantics {
+
+using ioimc::IOIMC;
+using ioimc::IOIMCBuilder;
+using ioimc::StateId;
+using ioimc::SymbolTablePtr;
+
+IOIMC basicEvent(SymbolTablePtr symbols, const std::string& name,
+                 double lambda, double dormancy,
+                 const std::optional<std::string>& activationInput,
+                 const std::string& firingOutput, std::uint32_t phases) {
+  require(lambda > 0.0, "basicEvent '" + name + "': lambda must be positive");
+  require(dormancy >= 0.0 && dormancy <= 1.0,
+          "basicEvent '" + name + "': dormancy must be in [0,1]");
+  require(phases >= 1, "basicEvent '" + name + "': phases must be >= 1");
+  IOIMCBuilder b("BE_" + name, std::move(symbols));
+  const bool startsActive = !activationInput || dormancy == 1.0;
+
+  StateId firing = b.addState();
+  StateId fired = b.addState();
+  b.output(firingOutput);
+  b.interactive(firing, firingOutput, fired);
+
+  // Active Erlang track: phases sequential exponential stages.
+  std::vector<StateId> active(phases);
+  for (std::uint32_t i = 0; i < phases; ++i) active[i] = b.addState();
+  for (std::uint32_t i = 0; i < phases; ++i)
+    b.markovian(active[i], lambda, i + 1 < phases ? active[i + 1] : firing);
+
+  if (startsActive) {
+    b.setInitial(active[0]);
+    return std::move(b).build();
+  }
+
+  // Dormant track with the alpha-scaled rates; activation preserves the
+  // phase already reached.
+  std::vector<StateId> dormant(phases);
+  for (std::uint32_t i = 0; i < phases; ++i) dormant[i] = b.addState();
+  b.input(*activationInput);
+  for (std::uint32_t i = 0; i < phases; ++i) {
+    if (dormancy > 0.0)
+      b.markovian(dormant[i], dormancy * lambda,
+                  i + 1 < phases ? dormant[i + 1] : firing);
+    b.interactive(dormant[i], *activationInput, active[i]);
+  }
+  b.setInitial(dormant[0]);
+  return std::move(b).build();
+}
+
+IOIMC countingGate(SymbolTablePtr symbols, const std::string& name,
+                   GateThreshold threshold,
+                   const std::vector<std::string>& firingInputs,
+                   const std::string& firingOutput) {
+  const std::uint32_t n = static_cast<std::uint32_t>(firingInputs.size());
+  const std::uint32_t k = threshold.failuresToFire;
+  require(n >= 1, "countingGate '" + name + "': no inputs");
+  require(k >= 1 && k <= n,
+          "countingGate '" + name + "': threshold out of range");
+  IOIMCBuilder b("GATE_" + name, std::move(symbols));
+  // States 0..k-1 count failures; then firing, fired.
+  std::vector<StateId> counts(k);
+  for (std::uint32_t i = 0; i < k; ++i) counts[i] = b.addState();
+  StateId firing = b.addState();
+  StateId fired = b.addState();
+  b.setInitial(counts[0]);
+  for (const std::string& in : firingInputs) b.input(in);
+  b.output(firingOutput);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    StateId next = (i + 1 == k) ? firing : counts[i + 1];
+    for (const std::string& in : firingInputs) b.interactive(counts[i], in, next);
+  }
+  b.interactive(firing, firingOutput, fired);
+  return std::move(b).build();
+}
+
+IOIMC subsetGate(SymbolTablePtr symbols, const std::string& name,
+                 GateThreshold threshold,
+                 const std::vector<std::string>& firingInputs,
+                 const std::string& firingOutput) {
+  const std::uint32_t n = static_cast<std::uint32_t>(firingInputs.size());
+  const std::uint32_t k = threshold.failuresToFire;
+  require(n >= 1 && n <= 20, "subsetGate '" + name + "': bad input count");
+  require(k >= 1 && k <= n, "subsetGate '" + name + "': threshold out of range");
+  IOIMCBuilder b("GATE_" + name, std::move(symbols));
+  for (const std::string& in : firingInputs) b.input(in);
+  b.output(firingOutput);
+
+  // States: one per failed subset with |subset| < k, plus firing and fired.
+  std::map<std::uint32_t, StateId> bySubset;
+  std::vector<std::uint32_t> frontier{0};
+  bySubset[0] = b.addState();
+  StateId firing = b.addState();
+  StateId fired = b.addState();
+  b.setInitial(bySubset[0]);
+  b.interactive(firing, firingOutput, fired);
+  while (!frontier.empty()) {
+    std::uint32_t subset = frontier.back();
+    frontier.pop_back();
+    StateId from = bySubset.at(subset);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if ((subset >> i) & 1u) continue;
+      std::uint32_t nextSubset = subset | (1u << i);
+      StateId to;
+      if (static_cast<std::uint32_t>(__builtin_popcount(nextSubset)) >= k) {
+        to = firing;
+      } else {
+        auto [it, inserted] = bySubset.try_emplace(nextSubset, 0);
+        if (inserted) {
+          it->second = b.addState();
+          frontier.push_back(nextSubset);
+        }
+        to = it->second;
+      }
+      b.interactive(from, firingInputs[i], to);
+    }
+  }
+  return std::move(b).build();
+}
+
+IOIMC pandGate(SymbolTablePtr symbols, const std::string& name,
+               const std::vector<std::string>& orderedFiringInputs,
+               const std::string& firingOutput) {
+  const std::uint32_t n = static_cast<std::uint32_t>(orderedFiringInputs.size());
+  require(n >= 2, "pandGate '" + name + "': needs at least two inputs");
+  IOIMCBuilder b("PAND_" + name, std::move(symbols));
+  // States: progress 0..n-1, wrong-order absorbing X, firing, fired.
+  std::vector<StateId> progress(n);
+  for (std::uint32_t i = 0; i < n; ++i) progress[i] = b.addState();
+  StateId wrongOrder = b.addState();
+  StateId firing = b.addState();
+  StateId fired = b.addState();
+  b.setInitial(progress[0]);
+  for (const std::string& in : orderedFiringInputs) b.input(in);
+  b.output(firingOutput);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // The expected next input advances the progress counter...
+    StateId next = (i + 1 == n) ? firing : progress[i + 1];
+    b.interactive(progress[i], orderedFiringInputs[i], next);
+    // ...any later input arriving early spoils the order forever.
+    for (std::uint32_t j = i + 1; j < n; ++j)
+      b.interactive(progress[i], orderedFiringInputs[j], wrongOrder);
+  }
+  b.interactive(firing, firingOutput, fired);
+  return std::move(b).build();
+}
+
+IOIMC orAuxiliary(SymbolTablePtr symbols, const std::string& name,
+                  const std::vector<std::string>& inputs,
+                  const std::string& output) {
+  require(!inputs.empty(), "orAuxiliary '" + name + "': no inputs");
+  IOIMCBuilder b("AUX_" + name, std::move(symbols));
+  StateId idle = b.addState();
+  StateId firing = b.addState();
+  StateId fired = b.addState();
+  b.setInitial(idle);
+  for (const std::string& in : inputs) {
+    b.input(in);
+    b.interactive(idle, in, firing);
+  }
+  b.output(output);
+  b.interactive(firing, output, fired);
+  return std::move(b).build();
+}
+
+IOIMC inhibitionAuxiliary(SymbolTablePtr symbols, const std::string& name,
+                          const std::string& isolatedFiringInput,
+                          const std::vector<std::string>& inhibitorInputs,
+                          const std::string& firingOutput) {
+  require(!inhibitorInputs.empty(),
+          "inhibitionAuxiliary '" + name + "': no inhibitors");
+  IOIMCBuilder b("IA_" + name, std::move(symbols));
+  StateId idle = b.addState();
+  StateId firing = b.addState();
+  StateId fired = b.addState();
+  StateId inhibited = b.addState();  // absorbing operational state
+  b.setInitial(idle);
+  b.input(isolatedFiringInput);
+  b.interactive(idle, isolatedFiringInput, firing);
+  for (const std::string& in : inhibitorInputs) {
+    b.input(in);
+    // An inhibitor firing first prevents the failure forever; once we are
+    // firing (the element already failed) it has no effect.
+    b.interactive(idle, in, inhibited);
+  }
+  b.output(firingOutput);
+  b.interactive(firing, firingOutput, fired);
+  return std::move(b).build();
+}
+
+IOIMC monitor(SymbolTablePtr symbols, const std::string& firingInput,
+              const std::optional<std::string>& repairInput,
+              const std::string& downLabel) {
+  IOIMCBuilder b("MONITOR", std::move(symbols));
+  StateId up = b.addState();
+  StateId down = b.addState();
+  b.setInitial(up);
+  b.input(firingInput);
+  b.interactive(up, firingInput, down);
+  if (repairInput) {
+    b.input(*repairInput);
+    b.interactive(down, *repairInput, up);
+  }
+  b.label(down, downLabel);
+  return std::move(b).build();
+}
+
+IOIMC repairableBasicEvent(SymbolTablePtr symbols, const std::string& name,
+                           double lambda, double mu, double dormancy,
+                           const std::optional<std::string>& activationInput,
+                           const std::string& firingOutput,
+                           const std::string& repairOutput,
+                           std::uint32_t phases) {
+  require(lambda > 0.0 && mu > 0.0,
+          "repairableBasicEvent '" + name + "': rates must be positive");
+  require(dormancy >= 0.0 && dormancy <= 1.0,
+          "repairableBasicEvent '" + name + "': dormancy must be in [0,1]");
+  require(phases >= 1,
+          "repairableBasicEvent '" + name + "': phases must be >= 1");
+  IOIMCBuilder b("BE_" + name, std::move(symbols));
+  const bool startsActive = !activationInput || dormancy == 1.0;
+
+  // Two mode tracks (dormant / active) over phases up[0..k-1] -> firing ->
+  // down -> repaired -> up[0].  Activation is permanent and preserves the
+  // Erlang phase; repair restarts the failure process from phase 0.
+  struct Track {
+    std::vector<StateId> up;
+    StateId firing, down, repaired;
+  };
+  auto makeTrack = [&b, phases]() {
+    Track t;
+    for (std::uint32_t i = 0; i < phases; ++i) t.up.push_back(b.addState());
+    t.firing = b.addState();
+    t.down = b.addState();
+    t.repaired = b.addState();
+    return t;
+  };
+  b.output(firingOutput);
+  b.output(repairOutput);
+
+  Track active = makeTrack();
+  for (std::uint32_t i = 0; i < phases; ++i)
+    b.markovian(active.up[i], lambda,
+                i + 1 < phases ? active.up[i + 1] : active.firing);
+  b.interactive(active.firing, firingOutput, active.down);
+  b.markovian(active.down, mu, active.repaired);
+  b.interactive(active.repaired, repairOutput, active.up[0]);
+
+  if (startsActive) {
+    b.setInitial(active.up[0]);
+    return std::move(b).build();
+  }
+
+  Track dormant = makeTrack();
+  for (std::uint32_t i = 0; i < phases && dormancy > 0.0; ++i)
+    b.markovian(dormant.up[i], dormancy * lambda,
+                i + 1 < phases ? dormant.up[i + 1] : dormant.firing);
+  b.interactive(dormant.firing, firingOutput, dormant.down);
+  b.markovian(dormant.down, mu, dormant.repaired);
+  b.interactive(dormant.repaired, repairOutput, dormant.up[0]);
+
+  b.input(*activationInput);
+  for (std::uint32_t i = 0; i < phases; ++i)
+    b.interactive(dormant.up[i], *activationInput, active.up[i]);
+  b.interactive(dormant.firing, *activationInput, active.firing);
+  b.interactive(dormant.down, *activationInput, active.down);
+  b.interactive(dormant.repaired, *activationInput, active.repaired);
+  b.setInitial(dormant.up[0]);
+  return std::move(b).build();
+}
+
+IOIMC repairableThresholdGate(SymbolTablePtr symbols, const std::string& name,
+                              GateThreshold threshold,
+                              const std::vector<RepairableInput>& inputs,
+                              const std::string& firingOutput,
+                              const std::string& repairOutput) {
+  const std::uint32_t n = static_cast<std::uint32_t>(inputs.size());
+  const std::uint32_t k = threshold.failuresToFire;
+  require(n >= 1, "repairableThresholdGate '" + name + "': no inputs");
+  require(k >= 1 && k <= n,
+          "repairableThresholdGate '" + name + "': threshold out of range");
+  IOIMCBuilder b("GATE_" + name, std::move(symbols));
+  b.output(firingOutput);
+  b.output(repairOutput);
+  for (const RepairableInput& in : inputs) {
+    b.input(in.firingInput);
+    if (in.repairInput) b.input(*in.repairInput);
+  }
+
+  // State = (currently failed count, reported status).  When the count
+  // crosses the threshold upwards the gate announces f!, when it crosses
+  // back down it announces r! (Fig. 14 generalized).
+  std::vector<StateId> up(n + 1), down(n + 1);
+  for (std::uint32_t c = 0; c <= n; ++c) {
+    up[c] = b.addState();
+    down[c] = b.addState();
+  }
+  b.setInitial(up[0]);
+  for (std::uint32_t c = 0; c <= n; ++c) {
+    for (const RepairableInput& in : inputs) {
+      if (c < n) {
+        b.interactive(up[c], in.firingInput, up[c + 1]);
+        b.interactive(down[c], in.firingInput, down[c + 1]);
+      }
+      if (in.repairInput && c > 0) {
+        b.interactive(up[c], *in.repairInput, up[c - 1]);
+        b.interactive(down[c], *in.repairInput, down[c - 1]);
+      }
+    }
+    // Urgent announcements when the reported status disagrees with the
+    // count.  These states are unstable: the output happens immediately.
+    if (c >= k) b.interactive(up[c], firingOutput, down[c]);
+    if (c < k) b.interactive(down[c], repairOutput, up[c]);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace imcdft::semantics

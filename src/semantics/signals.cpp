@@ -1,0 +1,19 @@
+#include "semantics/signals.hpp"
+
+namespace imcdft::semantics {
+
+std::string firingSignal(const std::string& name) { return "f_" + name; }
+
+std::string isolatedFiringSignal(const std::string& name) {
+  return "fi_" + name;
+}
+
+std::string activationSignal(const std::string& name) { return "a_" + name; }
+
+std::string claimSignal(const std::string& name, const std::string& gate) {
+  return "a_" + name + "." + gate;
+}
+
+std::string repairSignal(const std::string& name) { return "r_" + name; }
+
+}  // namespace imcdft::semantics

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+/// \file signals.hpp
+/// Canonical signal names used when a DFT is converted into a community of
+/// I/O-IMC.  The naming follows the paper: fA is the firing signal of
+/// element A, f*A ("fi_" here) its firing in isolation when A is wrapped by
+/// a firing or inhibition auxiliary, aA the (merged) activation signal of a
+/// spare module A, and aA,B ("a_A.B") the activation of A by spare gate B.
+
+namespace imcdft::semantics {
+
+/// Firing signal of element \p name (the FA/IA output when wrapped).
+std::string firingSignal(const std::string& name);
+
+/// Firing of element \p name in isolation (the paper's f*; input to its
+/// firing or inhibition auxiliary).
+std::string isolatedFiringSignal(const std::string& name);
+
+/// Merged activation signal of spare module \p name (output of its
+/// activation auxiliary).
+std::string activationSignal(const std::string& name);
+
+/// Activation/claim of module \p name by spare gate \p gate (aA,B).
+std::string claimSignal(const std::string& name, const std::string& gate);
+
+/// Repair signal of element \p name (Section 7.2 extension).
+std::string repairSignal(const std::string& name);
+
+}  // namespace imcdft::semantics

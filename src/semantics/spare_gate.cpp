@@ -1,0 +1,207 @@
+#include "semantics/spare_gate.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "ioimc/builder.hpp"
+
+namespace imcdft::semantics {
+
+using ioimc::IOIMC;
+using ioimc::IOIMCBuilder;
+using ioimc::StateId;
+using ioimc::SymbolTablePtr;
+
+namespace {
+
+enum class CompStatus : std::uint8_t { Fresh, Failed, Taken };
+
+enum class Phase : std::uint8_t {
+  Idle,
+  ActivatePrimary,  ///< about to emit the primary activation signal
+  Claim,            ///< about to emit claimTarget's claim signal
+  Firing,           ///< about to emit f_G
+  Fired,            ///< absorbing
+};
+
+/// Semantic state of the gate; used as the BFS key.
+struct SemState {
+  bool active = false;
+  bool primaryActivated = false;
+  bool primaryFailed = false;
+  std::int8_t current = -1;  ///< -1 none, 0 primary, i >= 1 spare i-1
+  Phase phase = Phase::Idle;
+  std::int8_t claimTarget = -1;  ///< spare index when phase == Claim
+  std::vector<CompStatus> spares;
+
+  auto key() const {
+    return std::make_tuple(active, primaryActivated, primaryFailed, current,
+                           static_cast<int>(phase), claimTarget, spares);
+  }
+  bool operator<(const SemState& o) const { return key() < o.key(); }
+};
+
+/// Recomputes the phase / current component after any event.
+void plan(SemState& s, bool hasPrimaryActivation) {
+  if (s.phase == Phase::Fired) return;
+  s.claimTarget = -1;
+  auto fireCondition = [&s]() {
+    if (!s.primaryFailed) return false;
+    for (CompStatus c : s.spares)
+      if (c == CompStatus::Fresh) return false;
+    return true;
+  };
+  if (!s.active) {
+    // Dormant gates only watch; they may still exhaust all components.
+    s.current = -1;
+    s.phase = fireCondition() ? Phase::Firing : Phase::Idle;
+    return;
+  }
+  // Keep the component currently in use when it is still fine.
+  if (s.current == 0 && !s.primaryFailed) {
+    s.phase = Phase::Idle;
+    return;
+  }
+  if (s.current >= 1 && s.spares[s.current - 1] == CompStatus::Fresh) {
+    s.phase = Phase::Idle;
+    return;
+  }
+  s.current = -1;
+  if (!s.primaryFailed) {
+    if (hasPrimaryActivation && !s.primaryActivated) {
+      s.phase = Phase::ActivatePrimary;
+    } else {
+      s.current = 0;
+      s.phase = Phase::Idle;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < s.spares.size(); ++i) {
+    if (s.spares[i] == CompStatus::Fresh) {
+      s.phase = Phase::Claim;
+      s.claimTarget = static_cast<std::int8_t>(i);
+      return;
+    }
+  }
+  s.phase = Phase::Firing;  // primary failed and no spare usable
+}
+
+}  // namespace
+
+IOIMC spareGate(SymbolTablePtr symbols, const SpareGateSpec& spec) {
+  require(!spec.spares.empty(),
+          "spareGate '" + spec.name + "': needs at least one spare");
+  require(spec.spares.size() <= 120,
+          "spareGate '" + spec.name + "': too many spares");
+  const bool hasPrimaryActivation = spec.primaryActivationOutput.has_value();
+  const std::size_t n = spec.spares.size();
+
+  IOIMCBuilder b("SPARE_" + spec.name, std::move(symbols));
+  if (spec.activationInput) b.input(*spec.activationInput);
+  if (spec.primaryActivationOutput) b.output(*spec.primaryActivationOutput);
+  b.input(spec.primaryFiringInput);
+  b.output(spec.firingOutput);
+  for (const SpareSlot& slot : spec.spares) {
+    b.input(slot.firingInput);
+    b.output(slot.claimOutput);
+    for (const std::string& other : slot.otherClaimInputs) b.input(other);
+  }
+
+  SemState init;
+  init.active = !spec.activationInput.has_value();
+  init.spares.assign(n, CompStatus::Fresh);
+  plan(init, hasPrimaryActivation);
+
+  std::map<SemState, StateId> ids;
+  std::vector<SemState> todo;
+  auto stateOf = [&](const SemState& s) {
+    auto [it, inserted] = ids.try_emplace(s, 0);
+    if (inserted) {
+      it->second = b.addState();
+      todo.push_back(s);
+    }
+    return it->second;
+  };
+  b.setInitial(stateOf(init));
+
+  // Event application: mutate a copy and re-plan; returns the new state.
+  auto applyInput = [&](const SemState& s, auto&& mutate) {
+    SemState next = s;
+    if (next.phase != Phase::Fired) {
+      mutate(next);
+      plan(next, hasPrimaryActivation);
+    }
+    return next;
+  };
+
+  while (!todo.empty()) {
+    SemState s = todo.back();
+    todo.pop_back();
+    StateId from = ids.at(s);
+
+    auto addInput = [&](const std::string& action, const SemState& next) {
+      if (next.key() != s.key()) b.interactive(from, action, stateOf(next));
+    };
+
+    // --- Inputs (enabled in every state; self-loops stay implicit). ---
+    if (spec.activationInput) {
+      addInput(*spec.activationInput,
+               applyInput(s, [](SemState& x) { x.active = true; }));
+    }
+    addInput(spec.primaryFiringInput, applyInput(s, [](SemState& x) {
+               x.primaryFailed = true;
+               if (x.current == 0) x.current = -1;
+             }));
+    for (std::size_t i = 0; i < n; ++i) {
+      addInput(spec.spares[i].firingInput, applyInput(s, [i](SemState& x) {
+                 x.spares[i] = CompStatus::Failed;
+                 if (x.current == static_cast<std::int8_t>(i) + 1)
+                   x.current = -1;
+               }));
+      for (const std::string& other : spec.spares[i].otherClaimInputs) {
+        addInput(other, applyInput(s, [i](SemState& x) {
+                   if (x.spares[i] == CompStatus::Fresh)
+                     x.spares[i] = CompStatus::Taken;
+                   if (x.current == static_cast<std::int8_t>(i) + 1)
+                     x.current = -1;
+                 }));
+      }
+    }
+
+    // --- Output of the current phase. ---
+    switch (s.phase) {
+      case Phase::Idle:
+      case Phase::Fired:
+        break;
+      case Phase::ActivatePrimary: {
+        SemState next = s;
+        next.primaryActivated = true;
+        next.current = 0;
+        next.phase = Phase::Idle;
+        plan(next, hasPrimaryActivation);
+        b.interactive(from, *spec.primaryActivationOutput, stateOf(next));
+        break;
+      }
+      case Phase::Claim: {
+        SemState next = s;
+        next.current = static_cast<std::int8_t>(s.claimTarget) + 1;
+        next.claimTarget = -1;
+        next.phase = Phase::Idle;
+        b.interactive(from, spec.spares[s.claimTarget].claimOutput,
+                      stateOf(next));
+        break;
+      }
+      case Phase::Firing: {
+        SemState next = s;
+        next.phase = Phase::Fired;
+        next.current = -1;
+        next.claimTarget = -1;
+        b.interactive(from, spec.firingOutput, stateOf(next));
+        break;
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace imcdft::semantics

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ioimc/model.hpp"
+
+/// \file spare_gate.hpp
+/// The generalized spare gate I/O-IMC (Fig. 11 of the paper, extended per
+/// Section 6.1 to multiple — possibly shared — spares and to spare gates
+/// that are themselves used as spares).
+///
+/// Behavior summary:
+///  * the gate starts active, or dormant when it has an activation input;
+///  * on activation it activates its primary (emitting the primary
+///    activation signal when one is configured) — spares stay dormant;
+///  * when the component in use fails, the gate claims the first available
+///    spare by emitting that spare's claim signal, which simultaneously
+///    activates the spare (through the activation auxiliary) and tells the
+///    other sharing gates the spare is taken;
+///  * a claim signal heard from another gate marks that spare unavailable;
+///  * a *dormant* gate only records failures; it claims nothing until it is
+///    activated (the Fig. 10.b discussion);
+///  * the gate fires when its primary has failed and every spare is failed
+///    or taken.
+///
+/// The model is produced by breadth-first exploration of this semantics, so
+/// it is input-enabled and correct under every interleaving — including the
+/// claim races FDEP-induced simultaneity can cause (Section 4.4).
+
+namespace imcdft::semantics {
+
+struct SpareSlot {
+  std::string firingInput;  ///< f_S (possibly auxiliary-wrapped)
+  std::string claimOutput;  ///< a_S.G, emitted when this gate claims S
+  std::vector<std::string> otherClaimInputs;  ///< a_S.H of the other sharers
+};
+
+struct SpareGateSpec {
+  std::string name;
+  std::string firingOutput;  ///< f_G
+  /// Activation of the gate itself; empty means active from the start.
+  std::optional<std::string> activationInput;
+  /// Emitted when the gate activates its primary; empty when the primary
+  /// needs no activation (e.g. the gate is always active).
+  std::optional<std::string> primaryActivationOutput;
+  std::string primaryFiringInput;  ///< f_P
+  std::vector<SpareSlot> spares;   ///< in claim order
+};
+
+/// Builds the spare gate I/O-IMC for \p spec.
+ioimc::IOIMC spareGate(ioimc::SymbolTablePtr symbols, const SpareGateSpec& spec);
+
+}  // namespace imcdft::semantics

@@ -1,0 +1,121 @@
+#include "simulation/simulator.hpp"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dft/execution.hpp"
+
+namespace imcdft::simulation {
+
+using dft::Dft;
+using dft::Element;
+using dft::ElementId;
+using dft::ExecutionState;
+using dft::Executor;
+
+namespace {
+
+/// One trajectory up to the mission time.  Returns whether the top element
+/// had fired by then (everFailed) and whether it is failed at the horizon
+/// (downAtEnd; differs from everFailed only for repairable trees).
+struct RunOutcome {
+  bool everFailed = false;
+  bool downAtEnd = false;
+};
+
+RunOutcome simulateOnce(const Executor& executor, double missionTime,
+                        std::mt19937_64& rng) {
+  const Dft& dft = executor.dft();
+  ExecutionState state = executor.initialState();
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  RunOutcome outcome;
+  double now = 0.0;
+
+  // Event kinds: per-BE failure-phase advance, or per-BE repair.
+  std::vector<double> rates;
+  std::vector<std::pair<ElementId, bool>> events;  // (element, isRepair)
+  while (true) {
+    if (state.failed[dft.top()]) outcome.everFailed = true;
+
+    rates.clear();
+    events.clear();
+    double total = 0.0;
+    for (ElementId x = 0; x < dft.size(); ++x) {
+      const Element& e = dft.element(x);
+      if (!e.isBasicEvent()) continue;
+      double rate = executor.failureRate(state, x);
+      if (rate > 0.0) {
+        rates.push_back(rate);
+        events.emplace_back(x, false);
+        total += rate;
+      }
+      if (e.be.repairRate && state.failed[x]) {
+        rates.push_back(*e.be.repairRate);
+        events.emplace_back(x, true);
+        total += *e.be.repairRate;
+      }
+    }
+    if (total == 0.0) break;  // frozen configuration
+
+    // Exponential race: time to the next event, then pick the winner.
+    double delta = -std::log1p(-uniform(rng)) / total;
+    if (now + delta > missionTime) break;
+    now += delta;
+    double pick = uniform(rng) * total;
+    std::size_t winner = 0;
+    while (winner + 1 < rates.size() && pick > rates[winner]) {
+      pick -= rates[winner];
+      ++winner;
+    }
+    auto [element, isRepair] = events[winner];
+    if (isRepair) {
+      executor.repairAndPropagate(state, element);
+    } else if (state.phase[element] + 1u < dft.element(element).be.phases) {
+      ++state.phase[element];
+    } else {
+      executor.failAndPropagate(state, element);
+    }
+  }
+  if (state.failed[dft.top()]) outcome.everFailed = true;
+  outcome.downAtEnd = state.failed[dft.top()] != 0;
+  return outcome;
+}
+
+Estimate toEstimate(std::uint64_t hits, std::uint64_t runs) {
+  Estimate est;
+  est.runs = runs;
+  est.value = static_cast<double>(hits) / static_cast<double>(runs);
+  double variance = est.value * (1.0 - est.value) / static_cast<double>(runs);
+  est.halfWidth95 = 1.96 * std::sqrt(variance);
+  return est;
+}
+
+}  // namespace
+
+Estimate simulateUnreliability(const Dft& dft, double missionTime,
+                               const SimulationOptions& opts) {
+  require(opts.runs > 0, "simulateUnreliability: need at least one run");
+  require(missionTime >= 0.0, "simulateUnreliability: negative mission time");
+  Executor executor(dft);
+  std::mt19937_64 rng(opts.seed);
+  std::uint64_t hits = 0;
+  for (std::uint64_t r = 0; r < opts.runs; ++r)
+    if (simulateOnce(executor, missionTime, rng).everFailed) ++hits;
+  return toEstimate(hits, opts.runs);
+}
+
+Estimate simulateUnavailability(const Dft& dft, double missionTime,
+                                const SimulationOptions& opts) {
+  require(opts.runs > 0, "simulateUnavailability: need at least one run");
+  require(missionTime >= 0.0, "simulateUnavailability: negative mission time");
+  Executor executor(dft);
+  std::mt19937_64 rng(opts.seed);
+  std::uint64_t hits = 0;
+  for (std::uint64_t r = 0; r < opts.runs; ++r)
+    if (simulateOnce(executor, missionTime, rng).downAtEnd) ++hits;
+  return toEstimate(hits, opts.runs);
+}
+
+}  // namespace imcdft::simulation

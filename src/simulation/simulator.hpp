@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dft/model.hpp"
+
+/// \file simulator.hpp
+/// Discrete-event Monte-Carlo simulation of the DFT execution semantics
+/// (dft::Executor).  A third, statistical implementation of the same
+/// semantics: the differential test suite checks that the simulator's
+/// confidence intervals cover the exact answers of the compositional
+/// I/O-IMC pipeline and the monolithic generator.
+///
+/// All distributions are exponential/Erlang, so the simulation is a simple
+/// race: in every configuration each live basic event carries its current
+/// rate (active, dormancy-scaled, or zero), the winner is sampled, the
+/// instantaneous cascade runs, and time advances.  Repairs race with
+/// failures the same way.
+
+namespace imcdft::simulation {
+
+struct SimulationOptions {
+  std::uint64_t runs = 10'000;
+  std::uint64_t seed = 42;  ///< deterministic by default
+};
+
+/// Point estimate with a normal-approximation confidence interval.
+struct Estimate {
+  double value = 0.0;
+  double halfWidth95 = 0.0;  ///< 1.96 * standard error
+  std::uint64_t runs = 0;
+
+  double low() const { return value - halfWidth95; }
+  double high() const { return value + halfWidth95; }
+};
+
+/// Estimates P(system failed by missionTime), i.e. P(the top element has
+/// fired at some point up to t).  Supports everything the executor
+/// supports, including repairable trees (where it estimates the
+/// first-passage probability, matching analysis::unreliability).
+Estimate simulateUnreliability(const dft::Dft& dft, double missionTime,
+                               const SimulationOptions& opts = {});
+
+/// Estimates P(system is down at missionTime) for repairable trees.
+Estimate simulateUnavailability(const dft::Dft& dft, double missionTime,
+                                const SimulationOptions& opts = {});
+
+}  // namespace imcdft::simulation

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/symbol_table.hpp"
+#include "common/text.hpp"
+
+namespace imcdft {
+namespace {
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.intern("f_A");
+  SymbolId b = table.intern("f_B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, table.intern("f_A"));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTable, NameRoundTrips) {
+  SymbolTable table;
+  SymbolId a = table.intern("hello");
+  EXPECT_EQ(table.name(a), "hello");
+}
+
+TEST(SymbolTable, FindUnknownReturnsNpos) {
+  SymbolTable table;
+  EXPECT_EQ(table.find("nope"), SymbolTable::npos);
+  table.intern("yes");
+  EXPECT_NE(table.find("yes"), SymbolTable::npos);
+}
+
+TEST(SymbolTable, NameOutOfRangeThrows) {
+  SymbolTable table;
+  EXPECT_THROW(table.name(0), ModelError);
+}
+
+TEST(Require, ThrowsOnFalse) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), ModelError);
+}
+
+TEST(ParseErrorTest, CarriesLine) {
+  ParseError e("bad", 42);
+  EXPECT_EQ(e.line(), 42);
+  EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Text, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+}
+
+TEST(Text, FormatSig) {
+  EXPECT_EQ(formatSig(0.65791234, 4), "0.6579");
+}
+
+}  // namespace
+}  // namespace imcdft

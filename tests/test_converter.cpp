@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/converter.hpp"
+#include "common/error.hpp"
+#include "dft/builder.hpp"
+#include "dft/corpus.hpp"
+
+namespace imcdft::analysis {
+namespace {
+
+using dft::DftBuilder;
+using dft::SpareKind;
+
+const CommunityModel* findModel(const Community& c, const std::string& name) {
+  for (const CommunityModel& m : c.models)
+    if (m.model.name() == name) return &m;
+  return nullptr;
+}
+
+TEST(Converter, CommunityHasOneModelPerElementPlusAuxiliaries) {
+  Community c = convertDft(dft::corpus::cps());
+  // 12 BEs + 3 ANDs + 2 PANDs + monitor = 18 (no auxiliaries needed).
+  EXPECT_EQ(c.models.size(), 18u);
+  EXPECT_EQ(c.topFiringSignal, "f_System");
+  EXPECT_FALSE(c.repairable);
+}
+
+TEST(Converter, CasCommunityHasAuxiliaries) {
+  Community c = convertDft(dft::corpus::cas());
+  // FA for P, B (CPU fdep) and MB (motor fdep); AA for the shared PS.
+  EXPECT_NE(findModel(c, "AUX_FA_P"), nullptr);
+  EXPECT_NE(findModel(c, "AUX_FA_B"), nullptr);
+  EXPECT_NE(findModel(c, "AUX_FA_MB"), nullptr);
+  EXPECT_NE(findModel(c, "AUX_AA_PS"), nullptr);
+  EXPECT_NE(findModel(c, "MONITOR"), nullptr);
+  // FDEP gates themselves have no model.
+  EXPECT_EQ(findModel(c, "GATE_CPU_fdep"), nullptr);
+}
+
+TEST(Converter, WrappedElementsEmitIsolatedSignal) {
+  Community c = convertDft(dft::corpus::cas());
+  const CommunityModel* p = findModel(c, "BE_P");
+  ASSERT_NE(p, nullptr);
+  // P is FDEP-dependent: its own model outputs fi_P, the FA outputs f_P.
+  EXPECT_TRUE(p->model.signature().isOutput(c.symbols->find("fi_P")));
+  const CommunityModel* fa = findModel(c, "AUX_FA_P");
+  EXPECT_TRUE(fa->model.signature().isOutput(c.symbols->find("f_P")));
+  EXPECT_TRUE(fa->model.signature().isInput(c.symbols->find("f_Trigger")));
+}
+
+TEST(Converter, ActivationContextsOfCas) {
+  dft::Dft d = dft::corpus::cas();
+  auto ctx = activationContexts(d);
+  // Primaries of always-active gates are always active.
+  EXPECT_TRUE(ctx[d.byName("P")].alwaysActive);
+  EXPECT_TRUE(ctx[d.byName("PA")].alwaysActive);
+  EXPECT_TRUE(ctx[d.byName("MA")].alwaysActive);
+  // Spares are activated by claims.
+  EXPECT_FALSE(ctx[d.byName("B")].alwaysActive);
+  EXPECT_EQ(ctx[d.byName("B")].signal, "a_B.CPU_unit");
+  // Shared spare: merged activation signal.
+  EXPECT_FALSE(ctx[d.byName("PS")].alwaysActive);
+  EXPECT_EQ(ctx[d.byName("PS")].signal, "a_PS");
+  // Elements outside spare modules are always active.
+  EXPECT_TRUE(ctx[d.byName("CS")].alwaysActive);
+  EXPECT_TRUE(ctx[d.byName("MS")].alwaysActive);
+}
+
+TEST(Converter, ActivationContextsOfNestedSpares) {
+  dft::Dft d = dft::corpus::figure10b();
+  auto ctx = activationContexts(d);
+  // The outer gate is always active, so its primary module gets activated
+  // at time zero; inside the primary module, the spare B waits for a claim.
+  EXPECT_TRUE(ctx[d.byName("primary")].alwaysActive);
+  EXPECT_TRUE(ctx[d.byName("A")].alwaysActive);
+  EXPECT_EQ(ctx[d.byName("B")].signal, "a_B.primary");
+  // The spare module is dormant until claimed; its primary C is activated
+  // by the inner gate, which is activated by the outer claim.
+  EXPECT_EQ(ctx[d.byName("spare")].signal, "a_spare.System");
+  EXPECT_EQ(ctx[d.byName("C")].signal, "a_C.spare");
+  EXPECT_EQ(ctx[d.byName("D")].signal, "a_D.spare");
+}
+
+TEST(Converter, ComplexSparePassesActivationDown) {
+  dft::Dft d = dft::corpus::figure10a();
+  auto ctx = activationContexts(d);
+  // AND-rooted spare module: both BEs share the module activation signal.
+  EXPECT_EQ(ctx[d.byName("C")].signal, "a_spare.System");
+  EXPECT_EQ(ctx[d.byName("D")].signal, "a_spare.System");
+  Community c = convertDft(d);
+  const CommunityModel* cBe = findModel(c, "BE_C");
+  ASSERT_NE(cBe, nullptr);
+  EXPECT_TRUE(cBe->model.signature().isInput(
+      c.symbols->find("a_spare.System")));
+}
+
+TEST(Converter, RejectsSharedElementBetweenSpareModules) {
+  DftBuilder b;
+  b.basicEvent("P1", 1.0)
+      .basicEvent("P2", 1.0)
+      .basicEvent("X", 1.0, 0.5)
+      .basicEvent("Y", 1.0, 0.5)
+      .andGate("S1", {"X", "Y"})
+      .andGate("S2", {"Y", "X"})
+      .spareGate("G1", SpareKind::Warm, {"P1", "S1"})
+      .spareGate("G2", SpareKind::Warm, {"P2", "S2"})
+      .andGate("Top", {"G1", "G2"})
+      .top("Top");
+  dft::Dft d = b.build();
+  EXPECT_THROW(convertDft(d), ModelError);
+}
+
+TEST(Converter, RejectsPrimaryUsedTwice) {
+  DftBuilder b;
+  b.basicEvent("P", 1.0)
+      .basicEvent("S1", 1.0)
+      .basicEvent("S2", 1.0)
+      .spareGate("G1", SpareKind::Cold, {"P", "S1"})
+      .spareGate("G2", SpareKind::Cold, {"P", "S2"})
+      .andGate("Top", {"G1", "G2"})
+      .top("Top");
+  dft::Dft d = b.build();
+  EXPECT_THROW(convertDft(d), ModelError);
+}
+
+TEST(Converter, RejectsPrimaryAlsoUsedAsSpare) {
+  DftBuilder b;
+  b.basicEvent("P", 1.0)
+      .basicEvent("Q", 1.0)
+      .spareGate("G1", SpareKind::Cold, {"P", "Q"})
+      .spareGate("G2", SpareKind::Cold, {"Q", "P"})
+      .andGate("Top", {"G1", "G2"})
+      .top("Top");
+  dft::Dft d = b.build();
+  EXPECT_THROW(convertDft(d), ModelError);
+}
+
+TEST(Converter, RejectsInhibitedFdepDependent) {
+  DftBuilder b;
+  b.basicEvent("T", 1.0)
+      .basicEvent("A", 1.0)
+      .basicEvent("B", 1.0)
+      .fdep("F", "T", {"A"})
+      .inhibition("B", "A")
+      .orGate("Top", {"A", "B"})
+      .top("Top");
+  dft::Dft d = b.build();
+  EXPECT_THROW(convertDft(d), Error);
+}
+
+TEST(Converter, RejectsDynamicRepairableTrees) {
+  DftBuilder b;
+  b.basicEvent("A", 1.0, std::nullopt, 2.0)
+      .basicEvent("B", 1.0)
+      .pandGate("Top", {"A", "B"})
+      .top("Top");
+  dft::Dft d = b.build();
+  EXPECT_THROW(convertDft(d), UnsupportedError);
+}
+
+TEST(Converter, RepairableTreeWiresRepairSignals) {
+  Community c = convertDft(dft::corpus::repairableAnd());
+  EXPECT_TRUE(c.repairable);
+  const CommunityModel* gate = findModel(c, "GATE_System");
+  ASSERT_NE(gate, nullptr);
+  EXPECT_TRUE(gate->model.signature().isInput(c.symbols->find("r_A")));
+  EXPECT_TRUE(gate->model.signature().isOutput(c.symbols->find("r_System")));
+  const CommunityModel* mon = findModel(c, "MONITOR");
+  EXPECT_TRUE(mon->model.signature().isInput(c.symbols->find("r_System")));
+}
+
+TEST(Converter, SubsetGateOptionChangesModelSizes) {
+  ConversionOptions counting;
+  ConversionOptions subset;
+  subset.subsetGates = true;
+  dft::Dft d = dft::corpus::cps();
+  Community c1 = convertDft(d, counting);
+  Community c2 = convertDft(d, subset);
+  const CommunityModel* g1 = findModel(c1, "GATE_A");
+  const CommunityModel* g2 = findModel(c2, "GATE_A");
+  ASSERT_NE(g1, nullptr);
+  ASSERT_NE(g2, nullptr);
+  EXPECT_LT(g1->model.numStates(), g2->model.numStates());
+}
+
+}  // namespace
+}  // namespace imcdft::analysis

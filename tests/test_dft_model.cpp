@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dft/builder.hpp"
+#include "dft/corpus.hpp"
+#include "dft/model.hpp"
+
+namespace imcdft::dft {
+namespace {
+
+TEST(DftBuilder, SimpleAndOfTwo) {
+  Dft d = DftBuilder()
+              .basicEvent("A", 1.0)
+              .basicEvent("B", 2.0)
+              .andGate("Top", {"A", "B"})
+              .top("Top")
+              .build();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.element(d.top()).name, "Top");
+  EXPECT_EQ(d.element(d.byName("A")).be.lambda, 1.0);
+  EXPECT_FALSE(d.isDynamic());
+  EXPECT_FALSE(d.isRepairable());
+}
+
+TEST(DftBuilder, ForwardReferencesResolve) {
+  Dft d = DftBuilder()
+              .orGate("Top", {"A", "B"})
+              .basicEvent("A", 1.0)
+              .basicEvent("B", 1.0)
+              .top("Top")
+              .build();
+  EXPECT_EQ(d.element(d.top()).inputs.size(), 2u);
+}
+
+TEST(DftBuilder, UnknownInputThrows) {
+  DftBuilder b;
+  b.basicEvent("A", 1.0).andGate("Top", {"A", "ghost"}).top("Top");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftBuilder, DuplicateNameThrows) {
+  DftBuilder b;
+  b.basicEvent("A", 1.0);
+  EXPECT_THROW(b.basicEvent("A", 2.0), ModelError);
+}
+
+TEST(DftBuilder, ColdSpareDefaultsDormancyToZero) {
+  Dft d = DftBuilder()
+              .basicEvent("P", 1.0)
+              .basicEvent("S", 1.0)
+              .spareGate("Top", SpareKind::Cold, {"P", "S"})
+              .top("Top")
+              .build();
+  EXPECT_DOUBLE_EQ(d.element(d.byName("S")).be.dormancy, 0.0);
+  // The primary keeps the hot default.
+  EXPECT_DOUBLE_EQ(d.element(d.byName("P")).be.dormancy, 1.0);
+}
+
+TEST(DftBuilder, WarmSpareDemandsExplicitDormancy) {
+  DftBuilder b;
+  b.basicEvent("P", 1.0)
+      .basicEvent("S", 1.0)
+      .spareGate("Top", SpareKind::Warm, {"P", "S"})
+      .top("Top");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftBuilder, ExplicitDormancyWinsOverSpareKind) {
+  Dft d = DftBuilder()
+              .basicEvent("P", 1.0)
+              .basicEvent("S", 1.0, 0.25)
+              .spareGate("Top", SpareKind::Cold, {"P", "S"})
+              .top("Top")
+              .build();
+  EXPECT_DOUBLE_EQ(d.element(d.byName("S")).be.dormancy, 0.25);
+}
+
+TEST(DftValidation, RejectsCycles) {
+  DftBuilder b;
+  b.andGate("X", {"Y"}).andGate("Y", {"X"}).top("X");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftValidation, RejectsFdepAsInput) {
+  DftBuilder b;
+  b.basicEvent("T", 1.0)
+      .basicEvent("A", 1.0)
+      .fdep("F", "T", {"A"})
+      .andGate("Top", {"F", "A"})
+      .top("Top");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftValidation, RejectsFdepAsTop) {
+  DftBuilder b;
+  b.basicEvent("T", 1.0).basicEvent("A", 1.0).fdep("F", "T", {"A"}).top("F");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftValidation, VotingThresholdRange) {
+  DftBuilder b;
+  b.basicEvent("A", 1.0).basicEvent("B", 1.0).votingGate("Top", 3, {"A", "B"});
+  b.top("Top");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftValidation, BasicEventNeedsPositiveLambda) {
+  DftBuilder b;
+  b.basicEvent("A", 0.0).orGate("Top", {"A"}).top("Top");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftValidation, DormancyRange) {
+  DftBuilder b;
+  b.basicEvent("A", 1.0, 1.5).orGate("Top", {"A"}).top("Top");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(DftQueries, ParentsAndSpareUsers) {
+  Dft d = corpus::cas();
+  ElementId ps = d.byName("PS");
+  auto users = d.spareUsers(ps);
+  EXPECT_EQ(users.size(), 2u);
+  ElementId pa = d.byName("PA");
+  auto primaryUser = d.primaryUser(pa);
+  ASSERT_TRUE(primaryUser.has_value());
+  EXPECT_EQ(d.element(*primaryUser).name, "Pump_A");
+}
+
+TEST(DftQueries, FdepsTargeting) {
+  Dft d = corpus::cas();
+  EXPECT_EQ(d.fdepsTargeting(d.byName("P")).size(), 1u);
+  EXPECT_EQ(d.fdepsTargeting(d.byName("MB")).size(), 1u);
+  EXPECT_TRUE(d.fdepsTargeting(d.byName("PA")).empty());
+}
+
+TEST(DftQueries, TopologicalOrderPutsInputsFirst) {
+  Dft d = corpus::cps();
+  auto order = d.topologicalOrder();
+  std::vector<std::size_t> pos(d.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (ElementId id = 0; id < d.size(); ++id)
+    for (ElementId in : d.element(id).inputs)
+      EXPECT_LT(pos[in], pos[id]);
+}
+
+TEST(DftQueries, DynamicDetection) {
+  EXPECT_TRUE(corpus::cas().isDynamic());
+  EXPECT_TRUE(corpus::mutexSwitch().isDynamic());  // inhibitions are dynamic
+  EXPECT_TRUE(corpus::repairableAnd().isRepairable());
+  EXPECT_FALSE(corpus::repairableAnd().isDynamic());
+}
+
+TEST(DftQueries, InhibitorsOf) {
+  Dft d = corpus::mutexSwitch();
+  EXPECT_EQ(d.inhibitorsOf(d.byName("fail_open")).size(), 1u);
+  EXPECT_EQ(d.inhibitorsOf(d.byName("fail_closed")).size(), 1u);
+  EXPECT_TRUE(d.inhibitorsOf(d.byName("pump")).empty());
+}
+
+}  // namespace
+}  // namespace imcdft::dft

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dft/corpus.hpp"
+#include "dft/galileo.hpp"
+
+namespace imcdft::dft {
+namespace {
+
+TEST(Galileo, ParsesMinimalTree) {
+  Dft d = parseGalileo(R"(
+    toplevel "Top";
+    "Top" and "A" "B";
+    "A" lambda=0.5;
+    "B" lambda=1.5;
+  )");
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.element(d.top()).type, ElementType::And);
+  EXPECT_DOUBLE_EQ(d.element(d.byName("B")).be.lambda, 1.5);
+}
+
+TEST(Galileo, ParsesAllGateTypes) {
+  Dft d = parseGalileo(R"(
+    toplevel "Top";
+    "Top" or "v" "p" "w" "c" "h" "s";
+    "v" 2of3 "a" "b" "cc";
+    "p" pand "a2" "b2";
+    "w" wsp "pw" "sw";
+    "c" csp "pc" "sc";
+    "h" hsp "ph" "sh";
+    "s" seq "ps" "ss";
+    "a" lambda=1; "b" lambda=1; "cc" lambda=1;
+    "a2" lambda=1; "b2" lambda=1;
+    "pw" lambda=1; "sw" lambda=1 dorm=0.5;
+    "pc" lambda=1; "sc" lambda=1;
+    "ph" lambda=1; "sh" lambda=1;
+    "ps" lambda=1; "ss" lambda=1;
+  )");
+  EXPECT_EQ(d.element(d.byName("v")).type, ElementType::Voting);
+  EXPECT_EQ(d.element(d.byName("v")).votingThreshold, 2u);
+  EXPECT_EQ(d.element(d.byName("p")).type, ElementType::Pand);
+  EXPECT_EQ(d.element(d.byName("w")).spareKind, SpareKind::Warm);
+  EXPECT_EQ(d.element(d.byName("c")).spareKind, SpareKind::Cold);
+  EXPECT_EQ(d.element(d.byName("h")).spareKind, SpareKind::Hot);
+  EXPECT_EQ(d.element(d.byName("s")).type, ElementType::Seq);
+  // Dormancy defaults by spare kind.
+  EXPECT_DOUBLE_EQ(d.element(d.byName("sc")).be.dormancy, 0.0);
+  EXPECT_DOUBLE_EQ(d.element(d.byName("sh")).be.dormancy, 1.0);
+  EXPECT_DOUBLE_EQ(d.element(d.byName("sw")).be.dormancy, 0.5);
+  EXPECT_DOUBLE_EQ(d.element(d.byName("ss")).be.dormancy, 0.0);  // seq = cold
+}
+
+TEST(Galileo, ParsesFdepMutexInhibit) {
+  Dft d = parseGalileo(R"(
+    toplevel "Top";
+    "Top" or "A" "B" "C";
+    "F" fdep "T" "A" "B";
+    "M" mutex "A" "C";
+    "I" inhibit "B" "C";    // C inhibits B
+    "A" lambda=1; "B" lambda=1; "C" lambda=1; "T" lambda=1;
+  )");
+  EXPECT_EQ(d.fdepsTargeting(d.byName("A")).size(), 1u);
+  EXPECT_EQ(d.fdepsTargeting(d.byName("B")).size(), 1u);
+  // mutex A C: two inhibitions; inhibit B C: one more on B.
+  EXPECT_EQ(d.inhibitorsOf(d.byName("A")).size(), 1u);
+  EXPECT_EQ(d.inhibitorsOf(d.byName("C")).size(), 1u);
+  auto inhibitorsOfB = d.inhibitorsOf(d.byName("B"));
+  ASSERT_EQ(inhibitorsOfB.size(), 1u);
+  EXPECT_EQ(d.element(inhibitorsOfB[0]).name, "C");
+}
+
+TEST(Galileo, ParsesRepairRates) {
+  Dft d = parseGalileo(R"(
+    toplevel "Top";
+    "Top" and "A" "B";
+    "A" lambda=0.5 mu=2.0;
+    "B" lambda=0.5 repair=3.0;
+  )");
+  ASSERT_TRUE(d.element(d.byName("A")).be.repairRate.has_value());
+  EXPECT_DOUBLE_EQ(*d.element(d.byName("A")).be.repairRate, 2.0);
+  EXPECT_DOUBLE_EQ(*d.element(d.byName("B")).be.repairRate, 3.0);
+}
+
+TEST(Galileo, CommentsAndBareWords) {
+  Dft d = parseGalileo(R"(
+    // line comment
+    toplevel Top;
+    /* block
+       comment */
+    Top and A B;
+    A lambda=1; B lambda=2;
+  )");
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(Galileo, VotingArityMismatchThrows) {
+  EXPECT_THROW(parseGalileo(R"(
+    toplevel "T";
+    "T" 2of3 "a" "b";
+    "a" lambda=1; "b" lambda=1;
+  )"),
+               ParseError);
+}
+
+TEST(Galileo, MissingToplevelThrows) {
+  EXPECT_THROW(parseGalileo(R"("T" and "a" "b"; "a" lambda=1; "b" lambda=1;)"),
+               ParseError);
+}
+
+TEST(Galileo, MissingSemicolonThrows) {
+  EXPECT_THROW(parseGalileo("toplevel \"T\""), ParseError);
+}
+
+TEST(Galileo, UnknownGateTypeThrows) {
+  EXPECT_THROW(parseGalileo(R"(
+    toplevel "T";
+    "T" nand "a" "b";
+    "a" lambda=1; "b" lambda=1;
+  )"),
+               ParseError);
+}
+
+TEST(Galileo, UnknownAttributeThrows) {
+  EXPECT_THROW(parseGalileo(R"(
+    toplevel "T";
+    "T" and "a" "b";
+    "a" lambda=1 wobble=3; "b" lambda=1;
+  )"),
+               ParseError);
+}
+
+TEST(Galileo, MissingLambdaThrows) {
+  EXPECT_THROW(parseGalileo(R"(
+    toplevel "T";
+    "T" and "a" "b";
+    "a" dorm=0.5; "b" lambda=1;
+  )"),
+               ParseError);
+}
+
+TEST(Galileo, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parseGalileo("toplevel \"T;"), ParseError);
+}
+
+TEST(Galileo, ErrorsCarryLineNumbers) {
+  try {
+    parseGalileo("toplevel \"T\";\n\"T\" nand \"a\";\n\"a\" lambda=1;");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Galileo, CorpusModelsParse) {
+  // CAS: 10 basic events + 8 gates + 2 FDEPs.
+  EXPECT_EQ(corpus::cas().size(), 20u);
+  // CPS: 12 basic events + 3 ANDs + 2 PANDs.
+  EXPECT_EQ(corpus::cps().size(), 17u);
+  EXPECT_TRUE(corpus::cas().isDynamic());
+}
+
+}  // namespace
+}  // namespace imcdft::dft

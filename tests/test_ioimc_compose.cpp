@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ioimc/bisimulation.hpp"
+#include "ioimc/builder.hpp"
+#include "ioimc/compose.hpp"
+#include "ioimc/model.hpp"
+#include "ioimc/ops.hpp"
+
+namespace imcdft::ioimc {
+namespace {
+
+/// I/O-IMC A of Fig. 2: one exponential delay, then output a.
+IOIMC figure2A(SymbolTablePtr symbols, double lambda) {
+  IOIMCBuilder b("A", symbols);
+  StateId s1 = b.addState();
+  StateId s2 = b.addState();
+  StateId s3 = b.addState();
+  b.setInitial(s1);
+  b.output("a");
+  b.markovian(s1, lambda, s2);
+  b.interactive(s2, "a", s3);
+  return std::move(b).build();
+}
+
+/// I/O-IMC B of Fig. 2: one exponential delay and the input a, in either
+/// order, then output b.
+IOIMC figure2B(SymbolTablePtr symbols, double lambda) {
+  IOIMCBuilder b("B", symbols);
+  StateId s1 = b.addState();
+  StateId s2 = b.addState();
+  StateId s3 = b.addState();
+  StateId s4 = b.addState();
+  StateId s5 = b.addState();
+  b.setInitial(s1);
+  b.input("a");
+  b.output("b");
+  b.markovian(s1, lambda, s2);
+  b.interactive(s1, "a", s3);
+  b.interactive(s2, "a", s4);
+  b.markovian(s3, lambda, s4);
+  b.interactive(s4, "b", s5);
+  return std::move(b).build();
+}
+
+TEST(Compose, Figure2CompositionShape) {
+  auto symbols = makeSymbolTable();
+  IOIMC ab = compose(figure2A(symbols, 2.0), figure2B(symbols, 2.0));
+  // Reachable pairs: (1,1),(2,1),(1,2),(2,2),(3,3),(3,4),(3,5).
+  EXPECT_EQ(ab.numStates(), 7u);
+  // a synchronized: output of the composite; b still an output.
+  EXPECT_TRUE(ab.signature().isOutput(symbols->find("a")));
+  EXPECT_TRUE(ab.signature().isOutput(symbols->find("b")));
+  EXPECT_TRUE(ab.signature().inputs().empty());
+}
+
+TEST(Compose, Figure2HideAndAggregateMatchesFig2c) {
+  auto symbols = makeSymbolTable();
+  const double lambda = 2.0;
+  IOIMC ab = compose(figure2A(symbols, lambda), figure2B(symbols, lambda));
+  IOIMC hidden = hide(ab, {symbols->find("a")});
+  IOIMC small = aggregate(hidden);
+  // Fig. 2.c: initial, one merged delay state, the b!-emitting state, done.
+  EXPECT_EQ(small.numStates(), 4u);
+  // The initial state races two exponential delays: cumulative rate 2*lambda
+  // into the merged class.
+  double initialRate = 0.0;
+  for (const auto& t : small.markovian(small.initial())) initialRate += t.rate;
+  EXPECT_DOUBLE_EQ(initialRate, 2 * lambda);
+}
+
+TEST(Compose, OutputSynchronizesWithExplicitInput) {
+  auto symbols = makeSymbolTable();
+  IOIMCBuilder pa("P", symbols);
+  StateId p0 = pa.addState();
+  StateId p1 = pa.addState();
+  pa.setInitial(p0);
+  pa.output("go");
+  pa.interactive(p0, "go", p1);
+  IOIMCBuilder qa("Q", symbols);
+  StateId q0 = qa.addState();
+  StateId q1 = qa.addState();
+  qa.setInitial(q0);
+  qa.input("go");
+  qa.interactive(q0, "go", q1);
+  IOIMC pq = compose(std::move(pa).build(), std::move(qa).build());
+  // (0,0) --go!--> (1,1): both move together.
+  ASSERT_EQ(pq.numStates(), 2u);
+  ASSERT_EQ(pq.interactive(0).size(), 1u);
+  EXPECT_EQ(pq.interactive(0)[0].to, 1u);
+}
+
+TEST(Compose, MissingInputTransitionMeansStayPut) {
+  auto symbols = makeSymbolTable();
+  IOIMCBuilder pa("P", symbols);
+  StateId p0 = pa.addState();
+  StateId p1 = pa.addState();
+  pa.setInitial(p0);
+  pa.output("go");
+  pa.interactive(p0, "go", p1);
+  // Q declares the input but reacts only from a state it never reaches
+  // before go; from q0 it has no explicit transition -> implicit self-loop.
+  IOIMCBuilder qa("Q", symbols);
+  StateId q0 = qa.addState();
+  StateId q1 = qa.addState();
+  qa.setInitial(q0);
+  qa.input("go");
+  qa.markovian(q0, 1.0, q1);
+  IOIMC pq = compose(std::move(pa).build(), std::move(qa).build());
+  // From (0,0): go! keeps Q in place; Markovian interleaves.
+  ASSERT_GE(pq.numStates(), 3u);
+  bool sawStay = false;
+  for (const auto& t : pq.interactive(0))
+    if (t.to != 0) sawStay = true;
+  EXPECT_TRUE(sawStay);
+}
+
+TEST(Compose, InputOfBothStaysInput) {
+  auto symbols = makeSymbolTable();
+  IOIMCBuilder pa("P", symbols);
+  StateId p0 = pa.addState();
+  StateId p1 = pa.addState();
+  pa.setInitial(p0);
+  pa.input("sig");
+  pa.interactive(p0, "sig", p1);
+  IOIMCBuilder qa("Q", symbols);
+  StateId q0 = qa.addState();
+  StateId q1 = qa.addState();
+  qa.setInitial(q0);
+  qa.input("sig");
+  qa.interactive(q0, "sig", q1);
+  IOIMC pq = compose(std::move(pa).build(), std::move(qa).build());
+  EXPECT_TRUE(pq.signature().isInput(symbols->find("sig")));
+  // Both react simultaneously: (0,0) --sig?--> (1,1).
+  ASSERT_EQ(pq.interactive(0).size(), 1u);
+  EXPECT_EQ(pq.interactive(0)[0].to, 1u);
+}
+
+TEST(Compose, SharedOutputIsRejected) {
+  auto symbols = makeSymbolTable();
+  IOIMCBuilder pa("P", symbols);
+  StateId p0 = pa.addState();
+  pa.setInitial(p0);
+  pa.output("x");
+  IOIMCBuilder qa("Q", symbols);
+  StateId q0 = qa.addState();
+  qa.setInitial(q0);
+  qa.output("x");
+  IOIMC p = std::move(pa).build();
+  IOIMC q = std::move(qa).build();
+  EXPECT_THROW(compose(p, q), ModelError);
+}
+
+TEST(Compose, DifferentSymbolTablesAreRejected) {
+  auto s1 = makeSymbolTable();
+  auto s2 = makeSymbolTable();
+  IOIMCBuilder pa("P", s1);
+  pa.setInitial(pa.addState());
+  IOIMCBuilder qa("Q", s2);
+  qa.setInitial(qa.addState());
+  IOIMC p = std::move(pa).build();
+  IOIMC q = std::move(qa).build();
+  EXPECT_THROW(compose(p, q), ModelError);
+}
+
+TEST(Compose, MarkovianRacesInterleave) {
+  auto symbols = makeSymbolTable();
+  auto makeDelay = [&](const std::string& name, double rate) {
+    IOIMCBuilder b(name, symbols);
+    StateId s0 = b.addState();
+    StateId s1 = b.addState();
+    b.setInitial(s0);
+    b.markovian(s0, rate, s1);
+    return std::move(b).build();
+  };
+  IOIMC pq = compose(makeDelay("P", 1.0), makeDelay("Q", 3.0));
+  // Product chain: 4 states, exit rate 4 from the initial state.
+  EXPECT_EQ(pq.numStates(), 4u);
+  double exit = 0.0;
+  for (const auto& t : pq.markovian(pq.initial())) exit += t.rate;
+  EXPECT_DOUBLE_EQ(exit, 4.0);
+}
+
+TEST(Compose, LabelsAreMerged) {
+  auto symbols = makeSymbolTable();
+  IOIMCBuilder pa("P", symbols);
+  StateId p0 = pa.addState();
+  pa.setInitial(p0);
+  pa.label(p0, "left");
+  IOIMCBuilder qa("Q", symbols);
+  StateId q0 = qa.addState();
+  qa.setInitial(q0);
+  qa.label(q0, "right");
+  IOIMC pq = compose(std::move(pa).build(), std::move(qa).build());
+  EXPECT_TRUE(pq.hasLabel(0, pq.labelIndex("left")));
+  EXPECT_TRUE(pq.hasLabel(0, pq.labelIndex("right")));
+}
+
+TEST(Compose, InternalActionsNeverSynchronize) {
+  auto symbols = makeSymbolTable();
+  auto makeStepper = [&](const std::string& name) {
+    IOIMCBuilder b(name, symbols);
+    StateId s0 = b.addState();
+    StateId s1 = b.addState();
+    b.setInitial(s0);
+    b.internal(kTauName);
+    b.interactive(s0, kTauName, s1);
+    return std::move(b).build();
+  };
+  IOIMC pq = compose(makeStepper("P"), makeStepper("Q"));
+  // Interleaving diamond: 4 states, each tau moves one side only.
+  EXPECT_EQ(pq.numStates(), 4u);
+  EXPECT_EQ(pq.interactive(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace imcdft::ioimc

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dft/corpus.hpp"
+#include "dft/modules.hpp"
+
+namespace imcdft::dft {
+namespace {
+
+bool isModuleRoot(const std::vector<ModuleInfo>& modules,
+                  const Dft& d, const std::string& name) {
+  ElementId id = d.byName(name);
+  return std::any_of(modules.begin(), modules.end(),
+                     [&](const ModuleInfo& m) { return m.root == id; });
+}
+
+const ModuleInfo& moduleOf(const std::vector<ModuleInfo>& modules,
+                           const Dft& d, const std::string& name) {
+  ElementId id = d.byName(name);
+  for (const ModuleInfo& m : modules)
+    if (m.root == id) return m;
+  throw std::runtime_error("no module " + name);
+}
+
+TEST(Modules, CpsHasFiveGateModules) {
+  Dft d = corpus::cps();
+  auto modules = independentModules(d);
+  // Every BE plus the five gates are independent; the paper's point is that
+  // A, B, C, D, System all count as modules.
+  for (const char* name : {"A", "B", "C", "D", "System"})
+    EXPECT_TRUE(isModuleRoot(modules, d, name)) << name;
+  EXPECT_TRUE(moduleOf(modules, d, "System").dynamic);
+  EXPECT_FALSE(moduleOf(modules, d, "A").dynamic);
+  EXPECT_EQ(moduleOf(modules, d, "A").members.size(), 5u);
+}
+
+TEST(Modules, CasUnitsAreIndependent) {
+  Dft d = corpus::cas();
+  auto modules = independentModules(d);
+  EXPECT_TRUE(isModuleRoot(modules, d, "CPU_unit"));
+  EXPECT_TRUE(isModuleRoot(modules, d, "Motor_unit"));
+  EXPECT_TRUE(isModuleRoot(modules, d, "Pump_unit"));
+  EXPECT_TRUE(isModuleRoot(modules, d, "System"));
+  // All three units are dynamic.
+  EXPECT_TRUE(moduleOf(modules, d, "CPU_unit").dynamic);
+  EXPECT_TRUE(moduleOf(modules, d, "Motor_unit").dynamic);
+  EXPECT_TRUE(moduleOf(modules, d, "Pump_unit").dynamic);
+}
+
+TEST(Modules, SharedSparesCoupleTheirGates) {
+  Dft d = corpus::cas();
+  auto modules = independentModules(d);
+  // Pump_A alone is NOT independent: it shares PS with Pump_B.
+  EXPECT_FALSE(isModuleRoot(modules, d, "Pump_A"));
+  EXPECT_FALSE(isModuleRoot(modules, d, "Pump_B"));
+  // The pump unit contains both gates and all three pumps.
+  const ModuleInfo& pump = moduleOf(modules, d, "Pump_unit");
+  EXPECT_EQ(pump.members.size(), 6u);
+}
+
+TEST(Modules, FdepCouplesTriggerAndDependents) {
+  Dft d = corpus::cas();
+  auto modules = independentModules(d);
+  // The CPU module pulls in its FDEP machinery: gate + P + B + CPU_fdep +
+  // Trigger + CS + SS = 7 members.
+  const ModuleInfo& cpu = moduleOf(modules, d, "CPU_unit");
+  EXPECT_EQ(cpu.members.size(), 7u);
+  auto hasMember = [&](const std::string& n) {
+    return std::binary_search(cpu.members.begin(), cpu.members.end(),
+                              d.byName(n));
+  };
+  EXPECT_TRUE(hasMember("CS"));
+  EXPECT_TRUE(hasMember("SS"));
+  EXPECT_TRUE(hasMember("Trigger"));
+  EXPECT_TRUE(hasMember("CPU_fdep"));
+}
+
+TEST(Modules, DependencyClosureOfBasicEventIsItself) {
+  Dft d = corpus::cps();
+  auto closure = dependencyClosure(d, d.byName("A1"));
+  EXPECT_EQ(closure.size(), 1u);
+}
+
+TEST(Modules, InhibitionsCouple) {
+  Dft d = corpus::mutexSwitch();
+  auto modules = independentModules(d);
+  // fail_open and fail_closed inhibit each other: neither is independent...
+  // their closures include each other, and each is referenced from outside.
+  EXPECT_FALSE(isModuleRoot(modules, d, "closed_and_pump"));
+  EXPECT_TRUE(isModuleRoot(modules, d, "System"));
+}
+
+TEST(Modules, ExtractModuleBuildsStandaloneTree) {
+  Dft d = corpus::cas();
+  Dft pump = extractModule(d, d.byName("Pump_unit"));
+  EXPECT_EQ(pump.size(), 6u);
+  EXPECT_EQ(pump.element(pump.top()).name, "Pump_unit");
+  EXPECT_EQ(pump.spareUsers(pump.byName("PS")).size(), 2u);
+  EXPECT_TRUE(pump.isDynamic());
+}
+
+TEST(Modules, ExtractModuleKeepsInhibitions) {
+  Dft d = corpus::mutexSwitch();
+  Dft whole = extractModule(d, d.top());
+  EXPECT_EQ(whole.inhibitions().size(), 2u);
+}
+
+TEST(Modules, TopIsAlwaysAModule) {
+  for (const Dft& d : {corpus::cas(), corpus::cps(), corpus::figure6a(),
+                       corpus::figure10a(), corpus::mutexSwitch()}) {
+    auto modules = independentModules(d);
+    EXPECT_TRUE(std::any_of(modules.begin(), modules.end(),
+                            [&](const ModuleInfo& m) {
+                              return m.root == d.top();
+                            }));
+  }
+}
+
+TEST(Modules, Figure6aIsOneBigModule) {
+  Dft d = corpus::figure6a();
+  auto modules = independentModules(d);
+  // The FDEP couples T, A, B with the PAND: only the top module (and the
+  // trigger T, which nothing else references) can be independent.
+  EXPECT_FALSE(isModuleRoot(modules, d, "A"));
+  EXPECT_FALSE(isModuleRoot(modules, d, "B"));
+}
+
+}  // namespace
+}  // namespace imcdft::dft

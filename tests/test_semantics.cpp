@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/error.hpp"
+#include "ioimc/model.hpp"
+#include "semantics/elements.hpp"
+#include "semantics/signals.hpp"
+
+namespace imcdft::semantics {
+namespace {
+
+using ioimc::IOIMC;
+using ioimc::StateId;
+
+/// Follows the unique transition labelled \p action from \p s, or returns
+/// nullopt (implicit self-loops are "stay here" for inputs).
+std::optional<StateId> step(const IOIMC& m, StateId s,
+                            const std::string& action) {
+  std::optional<StateId> found;
+  for (const auto& t : m.interactive(s)) {
+    if (m.actionName(t.action) != action) continue;
+    EXPECT_FALSE(found.has_value()) << "nondeterministic " << action;
+    found = t.to;
+  }
+  return found;
+}
+
+double exitRate(const IOIMC& m, StateId s) {
+  double r = 0.0;
+  for (const auto& t : m.markovian(s)) r += t.rate;
+  return r;
+}
+
+TEST(BasicEvent, HotIgnoresActivation) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC be = basicEvent(symbols, "A", 2.0, 1.0, std::string("a_A"), "f_A");
+  // Hot events are active from the start: 3 states, no activation input.
+  EXPECT_EQ(be.numStates(), 3u);
+  EXPECT_TRUE(be.signature().inputs().empty());
+  EXPECT_DOUBLE_EQ(exitRate(be, be.initial()), 2.0);
+}
+
+TEST(BasicEvent, ColdFailsOnlyAfterActivation) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC be = basicEvent(symbols, "A", 2.0, 0.0, std::string("a_A"), "f_A");
+  EXPECT_EQ(be.numStates(), 4u);
+  EXPECT_DOUBLE_EQ(exitRate(be, be.initial()), 0.0);  // dormant cold: no rate
+  auto active = step(be, be.initial(), "a_A");
+  ASSERT_TRUE(active.has_value());
+  EXPECT_DOUBLE_EQ(exitRate(be, *active), 2.0);
+}
+
+TEST(BasicEvent, WarmUsesDormancyFactor) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC be = basicEvent(symbols, "A", 2.0, 0.25, std::string("a_A"), "f_A");
+  EXPECT_DOUBLE_EQ(exitRate(be, be.initial()), 0.5);  // alpha * lambda
+  auto active = step(be, be.initial(), "a_A");
+  ASSERT_TRUE(active.has_value());
+  EXPECT_DOUBLE_EQ(exitRate(be, *active), 2.0);
+}
+
+TEST(BasicEvent, FiringStateEmitsThenAbsorbs) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC be = basicEvent(symbols, "A", 1.0, 1.0, std::nullopt, "f_A");
+  StateId firing = be.markovian(be.initial())[0].to;
+  auto fired = step(be, firing, "f_A");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_TRUE(be.interactive(*fired).empty());
+  EXPECT_TRUE(be.markovian(*fired).empty());
+}
+
+TEST(CountingGate, AndFiresAfterAllInputs) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC gate = countingGate(symbols, "G", {3}, {"f_A", "f_B", "f_C"}, "f_G");
+  StateId s = gate.initial();
+  s = *step(gate, s, "f_B");
+  s = *step(gate, s, "f_A");
+  EXPECT_FALSE(step(gate, s, "f_G").has_value());  // not firing yet
+  s = *step(gate, s, "f_C");
+  ASSERT_TRUE(step(gate, s, "f_G").has_value());
+}
+
+TEST(CountingGate, OrFiresOnFirstInput) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC gate = countingGate(symbols, "G", {1}, {"f_A", "f_B"}, "f_G");
+  EXPECT_EQ(gate.numStates(), 3u);
+  StateId s = *step(gate, gate.initial(), "f_B");
+  EXPECT_TRUE(step(gate, s, "f_G").has_value());
+}
+
+TEST(CountingGate, VotingThreshold) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC gate = countingGate(symbols, "G", {2}, {"f_A", "f_B", "f_C"}, "f_G");
+  StateId s = *step(gate, gate.initial(), "f_C");
+  EXPECT_FALSE(step(gate, s, "f_G").has_value());
+  s = *step(gate, s, "f_A");
+  EXPECT_TRUE(step(gate, s, "f_G").has_value());
+}
+
+TEST(SubsetGate, MatchesCountingSizeForAnd) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC counting = countingGate(symbols, "G", {2}, {"f_A", "f_B"}, "f_G");
+  IOIMC subset = subsetGate(symbols, "H", {2}, {"f_A", "f_B"}, "f_H");
+  // For 2 inputs the subset gate has one extra state ({A} vs {B}).
+  EXPECT_EQ(counting.numStates(), 4u);
+  EXPECT_EQ(subset.numStates(), 5u);
+}
+
+TEST(SubsetGate, TracksWhichInputFailed) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = subsetGate(symbols, "G", {2}, {"f_A", "f_B"}, "f_G");
+  StateId viaA = *step(g, g.initial(), "f_A");
+  // A second f_A has no explicit transition (single-firing discipline);
+  // f_B completes the set.
+  EXPECT_FALSE(step(g, viaA, "f_A").has_value());
+  EXPECT_TRUE(step(g, viaA, "f_B").has_value());
+}
+
+TEST(Pand, FiresInLeftToRightOrder) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = pandGate(symbols, "P", {"f_A", "f_B"}, "f_P");
+  StateId s = *step(g, g.initial(), "f_A");
+  s = *step(g, s, "f_B");
+  EXPECT_TRUE(step(g, s, "f_P").has_value());
+}
+
+TEST(Pand, WrongOrderNeverFires) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = pandGate(symbols, "P", {"f_A", "f_B"}, "f_P");
+  StateId x = *step(g, g.initial(), "f_B");  // right input first
+  // Absorbing operational state: no further moves at all.
+  EXPECT_TRUE(g.interactive(x).empty());
+}
+
+TEST(Pand, ThreeInputsOrderMatters) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = pandGate(symbols, "P", {"f_A", "f_B", "f_C"}, "f_P");
+  EXPECT_EQ(g.numStates(), 6u);  // 3 progress + X + firing + fired
+  StateId s = *step(g, g.initial(), "f_A");
+  StateId x = *step(g, s, "f_C");  // C before B: spoiled
+  EXPECT_TRUE(g.interactive(x).empty());
+}
+
+TEST(OrAuxiliaryModel, ActsAsFiringAuxiliary) {
+  // Fig. 5: FA of A with trigger B.
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC fa = orAuxiliary(symbols, "FA_A", {"fi_A", "f_B"}, "f_A");
+  EXPECT_EQ(fa.numStates(), 3u);
+  StateId viaTrigger = *step(fa, fa.initial(), "f_B");
+  EXPECT_TRUE(step(fa, viaTrigger, "f_A").has_value());
+  StateId viaSelf = *step(fa, fa.initial(), "fi_A");
+  EXPECT_EQ(viaTrigger, viaSelf);
+}
+
+TEST(InhibitionAuxiliaryModel, InhibitorFirstPreventsFailure) {
+  // Fig. 12: A inhibits B.
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC ia = inhibitionAuxiliary(symbols, "IA_B", "fi_B", {"f_A"}, "f_B");
+  StateId inhibited = *step(ia, ia.initial(), "f_A");
+  // fi_B afterwards is ignored (implicit self-loop), B never fails.
+  EXPECT_FALSE(step(ia, inhibited, "fi_B").has_value());
+  EXPECT_TRUE(ia.interactive(inhibited).empty());
+}
+
+TEST(InhibitionAuxiliaryModel, OwnFailureFirstWins) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC ia = inhibitionAuxiliary(symbols, "IA_B", "fi_B", {"f_A"}, "f_B");
+  StateId firing = *step(ia, ia.initial(), "fi_B");
+  // The inhibitor arriving while firing changes nothing (implicit loop).
+  EXPECT_FALSE(step(ia, firing, "f_A").has_value());
+  EXPECT_TRUE(step(ia, firing, "f_B").has_value());
+}
+
+TEST(Monitor, TracksDownLabel) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC m = monitor(symbols, "f_Top", std::nullopt);
+  EXPECT_EQ(m.numStates(), 2u);
+  StateId down = *step(m, m.initial(), "f_Top");
+  EXPECT_TRUE(m.hasLabel(down, m.labelIndex("down")));
+  EXPECT_FALSE(m.hasLabel(m.initial(), m.labelIndex("down")));
+}
+
+TEST(Monitor, RepairTogglesBack) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC m = monitor(symbols, "f_Top", std::string("r_Top"));
+  StateId down = *step(m, m.initial(), "f_Top");
+  StateId up = *step(m, down, "r_Top");
+  EXPECT_EQ(up, m.initial());
+}
+
+TEST(RepairableBe, CyclesThroughRepair) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC be = repairableBasicEvent(symbols, "A", 1.0, 5.0, 1.0, std::nullopt,
+                                  "f_A", "r_A");
+  EXPECT_EQ(be.numStates(), 4u);
+  StateId firing = be.markovian(be.initial())[0].to;
+  StateId downState = *step(be, firing, "f_A");
+  ASSERT_EQ(be.markovian(downState).size(), 1u);
+  EXPECT_DOUBLE_EQ(be.markovian(downState)[0].rate, 5.0);
+  StateId repaired = be.markovian(downState)[0].to;
+  EXPECT_EQ(*step(be, repaired, "r_A"), be.initial());
+}
+
+TEST(RepairableBe, ColdVariantNeedsActivation) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC be = repairableBasicEvent(symbols, "A", 1.0, 5.0, 0.0,
+                                  std::string("a_A"), "f_A", "r_A");
+  EXPECT_DOUBLE_EQ(exitRate(be, be.initial()), 0.0);
+  StateId active = *step(be, be.initial(), "a_A");
+  EXPECT_DOUBLE_EQ(exitRate(be, active), 1.0);
+}
+
+TEST(RepairableGate, AnnouncesFailAndRepair) {
+  // Fig. 14: repairable AND with two repairable inputs.
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = repairableThresholdGate(
+      symbols, "G", {2},
+      {{"f_A", std::string("r_A")}, {"f_B", std::string("r_B")}}, "f_G",
+      "r_G");
+  StateId s = *step(g, g.initial(), "f_A");
+  s = *step(g, s, "f_B");
+  // Both failed: gate announces f_G.
+  StateId downState = *step(g, s, "f_G");
+  ASSERT_NE(downState, s);
+  // One input repaired: gate announces r_G.
+  StateId belowThreshold = *step(g, downState, "r_A");
+  EXPECT_TRUE(step(g, belowThreshold, "r_G").has_value());
+}
+
+TEST(RepairableGate, RepairBeforeAnnouncementCancelsIt) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = repairableThresholdGate(
+      symbols, "G", {2},
+      {{"f_A", std::string("r_A")}, {"f_B", std::string("r_B")}}, "f_G",
+      "r_G");
+  StateId s = *step(g, g.initial(), "f_A");
+  s = *step(g, s, "f_B");  // about to announce f_G
+  StateId cancelled = *step(g, s, "r_B");
+  // Below the threshold again and nothing was announced: no f_G possible.
+  EXPECT_FALSE(step(g, cancelled, "f_G").has_value());
+}
+
+TEST(Generators, RejectBadParameters) {
+  auto symbols = ioimc::makeSymbolTable();
+  EXPECT_THROW(basicEvent(symbols, "A", -1.0, 1.0, std::nullopt, "f"),
+               ModelError);
+  EXPECT_THROW(basicEvent(symbols, "A", 1.0, 2.0, std::nullopt, "f"),
+               ModelError);
+  EXPECT_THROW(countingGate(symbols, "G", {3}, {"a", "b"}, "f"), ModelError);
+  EXPECT_THROW(countingGate(symbols, "G", {0}, {"a", "b"}, "f"), ModelError);
+  EXPECT_THROW(pandGate(symbols, "P", {"a"}, "f"), ModelError);
+  EXPECT_THROW(orAuxiliary(symbols, "X", {}, "f"), ModelError);
+}
+
+TEST(Signals, NamingConventions) {
+  EXPECT_EQ(firingSignal("A"), "f_A");
+  EXPECT_EQ(isolatedFiringSignal("A"), "fi_A");
+  EXPECT_EQ(activationSignal("S"), "a_S");
+  EXPECT_EQ(claimSignal("S", "G"), "a_S.G");
+  EXPECT_EQ(repairSignal("A"), "r_A");
+}
+
+}  // namespace
+}  // namespace imcdft::semantics

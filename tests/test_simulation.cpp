@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measures.hpp"
+#include "common/error.hpp"
+#include "dft/builder.hpp"
+#include "dft/corpus.hpp"
+#include "simulation/simulator.hpp"
+
+/// The Monte-Carlo simulator is the third independent implementation of
+/// the DFT semantics.  Because runs are seeded, these tests are
+/// deterministic; the tolerance is the 95% confidence half-width plus a
+/// small safety margin (a fixed-seed estimate either is or is not inside,
+/// and these seeds were verified to be).
+
+namespace imcdft::simulation {
+namespace {
+
+using dft::DftBuilder;
+
+void expectCovers(const Estimate& est, double exact) {
+  EXPECT_NEAR(est.value, exact, est.halfWidth95 * 1.6 + 1e-9)
+      << "estimate " << est.value << " +- " << est.halfWidth95
+      << " vs exact " << exact;
+}
+
+TEST(Simulator, SingleExponential) {
+  dft::Dft d =
+      DftBuilder().basicEvent("A", 0.7).orGate("Top", {"A"}).top("Top").build();
+  Estimate est = simulateUnreliability(d, 1.0, {20'000, 7});
+  expectCovers(est, 1 - std::exp(-0.7));
+}
+
+TEST(Simulator, MatchesAnalyticOnCas) {
+  dft::Dft d = dft::corpus::cas();
+  analysis::DftAnalysis a = analysis::analyzeDft(d);
+  Estimate est = simulateUnreliability(d, 1.0, {20'000, 11});
+  expectCovers(est, analysis::unreliability(a, 1.0));
+}
+
+TEST(Simulator, MatchesAnalyticOnCps) {
+  // The CPS failure probability is tiny (0.00136), a good tail check.
+  dft::Dft d = dft::corpus::cps();
+  Estimate est = simulateUnreliability(d, 2.0, {40'000, 13});
+  double exact = std::pow(1 - std::exp(-2.0), 12.0) / 3.0;
+  expectCovers(est, exact);
+}
+
+TEST(Simulator, WarmSparesAndSharing) {
+  dft::Dft d = DftBuilder()
+                   .basicEvent("P1", 1.0)
+                   .basicEvent("P2", 0.7)
+                   .basicEvent("S", 2.0, 0.3)
+                   .spareGate("G1", dft::SpareKind::Warm, {"P1", "S"})
+                   .spareGate("G2", dft::SpareKind::Warm, {"P2", "S"})
+                   .andGate("Top", {"G1", "G2"})
+                   .top("Top")
+                   .build();
+  analysis::DftAnalysis a = analysis::analyzeDft(d);
+  Estimate est = simulateUnreliability(d, 1.5, {20'000, 23});
+  expectCovers(est, analysis::unreliability(a, 1.5));
+}
+
+TEST(Simulator, ErlangPhases) {
+  dft::Dft d = DftBuilder()
+                   .basicEvent("A", 2.0, std::nullopt, std::nullopt, 3)
+                   .orGate("Top", {"A"})
+                   .top("Top")
+                   .build();
+  Estimate est = simulateUnreliability(d, 1.0, {20'000, 29});
+  double x = 2.0;
+  double exact = 1 - std::exp(-x) * (1 + x + x * x / 2);
+  expectCovers(est, exact);
+}
+
+TEST(Simulator, InhibitionSemantics) {
+  dft::Dft d = DftBuilder()
+                   .basicEvent("A", 1.0)
+                   .basicEvent("B", 1.0)
+                   .inhibition("A", "B")
+                   .orGate("Top", {"B"})
+                   .top("Top")
+                   .build();
+  Estimate est = simulateUnreliability(d, 1.0, {20'000, 31});
+  expectCovers(est, (1 - std::exp(-2.0)) / 2.0);
+}
+
+TEST(Simulator, RepairableUnavailability) {
+  dft::Dft d = dft::corpus::repairableAnd(1.0, 2.0);
+  analysis::DftAnalysis a = analysis::analyzeDft(d);
+  Estimate down = simulateUnavailability(d, 2.0, {20'000, 37});
+  expectCovers(down, analysis::unavailability(a, 2.0));
+  Estimate ever = simulateUnreliability(d, 2.0, {20'000, 41});
+  expectCovers(ever, analysis::unreliability(a, 2.0));
+  // First passage dominates point unavailability.
+  EXPECT_GT(ever.value, down.value);
+}
+
+TEST(Simulator, TimeZeroNeverFails) {
+  dft::Dft d = dft::corpus::cas();
+  Estimate est = simulateUnreliability(d, 0.0, {100, 1});
+  EXPECT_DOUBLE_EQ(est.value, 0.0);
+}
+
+TEST(Simulator, DeterministicWithFixedSeed) {
+  dft::Dft d = dft::corpus::cas();
+  Estimate a = simulateUnreliability(d, 1.0, {5'000, 99});
+  Estimate b = simulateUnreliability(d, 1.0, {5'000, 99});
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(Simulator, RejectsBadOptions) {
+  dft::Dft d = dft::corpus::cas();
+  EXPECT_THROW(simulateUnreliability(d, 1.0, {0, 1}), ModelError);
+  EXPECT_THROW(simulateUnreliability(d, -1.0, {10, 1}), ModelError);
+}
+
+TEST(Simulator, ConfidenceShrinksWithRuns) {
+  dft::Dft d = dft::corpus::cas();
+  Estimate small = simulateUnreliability(d, 1.0, {1'000, 3});
+  Estimate large = simulateUnreliability(d, 1.0, {16'000, 3});
+  EXPECT_LT(large.halfWidth95, small.halfWidth95);
+}
+
+}  // namespace
+}  // namespace imcdft::simulation

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "ioimc/model.hpp"
+#include "semantics/spare_gate.hpp"
+
+namespace imcdft::semantics {
+namespace {
+
+using ioimc::IOIMC;
+using ioimc::StateId;
+
+std::optional<StateId> step(const IOIMC& m, StateId s,
+                            const std::string& action) {
+  std::optional<StateId> found;
+  for (const auto& t : m.interactive(s)) {
+    if (m.actionName(t.action) != action) continue;
+    EXPECT_FALSE(found.has_value()) << "nondeterministic " << action;
+    found = t.to;
+  }
+  return found;
+}
+
+/// Gate "G": always active, primary P, one private spare S.
+SpareGateSpec simpleSpec() {
+  SpareGateSpec spec;
+  spec.name = "G";
+  spec.firingOutput = "f_G";
+  spec.primaryFiringInput = "f_P";
+  spec.spares.push_back({"f_S", "a_S.G", {}});
+  return spec;
+}
+
+TEST(SpareGate, ClaimsSpareWhenPrimaryFails) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, simpleSpec());
+  StateId s = *step(g, g.initial(), "f_P");
+  // The gate is now in the claiming phase: it outputs a_S.G.
+  StateId claimed = *step(g, s, "a_S.G");
+  // Spare in use; no firing offered.
+  EXPECT_FALSE(step(g, claimed, "f_G").has_value());
+  // Spare fails: gate fires.
+  StateId exhausted = *step(g, claimed, "f_S");
+  EXPECT_TRUE(step(g, exhausted, "f_G").has_value());
+}
+
+TEST(SpareGate, SpareFailingFirstLeavesPrimaryRunning) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, simpleSpec());
+  StateId s = *step(g, g.initial(), "f_S");
+  EXPECT_FALSE(step(g, s, "f_G").has_value());
+  EXPECT_FALSE(step(g, s, "a_S.G").has_value());  // nothing to claim
+  // Primary failing afterwards exhausts the gate immediately.
+  StateId exhausted = *step(g, s, "f_P");
+  EXPECT_TRUE(step(g, exhausted, "f_G").has_value());
+}
+
+TEST(SpareGate, SecondSpareClaimedAfterFirst) {
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec = simpleSpec();
+  spec.spares.push_back({"f_S2", "a_S2.G", {}});
+  IOIMC g = spareGate(symbols, spec);
+  StateId s = *step(g, g.initial(), "f_P");
+  s = *step(g, s, "a_S.G");   // claim first spare
+  s = *step(g, s, "f_S");     // it fails
+  s = *step(g, s, "a_S2.G");  // claim second spare
+  s = *step(g, s, "f_S2");
+  EXPECT_TRUE(step(g, s, "f_G").has_value());
+}
+
+TEST(SpareGate, SharedSpareTakenByOtherGate) {
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec = simpleSpec();
+  spec.spares[0].otherClaimInputs = {"a_S.H"};
+  IOIMC g = spareGate(symbols, spec);
+  // The other sharer claims S first...
+  StateId s = *step(g, g.initial(), "a_S.H");
+  // ...so when our primary fails there is nothing left: fire, do not claim.
+  StateId afterPrimary = *step(g, s, "f_P");
+  EXPECT_FALSE(step(g, afterPrimary, "a_S.G").has_value());
+  EXPECT_TRUE(step(g, afterPrimary, "f_G").has_value());
+}
+
+TEST(SpareGate, ClaimRaceRerouted) {
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec = simpleSpec();
+  spec.spares[0].otherClaimInputs = {"a_S.H"};
+  spec.spares.push_back({"f_S2", "a_S2.G", {}});
+  IOIMC g = spareGate(symbols, spec);
+  // Primary fails: gate is about to claim S...
+  StateId claiming = *step(g, g.initial(), "f_P");
+  EXPECT_TRUE(step(g, claiming, "a_S.G").has_value());
+  // ...but the other gate's claim arrives first: replan to S2.
+  StateId rerouted = *step(g, claiming, "a_S.H");
+  EXPECT_FALSE(step(g, rerouted, "a_S.G").has_value());
+  EXPECT_TRUE(step(g, rerouted, "a_S2.G").has_value());
+}
+
+/// Gate with activation input and a primary that needs activating
+/// (Section 6.1: the gate is itself used inside a spare module).
+SpareGateSpec dormantSpec() {
+  SpareGateSpec spec = simpleSpec();
+  spec.activationInput = "a_G";
+  spec.primaryActivationOutput = "a_P.G";
+  return spec;
+}
+
+TEST(SpareGate, DormantGateActivatesPrimaryOnActivation) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, dormantSpec());
+  // Before activation: no outputs at all from the initial state.
+  for (const auto& t : g.interactive(g.initial()))
+    EXPECT_TRUE(g.signature().isInput(t.action));
+  StateId active = *step(g, g.initial(), "a_G");
+  // Activation passes to the primary only (Fig. 10.b): a_P.G is emitted,
+  // no claim for the spare.
+  EXPECT_TRUE(step(g, active, "a_P.G").has_value());
+  EXPECT_FALSE(step(g, active, "a_S.G").has_value());
+}
+
+TEST(SpareGate, DormantGateDoesNotClaim) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, dormantSpec());
+  // Primary fails while the gate is dormant: record it, claim nothing.
+  StateId s = *step(g, g.initial(), "f_P");
+  EXPECT_FALSE(step(g, s, "a_S.G").has_value());
+  EXPECT_FALSE(step(g, s, "f_G").has_value());
+  // On activation the gate goes straight for the spare (primary is dead).
+  StateId active = *step(g, s, "a_G");
+  EXPECT_FALSE(step(g, active, "a_P.G").has_value());
+  EXPECT_TRUE(step(g, active, "a_S.G").has_value());
+}
+
+TEST(SpareGate, DormantGateFiresOnExhaustion) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, dormantSpec());
+  StateId s = *step(g, g.initial(), "f_P");
+  StateId exhausted = *step(g, s, "f_S");
+  // Even dormant, a gate with no usable components fires (its failure
+  // condition is mode-independent).
+  EXPECT_TRUE(step(g, exhausted, "f_G").has_value());
+}
+
+TEST(SpareGate, PrimaryFailsDuringActivationSkipsItsActivation) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, dormantSpec());
+  StateId activating = *step(g, g.initial(), "a_G");
+  // f_P arrives between the gate's activation and its a_P.G output.
+  StateId rerouted = *step(g, activating, "f_P");
+  EXPECT_FALSE(step(g, rerouted, "a_P.G").has_value());
+  EXPECT_TRUE(step(g, rerouted, "a_S.G").has_value());
+}
+
+TEST(SpareGate, FiredStateIsAbsorbing) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, simpleSpec());
+  StateId s = *step(g, g.initial(), "f_S");
+  s = *step(g, s, "f_P");
+  s = *step(g, s, "f_G");
+  EXPECT_TRUE(g.interactive(s).empty());
+  EXPECT_TRUE(g.markovian(s).empty());
+}
+
+TEST(SpareGate, ThreeWaySharingAllTaken) {
+  // Two other gates race us for the only spare.
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec = simpleSpec();
+  spec.spares[0].otherClaimInputs = {"a_S.H1", "a_S.H2"};
+  IOIMC g = spareGate(symbols, spec);
+  StateId s = *step(g, g.initial(), "a_S.H1");
+  // A second sharer claim for an already-taken spare changes nothing.
+  EXPECT_FALSE(step(g, s, "a_S.H2").has_value());
+  StateId afterPrimary = *step(g, s, "f_P");
+  EXPECT_TRUE(step(g, afterPrimary, "f_G").has_value());
+}
+
+TEST(SpareGate, TwoSharedSparesRerouteTwice) {
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec = simpleSpec();
+  spec.spares[0].otherClaimInputs = {"a_S.H"};
+  spec.spares.push_back({"f_S2", "a_S2.G", {"a_S2.H"}});
+  IOIMC g = spareGate(symbols, spec);
+  // Primary dies, we are about to claim S...
+  StateId claiming = *step(g, g.initial(), "f_P");
+  // ...H takes S, we replan to S2...
+  StateId rerouted = *step(g, claiming, "a_S.H");
+  EXPECT_TRUE(step(g, rerouted, "a_S2.G").has_value());
+  // ...H (or a third gate) takes S2 too: nothing left, fire.
+  StateId exhausted = *step(g, rerouted, "a_S2.H");
+  EXPECT_FALSE(step(g, exhausted, "a_S2.G").has_value());
+  EXPECT_TRUE(step(g, exhausted, "f_G").has_value());
+}
+
+TEST(SpareGate, ActivationWhileExhaustedFiresImmediately) {
+  auto symbols = ioimc::makeSymbolTable();
+  IOIMC g = spareGate(symbols, dormantSpec());
+  StateId s = *step(g, g.initial(), "f_S");
+  s = *step(g, s, "f_P");
+  // Dormant, primary dead, spare dead: fires even without activation.
+  EXPECT_TRUE(step(g, s, "f_G").has_value());
+}
+
+TEST(SpareGate, StateSpaceStaysModest) {
+  // 3 spares, each shared with one other gate, dormant gate: the BFS
+  // must stay well-bounded (the generator is exponential only in the
+  // number of spares, with small bases).
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec;
+  spec.name = "G";
+  spec.firingOutput = "f_G";
+  spec.activationInput = "a_G";
+  spec.primaryActivationOutput = "a_P.G";
+  spec.primaryFiringInput = "f_P";
+  for (int i = 0; i < 3; ++i) {
+    std::string n = std::to_string(i);
+    spec.spares.push_back({"f_S" + n, "a_S" + n + ".G", {"a_S" + n + ".H"}});
+  }
+  IOIMC g = spareGate(symbols, spec);
+  EXPECT_LT(g.numStates(), 600u);
+  EXPECT_GT(g.numStates(), 50u);
+}
+
+TEST(SpareGate, SignatureIsComplete) {
+  auto symbols = ioimc::makeSymbolTable();
+  SpareGateSpec spec = dormantSpec();
+  spec.spares[0].otherClaimInputs = {"a_S.H"};
+  IOIMC g = spareGate(symbols, spec);
+  EXPECT_TRUE(g.signature().isInput(symbols->find("a_G")));
+  EXPECT_TRUE(g.signature().isInput(symbols->find("f_P")));
+  EXPECT_TRUE(g.signature().isInput(symbols->find("f_S")));
+  EXPECT_TRUE(g.signature().isInput(symbols->find("a_S.H")));
+  EXPECT_TRUE(g.signature().isOutput(symbols->find("f_G")));
+  EXPECT_TRUE(g.signature().isOutput(symbols->find("a_S.G")));
+  EXPECT_TRUE(g.signature().isOutput(symbols->find("a_P.G")));
+}
+
+}  // namespace
+}  // namespace imcdft::semantics

@@ -1,0 +1,212 @@
+/// \file dftimc.cpp
+/// Command-line front end: Galileo DFT in, reliability measures out.
+///
+///   dftimc [options] <model.dft>
+///     --time T          mission time (default 1.0; repeatable)
+///     --bounds          print CTMDP min/max bounds instead of failing on
+///                       nondeterministic models
+///     --unavailability  also print unavailability (repairable trees)
+///     --steady-state    also print steady-state unavailability
+///     --modular         also run the DIFTree-style modular baseline
+///     --monolithic      also run the DIFTree-style whole-tree baseline
+///     --simulate N      also run N Monte-Carlo trajectories
+///     --stats           print composition statistics
+///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
+///     --aut FILE        write it in Aldebaran format
+///     --strategy S      composition order: modular | greedy | declaration
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/measures.hpp"
+#include "common/error.hpp"
+#include "ctmc/transient.hpp"
+#include "dft/galileo.hpp"
+#include "diftree/modular.hpp"
+#include "diftree/monolithic.hpp"
+#include "ioimc/export.hpp"
+#include "simulation/simulator.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string modelPath;
+  std::vector<double> times;
+  bool bounds = false;
+  bool unavailability = false;
+  bool steadyState = false;
+  bool modular = false;
+  bool monolithic = false;
+  bool stats = false;
+  std::uint64_t simulateRuns = 0;
+  std::string dotPath;
+  std::string autPath;
+  imcdft::analysis::CompositionStrategy strategy =
+      imcdft::analysis::CompositionStrategy::Modular;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--time T]... [--bounds] [--unavailability] "
+               "[--steady-state]\n"
+               "          [--modular] [--monolithic] [--stats] [--dot FILE] "
+               "[--aut FILE]\n"
+               "          [--strategy modular|greedy|declaration] <model.dft>\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions parseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--time") {
+      opts.times.push_back(std::strtod(next().c_str(), nullptr));
+    } else if (arg == "--bounds") {
+      opts.bounds = true;
+    } else if (arg == "--unavailability") {
+      opts.unavailability = true;
+    } else if (arg == "--steady-state") {
+      opts.steadyState = true;
+    } else if (arg == "--modular") {
+      opts.modular = true;
+    } else if (arg == "--monolithic") {
+      opts.monolithic = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "--simulate") {
+      opts.simulateRuns = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--dot") {
+      opts.dotPath = next();
+    } else if (arg == "--aut") {
+      opts.autPath = next();
+    } else if (arg == "--strategy") {
+      std::string s = next();
+      if (s == "modular")
+        opts.strategy = imcdft::analysis::CompositionStrategy::Modular;
+      else if (s == "greedy")
+        opts.strategy = imcdft::analysis::CompositionStrategy::Greedy;
+      else if (s == "declaration")
+        opts.strategy = imcdft::analysis::CompositionStrategy::Declaration;
+      else
+        usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else if (opts.modelPath.empty()) {
+      opts.modelPath = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opts.modelPath.empty()) usage(argv[0]);
+  if (opts.times.empty()) opts.times.push_back(1.0);
+  return opts;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw imcdft::Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace imcdft;
+  CliOptions opts = parseArgs(argc, argv);
+  try {
+    dft::Dft tree = dft::parseGalileo(readFile(opts.modelPath));
+    std::printf("model: %s (%zu elements, %s%s)\n", opts.modelPath.c_str(),
+                tree.size(), tree.isDynamic() ? "dynamic" : "static",
+                tree.isRepairable() ? ", repairable" : "");
+
+    analysis::AnalysisOptions analysisOpts;
+    analysisOpts.engine.strategy = opts.strategy;
+    analysis::DftAnalysis result = analysis::analyzeDft(tree, analysisOpts);
+
+    if (opts.stats) {
+      std::printf("\ncomposition statistics:\n");
+      for (const analysis::ModuleResult& m : result.stats.modules)
+        std::printf("  module %-16s -> %zu states, %zu transitions\n",
+                    m.name.c_str(), m.states, m.transitions);
+      std::printf("  peak composed:   %zu states, %zu transitions\n",
+                  result.stats.peakComposedStates,
+                  result.stats.peakComposedTransitions);
+      std::printf("  peak aggregated: %zu states, %zu transitions\n",
+                  result.stats.peakAggregatedStates,
+                  result.stats.peakAggregatedTransitions);
+      std::printf("  final model:     %zu states, %zu transitions\n",
+                  result.closedModel.numStates(),
+                  result.closedModel.numTransitions());
+    }
+
+    std::printf("\n");
+    if (result.nondeterministic && !opts.bounds) {
+      std::printf(
+          "the model is nondeterministic (FDEP-induced simultaneity, "
+          "Section 4.4 of the paper); rerun with --bounds\n");
+      return 1;
+    }
+    for (double t : opts.times) {
+      if (result.nondeterministic) {
+        auto b = analysis::unreliabilityBounds(result, t);
+        std::printf("unreliability in [%.8f, %.8f] at t=%g\n", b.lower,
+                    b.upper, t);
+      } else {
+        std::printf("unreliability      %.8f at t=%g\n",
+                    analysis::unreliability(result, t), t);
+      }
+      if (opts.unavailability)
+        std::printf("unavailability     %.8f at t=%g\n",
+                    analysis::unavailability(result, t), t);
+    }
+    if (opts.steadyState)
+      std::printf("steady-state unavailability %.8f\n",
+                  analysis::steadyStateUnavailability(result));
+
+    if (opts.modular) {
+      diftree::ModularResult m =
+          diftree::modularAnalysis(tree, opts.times.front());
+      std::printf("\nDIFTree modular baseline: unreliability %.8f at t=%g "
+                  "(largest module chain: %zu states)\n",
+                  m.unreliability, opts.times.front(), m.largestMcStates);
+    }
+    if (opts.monolithic) {
+      diftree::MonolithicResult m = diftree::generateMonolithic(tree);
+      std::printf("\nDIFTree monolithic baseline: %zu states, %zu "
+                  "transitions, unreliability %.8f at t=%g\n",
+                  m.numStates, m.numTransitions,
+                  ctmc::probabilityOfLabelAt(m.chain, "down",
+                                             opts.times.front()),
+                  opts.times.front());
+    }
+
+    if (opts.simulateRuns > 0) {
+      simulation::Estimate est = simulation::simulateUnreliability(
+          tree, opts.times.front(), {opts.simulateRuns, 42});
+      std::printf("\nMonte-Carlo estimate (%llu runs): %.8f +- %.8f at t=%g\n",
+                  static_cast<unsigned long long>(est.runs), est.value,
+                  est.halfWidth95, opts.times.front());
+    }
+
+    if (!opts.dotPath.empty())
+      std::ofstream(opts.dotPath) << ioimc::toDot(result.closedModel);
+    if (!opts.autPath.empty())
+      std::ofstream(opts.autPath) << ioimc::toAut(result.closedModel);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
