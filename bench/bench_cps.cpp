@@ -9,17 +9,21 @@
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "bench_util.hpp"
 #include "dft/corpus.hpp"
 #include "diftree/monolithic.hpp"
 
 namespace {
 
 using namespace imcdft;
+using analysis::AnalysisRequest;
+using analysis::MeasureSpec;
 
 void printReproduction() {
   dft::Dft cps = dft::corpus::cps();
-  analysis::DftAnalysis a = analysis::analyzeDft(cps);
+  analysis::AnalysisReport a = benchutil::analyzeCold(
+      AnalysisRequest::forDft(cps, "cps")
+          .measure(MeasureSpec::unreliability({1.0})));
   diftree::MonolithicResult full =
       diftree::generateMonolithic(cps, {/*truncateAtSystemFailure=*/false});
   diftree::MonolithicResult truncated = diftree::generateMonolithic(cps);
@@ -27,13 +31,14 @@ void printReproduction() {
   std::printf("== E2: cascaded PAND system (Section 5.2) ==\n");
   std::printf("%-52s %-16s %s\n", "quantity", "paper", "measured");
   std::printf("%-52s %-16s %.5f\n", "unreliability at t=1 (compositional)",
-              "0.00135", analysis::unreliability(a, 1.0));
+              "0.00135", a.measures[0].values[0]);
   std::printf("%-52s %-16s %zu / %zu\n",
               "biggest composed I/O-IMC (states/transitions)", "156 / 490",
-              a.stats.peakComposedStates, a.stats.peakComposedTransitions);
+              a.stats().peakComposedStates, a.stats().peakComposedTransitions);
   std::printf("%-52s %-16s %zu / %zu\n",
               "biggest aggregated I/O-IMC (states/transitions)", "-",
-              a.stats.peakAggregatedStates, a.stats.peakAggregatedTransitions);
+              a.stats().peakAggregatedStates,
+              a.stats().peakAggregatedTransitions);
   std::printf("%-52s %-16s %zu / %zu\n",
               "DIFTree whole-tree chain (states/transitions)", "4113 / 24608",
               full.numStates, full.numTransitions);
@@ -41,17 +46,18 @@ void printReproduction() {
               "DIFTree chain truncated at system failure", "-",
               truncated.numStates, truncated.numTransitions);
   std::printf("\nper-module aggregation (Fig. 9 reuse):\n");
-  for (const analysis::ModuleResult& m : a.stats.modules)
+  for (const analysis::ModuleResult& m : a.stats().modules)
     std::printf("  module %-8s -> %3zu states, %3zu transitions\n",
                 m.name.c_str(), m.states, m.transitions);
   std::printf("\n");
 }
 
 void BM_CpsCompositional(benchmark::State& state) {
-  dft::Dft cps = dft::corpus::cps();
+  const AnalysisRequest req = AnalysisRequest::forDft(dft::corpus::cps())
+                                  .measure(MeasureSpec::unreliability({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(cps);
-    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
   }
 }
 BENCHMARK(BM_CpsCompositional)->Unit(benchmark::kMillisecond);

@@ -10,45 +10,53 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "bench_util.hpp"
 #include "dft/builder.hpp"
 #include "dft/corpus.hpp"
 
 namespace {
 
 using namespace imcdft;
+using analysis::AnalysisRequest;
+using analysis::MeasureSpec;
+
+double unreliabilityAt(const dft::Dft& tree, double t) {
+  return benchutil::analyzeCold(AnalysisRequest::forDft(tree).measure(
+                                    MeasureSpec::unreliability({t})))
+      .measures[0]
+      .values[0];
+}
 
 void printReproduction() {
   std::printf("== E5: complex spare modules (Section 6.1, Fig. 10 a/b) ==\n");
-  analysis::DftAnalysis a10a = analysis::analyzeDft(dft::corpus::figure10a());
-  analysis::DftAnalysis a10b = analysis::analyzeDft(dft::corpus::figure10b());
+  analysis::AnalysisReport a10a = benchutil::analyzeCold(
+      AnalysisRequest::forDft(dft::corpus::figure10a())
+          .measure(MeasureSpec::unreliability({1.0})));
+  analysis::AnalysisReport a10b = benchutil::analyzeCold(
+      AnalysisRequest::forDft(dft::corpus::figure10b())
+          .measure(MeasureSpec::unreliability({1.0})));
+  const double u10a = a10a.measures[0].values[0];
+  const double u10b = a10b.measures[0].values[0];
   std::printf("  Fig. 10.a (AND-rooted spare):    U(1) = %.6f, %zu states\n",
-              analysis::unreliability(a10a, 1.0),
-              a10a.closedModel.numStates());
+              u10a, a10a.analysis->closedModel.numStates());
   std::printf("  Fig. 10.b (spare-gate spare):    U(1) = %.6f, %zu states\n",
-              analysis::unreliability(a10b, 1.0),
-              a10b.closedModel.numStates());
+              u10b, a10b.analysis->closedModel.numStates());
   std::printf("  paper claim: activation fans out in (a), goes to the "
               "primary only in (b) -> different measures: %s\n\n",
-              std::fabs(analysis::unreliability(a10a, 1.0) -
-                        analysis::unreliability(a10b, 1.0)) > 1e-9
-                  ? "reproduced"
-                  : "NOT reproduced");
+              std::fabs(u10a - u10b) > 1e-9 ? "reproduced" : "NOT reproduced");
 
   std::printf("== E6: FDEP triggering a sub-system (Section 6.2, Fig. 10 c) ==\n");
-  analysis::DftAnalysis a10c = analysis::analyzeDft(dft::corpus::figure10c());
   const double t = 1.0, p = 1 - std::exp(-t);
   double expected = (p + (1 - p) * p * p) * p;
-  std::printf("  U(1) measured %.6f, hand-derived %.6f -> %s\n\n",
-              analysis::unreliability(a10c, t), expected,
-              std::fabs(analysis::unreliability(a10c, t) - expected) < 1e-6
-                  ? "reproduced"
-                  : "NOT reproduced");
+  double u10c = unreliabilityAt(dft::corpus::figure10c(), t);
+  std::printf("  U(1) measured %.6f, hand-derived %.6f -> %s\n\n", u10c,
+              expected,
+              std::fabs(u10c - expected) < 1e-6 ? "reproduced"
+                                                : "NOT reproduced");
 
   std::printf("== E7: inhibition / mutual exclusivity (Section 7.1) ==\n");
-  analysis::DftAnalysis mutex = analysis::analyzeDft(dft::corpus::mutexSwitch());
   std::printf("  switch example U(1) = %.6f\n",
-              analysis::unreliability(mutex, 1.0));
+              unreliabilityAt(dft::corpus::mutexSwitch(), 1.0));
   dft::Dft both = dft::DftBuilder()
                       .basicEvent("open", 1.0)
                       .basicEvent("closed", 1.0)
@@ -56,25 +64,28 @@ void printReproduction() {
                       .andGate("System", {"open", "closed"})
                       .top("System")
                       .build();
-  analysis::DftAnalysis aBoth = analysis::analyzeDft(both);
   std::printf("  P(both exclusive modes fail) = %.2e (paper: impossible)\n\n",
-              analysis::unreliability(aBoth, 5.0));
+              unreliabilityAt(both, 5.0));
 }
 
 void BM_ComplexSpares(benchmark::State& state) {
-  dft::Dft d = dft::corpus::figure10b();
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(dft::corpus::figure10b())
+          .measure(MeasureSpec::unreliability({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
   }
 }
 BENCHMARK(BM_ComplexSpares)->Unit(benchmark::kMillisecond);
 
 void BM_MutexSwitch(benchmark::State& state) {
-  dft::Dft d = dft::corpus::mutexSwitch();
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(dft::corpus::mutexSwitch())
+          .measure(MeasureSpec::unreliability({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
   }
 }
 BENCHMARK(BM_MutexSwitch)->Unit(benchmark::kMillisecond);

@@ -1,57 +1,64 @@
 /// \file bench_nondet.cpp
-/// Experiment E4 (paper Section 4.4, Fig. 6): FDEP-induced simultaneity is
-/// inherent nondeterminism.  Both configurations must be *detected* as
-/// nondeterministic, and analysis falls back to CTMDP time-bounded
-/// reachability bounds (Baier et al. [2]).
+/// Experiment E4 (paper Section 4.4, Fig. 6): FDEP-induced simultaneity
+/// leaves real nondeterminism; the analysis detects it and the CTMDP
+/// machinery produces min/max unreliability bounds over schedulers.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "bench_util.hpp"
 #include "dft/corpus.hpp"
 
 namespace {
 
 using namespace imcdft;
+using analysis::AnalysisRequest;
+using analysis::MeasureSpec;
 
 void printReproduction() {
   std::printf("== E4: nondeterminism detection (Section 4.4, Fig. 6) ==\n");
   std::printf("%-34s %-22s %s\n", "configuration", "paper",
               "measured (bounds at t=1)");
   {
-    analysis::DftAnalysis a = analysis::analyzeDft(dft::corpus::figure6a());
-    auto b = analysis::unreliabilityBounds(a, 1.0);
+    analysis::AnalysisReport a = benchutil::analyzeCold(
+        AnalysisRequest::forDft(dft::corpus::figure6a())
+            .measure(MeasureSpec::unreliabilityBounds({1.0})));
     std::printf("%-34s %-22s %s, [%.6f, %.6f]\n",
                 "Fig. 6.a (PAND under FDEP)", "nondeterministic",
-                a.nondeterministic ? "nondeterministic" : "deterministic",
-                b.lower, b.upper);
+                a.nondeterministic() ? "nondeterministic" : "deterministic",
+                a.measures[0].bounds[0].lower, a.measures[0].bounds[0].upper);
   }
   {
-    analysis::DftAnalysis a = analysis::analyzeDft(dft::corpus::figure6b());
-    auto b = analysis::unreliabilityBounds(a, 1.0);
+    analysis::AnalysisReport a = benchutil::analyzeCold(
+        AnalysisRequest::forDft(dft::corpus::figure6b())
+            .measure(MeasureSpec::unreliabilityBounds({1.0})));
     std::printf("%-34s %-22s %s, [%.6f, %.6f]\n",
                 "Fig. 6.b (shared-spare race)", "nondeterministic",
-                a.nondeterministic ? "nondeterministic" : "deterministic",
-                b.lower, b.upper);
+                a.nondeterministic() ? "nondeterministic" : "deterministic",
+                a.measures[0].bounds[0].lower, a.measures[0].bounds[0].upper);
   }
   std::printf("\n");
 }
 
 void BM_Fig6aBounds(benchmark::State& state) {
-  dft::Dft d = dft::corpus::figure6a();
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(dft::corpus::figure6a())
+          .measure(MeasureSpec::unreliabilityBounds({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::unreliabilityBounds(a, 1.0).upper);
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].bounds[0].upper);
   }
 }
 BENCHMARK(BM_Fig6aBounds)->Unit(benchmark::kMillisecond);
 
 void BM_Fig6bBounds(benchmark::State& state) {
-  dft::Dft d = dft::corpus::figure6b();
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(dft::corpus::figure6b())
+          .measure(MeasureSpec::unreliabilityBounds({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::unreliabilityBounds(a, 1.0).upper);
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].bounds[0].upper);
   }
 }
 BENCHMARK(BM_Fig6bBounds)->Unit(benchmark::kMillisecond);

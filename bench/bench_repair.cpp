@@ -8,48 +8,61 @@
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "bench_util.hpp"
 #include "dft/corpus.hpp"
 
 namespace {
 
 using namespace imcdft;
+using analysis::AnalysisRequest;
+using analysis::MeasureSpec;
 
 void printReproduction() {
   const double lambda = 1.0, mu = 2.0;
-  analysis::DftAnalysis a =
-      analysis::analyzeDft(dft::corpus::repairableAnd(lambda, mu));
+  analysis::AnalysisReport a = benchutil::analyzeCold(
+      AnalysisRequest::forDft(dft::corpus::repairableAnd(lambda, mu))
+          .measure(MeasureSpec::steadyStateUnavailability())
+          .measure(MeasureSpec::unavailability({1.0}))
+          .measure(MeasureSpec::unreliability({1.0})));
   double single = lambda / (lambda + mu);
   std::printf("== E8: repair extension (Section 7.2, Figs. 13-15) ==\n");
   std::printf("%-48s %-12s %s\n", "quantity", "expected", "measured");
   std::printf("%-48s %-12s %zu states, %zu transitions\n",
               "aggregated repairable AND (Fig. 15.b)", "small CTMC",
-              a.closedModel.numStates(), a.closedModel.numTransitions());
+              a.analysis->closedModel.numStates(),
+              a.analysis->closedModel.numTransitions());
   std::printf("%-48s %-12.6f %.6f\n", "steady-state unavailability",
-              single * single, analysis::steadyStateUnavailability(a));
+              single * single, a.measures[0].values[0]);
   std::printf("%-48s %-12s %.6f\n", "unavailability at t=1", "-",
-              analysis::unavailability(a, 1.0));
+              a.measures[1].values[0]);
   std::printf("%-48s %-12s %.6f\n", "P(ever down by t=1)", "-",
-              analysis::unreliability(a, 1.0));
+              a.measures[2].values[0]);
   std::printf("\n");
 }
 
 void BM_RepairableAnd(benchmark::State& state) {
-  dft::Dft d = dft::corpus::repairableAnd(1.0, 2.0);
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(dft::corpus::repairableAnd(1.0, 2.0))
+          .measure(MeasureSpec::steadyStateUnavailability());
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::steadyStateUnavailability(a));
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
   }
 }
 BENCHMARK(BM_RepairableAnd)->Unit(benchmark::kMillisecond);
 
 void BM_RepairableUnavailabilityCurve(benchmark::State& state) {
-  dft::Dft d = dft::corpus::repairableAnd(1.0, 2.0);
-  analysis::DftAnalysis a = analysis::analyzeDft(d);
+  // One composition, many time points: the request carries the whole grid
+  // and the session reuses the composed model across iterations.
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(dft::corpus::repairableAnd(1.0, 2.0))
+          .measure(MeasureSpec::unavailability({0.5, 1.0, 2.0, 4.0}));
+  analysis::Analyzer session;
+  session.analyze(req);  // warm up the whole-tree cache
   for (auto _ : state) {
+    analysis::AnalysisReport report = session.analyze(req);
     double acc = 0.0;
-    for (double t : {0.5, 1.0, 2.0, 4.0})
-      acc += analysis::unavailability(a, t);
+    for (double v : report.measures[0].values) acc += v;
     benchmark::DoNotOptimize(acc);
   }
 }

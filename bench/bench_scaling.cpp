@@ -8,13 +8,15 @@
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "bench_util.hpp"
 #include "dft/corpus.hpp"
 #include "diftree/monolithic.hpp"
 
 namespace {
 
 using namespace imcdft;
+using analysis::AnalysisRequest;
+using analysis::MeasureSpec;
 
 void printReproduction() {
   std::printf("== E9: state-space scaling on the CPS family ==\n");
@@ -23,11 +25,12 @@ void printReproduction() {
   for (int modules : {2, 3, 4}) {
     for (int bes : {2, 3, 4}) {
       dft::Dft d = dft::corpus::cascadedPands(modules, bes);
-      analysis::DftAnalysis a = analysis::analyzeDft(d);
+      analysis::AnalysisReport a =
+          benchutil::analyzeCold(AnalysisRequest::forDft(d));
       diftree::MonolithicResult mono = diftree::generateMonolithic(d, {false});
       std::printf("%-10d %-6d %8zu / %-15zu %10zu / %-15zu\n", modules,
-                  modules * bes, a.stats.peakComposedStates,
-                  a.stats.peakComposedTransitions, mono.numStates,
+                  modules * bes, a.stats().peakComposedStates,
+                  a.stats().peakComposedTransitions, mono.numStates,
                   mono.numTransitions);
     }
   }
@@ -35,14 +38,17 @@ void printReproduction() {
 }
 
 void BM_CompositionalScaling(benchmark::State& state) {
-  dft::Dft d = dft::corpus::cascadedPands(static_cast<int>(state.range(0)),
-                                          static_cast<int>(state.range(1)));
+  const AnalysisRequest req =
+      AnalysisRequest::forDft(
+          dft::corpus::cascadedPands(static_cast<int>(state.range(0)),
+                                     static_cast<int>(state.range(1))))
+          .measure(MeasureSpec::unreliability({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
   }
   state.counters["peak_states"] = static_cast<double>(
-      analysis::analyzeDft(d).stats.peakComposedStates);
+      benchutil::analyzeCold(req).stats().peakComposedStates);
 }
 BENCHMARK(BM_CompositionalScaling)
     ->Args({2, 3})

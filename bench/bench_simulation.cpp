@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "bench_util.hpp"
 #include "ctmc/transient.hpp"
 #include "dft/corpus.hpp"
 #include "diftree/monolithic.hpp"
@@ -31,8 +31,12 @@ void printReproduction() {
                   {"CPS", dft::corpus::cps()},
                   {"HECS", dft::corpus::hecs()}};
   for (Case& c : cases) {
-    analysis::DftAnalysis a = analysis::analyzeDft(c.tree);
-    double exact = analysis::unreliability(a, 1.0);
+    double exact =
+        benchutil::analyzeCold(
+            analysis::AnalysisRequest::forDft(c.tree).measure(
+                analysis::MeasureSpec::unreliability({1.0})))
+            .measures[0]
+            .values[0];
     double mono = ctmc::probabilityOfLabelAt(
         diftree::generateMonolithic(c.tree).chain, "down", 1.0);
     simulation::Estimate mc =
@@ -70,10 +74,12 @@ BENCHMARK(BM_SimulateHecs)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_HecsCompositional(benchmark::State& state) {
-  dft::Dft d = dft::corpus::hecs();
+  const analysis::AnalysisRequest req =
+      analysis::AnalysisRequest::forDft(dft::corpus::hecs())
+          .measure(analysis::MeasureSpec::unreliability({1.0}));
+  analysis::Analyzer session(benchutil::coldOptions());
   for (auto _ : state) {
-    analysis::DftAnalysis a = analysis::analyzeDft(d);
-    benchmark::DoNotOptimize(analysis::unreliability(a, 1.0));
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
   }
 }
 BENCHMARK(BM_HecsCompositional)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "analysis/analyzer.hpp"
+
+/// \file bench_util.hpp
+/// Shared helpers for the benchmark harnesses: the benches measure the
+/// *cold* pipeline by default (caching disabled), so iteration timings mean
+/// the same thing they meant when the benches called the old analyzeDft
+/// facade.  Session-cached variants are benchmarked explicitly where the
+/// cache is the subject (bench_cas, bench_batch).
+
+namespace benchutil {
+
+inline imcdft::analysis::AnalyzerOptions coldOptions() {
+  imcdft::analysis::AnalyzerOptions opts;
+  opts.cacheTrees = false;
+  opts.cacheModules = false;
+  return opts;
+}
+
+/// One-shot, uncached analysis of a request (the old analyzeDft shape).
+inline imcdft::analysis::AnalysisReport analyzeCold(
+    const imcdft::analysis::AnalysisRequest& request) {
+  imcdft::analysis::Analyzer session(coldOptions());
+  return session.analyze(request);
+}
+
+}  // namespace benchutil

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Builds and runs the Analyzer batch-cache benchmark and leaves its
+# cold-vs-cached timings in BENCH_batch.json at the repository root.
+# Usage: bench/run_bench.sh [build-dir]   (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j --target bench_batch
+
+cd "$repo_root"
+BENCH_BATCH_JSON="$repo_root/BENCH_batch.json" \
+  "$build_dir/bench_batch" --benchmark_min_warmup_time=0 \
+  --benchmark_filter='BM_(Cold|Cached)Sweep'
+echo "bench results written to $repo_root/BENCH_batch.json"

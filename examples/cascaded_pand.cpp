@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "analysis/analyzer.hpp"
 #include "dft/corpus.hpp"
 #include "diftree/monolithic.hpp"
 #include "ioimc/bisimulation.hpp"
@@ -71,11 +71,14 @@ int main() {
 
   // --- 2. Full modular analysis of the CPS. ---
   dft::Dft cps = dft::corpus::cps();
-  analysis::DftAnalysis result = analysis::analyzeDft(cps);
+  analysis::Analyzer session;
+  analysis::AnalysisReport report = session.analyze(
+      analysis::AnalysisRequest::forDft(cps, "cps")
+          .measure(analysis::MeasureSpec::unreliability({1.0})));
   std::printf("\ncompositional aggregation of the whole CPS:\n");
   std::printf("  biggest composed I/O-IMC: %zu states, %zu transitions\n",
-              result.stats.peakComposedStates,
-              result.stats.peakComposedTransitions);
+              report.stats().peakComposedStates,
+              report.stats().peakComposedTransitions);
   std::printf("  (paper: 156 states, 490 transitions)\n");
 
   // --- 3. The DIFTree baseline explodes. ---
@@ -85,7 +88,7 @@ int main() {
               mono.numStates, mono.numTransitions);
   std::printf("  (paper: 4113 states, 24608 transitions)\n");
 
-  double u = analysis::unreliability(result, 1.0);
-  std::printf("\nunreliability at t=1: %.5f (paper: 0.00135)\n", u);
+  std::printf("\nunreliability at t=1: %.5f (paper: 0.00135)\n",
+              report.measures[0].values[0]);
   return 0;
 }

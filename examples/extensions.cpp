@@ -1,59 +1,81 @@
 /// \file extensions.cpp
-/// The paper's Sections 4.4, 6 and 7.1 in one tour:
-///  * nondeterminism detection and CTMDP bounds (Fig. 6),
+/// The paper's Sections 4.4, 6 and 7.1 in one tour, served by a single
+/// Analyzer session:
+///  * nondeterminism detection and CTMDP bounds (Fig. 6) — note how the
+///    session substitutes bounds and attaches a warning instead of
+///    throwing,
 ///  * complex spare modules (Fig. 10 a/b),
 ///  * FDEP gates triggering whole sub-systems (Fig. 10 c),
 ///  * inhibition and mutually exclusive failure modes (Fig. 12).
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "analysis/analyzer.hpp"
 #include "dft/corpus.hpp"
 
 int main() {
   using namespace imcdft;
+  using analysis::AnalysisReport;
+  using analysis::AnalysisRequest;
+  using analysis::MeasureSpec;
+
+  analysis::Analyzer session;
 
   // --- Nondeterminism (Section 4.4). ---
   std::printf("Fig. 6.a: FDEP kills both PAND inputs simultaneously\n");
-  analysis::DftAnalysis fig6a = analysis::analyzeDft(dft::corpus::figure6a());
+  AnalysisReport fig6a = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::figure6a(), "fig6a")
+          .measure(MeasureSpec::unreliability({1.0})));
   std::printf("  nondeterministic: %s\n",
-              fig6a.nondeterministic ? "yes (as the paper predicts)" : "no");
-  auto bounds6a = analysis::unreliabilityBounds(fig6a, 1.0);
+              fig6a.nondeterministic() ? "yes (as the paper predicts)" : "no");
+  for (const analysis::Diagnostic& d : fig6a.diagnostics)
+    if (d.severity == analysis::Severity::Warning)
+      std::printf("  warning: %s\n", d.message.c_str());
   std::printf("  CTMDP unreliability bounds at t=1: [%.6f, %.6f]\n",
-              bounds6a.lower, bounds6a.upper);
+              fig6a.measures[0].bounds[0].lower,
+              fig6a.measures[0].bounds[0].upper);
 
   std::printf("\nFig. 6.b: FDEP-induced race for one shared spare\n");
-  analysis::DftAnalysis fig6b = analysis::analyzeDft(dft::corpus::figure6b());
-  std::printf("  nondeterministic: %s\n", fig6b.nondeterministic ? "yes" : "no");
-  auto bounds6b = analysis::unreliabilityBounds(fig6b, 1.0);
+  AnalysisReport fig6b = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::figure6b(), "fig6b")
+          .measure(MeasureSpec::unreliabilityBounds({1.0})));
+  std::printf("  nondeterministic: %s\n",
+              fig6b.nondeterministic() ? "yes" : "no");
   std::printf("  CTMDP unreliability bounds at t=1: [%.6f, %.6f]\n",
-              bounds6b.lower, bounds6b.upper);
+              fig6b.measures[0].bounds[0].lower,
+              fig6b.measures[0].bounds[0].upper);
 
   // --- Complex spares (Section 6.1). ---
   std::printf("\nFig. 10.a: AND-rooted spare module (activation fans out)\n");
-  analysis::DftAnalysis fig10a = analysis::analyzeDft(dft::corpus::figure10a());
+  AnalysisReport fig10a = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::figure10a(), "fig10a")
+          .measure(MeasureSpec::unreliability({1.0})));
   std::printf("  unreliability at t=1: %.6f (model: %zu states)\n",
-              analysis::unreliability(fig10a, 1.0),
-              fig10a.closedModel.numStates());
+              fig10a.measures[0].values[0],
+              fig10a.analysis->closedModel.numStates());
 
   std::printf("Fig. 10.b: nested spare gates (activation goes to the "
               "primary only)\n");
-  analysis::DftAnalysis fig10b = analysis::analyzeDft(dft::corpus::figure10b());
+  AnalysisReport fig10b = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::figure10b(), "fig10b")
+          .measure(MeasureSpec::unreliability({1.0})));
   std::printf("  unreliability at t=1: %.6f (model: %zu states)\n",
-              analysis::unreliability(fig10b, 1.0),
-              fig10b.closedModel.numStates());
+              fig10b.measures[0].values[0],
+              fig10b.analysis->closedModel.numStates());
 
   // --- FDEP on gates (Section 6.2). ---
   std::printf("\nFig. 10.c: FDEP triggering a gate, not its parts\n");
-  analysis::DftAnalysis fig10c = analysis::analyzeDft(dft::corpus::figure10c());
-  std::printf("  unreliability at t=1: %.6f\n",
-              analysis::unreliability(fig10c, 1.0));
+  AnalysisReport fig10c = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::figure10c(), "fig10c")
+          .measure(MeasureSpec::unreliability({1.0})));
+  std::printf("  unreliability at t=1: %.6f\n", fig10c.measures[0].values[0]);
 
   // --- Inhibition / mutual exclusivity (Section 7.1). ---
   std::printf("\nFig. 12: switch with mutually exclusive failure modes\n");
-  analysis::DftAnalysis mutex = analysis::analyzeDft(dft::corpus::mutexSwitch());
-  std::printf("  unreliability at t=1: %.6f\n",
-              analysis::unreliability(mutex, 1.0));
+  AnalysisReport mutex = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::mutexSwitch(), "mutex")
+          .measure(MeasureSpec::unreliability({1.0})));
+  std::printf("  unreliability at t=1: %.6f\n", mutex.measures[0].values[0]);
   std::printf("  (failing open and failing closed can never both happen)\n");
   return 0;
 }

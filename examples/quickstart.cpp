@@ -1,14 +1,15 @@
 /// \file quickstart.cpp
 /// Smallest end-to-end use of the library: build a dynamic fault tree in
-/// code, run the compositional I/O-IMC analysis, print the unreliability
-/// curve, and show what the aggregation did.
+/// code, submit one request to an Analyzer session, and read the typed
+/// report — the unreliability curve, the MTTF, and what the compositional
+/// aggregation did.
 ///
 /// The system: a primary power feed with a warm spare feed, plus a pump
 /// that depends functionally on a controller.
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "analysis/analyzer.hpp"
 #include "dft/builder.hpp"
 
 int main() {
@@ -26,20 +27,34 @@ int main() {
                       .top("system")
                       .build();
 
-  analysis::DftAnalysis result = analysis::analyzeDft(tree);
+  const std::vector<double> grid{0.25, 0.5, 1.0, 2.0, 4.0};
+  analysis::Analyzer session;
+  analysis::AnalysisReport report = session.analyze(
+      analysis::AnalysisRequest::forDft(tree, "quickstart")
+          .measure(analysis::MeasureSpec::unreliability(grid))
+          .measure(analysis::MeasureSpec::mttf()));
 
+  const analysis::DftAnalysis& a = *report.analysis;
   std::printf("quickstart: warm-spare power + controller-dependent pump\n");
   std::printf("  community folded in %zu composition steps\n",
-              result.stats.steps.size());
+              a.stats.steps.size());
   std::printf("  peak intermediate model: %zu states (aggregated peak: %zu)\n",
-              result.stats.peakComposedStates,
-              result.stats.peakAggregatedStates);
+              a.stats.peakComposedStates, a.stats.peakAggregatedStates);
   std::printf("  final aggregated I/O-IMC: %zu states, %zu transitions\n",
-              result.closedModel.numStates(),
-              result.closedModel.numTransitions());
+              a.closedModel.numStates(), a.closedModel.numTransitions());
 
   std::printf("\n  t      unreliability\n");
-  for (double t : {0.25, 0.5, 1.0, 2.0, 4.0})
-    std::printf("  %-6.2f %.6f\n", t, analysis::unreliability(result, t));
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    std::printf("  %-6.2f %.6f\n", grid[i], report.measures[0].values[i]);
+  std::printf("\n  mean time to failure: %.6f\n",
+              report.measures[1].values[0]);
+
+  // The same request again is a pure cache lookup.
+  analysis::AnalysisReport again = session.analyze(
+      analysis::AnalysisRequest::forDft(tree, "quickstart-again")
+          .measure(analysis::MeasureSpec::unreliability({1.0})));
+  std::printf("\n  repeated request served from cache: %s (tree %016llx)\n",
+              again.fromCache ? "yes" : "no",
+              static_cast<unsigned long long>(again.treeHash));
   return 0;
 }

@@ -1,37 +1,45 @@
 /// \file repairable_system.cpp
 /// Section 7.2 of the paper: repairable basic events and gates.  Builds the
 /// repairable AND system of Fig. 15, shows that composition + aggregation
-/// collapses it to a small CTMC, and computes instantaneous and
-/// steady-state unavailability.
+/// collapses it to a small CTMC, and computes all the repair measures —
+/// instantaneous and steady-state unavailability next to unreliability —
+/// in one Analyzer request.
 
 #include <cstdio>
 
-#include "analysis/measures.hpp"
+#include "analysis/analyzer.hpp"
 #include "dft/builder.hpp"
 #include "dft/corpus.hpp"
 #include "ioimc/export.hpp"
 
 int main() {
   using namespace imcdft;
+  using analysis::AnalysisRequest;
+  using analysis::MeasureSpec;
 
   const double lambda = 1.0, mu = 2.0;
-  dft::Dft tree = dft::corpus::repairableAnd(lambda, mu);
-  analysis::DftAnalysis result = analysis::analyzeDft(tree);
+  const std::vector<double> grid{0.25, 0.5, 1.0, 2.0, 5.0};
+
+  analysis::Analyzer session;
+  analysis::AnalysisReport report = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::repairableAnd(lambda, mu), "fig15")
+          .measure(MeasureSpec::unavailability(grid))
+          .measure(MeasureSpec::unreliability(grid))
+          .measure(MeasureSpec::steadyStateUnavailability()));
 
   std::printf("repairable AND of two repairable components (Fig. 15)\n");
   std::printf("  lambda = %.2f, mu = %.2f\n", lambda, mu);
   std::printf("  aggregated model: %zu states, %zu transitions\n",
-              result.closedModel.numStates(),
-              result.closedModel.numTransitions());
-  std::printf("%s", ioimc::toDot(result.closedModel).c_str());
+              report.analysis->closedModel.numStates(),
+              report.analysis->closedModel.numTransitions());
+  std::printf("%s", ioimc::toDot(report.analysis->closedModel).c_str());
 
   std::printf("\n  t      unavailability   (ever-down by t)\n");
-  for (double t : {0.25, 0.5, 1.0, 2.0, 5.0})
-    std::printf("  %-6.2f %.6f        %.6f\n", t,
-                analysis::unavailability(result, t),
-                analysis::unreliability(result, t));
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    std::printf("  %-6.2f %.6f        %.6f\n", grid[i],
+                report.measures[0].values[i], report.measures[1].values[i]);
 
-  double ss = analysis::steadyStateUnavailability(result);
+  double ss = report.measures[2].values[0];
   double single = lambda / (lambda + mu);
   std::printf("\nsteady-state unavailability: %.6f (closed form %.6f)\n", ss,
               single * single);
@@ -44,11 +52,13 @@ int main() {
                         .votingGate("system", 2, {"A", "B", "C"})
                         .top("system")
                         .build();
-  analysis::DftAnalysis votingResult = analysis::analyzeDft(voting);
+  analysis::AnalysisReport votingReport = session.analyze(
+      AnalysisRequest::forDft(voting, "2-of-3")
+          .measure(MeasureSpec::steadyStateUnavailability()));
   std::printf("\n2-of-3 repairable voting system:\n");
   std::printf("  aggregated model: %zu states\n",
-              votingResult.closedModel.numStates());
+              votingReport.analysis->closedModel.numStates());
   std::printf("  steady-state unavailability: %.6f\n",
-              analysis::steadyStateUnavailability(votingResult));
+              votingReport.measures[0].values[0]);
   return 0;
 }

@@ -1,0 +1,342 @@
+#include "analysis/analyzer.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "analysis/measures.hpp"
+#include "common/error.hpp"
+#include "ctmc/mttf.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "dft/galileo.hpp"
+#include "dft/hash.hpp"
+#include "ioimc/bisimulation.hpp"
+#include "ioimc/ops.hpp"
+
+namespace imcdft::analysis {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Serialization of every option that influences the composed model; part
+/// of both cache keys.
+std::string optionsKey(const AnalysisOptions& opts) {
+  std::string key = "sg=";
+  key += opts.conversion.subsetGates ? '1' : '0';
+  key += ";st=";
+  key += std::to_string(static_cast<int>(opts.engine.strategy));
+  key += ";ae=";
+  key += opts.engine.aggregateEachStep ? '1' : '0';
+  key += ";cs=";
+  key += opts.engine.collapseSinks ? '1' : '0';
+  key += ";ou=";
+  key += opts.engine.weak.outputsUrgent ? '1' : '0';
+  return key;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* measureKindName(MeasureKind kind) {
+  switch (kind) {
+    case MeasureKind::Unreliability: return "unreliability";
+    case MeasureKind::UnreliabilityBounds: return "unreliability-bounds";
+    case MeasureKind::Unavailability: return "unavailability";
+    case MeasureKind::SteadyStateUnavailability:
+      return "steady-state-unavailability";
+    case MeasureKind::Mttf: return "mttf";
+  }
+  return "?";
+}
+
+/// The engine-facing adapter around the session's module map.  Only
+/// always-active modules are cacheable: a module activated from outside
+/// (it is somebody's spare) converts to different elementary models
+/// depending on that outside context, which the module key cannot see.
+/// Independence guarantees everything else — no element below the module
+/// root is referenced from outside it, so the key (the canonical
+/// fingerprint of the module's sub-tree) determines the aggregated model.
+class Analyzer::SessionModuleCache : public ModuleCache {
+ public:
+  SessionModuleCache(Analyzer& owner, const std::vector<ActivationContext>& ctx,
+                     std::string optsKey, CacheStats& requestStats)
+      : owner_(owner),
+        contexts_(ctx),
+        optsKey_(std::move(optsKey)),
+        stats_(requestStats) {}
+
+  std::optional<CachedModule> lookup(const dft::Dft& dft,
+                                     dft::ElementId root) override {
+    if (!cacheable(root)) return std::nullopt;
+    auto it = owner_.modules_.find(key(dft, root));
+    if (it == owner_.modules_.end()) {
+      ++stats_.moduleMisses;
+      return std::nullopt;
+    }
+    ++stats_.moduleHits;
+    return CachedModule{it->second.model, it->second.steps};
+  }
+
+  void store(const dft::Dft& dft, dft::ElementId root,
+             const ioimc::IOIMC& model, std::size_t steps) override {
+    if (!cacheable(root)) return;
+    if (owner_.modules_.size() >= owner_.opts_.maxCachedModules)
+      owner_.modules_.clear();
+    owner_.modules_.insert_or_assign(key(dft, root),
+                                     ModuleEntry{model, steps});
+  }
+
+ private:
+  bool cacheable(dft::ElementId root) const {
+    return root < contexts_.size() && contexts_[root].alwaysActive;
+  }
+  std::string key(const dft::Dft& dft, dft::ElementId root) const {
+    std::string k = dft::moduleKey(dft, root);
+    k += '\x1f';
+    k += optsKey_;
+    return k;
+  }
+
+  Analyzer& owner_;
+  const std::vector<ActivationContext>& contexts_;
+  std::string optsKey_;
+  CacheStats& stats_;
+};
+
+Analyzer::Analyzer(AnalyzerOptions opts)
+    : opts_(opts), symbols_(ioimc::makeSymbolTable()) {}
+
+Analyzer::~Analyzer() = default;
+
+void Analyzer::clearCache() {
+  trees_.clear();
+  modules_.clear();
+}
+
+std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
+    const dft::Dft& tree, const AnalysisOptions& opts, PhaseTimings& timings,
+    CacheStats& requestStats) {
+  ConversionOptions conversion = opts.conversion;
+  const bool customSymbols =
+      conversion.symbols && conversion.symbols != symbols_;
+  if (!conversion.symbols) conversion.symbols = symbols_;
+
+  Clock::time_point phase = Clock::now();
+  Community community = convertDft(tree, conversion);
+  timings.convert = secondsSince(phase);
+  const bool repairable = community.repairable;
+  // Keep the activation contexts alive past the move of the community into
+  // the engine: the module-cache hook consults them for cacheability.
+  const std::vector<ActivationContext> contexts = community.contexts;
+
+  phase = Clock::now();
+  SessionModuleCache moduleCache(*this, contexts, optionsKey(opts),
+                                 requestStats);
+  // Cached module models are interned in the session table; a community
+  // built over a caller-supplied table cannot exchange models with them.
+  const bool useModuleCache =
+      opts_.cacheModules && !customSymbols &&
+      opts.engine.strategy == CompositionStrategy::Modular;
+  EngineResult engine =
+      composeCommunity(std::move(community), tree, opts.engine,
+                       useModuleCache ? &moduleCache : nullptr);
+  timings.compose = secondsSince(phase);
+  requestStats.stepsRun += engine.stats.steps.size();
+  requestStats.stepsSaved += engine.stats.stepsSaved;
+
+  // Absorb failure states, re-aggregate (usually shrinks further), extract.
+  phase = Clock::now();
+  ioimc::IOIMC absorbedModel =
+      ioimc::makeLabelAbsorbing(engine.model, kDownLabel);
+  absorbedModel = ioimc::aggregate(absorbedModel, opts.engine.weak);
+  Extraction absorbed = extract(absorbedModel, kDownLabel);
+  timings.extract = secondsSince(phase);
+
+  DftAnalysis result{std::move(engine.model), std::move(engine.stats),
+                     std::move(absorbed), false, repairable, std::nullopt};
+  result.nondeterministic = !result.absorbed.deterministic;
+  return std::make_shared<DftAnalysis>(std::move(result));
+}
+
+AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
+  AnalysisReport report;
+  report.label = request.label;
+
+  // --- Resolve the DFT source. ---
+  Clock::time_point phase = Clock::now();
+  std::optional<dft::Dft> parsed;
+  const dft::Dft* tree = nullptr;
+  switch (request.source) {
+    case AnalysisRequest::Source::InMemory:
+      require(request.tree.has_value(),
+              "AnalysisRequest: in-memory request without a tree");
+      tree = &*request.tree;
+      break;
+    case AnalysisRequest::Source::GalileoText:
+      parsed = dft::parseGalileo(request.galileo);
+      tree = &*parsed;
+      break;
+    case AnalysisRequest::Source::GalileoFile:
+      parsed = dft::parseGalileo(readFile(request.galileo));
+      tree = &*parsed;
+      break;
+  }
+  report.timings.parse = secondsSince(phase);
+
+  // --- Whole-tree cache lookup / pipeline run. ---
+  std::string treeKey = dft::canonicalKey(*tree);
+  report.treeHash = dft::fnv1a(treeKey);
+  treeKey += '\x1f';
+  treeKey += optionsKey(request.options);
+
+  // Requests with their own symbol table are served one-shot: every cached
+  // model (and every model a cached DftAnalysis holds) is interned in the
+  // session table, which is not the table such a request asked for.
+  const bool useTreeCache =
+      opts_.cacheTrees && (!request.options.conversion.symbols ||
+                           request.options.conversion.symbols == symbols_);
+
+  std::shared_ptr<const DftAnalysis> analysis;
+  if (useTreeCache) {
+    auto it = trees_.find(treeKey);
+    if (it != trees_.end()) {
+      analysis = it->second;
+      report.fromCache = true;
+      ++report.cache.treeHits;
+      report.diagnostics.push_back(
+          {Severity::Info, "composition served from the whole-tree cache"});
+    }
+  }
+  if (!analysis) {
+    ++report.cache.treeMisses;
+    analysis = runPipeline(*tree, request.options, report.timings,
+                           report.cache);
+    if (report.cache.moduleHits > 0)
+      report.diagnostics.push_back(
+          {Severity::Info,
+           std::to_string(report.cache.moduleHits) +
+               " module(s) spliced from the session cache, saving " +
+               std::to_string(report.cache.stepsSaved) +
+               " composition step(s)"});
+    if (useTreeCache) {
+      if (trees_.size() >= opts_.maxCachedTrees) trees_.clear();
+      trees_.emplace(std::move(treeKey), analysis);
+    }
+  }
+  report.analysis = analysis;
+
+  // --- Evaluate the measures. ---
+  phase = Clock::now();
+  auto warn = [&](const std::string& message) {
+    report.diagnostics.push_back({Severity::Warning, message});
+  };
+  auto fail = [&](MeasureResult& r, const std::string& message) {
+    r.ok = false;
+    r.error = message;
+    report.diagnostics.push_back(
+        {Severity::Error,
+         std::string(measureKindName(r.spec.kind)) + ": " + message});
+  };
+  auto requireGrid = [&](MeasureResult& r) {
+    if (!r.spec.times.empty()) return true;
+    fail(r, "empty time grid");
+    return false;
+  };
+
+  for (const MeasureSpec& spec : request.measures) {
+    MeasureResult r;
+    r.spec = spec;
+    r.ok = true;
+    try {
+      switch (spec.kind) {
+        case MeasureKind::Unreliability:
+          if (!requireGrid(r)) break;
+          if (analysis->nondeterministic) {
+            r.boundsSubstituted = true;
+            for (double t : spec.times)
+              r.bounds.push_back(unreliabilityBounds(*analysis, t));
+            warn(
+                "the model is nondeterministic (FDEP-induced simultaneity, "
+                "Section 4.4): scheduler bounds substituted for point "
+                "unreliability");
+          } else {
+            r.values = unreliabilityCurve(*analysis, spec.times);
+          }
+          break;
+        case MeasureKind::UnreliabilityBounds:
+          if (!requireGrid(r)) break;
+          for (double t : spec.times)
+            r.bounds.push_back(unreliabilityBounds(*analysis, t));
+          break;
+        case MeasureKind::Unavailability:
+          if (!requireGrid(r)) break;
+          for (double t : spec.times)
+            r.values.push_back(unavailability(*analysis, t));
+          break;
+        case MeasureKind::SteadyStateUnavailability:
+          r.values.push_back(steadyStateUnavailability(*analysis));
+          break;
+        case MeasureKind::Mttf: {
+          if (analysis->nondeterministic) {
+            fail(r,
+                 "the model is nondeterministic; no scheduler-free "
+                 "expectation exists");
+            break;
+          }
+          ctmc::MttfResult mttf =
+              ctmc::expectedTimeToLabel(analysis->absorbed.chain, kDownLabel);
+          if (!mttf.finite) {
+            r.values.push_back(kInf);
+            warn(
+                "MTTF is infinite: the top event is missed with positive "
+                "probability");
+          } else {
+            r.values.push_back(mttf.value);
+          }
+          break;
+        }
+      }
+    } catch (const Error& e) {
+      fail(r, e.what());
+    }
+    report.measures.push_back(std::move(r));
+  }
+  report.timings.measure = secondsSince(phase);
+
+  // --- Session bookkeeping. ---
+  sessionStats_.treeHits += report.cache.treeHits;
+  sessionStats_.treeMisses += report.cache.treeMisses;
+  sessionStats_.moduleHits += report.cache.moduleHits;
+  sessionStats_.moduleMisses += report.cache.moduleMisses;
+  sessionStats_.stepsRun += report.cache.stepsRun;
+  sessionStats_.stepsSaved += report.cache.stepsSaved;
+  return report;
+}
+
+std::vector<AnalysisReport> Analyzer::analyzeBatch(
+    const std::vector<AnalysisRequest>& requests) {
+  std::vector<AnalysisReport> reports;
+  reports.reserve(requests.size());
+  for (const AnalysisRequest& request : requests)
+    reports.push_back(analyze(request));
+  return reports;
+}
+
+}  // namespace imcdft::analysis

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/request.hpp"
+#include "ioimc/model.hpp"
+
+/// \file analyzer.hpp
+/// The session-oriented public analysis API.
+///
+/// An Analyzer owns the paper's whole pipeline (convert -> compose -> hide
+/// -> aggregate -> extract -> solve) behind a typed request/response
+/// surface, and amortizes the expensive composition work across requests
+/// through two caches:
+///
+///  * a whole-tree cache keyed by the canonical tree fingerprint plus the
+///    conversion/engine options — a repeated request is a pure lookup;
+///  * a per-module cache of aggregated independent-module I/O-IMCs, keyed
+///    by the module's canonical sub-tree fingerprint — a batch over N
+///    scenario variants that share modules only re-composes what changed.
+///
+/// The module cache mirrors the nested-reuse idea of DIFTree-style modular
+/// analysis (Section 5.2 of the paper): an independent module's aggregated
+/// model is context-free as long as the module is always active, so it can
+/// be spliced into any later community that contains the same module.  All
+/// requests of a session intern action names in one shared symbol table to
+/// make that splicing sound.
+///
+/// Analyzer is not thread-safe; use one session per thread.
+
+namespace imcdft::analysis {
+
+struct AnalyzerOptions {
+  /// Serve repeated identical (tree, options) requests from cache.
+  bool cacheTrees = true;
+  /// Reuse aggregated independent-module models across requests (Modular
+  /// strategy only).
+  bool cacheModules = true;
+  /// Crude bounds: when a cache grows past its limit it is cleared whole.
+  std::size_t maxCachedTrees = 256;
+  std::size_t maxCachedModules = 1024;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions opts = {});
+  ~Analyzer();
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  /// Serves one request: resolves the DFT source, runs (or looks up) the
+  /// pipeline, evaluates every requested measure.  Model-level
+  /// incompatibilities (a nondeterministic model asked for a point
+  /// unreliability, unavailability of an irreparable tree) surface as
+  /// diagnostics and per-measure errors, not exceptions; exceptions are
+  /// reserved for malformed input (parse errors, unsupported trees).
+  AnalysisReport analyze(const AnalysisRequest& request);
+
+  /// Serves the requests in order against the shared session caches and
+  /// returns one report each.  Scenario variants that share independent
+  /// modules only re-compose what changed.
+  std::vector<AnalysisReport> analyzeBatch(
+      const std::vector<AnalysisRequest>& requests);
+
+  /// Session-wide cache counters (sums over all analyze() calls).
+  const CacheStats& cacheStats() const { return sessionStats_; }
+
+  /// Number of entries currently cached.
+  std::size_t cachedTreeCount() const { return trees_.size(); }
+  std::size_t cachedModuleCount() const { return modules_.size(); }
+
+  void clearCache();
+
+  /// The session symbol table every request's models intern into.
+  const ioimc::SymbolTablePtr& symbols() const { return symbols_; }
+
+ private:
+  class SessionModuleCache;
+  struct ModuleEntry {
+    ioimc::IOIMC model;
+    std::size_t steps = 0;
+  };
+
+  std::shared_ptr<const DftAnalysis> runPipeline(const dft::Dft& tree,
+                                                 const AnalysisOptions& opts,
+                                                 PhaseTimings& timings,
+                                                 CacheStats& requestStats);
+
+  AnalyzerOptions opts_;
+  ioimc::SymbolTablePtr symbols_;
+  CacheStats sessionStats_;
+  std::unordered_map<std::string, std::shared_ptr<const DftAnalysis>> trees_;
+  std::unordered_map<std::string, ModuleEntry> modules_;
+};
+
+}  // namespace imcdft::analysis

@@ -175,7 +175,7 @@ std::vector<ActivationContext> activationContexts(const Dft& dft) {
 Community convertDft(const Dft& dft, const ConversionOptions& opts) {
   checkConvertible(dft);
   Community community;
-  community.symbols = makeSymbolTable();
+  community.symbols = opts.symbols ? opts.symbols : makeSymbolTable();
   community.repairable = dft.isRepairable();
   community.contexts = activationContexts(dft);
   const auto& ctx = community.contexts;

@@ -20,6 +20,11 @@ struct ConversionOptions {
   /// Use the subset-tracking AND/OR/K-M gates instead of the counting ones
   /// (ablation; exponentially larger elementary models).
   bool subsetGates = false;
+  /// Symbol table to intern action names in.  When null a fresh table is
+  /// created per conversion.  The Analyzer session passes its own table so
+  /// models cached from one request can be composed with communities
+  /// converted for later requests (composition requires a shared table).
+  ioimc::SymbolTablePtr symbols;
 };
 
 /// How an element gets activated (Section 4/6 of the paper).

@@ -127,6 +127,25 @@ class Composer {
         {name, slots_[idx]->numStates(), slots_[idx]->numTransitions()});
   }
 
+  /// Adds a model that was not part of the original community (a cached
+  /// module spliced in by a ModuleCache hit); returns its slot index.
+  std::size_t addSlot(IOIMC model) {
+    slots_.push_back(std::move(model));
+    return slots_.size() - 1;
+  }
+
+  /// Drops a model that will never be composed (its module was served from
+  /// the cache), so it neither counts as a signal consumer in the hiding
+  /// scan nor stays in memory.
+  void releaseSlot(std::size_t i) { slots_[i].reset(); }
+
+  std::size_t stepsSoFar() const { return stats_.steps.size(); }
+
+  void noteCacheSplice(std::size_t stepsSaved) {
+    ++stats_.cachedModules;
+    stats_.stepsSaved += stepsSaved;
+  }
+
  private:
   EngineOptions opts_;
   std::vector<std::optional<IOIMC>> slots_;
@@ -143,7 +162,7 @@ struct ModuleNode {
 }  // namespace
 
 EngineResult composeCommunity(Community community, const dft::Dft& dft,
-                              const EngineOptions& opts) {
+                              const EngineOptions& opts, ModuleCache* cache) {
   require(!community.models.empty(), "composeCommunity: empty community");
 
   // Remember the element sets before handing the models to the composer.
@@ -238,9 +257,10 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
       int node;
       std::size_t child = 0;
       std::vector<std::size_t> pool;
+      std::size_t stepsAtEntry = 0;
     };
     std::vector<Frame> stack;
-    stack.push_back({rootNode, 0, {}});
+    stack.push_back({rootNode, 0, {}, composer.stepsSoFar()});
     std::size_t resultIdx = 0;
     while (!stack.empty()) {
       Frame& f = stack.back();
@@ -248,12 +268,42 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
       if (f.child == 0) f.pool = node.ownModels;
       if (f.child < node.childModules.size()) {
         int child = static_cast<int>(node.childModules[f.child++]);
-        stack.push_back({child, 0, {}});
+        // A cache hit replaces the whole child subtree with its previously
+        // aggregated model.  Trivial modules (a single community model,
+        // e.g. a lone basic event) are not worth caching.
+        const ModuleNode& childNode = nodes[child];
+        const bool trivial =
+            childNode.childModules.empty() && childNode.ownModels.size() <= 1;
+        if (cache && !trivial) {
+          if (std::optional<CachedModule> hit =
+                  cache->lookup(dft, modules[child].root)) {
+            // The skipped subtree's community models will never be
+            // composed; release them so they stop acting as signal
+            // consumers (and free their memory).
+            std::vector<int> pending{child};
+            while (!pending.empty()) {
+              int n = pending.back();
+              pending.pop_back();
+              for (std::size_t m : nodes[n].ownModels)
+                composer.releaseSlot(m);
+              for (std::size_t c : nodes[n].childModules)
+                pending.push_back(static_cast<int>(c));
+            }
+            std::size_t slot = composer.addSlot(std::move(hit->model));
+            composer.recordModule(nodes[child].name, slot);
+            composer.noteCacheSplice(hit->steps);
+            f.pool.push_back(slot);
+            continue;
+          }
+        }
+        stack.push_back({child, 0, {}, composer.stepsSoFar()});
         continue;
       }
       // A module with a single member does not need composing, but modules
       // with several members fold into one model.
       const bool properModule = f.pool.size() > 1;
+      const int nodeIdx = f.node;
+      const std::size_t stepsAtEntry = f.stepsAtEntry;
       std::size_t merged = composer.mergePool(f.pool);
       if (properModule) composer.recordModule(node.name, merged);
       stack.pop_back();
@@ -261,6 +311,9 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
         resultIdx = merged;
       } else {
         stack.back().pool.push_back(merged);
+        if (cache && properModule)
+          cache->store(dft, modules[nodeIdx].root, composer.slot(merged),
+                       composer.stepsSoFar() - stepsAtEntry);
       }
     }
     finalIdx = resultIdx;

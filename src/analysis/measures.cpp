@@ -1,28 +1,21 @@
 #include "analysis/measures.hpp"
 
+#include "analysis/analyzer.hpp"
 #include "common/error.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
-#include "ioimc/bisimulation.hpp"
-#include "ioimc/ops.hpp"
 
 namespace imcdft::analysis {
 
 DftAnalysis analyzeDft(const dft::Dft& dft, const AnalysisOptions& opts) {
-  Community community = convertDft(dft, opts.conversion);
-  const bool repairable = community.repairable;
-  EngineResult engine = composeCommunity(std::move(community), dft, opts.engine);
-
-  // Absorb failure states, re-aggregate (usually shrinks further), extract.
-  ioimc::IOIMC absorbedModel =
-      ioimc::makeLabelAbsorbing(engine.model, kDownLabel);
-  absorbedModel = ioimc::aggregate(absorbedModel, opts.engine.weak);
-  Extraction absorbed = extract(absorbedModel, kDownLabel);
-
-  DftAnalysis analysis{std::move(engine.model), std::move(engine.stats),
-                       std::move(absorbed), false, repairable};
-  analysis.nondeterministic = !analysis.absorbed.deterministic;
-  return analysis;
+  // One-shot session: no caching, same pipeline as Analyzer::analyze.
+  AnalyzerOptions sessionOpts;
+  sessionOpts.cacheTrees = false;
+  sessionOpts.cacheModules = false;
+  Analyzer session(sessionOpts);
+  AnalysisReport report =
+      session.analyze(AnalysisRequest::forDft(dft).withOptions(opts));
+  return *report.analysis;
 }
 
 double unreliability(const DftAnalysis& analysis, double missionTime) {
@@ -46,31 +39,28 @@ ctmdp::ReachabilityBounds unreliabilityBounds(const DftAnalysis& analysis,
   return ctmdp::reachabilityBounds(analysis.absorbed.mdp, missionTime);
 }
 
-namespace {
-
-/// Extraction of the *non-absorbed* model: needed for unavailability,
-/// where the system leaves the down states again after repair.
-Extraction extractFull(const DftAnalysis& analysis) {
-  Extraction full = extract(analysis.closedModel, kDownLabel);
-  require(full.deterministic,
-          "unavailability: the model is nondeterministic; no scheduler-free "
-          "answer exists");
-  return full;
+const Extraction& fullExtraction(const DftAnalysis& analysis) {
+  if (!analysis.fullMemo) {
+    Extraction full = extract(analysis.closedModel, kDownLabel);
+    require(full.deterministic,
+            "unavailability: the model is nondeterministic; no "
+            "scheduler-free answer exists");
+    analysis.fullMemo = std::move(full);
+  }
+  return *analysis.fullMemo;
 }
 
-}  // namespace
-
 double unavailability(const DftAnalysis& analysis, double t) {
-  Extraction full = extractFull(analysis);
-  return ctmc::probabilityOfLabelAt(full.chain, kDownLabel, t);
+  return ctmc::probabilityOfLabelAt(fullExtraction(analysis).chain, kDownLabel,
+                                    t);
 }
 
 double steadyStateUnavailability(const DftAnalysis& analysis) {
   require(analysis.repairable,
           "steadyStateUnavailability: the tree is not repairable; the limit "
           "is trivially the probability of eventual failure");
-  Extraction full = extractFull(analysis);
-  return ctmc::steadyStateLabelProbability(full.chain, kDownLabel);
+  return ctmc::steadyStateLabelProbability(fullExtraction(analysis).chain,
+                                           kDownLabel);
 }
 
 }  // namespace imcdft::analysis

@@ -6,57 +6,57 @@
 #include "analysis/converter.hpp"
 #include "analysis/engine.hpp"
 #include "analysis/extract.hpp"
+#include "analysis/report.hpp"
+#include "analysis/request.hpp"
 #include "ctmdp/reachability.hpp"
 #include "dft/model.hpp"
 
 /// \file measures.hpp
-/// The end-to-end facade: DFT in, reliability measures out.  This is the
-/// public API the examples and benchmarks use.
+/// The original free-function facade: DFT in, reliability measures out.
+///
+/// \deprecated This surface is kept for compatibility and produces the
+/// exact same numbers as before, but every function here is now a thin
+/// wrapper over a one-shot Analyzer session (analysis/analyzer.hpp).  New
+/// code should create an Analyzer and submit AnalysisRequests: a session
+/// amortizes composition across measures, time grids and scenario variants
+/// through its whole-tree and per-module caches, none of which these free
+/// functions can offer.  See README.md for the migration table.
 
 namespace imcdft::analysis {
 
-/// The state label the top-event monitor attaches to failed states.
-inline constexpr const char* kDownLabel = "down";
-
-struct AnalysisOptions {
-  ConversionOptions conversion;
-  EngineOptions engine;
-};
-
-/// Result of the compositional-aggregation pipeline, ready for measures.
-struct DftAnalysis {
-  /// The single aggregated I/O-IMC of the whole tree, all signals hidden.
-  ioimc::IOIMC closedModel;
-  CompositionStats stats;
-  /// Extraction of the failure-absorbed model (for unreliability).
-  Extraction absorbed;
-  /// True when FDEP-induced simultaneity left real nondeterminism, in which
-  /// case unreliability() throws and unreliabilityBounds() applies
-  /// (Section 4.4 of the paper).
-  bool nondeterministic = false;
-  bool repairable = false;
-};
-
 /// Runs conversion, compositional aggregation and extraction.
+/// \deprecated Equivalent to Analyzer().analyze(AnalysisRequest::forDft(
+/// dft).withOptions(opts)) — use the session API to get caching.
 DftAnalysis analyzeDft(const dft::Dft& dft, const AnalysisOptions& opts = {});
 
 /// P(system failed by time t), the paper's headline measure.  Requires a
 /// deterministic model; see unreliabilityBounds() otherwise.
+/// \deprecated Prefer MeasureSpec::unreliability on an Analyzer request.
 double unreliability(const DftAnalysis& analysis, double missionTime);
 
 /// Unreliability evaluated at several mission times.
+/// \deprecated Prefer MeasureSpec::unreliability with a time grid.
 std::vector<double> unreliabilityCurve(const DftAnalysis& analysis,
                                        const std::vector<double>& times);
 
 /// [min, max] over schedulers, for nondeterministic models (also valid for
 /// deterministic ones, where both bounds coincide).
+/// \deprecated Prefer MeasureSpec::unreliabilityBounds.
 ctmdp::ReachabilityBounds unreliabilityBounds(const DftAnalysis& analysis,
                                               double missionTime);
 
 /// P(system is down at time t) for repairable models (Section 7.2).
+/// \deprecated Prefer MeasureSpec::unavailability.
 double unavailability(const DftAnalysis& analysis, double t);
 
 /// Long-run fraction of time the system is down (repairable models).
+/// \deprecated Prefer MeasureSpec::steadyStateUnavailability.
 double steadyStateUnavailability(const DftAnalysis& analysis);
+
+/// Extraction of the *non-absorbed* model, memoized on the analysis
+/// (shared by the unavailability measures; throws on nondeterminism).
+/// The memoization writes DftAnalysis::fullMemo without synchronization;
+/// see the note there before sharing one analysis across threads.
+const Extraction& fullExtraction(const DftAnalysis& analysis);
 
 }  // namespace imcdft::analysis

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "analysis/extract.hpp"
+#include "analysis/request.hpp"
+#include "ctmdp/reachability.hpp"
+
+/// \file report.hpp
+/// The typed response side of the Analyzer session API: per-measure
+/// results, structured diagnostics, composition statistics, cache-hit
+/// counters and per-phase timings.
+
+namespace imcdft::analysis {
+
+/// The state label the top-event monitor attaches to failed states.
+inline constexpr const char* kDownLabel = "down";
+
+/// Result of the compositional-aggregation pipeline, ready for measures.
+/// (This is the old analyzeDft() return type; the Analyzer shares one
+/// instance per distinct tree across all measures and cached requests.)
+struct DftAnalysis {
+  /// The single aggregated I/O-IMC of the whole tree, all signals hidden.
+  ioimc::IOIMC closedModel;
+  CompositionStats stats;
+  /// Extraction of the failure-absorbed model (for unreliability).
+  Extraction absorbed;
+  /// True when FDEP-induced simultaneity left real nondeterminism, in which
+  /// case unreliability() throws and unreliabilityBounds() applies
+  /// (Section 4.4 of the paper).
+  bool nondeterministic = false;
+  bool repairable = false;
+  /// Lazily computed extraction of the *non-absorbed* model (needed by the
+  /// unavailability measures, where the system leaves the down states again
+  /// after repair).  Use fullExtraction() in measures.hpp; do not touch.
+  /// The memo is unsynchronized: reports of one session share a single
+  /// DftAnalysis, so callers evaluating unavailability measures on shared
+  /// instances from several threads must serialize (like the Analyzer
+  /// itself, this type is single-thread-per-instance).
+  mutable std::optional<Extraction> fullMemo;
+};
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+/// A structured note attached to a report, e.g. "nondeterministic model:
+/// bounds substituted for point unreliability".
+struct Diagnostic {
+  Severity severity = Severity::Info;
+  std::string message;
+};
+
+/// Result of one MeasureSpec.
+struct MeasureResult {
+  MeasureSpec spec;  ///< echo of the request
+  /// False when the measure does not apply to this model (the reason is in
+  /// error and mirrored as an Error diagnostic on the report).
+  bool ok = false;
+  /// Point values, one per grid point (one entry for the scalar kinds).
+  /// Empty when boundsSubstituted is set.
+  std::vector<double> values;
+  /// Scheduler bounds per grid point; filled for UnreliabilityBounds and
+  /// for Unreliability on nondeterministic models.
+  std::vector<ctmdp::ReachabilityBounds> bounds;
+  /// Set when an Unreliability request met a nondeterministic model and
+  /// bounds were returned instead of point values (with a warning).
+  bool boundsSubstituted = false;
+  std::string error;
+};
+
+/// Wall-clock seconds spent in each phase of serving one request.
+struct PhaseTimings {
+  double parse = 0.0;    ///< Galileo parsing (0 for in-memory trees)
+  double convert = 0.0;  ///< DFT -> I/O-IMC community
+  double compose = 0.0;  ///< compose/hide/aggregate folding
+  double extract = 0.0;  ///< absorption + CTMC/CTMDP extraction
+  double measure = 0.0;  ///< numerical solvers over all measures
+  double total() const {
+    return parse + convert + compose + extract + measure;
+  }
+};
+
+/// Cache activity, either of one request (AnalysisReport::cache) or of a
+/// whole session (Analyzer::cacheStats()).
+struct CacheStats {
+  /// Whole-tree cache: a hit skips conversion, composition and extraction.
+  std::size_t treeHits = 0;
+  std::size_t treeMisses = 0;
+  /// Module cache: a hit splices a previously aggregated module I/O-IMC.
+  std::size_t moduleHits = 0;
+  std::size_t moduleMisses = 0;
+  /// Compose/hide/aggregate steps actually executed vs avoided by hits.
+  std::size_t stepsRun = 0;
+  std::size_t stepsSaved = 0;
+};
+
+/// Response to one AnalysisRequest.
+struct AnalysisReport {
+  std::string label;  ///< echo of the request label
+  /// Canonical fingerprint of the analyzed tree (dft::canonicalHash).
+  std::uint64_t treeHash = 0;
+  /// True when the whole-tree cache served this request (a pure lookup).
+  bool fromCache = false;
+  /// The underlying pipeline result; shared with the session cache and
+  /// with other reports for the same tree.
+  std::shared_ptr<const DftAnalysis> analysis;
+  std::vector<MeasureResult> measures;
+  std::vector<Diagnostic> diagnostics;
+  CacheStats cache;  ///< activity attributable to this request alone
+  PhaseTimings timings;
+
+  const CompositionStats& stats() const { return analysis->stats; }
+  bool nondeterministic() const { return analysis->nondeterministic; }
+  /// True when every requested measure evaluated (possibly with warnings).
+  bool allMeasuresOk() const {
+    for (const MeasureResult& m : measures)
+      if (!m.ok) return false;
+    return true;
+  }
+};
+
+}  // namespace imcdft::analysis

@@ -1,0 +1,133 @@
+#include "dft/hash.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dft/modules.hpp"
+
+namespace imcdft::dft {
+
+namespace {
+
+const char* typeTag(ElementType t) {
+  switch (t) {
+    case ElementType::BasicEvent: return "be";
+    case ElementType::And: return "and";
+    case ElementType::Or: return "or";
+    case ElementType::Voting: return "vote";
+    case ElementType::Pand: return "pand";
+    case ElementType::Spare: return "spare";
+    case ElementType::Fdep: return "fdep";
+    case ElementType::Seq: return "seq";
+  }
+  return "?";
+}
+
+const char* spareTag(SpareKind k) {
+  switch (k) {
+    case SpareKind::Cold: return "csp";
+    case SpareKind::Warm: return "wsp";
+    case SpareKind::Hot: return "hsp";
+  }
+  return "?";
+}
+
+/// Exact textual form of a double (round-trippable hex float).
+void appendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+}
+
+/// Length-prefixed name: quoted Galileo names may contain any character
+/// except '"' — including the serializer's own delimiters — so a plain
+/// join would not be injective ("B C" vs "B", "C").
+void appendName(std::string& out, const std::string& name) {
+  out += std::to_string(name.size());
+  out += ':';
+  out += name;
+}
+
+void appendElement(std::string& out, const Dft& dft, const Element& e) {
+  appendName(out, e.name);
+  out += ' ';
+  out += typeTag(e.type);
+  if (e.type == ElementType::Voting) {
+    out += ' ';
+    out += std::to_string(e.votingThreshold);
+  }
+  if (e.type == ElementType::Spare) {
+    out += ' ';
+    out += spareTag(e.spareKind);
+  }
+  if (e.isBasicEvent()) {
+    out += " l=";
+    appendDouble(out, e.be.lambda);
+    out += " d=";
+    appendDouble(out, e.be.dormancy);
+    if (e.be.repairRate) {
+      out += " m=";
+      appendDouble(out, *e.be.repairRate);
+    }
+    if (e.be.phases != 1) {
+      out += " p=";
+      out += std::to_string(e.be.phases);
+    }
+  }
+  // Input order is semantically relevant for the dynamic gates and kept for
+  // the static ones too (it cannot change the measures, but keeping it makes
+  // the key trivially sound).
+  for (ElementId in : e.inputs) {
+    out += ' ';
+    appendName(out, dft.element(in).name);
+  }
+  out += ';';
+}
+
+}  // namespace
+
+std::string canonicalKey(const Dft& dft) {
+  std::vector<ElementId> order(dft.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<ElementId>(i);
+  std::sort(order.begin(), order.end(), [&](ElementId a, ElementId b) {
+    return dft.element(a).name < dft.element(b).name;
+  });
+
+  std::string out = "top=";
+  appendName(out, dft.element(dft.top()).name);
+  out += ';';
+  for (ElementId id : order) appendElement(out, dft, dft.element(id));
+
+  std::vector<std::pair<std::string, std::string>> inhibitions;
+  for (const Inhibition& inh : dft.inhibitions())
+    inhibitions.emplace_back(dft.element(inh.inhibitor).name,
+                             dft.element(inh.target).name);
+  std::sort(inhibitions.begin(), inhibitions.end());
+  for (const auto& [inhibitor, target] : inhibitions) {
+    out += "inh ";
+    appendName(out, inhibitor);
+    out += ' ';
+    appendName(out, target);
+    out += ';';
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t canonicalHash(const Dft& dft) { return fnv1a(canonicalKey(dft)); }
+
+std::string moduleKey(const Dft& dft, ElementId root) {
+  return canonicalKey(extractModule(dft, root));
+}
+
+}  // namespace imcdft::dft

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dft/model.hpp"
+
+/// \file hash.hpp
+/// Canonical fingerprints of fault trees, the foundation of the Analyzer's
+/// session caches (analysis/analyzer.hpp).  Two trees that differ only in
+/// declaration order (and therefore in element ids) serialize to the same
+/// canonical key: elements are emitted sorted by name, with inputs referred
+/// to by name.  Everything that influences the converted I/O-IMC community
+/// is included — element types, input order (semantically relevant for
+/// PAND/SPARE/FDEP/SEQ), voting thresholds, spare kinds, basic-event
+/// attributes, inhibitions and the top element.
+
+namespace imcdft::dft {
+
+/// Exact canonical serialization of \p dft (collision-free cache key).
+std::string canonicalKey(const Dft& dft);
+
+/// FNV-1a 64-bit hash of canonicalKey() (compact fingerprint for reports).
+std::uint64_t canonicalHash(const Dft& dft);
+
+/// Canonical key of the independent module rooted at \p root, i.e. of the
+/// standalone sub-DFT over its dependency closure (see dft/modules.hpp).
+/// Identical module keys across different trees mean the module converts
+/// and aggregates to the same I/O-IMC, provided the module is always
+/// active (the Analyzer checks that before reusing a cached model).
+std::string moduleKey(const Dft& dft, ElementId root);
+
+/// FNV-1a 64-bit hash over an arbitrary string (exposed for option keys).
+std::uint64_t fnv1a(const std::string& text);
+
+}  // namespace imcdft::dft

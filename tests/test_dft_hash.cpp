@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dft/builder.hpp"
+#include "dft/corpus.hpp"
+#include "dft/galileo.hpp"
+#include "dft/hash.hpp"
+#include "dft/modules.hpp"
+
+namespace imcdft::dft {
+namespace {
+
+TEST(DftHash, DeclarationOrderDoesNotMatter) {
+  // The same tree with permuted element declarations: ids differ, the
+  // canonical key must not.
+  Dft a = DftBuilder()
+              .basicEvent("X", 1.0)
+              .basicEvent("Y", 2.0)
+              .andGate("Top", {"X", "Y"})
+              .top("Top")
+              .build();
+  Dft b = DftBuilder()
+              .basicEvent("Y", 2.0)
+              .basicEvent("X", 1.0)
+              .andGate("Top", {"X", "Y"})
+              .top("Top")
+              .build();
+  EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+  EXPECT_EQ(canonicalHash(a), canonicalHash(b));
+}
+
+TEST(DftHash, RatesAndStructureMatter) {
+  auto build = [](double lambda, bool orGate) {
+    DftBuilder b;
+    b.basicEvent("X", lambda).basicEvent("Y", 2.0);
+    if (orGate)
+      b.orGate("Top", {"X", "Y"});
+    else
+      b.andGate("Top", {"X", "Y"});
+    return b.top("Top").build();
+  };
+  EXPECT_NE(canonicalHash(build(1.0, false)), canonicalHash(build(1.5, false)));
+  EXPECT_NE(canonicalHash(build(1.0, false)), canonicalHash(build(1.0, true)));
+}
+
+TEST(DftHash, InputOrderMatters) {
+  // PAND(A, B) and PAND(B, A) are different systems.
+  Dft ab = DftBuilder()
+               .basicEvent("A", 1.0)
+               .basicEvent("B", 1.0)
+               .pandGate("Top", {"A", "B"})
+               .top("Top")
+               .build();
+  Dft ba = DftBuilder()
+               .basicEvent("A", 1.0)
+               .basicEvent("B", 1.0)
+               .pandGate("Top", {"B", "A"})
+               .top("Top")
+               .build();
+  EXPECT_NE(canonicalHash(ab), canonicalHash(ba));
+}
+
+TEST(DftHash, GalileoRoundTripPreservesTheKey) {
+  Dft viaText = parseGalileo(corpus::galileoCas());
+  Dft again = parseGalileo(corpus::galileoCas());
+  EXPECT_EQ(canonicalKey(viaText), canonicalKey(again));
+}
+
+TEST(DftHash, SharedModulesShareKeysAcrossVariants) {
+  // Perturbing a CPU-unit rate must leave the motor/pump module keys
+  // untouched — that is exactly what the Analyzer's module cache keys on.
+  std::string variant = corpus::galileoCas();
+  const std::string needle = "\"CS\" lambda=0.2;";
+  variant.replace(variant.find(needle), needle.size(), "\"CS\" lambda=0.9;");
+  Dft base = parseGalileo(corpus::galileoCas());
+  Dft perturbed = parseGalileo(variant);
+
+  auto keyOf = [](const Dft& tree, const std::string& name) {
+    return moduleKey(tree, tree.byName(name));
+  };
+  EXPECT_EQ(keyOf(base, "Motor_unit"), keyOf(perturbed, "Motor_unit"));
+  EXPECT_EQ(keyOf(base, "Pump_unit"), keyOf(perturbed, "Pump_unit"));
+  EXPECT_NE(keyOf(base, "CPU_unit"), keyOf(perturbed, "CPU_unit"));
+  EXPECT_NE(canonicalHash(base), canonicalHash(perturbed));
+}
+
+TEST(DftHash, DelimiterCharactersInNamesDoNotCollide) {
+  // Quoted Galileo names may contain the serializer's own delimiters; the
+  // length-prefixed keys must stay injective.
+  Dft joined = DftBuilder()
+                   .basicEvent("B C", 1.0)
+                   .orGate("Top", {"B C"})
+                   .top("Top")
+                   .build();
+  Dft split = DftBuilder()
+                  .basicEvent("B", 1.0)
+                  .basicEvent("C", 1.0)
+                  .orGate("Top", {"B", "C"})
+                  .top("Top")
+                  .build();
+  EXPECT_NE(canonicalKey(joined), canonicalKey(split));
+
+  Dft viaGalileo = parseGalileo(
+      "toplevel \"Top\";\n\"Top\" or \"B C\";\n\"B C\" lambda=1.0;\n");
+  EXPECT_EQ(canonicalKey(joined), canonicalKey(viaGalileo));
+}
+
+TEST(DftHash, RepairAndDormancyAreFingerprinted) {
+  auto be = [](double dorm, std::optional<double> mu) {
+    DftBuilder b;
+    b.basicEvent("X", 1.0, dorm, mu).orGate("Top", {"X"});
+    return b.top("Top").build();
+  };
+  EXPECT_NE(canonicalHash(be(1.0, std::nullopt)),
+            canonicalHash(be(0.5, std::nullopt)));
+  EXPECT_NE(canonicalHash(be(1.0, std::nullopt)), canonicalHash(be(1.0, 2.0)));
+}
+
+}  // namespace
+}  // namespace imcdft::dft

@@ -1,5 +1,6 @@
 /// \file dftimc.cpp
 /// Command-line front end: Galileo DFT in, reliability measures out.
+/// A thin shell over the Analyzer session API (analysis/analyzer.hpp).
 ///
 ///   dftimc [options] <model.dft>
 ///     --time T          mission time (default 1.0; repeatable)
@@ -7,13 +8,17 @@
 ///                       nondeterministic models
 ///     --unavailability  also print unavailability (repairable trees)
 ///     --steady-state    also print steady-state unavailability
+///     --mttf            also print the mean time to failure
 ///     --modular         also run the DIFTree-style modular baseline
 ///     --monolithic      also run the DIFTree-style whole-tree baseline
 ///     --simulate N      also run N Monte-Carlo trajectories
-///     --stats           print composition statistics
+///     --stats           print composition statistics and phase timings
 ///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
 ///     --aut FILE        write it in Aldebaran format
 ///     --strategy S      composition order: modular | greedy | declaration
+///
+/// Every requested measure — including the baselines and the simulator —
+/// is evaluated at every --time point.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/measures.hpp"
+#include "analysis/analyzer.hpp"
 #include "common/error.hpp"
 #include "ctmc/transient.hpp"
 #include "dft/galileo.hpp"
@@ -40,6 +45,7 @@ struct CliOptions {
   bool bounds = false;
   bool unavailability = false;
   bool steadyState = false;
+  bool mttf = false;
   bool modular = false;
   bool monolithic = false;
   bool stats = false;
@@ -53,9 +59,9 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--time T]... [--bounds] [--unavailability] "
-               "[--steady-state]\n"
-               "          [--modular] [--monolithic] [--stats] [--dot FILE] "
-               "[--aut FILE]\n"
+               "[--steady-state] [--mttf]\n"
+               "          [--modular] [--monolithic] [--simulate N] [--stats] "
+               "[--dot FILE] [--aut FILE]\n"
                "          [--strategy modular|greedy|declaration] <model.dft>\n",
                argv0);
   std::exit(2);
@@ -77,6 +83,8 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.unavailability = true;
     } else if (arg == "--steady-state") {
       opts.steadyState = true;
+    } else if (arg == "--mttf") {
+      opts.mttf = true;
     } else if (arg == "--modular") {
       opts.modular = true;
     } else if (arg == "--monolithic") {
@@ -120,6 +128,15 @@ std::string readFile(const std::string& path) {
   return ss.str();
 }
 
+const char* severityTag(imcdft::analysis::Severity s) {
+  switch (s) {
+    case imcdft::analysis::Severity::Info: return "note";
+    case imcdft::analysis::Severity::Warning: return "warning";
+    case imcdft::analysis::Severity::Error: return "error";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,80 +148,131 @@ int main(int argc, char** argv) {
                 tree.size(), tree.isDynamic() ? "dynamic" : "static",
                 tree.isRepairable() ? ", repairable" : "");
 
-    analysis::AnalysisOptions analysisOpts;
-    analysisOpts.engine.strategy = opts.strategy;
-    analysis::DftAnalysis result = analysis::analyzeDft(tree, analysisOpts);
+    analysis::AnalysisRequest request =
+        analysis::AnalysisRequest::forDft(tree, opts.modelPath);
+    request.options.engine.strategy = opts.strategy;
+    if (opts.bounds)
+      request.measure(analysis::MeasureSpec::unreliabilityBounds(opts.times));
+    else
+      request.measure(analysis::MeasureSpec::unreliability(opts.times));
+    if (opts.unavailability)
+      request.measure(analysis::MeasureSpec::unavailability(opts.times));
+    if (opts.steadyState)
+      request.measure(analysis::MeasureSpec::steadyStateUnavailability());
+    if (opts.mttf) request.measure(analysis::MeasureSpec::mttf());
+
+    analysis::Analyzer session;
+    analysis::AnalysisReport report = session.analyze(request);
 
     if (opts.stats) {
       std::printf("\ncomposition statistics:\n");
-      for (const analysis::ModuleResult& m : result.stats.modules)
+      for (const analysis::ModuleResult& m : report.stats().modules)
         std::printf("  module %-16s -> %zu states, %zu transitions\n",
                     m.name.c_str(), m.states, m.transitions);
       std::printf("  peak composed:   %zu states, %zu transitions\n",
-                  result.stats.peakComposedStates,
-                  result.stats.peakComposedTransitions);
+                  report.stats().peakComposedStates,
+                  report.stats().peakComposedTransitions);
       std::printf("  peak aggregated: %zu states, %zu transitions\n",
-                  result.stats.peakAggregatedStates,
-                  result.stats.peakAggregatedTransitions);
+                  report.stats().peakAggregatedStates,
+                  report.stats().peakAggregatedTransitions);
       std::printf("  final model:     %zu states, %zu transitions\n",
-                  result.closedModel.numStates(),
-                  result.closedModel.numTransitions());
+                  report.analysis->closedModel.numStates(),
+                  report.analysis->closedModel.numTransitions());
+      std::printf("  phases [s]:      convert %.4f, compose %.4f, "
+                  "extract %.4f, measure %.4f\n",
+                  report.timings.convert, report.timings.compose,
+                  report.timings.extract, report.timings.measure);
+      std::printf("  tree fingerprint %016llx\n",
+                  static_cast<unsigned long long>(report.treeHash));
     }
 
     std::printf("\n");
-    if (result.nondeterministic && !opts.bounds) {
+    // Error diagnostics are reported next to their measure below.
+    for (const analysis::Diagnostic& d : report.diagnostics)
+      if (d.severity == analysis::Severity::Warning ||
+          (d.severity == analysis::Severity::Info && opts.stats))
+        std::printf("%s: %s\n", severityTag(d.severity), d.message.c_str());
+
+    if (report.nondeterministic() && !opts.bounds) {
       std::printf(
           "the model is nondeterministic (FDEP-induced simultaneity, "
           "Section 4.4 of the paper); rerun with --bounds\n");
       return 1;
     }
-    for (double t : opts.times) {
-      if (result.nondeterministic) {
-        auto b = analysis::unreliabilityBounds(result, t);
-        std::printf("unreliability in [%.8f, %.8f] at t=%g\n", b.lower,
-                    b.upper, t);
-      } else {
-        std::printf("unreliability      %.8f at t=%g\n",
-                    analysis::unreliability(result, t), t);
+
+    bool anyMeasureFailed = false;
+    for (const analysis::MeasureResult& m : report.measures) {
+      if (!m.ok) {
+        anyMeasureFailed = true;
+        std::fprintf(stderr, "error: %s: %s\n",
+                     analysis::measureKindName(m.spec.kind), m.error.c_str());
+        continue;
       }
-      if (opts.unavailability)
-        std::printf("unavailability     %.8f at t=%g\n",
-                    analysis::unavailability(result, t), t);
+      switch (m.spec.kind) {
+        case analysis::MeasureKind::Unreliability:
+        case analysis::MeasureKind::UnreliabilityBounds:
+          for (std::size_t i = 0; i < m.spec.times.size(); ++i) {
+            if (!m.bounds.empty())
+              std::printf("unreliability in [%.8f, %.8f] at t=%g\n",
+                          m.bounds[i].lower, m.bounds[i].upper,
+                          m.spec.times[i]);
+            else
+              std::printf("unreliability      %.8f at t=%g\n", m.values[i],
+                          m.spec.times[i]);
+          }
+          break;
+        case analysis::MeasureKind::Unavailability:
+          for (std::size_t i = 0; i < m.spec.times.size(); ++i)
+            std::printf("unavailability     %.8f at t=%g\n", m.values[i],
+                        m.spec.times[i]);
+          break;
+        case analysis::MeasureKind::SteadyStateUnavailability:
+          std::printf("steady-state unavailability %.8f\n", m.values[0]);
+          break;
+        case analysis::MeasureKind::Mttf:
+          std::printf("mean time to failure %.8f\n", m.values[0]);
+          break;
+      }
     }
-    if (opts.steadyState)
-      std::printf("steady-state unavailability %.8f\n",
-                  analysis::steadyStateUnavailability(result));
 
     if (opts.modular) {
-      diftree::ModularResult m =
-          diftree::modularAnalysis(tree, opts.times.front());
-      std::printf("\nDIFTree modular baseline: unreliability %.8f at t=%g "
-                  "(largest module chain: %zu states)\n",
-                  m.unreliability, opts.times.front(), m.largestMcStates);
+      std::printf("\n");
+      for (double t : opts.times) {
+        diftree::ModularResult m = diftree::modularAnalysis(tree, t);
+        std::printf("DIFTree modular baseline: unreliability %.8f at t=%g "
+                    "(largest module chain: %zu states)\n",
+                    m.unreliability, t, m.largestMcStates);
+      }
     }
     if (opts.monolithic) {
       diftree::MonolithicResult m = diftree::generateMonolithic(tree);
       std::printf("\nDIFTree monolithic baseline: %zu states, %zu "
-                  "transitions, unreliability %.8f at t=%g\n",
-                  m.numStates, m.numTransitions,
-                  ctmc::probabilityOfLabelAt(m.chain, "down",
-                                             opts.times.front()),
-                  opts.times.front());
+                  "transitions\n",
+                  m.numStates, m.numTransitions);
+      for (double t : opts.times)
+        std::printf("DIFTree monolithic baseline: unreliability %.8f at "
+                    "t=%g\n",
+                    ctmc::probabilityOfLabelAt(m.chain, "down", t), t);
     }
 
     if (opts.simulateRuns > 0) {
-      simulation::Estimate est = simulation::simulateUnreliability(
-          tree, opts.times.front(), {opts.simulateRuns, 42});
-      std::printf("\nMonte-Carlo estimate (%llu runs): %.8f +- %.8f at t=%g\n",
-                  static_cast<unsigned long long>(est.runs), est.value,
-                  est.halfWidth95, opts.times.front());
+      std::printf("\n");
+      for (double t : opts.times) {
+        simulation::Estimate est = simulation::simulateUnreliability(
+            tree, t, {opts.simulateRuns, 42});
+        std::printf("Monte-Carlo estimate (%llu runs): %.8f +- %.8f at t=%g\n",
+                    static_cast<unsigned long long>(est.runs), est.value,
+                    est.halfWidth95, t);
+      }
     }
 
     if (!opts.dotPath.empty())
-      std::ofstream(opts.dotPath) << ioimc::toDot(result.closedModel);
+      std::ofstream(opts.dotPath)
+          << ioimc::toDot(report.analysis->closedModel);
     if (!opts.autPath.empty())
-      std::ofstream(opts.autPath) << ioimc::toAut(result.closedModel);
-    return 0;
+      std::ofstream(opts.autPath)
+          << ioimc::toAut(report.analysis->closedModel);
+    return anyMeasureFailed ? 1 : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
