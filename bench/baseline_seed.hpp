@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+/// \file baseline_seed.hpp
+/// Frozen pre-flat-storage (PR 1 tip, commit 84b7bfe) reference numbers for
+/// bench_compose: cold single-session wall clock and unreliability values on
+/// the shared scaling sweep.  Captured with the exact protocol bench_compose
+/// uses (cold Analyzer, grid {0.5, 1.0, 2.0}, one warmup, best of 5 timed
+/// analyze() calls) on the same machine the checked-in BENCH_compose.json
+/// was produced on.  The bench divides these timings by the current
+/// implementation's to report the flat-storage/parallel speedup, and checks
+/// the measure values still agree to 1e-9.
+
+namespace benchcompose {
+
+struct SeedBaseline {
+  const char* name;          ///< sweep configuration id
+  double wallSeconds;        ///< best-of-5 cold analyze() wall clock (seed)
+  std::vector<double> values;  ///< unreliability at t = 0.5, 1.0, 2.0
+};
+
+inline const std::vector<SeedBaseline>& seedBaselines() {
+  static const std::vector<SeedBaseline> baselines{
+      {"cps_2x3", 0.000656088, {0.0018553907431752357, 0.031898443794464416, 0.20895676219182924}},
+      {"cps_3x3", 0.001183484, {7.5348877816615496e-05, 0.0053712823471252615, 0.090055114785068668}},
+      {"cps_4x3", 0.001857045, {3.4424681094133067e-06, 0.0010175107055334321, 0.043662928463980316}},
+      {"cps_3x4", 0.002340945, {4.5899574792177405e-06, 0.0013566809407112423, 0.058217237951973762}},
+      {"cps_4x4", 0.003599166, {8.2510361910116204e-08, 0.00016245707828087738, 0.024406404842962005}},
+      {"cps_6x6", 0.024010144, {4.2020575826987086e-16, 1.1236713740215938e-08, 0.00088790663728198428}},
+      {"cps_8x8", 0.108582455, {9.2114505686223758e-29, 2.2254208973589974e-14, 1.1354426441138191e-05}},
+      {"cps_8x10", 0.226644991, {2.9401613875528241e-37, 1.430383343498789e-17, 1.1084827786787282e-06}},
+      {"cas", 0.001531143, {0.31665058840868077, 0.65790029695800267, 0.95078305010911945}},
+      {"hecs", 0.004506221, {0.067773399769818263, 0.13969399650565353, 0.28780497262613031}},
+  };
+  return baselines;
+}
+
+}  // namespace benchcompose

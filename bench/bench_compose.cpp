@@ -1,0 +1,212 @@
+/// \file bench_compose.cpp
+/// Experiment E12: the flat-storage (CSR) compose/aggregate core against
+/// the frozen pre-refactor baseline (bench/baseline_seed.hpp).
+///
+/// For every configuration of the shared scaling sweep (the CPS family of
+/// bench_scaling plus the CAS and HECS systems) the whole cold pipeline is
+/// timed twice — single-thread (EngineOptions::numThreads = 1, isolating
+/// the flat-storage/hashed-refinement gains) and with one worker per
+/// hardware thread (adding the parallel module aggregation) — with the
+/// exact protocol the baseline was captured with: cold Analyzer, grid
+/// {0.5, 1.0, 2.0}, one untimed warmup, best of 5 timed analyze() calls.
+/// The measure values must agree with the baseline to 1e-9 (on the capture
+/// machine they are byte-identical) and must never be NaN; violations make
+/// the binary exit nonzero so the CI bench smoke job fails on correctness,
+/// not on timing.  Results land in BENCH_compose.json (override with the
+/// BENCH_COMPOSE_JSON environment variable).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline_seed.hpp"
+#include "bench_util.hpp"
+#include "dft/corpus.hpp"
+
+namespace {
+
+using namespace imcdft;
+using analysis::AnalysisRequest;
+using analysis::MeasureSpec;
+using Clock = std::chrono::steady_clock;
+
+const std::vector<double> kGrid{0.5, 1.0, 2.0};
+
+dft::Dft treeFor(const std::string& name) {
+  if (name == "cas") return dft::corpus::cas();
+  if (name == "hecs") return dft::corpus::hecs();
+  // "cps_MxB"
+  int m = 0, b = 0;
+  std::sscanf(name.c_str(), "cps_%dx%d", &m, &b);
+  return dft::corpus::cascadedPands(m, b);
+}
+
+struct RunResult {
+  double wallSeconds = 0.0;
+  std::vector<double> values;
+};
+
+RunResult timeCold(const dft::Dft& d, unsigned numThreads) {
+  AnalysisRequest req = AnalysisRequest::forDft(d).measure(
+      MeasureSpec::unreliability(kGrid));
+  req.options.engine.numThreads = numThreads;
+  RunResult best;
+  best.wallSeconds = 1e100;
+  {
+    analysis::Analyzer warmup(benchutil::coldOptions());
+    (void)warmup.analyze(req);
+  }
+  for (int r = 0; r < 5; ++r) {
+    analysis::Analyzer session(benchutil::coldOptions());
+    auto t0 = Clock::now();
+    analysis::AnalysisReport rep = session.analyze(req);
+    double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt < best.wallSeconds) {
+      best.wallSeconds = dt;
+      best.values = rep.measures[0].values;
+    }
+  }
+  return best;
+}
+
+struct ConfigResult {
+  std::string name;
+  double seedWall = 0.0, wall1t = 0.0, wallMt = 0.0;
+  bool valuesOk = true;
+  bool hasNan = false;
+};
+
+bool agreeTo1e9(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > 1e-9) return false;
+  return true;
+}
+
+bool anyNan(const std::vector<double>& v) {
+  for (double x : v)
+    if (std::isnan(x)) return true;
+  return false;
+}
+
+void writeJson(const std::vector<ConfigResult>& results, unsigned mtThreads) {
+  const char* env = std::getenv("BENCH_COMPOSE_JSON");
+  std::string path = env ? env : "BENCH_compose.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const ConfigResult& largest = results.empty() ? ConfigResult{} :
+      *std::max_element(results.begin(), results.end(),
+                        [](const ConfigResult& a, const ConfigResult& b) {
+                          return a.seedWall < b.seedWall;
+                        });
+  out << "{\n"
+      << "  \"bench\": \"flat_storage_compose_sweep\",\n"
+      << "  \"baseline\": \"pre-refactor seed (PR 1 tip, commit 84b7bfe)\",\n"
+      << "  \"time_grid\": " << kGrid.size() << ",\n"
+      << "  \"parallel_threads\": " << mtThreads << ",\n"
+      << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"seed_wall_seconds\": %.6f, "
+                  "\"flat_1t_wall_seconds\": %.6f, "
+                  "\"flat_parallel_wall_seconds\": %.6f, "
+                  "\"speedup_1t\": %.3f, \"speedup_parallel\": %.3f, "
+                  "\"measures_match_1e9\": %s, \"nan\": %s}%s\n",
+                  r.name.c_str(), r.seedWall, r.wall1t, r.wallMt,
+                  r.seedWall / r.wall1t, r.seedWall / r.wallMt,
+                  r.valuesOk ? "true" : "false", r.hasNan ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  char tail[256];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n"
+                "  \"largest_config\": \"%s\",\n"
+                "  \"largest_speedup_1t\": %.3f,\n"
+                "  \"largest_speedup_parallel\": %.3f\n"
+                "}\n",
+                largest.name.c_str(), largest.seedWall / largest.wall1t,
+                largest.seedWall / largest.wallMt);
+  out << tail;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Runs the sweep; returns false when any correctness check failed.
+bool runSweep() {
+  unsigned mtThreads = std::thread::hardware_concurrency();
+  if (mtThreads == 0) mtThreads = 1;
+  if (const char* env = std::getenv("BENCH_COMPOSE_THREADS"))
+    mtThreads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+
+  std::printf("== E12: flat-storage compose/aggregate core vs seed ==\n");
+  std::printf("%-10s %12s %12s %12s %9s %9s  %s\n", "config", "seed [s]",
+              "flat 1t [s]", "flat mt [s]", "x1t", "xmt", "measures");
+  std::vector<ConfigResult> results;
+  bool ok = true;
+  for (const benchcompose::SeedBaseline& base : benchcompose::seedBaselines()) {
+    dft::Dft d = treeFor(base.name);
+    RunResult oneThread = timeCold(d, 1);
+    RunResult parallel = timeCold(d, mtThreads);
+    ConfigResult r;
+    r.name = base.name;
+    r.seedWall = base.wallSeconds;
+    r.wall1t = oneThread.wallSeconds;
+    r.wallMt = parallel.wallSeconds;
+    r.valuesOk = agreeTo1e9(oneThread.values, base.values) &&
+                 agreeTo1e9(parallel.values, base.values) &&
+                 oneThread.values == parallel.values;
+    r.hasNan = anyNan(oneThread.values) || anyNan(parallel.values);
+    if (!r.valuesOk || r.hasNan) ok = false;
+    std::printf("%-10s %12.6f %12.6f %12.6f %8.2fx %8.2fx  %s\n",
+                r.name.c_str(), r.seedWall, r.wall1t, r.wallMt,
+                r.seedWall / r.wall1t, r.seedWall / r.wallMt,
+                r.hasNan ? "NaN — BUG" : (r.valuesOk ? "ok" : "MISMATCH"));
+    results.push_back(std::move(r));
+  }
+  std::printf("\n");
+  writeJson(results, mtThreads);
+  std::printf("\n");
+  return ok;
+}
+
+// Google-benchmark registrations for iteration-level timing of the same
+// workload (used by ad-hoc profiling; the JSON comes from the sweep above).
+void BM_ColdPipeline(benchmark::State& state) {
+  dft::Dft d = dft::corpus::cascadedPands(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)));
+  AnalysisRequest req = AnalysisRequest::forDft(d).measure(
+      MeasureSpec::unreliability({1.0}));
+  req.options.engine.numThreads = 1;
+  for (auto _ : state) {
+    analysis::Analyzer session(benchutil::coldOptions());
+    benchmark::DoNotOptimize(session.analyze(req).measures[0].values[0]);
+  }
+}
+BENCHMARK(BM_ColdPipeline)
+    ->Args({4, 4})
+    ->Args({6, 6})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ok = runSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

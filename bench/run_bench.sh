@@ -1,19 +1,78 @@
 #!/usr/bin/env sh
-# Builds and runs the Analyzer batch-cache benchmark and leaves its
-# cold-vs-cached timings in BENCH_batch.json at the repository root.
-# Usage: bench/run_bench.sh [build-dir]   (default: ./build)
+# Builds and runs every benchmark harness.  Each bench leaves a
+# google-benchmark JSON (BENCH_<name>.json) at the repository root, next to
+# the richer custom reports the batch and compose benches write themselves
+# (BENCH_batch.json, BENCH_compose.json), and a one-line-per-bench summary
+# table is printed at the end.
+#
+# Usage: bench/run_bench.sh [build-dir] [bench-name ...]
+#   build-dir     defaults to ./build
+#   bench-name    run only the named benches (e.g. "bench_compose"); default
+#                 is every bench_* target.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
 
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S "$repo_root"
 fi
-cmake --build "$build_dir" -j --target bench_batch
+
+if [ $# -gt 0 ]; then
+  benches="$*"
+else
+  benches=""
+  for src in "$repo_root"/bench/*.cpp; do
+    name=$(basename "$src" .cpp)
+    benches="$benches $name"
+  done
+fi
+
+# Without Google Benchmark the bench_* targets do not exist and the build
+# command fails; tolerate that so the per-bench skip below reports it.
+# shellcheck disable=SC2086
+cmake --build "$build_dir" -j --target $benches || \
+  echo "warning: bench build failed (is Google Benchmark installed?)"
 
 cd "$repo_root"
-BENCH_BATCH_JSON="$repo_root/BENCH_batch.json" \
-  "$build_dir/bench_batch" --benchmark_min_warmup_time=0 \
-  --benchmark_filter='BM_(Cold|Cached)Sweep'
-echo "bench results written to $repo_root/BENCH_batch.json"
+summary=""
+status=0
+for name in $benches; do
+  if [ ! -x "$build_dir/$name" ]; then
+    echo "ERROR: $name was not built (compile error, or Google Benchmark missing)"
+    status=1
+    continue
+  fi
+  echo "== $name =="
+  short=${name#bench_}
+  # The batch and compose benches write their own richer reproduction
+  # JSONs under the short name; park their google-benchmark timings in a
+  # *_gbench file so they do not clobber them.
+  case $short in
+    batch|compose) json_name="BENCH_${short}_gbench.json" ;;
+    *) json_name="BENCH_${short}.json" ;;
+  esac
+  start=$(date +%s)
+  if BENCH_BATCH_JSON="$repo_root/BENCH_batch.json" \
+     BENCH_COMPOSE_JSON="$repo_root/BENCH_compose.json" \
+     "$build_dir/$name" --benchmark_min_warmup_time=0 \
+       --benchmark_out="$repo_root/$json_name" --benchmark_out_format=json; then
+    result=ok
+  else
+    result=FAILED
+    status=1
+  fi
+  elapsed=$(( $(date +%s) - start ))
+  summary="$summary$(printf '%-22s %-8s %4ss  %s' "$name" "$result" "$elapsed" "$json_name")\n"
+done
+
+echo ""
+echo "bench                  result   time  json"
+echo "-------------------------------------------------------------"
+printf "$summary"
+[ -f "$repo_root/BENCH_batch.json" ] && \
+  echo "batch sweep:   $(grep -o '"speedup": [0-9.]*' "$repo_root/BENCH_batch.json" || true)"
+[ -f "$repo_root/BENCH_compose.json" ] && \
+  echo "compose sweep: $(grep -o '"largest_speedup_1t": [0-9.]*' "$repo_root/BENCH_compose.json" || true)"
+exit $status

@@ -85,6 +85,7 @@ class Analyzer::SessionModuleCache : public ModuleCache {
   std::optional<CachedModule> lookup(const dft::Dft& dft,
                                      dft::ElementId root) override {
     if (!cacheable(root)) return std::nullopt;
+    std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
     auto it = owner_.modules_.find(key(dft, root));
     if (it == owner_.modules_.end()) {
       ++stats_.moduleMisses;
@@ -97,10 +98,11 @@ class Analyzer::SessionModuleCache : public ModuleCache {
   void store(const dft::Dft& dft, dft::ElementId root,
              const ioimc::IOIMC& model, std::size_t steps) override {
     if (!cacheable(root)) return;
+    std::string k = key(dft, root);
+    std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
     if (owner_.modules_.size() >= owner_.opts_.maxCachedModules)
       owner_.modules_.clear();
-    owner_.modules_.insert_or_assign(key(dft, root),
-                                     ModuleEntry{model, steps});
+    owner_.modules_.insert_or_assign(std::move(k), ModuleEntry{model, steps});
   }
 
  private:

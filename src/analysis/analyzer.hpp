@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +95,10 @@ class Analyzer {
   ioimc::SymbolTablePtr symbols_;
   CacheStats sessionStats_;
   std::unordered_map<std::string, std::shared_ptr<const DftAnalysis>> trees_;
+  /// Guards modules_: the engine's parallel module aggregation stores
+  /// freshly aggregated modules from its worker threads (the rest of the
+  /// Analyzer stays single-threaded-per-session).
+  std::mutex modulesMutex_;
   std::unordered_map<std::string, ModuleEntry> modules_;
 };
 

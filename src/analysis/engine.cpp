@@ -1,8 +1,16 @@
 #include "analysis/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "dft/modules.hpp"
@@ -15,148 +23,443 @@ using ioimc::IOIMC;
 
 namespace {
 
-/// Mutable pool of community members; slots become empty as pairs merge.
-class Composer {
- public:
-  Composer(Community community, const EngineOptions& opts)
-      : opts_(opts) {
-    for (CommunityModel& m : community.models)
-      slots_.push_back(std::move(m.model));
-  }
-
-  std::size_t numSlots() const { return slots_.size(); }
-  const IOIMC& slot(std::size_t i) const { return *slots_[i]; }
-  bool alive(std::size_t i) const { return slots_[i].has_value(); }
-
-  /// Hides the outputs of \p m that no other live model consumes, then
-  /// aggregates.
-  IOIMC hideAndAggregate(IOIMC m, std::size_t skipA, std::size_t skipB) {
-    std::vector<ioimc::ActionId> hidden;
-    for (ioimc::ActionId out : m.signature().outputs()) {
-      bool used = false;
-      for (std::size_t i = 0; i < slots_.size() && !used; ++i) {
-        if (!slots_[i] || i == skipA || i == skipB) continue;
-        used = slots_[i]->signature().isInput(out);
-      }
-      if (!used) hidden.push_back(out);
+/// Hides the outputs of \p m that are consumed neither by a live pool
+/// member nor externally, then collapses/aggregates per the options.
+IOIMC hideAndAggregatePool(
+    IOIMC m, const EngineOptions& opts,
+    const std::vector<std::optional<IOIMC>>& pool, std::size_t skipA,
+    std::size_t skipB, const std::function<bool(ioimc::ActionId)>& usedOutside) {
+  std::vector<ioimc::ActionId> hidden;
+  for (ioimc::ActionId out : m.signature().outputs()) {
+    bool used = false;
+    for (std::size_t i = 0; i < pool.size() && !used; ++i) {
+      if (!pool[i] || i == skipA || i == skipB) continue;
+      used = pool[i]->signature().isInput(out);
     }
-    IOIMC result = ioimc::hide(m, hidden);
-    if (opts_.collapseSinks) result = ioimc::collapseUnobservableSinks(result);
-    if (opts_.aggregateEachStep) result = ioimc::aggregate(result, opts_.weak);
-    return result;
+    if (!used && usedOutside) used = usedOutside(out);
+    if (!used) hidden.push_back(out);
   }
+  IOIMC result = ioimc::hide(m, hidden);
+  if (opts.collapseSinks) result = ioimc::collapseUnobservableSinks(result);
+  if (opts.aggregateEachStep) result = ioimc::aggregate(result, opts.weak);
+  return result;
+}
 
-  /// Composes slots \p a and \p b; stores the result in a fresh slot whose
-  /// index is returned.
-  std::size_t composePair(std::size_t a, std::size_t b) {
-    CompositionStep step;
-    step.name = slots_[a]->name() + " || " + slots_[b]->name();
-    step.leftStates = slots_[a]->numStates();
-    step.rightStates = slots_[b]->numStates();
-    IOIMC composed = ioimc::compose(*slots_[a], *slots_[b]);
-    step.composedStates = composed.numStates();
-    step.composedTransitions = composed.numTransitions();
-    IOIMC result = hideAndAggregate(std::move(composed), a, b);
-    step.aggregatedStates = result.numStates();
-    step.aggregatedTransitions = result.numTransitions();
-
-    stats_.peakComposedStates =
-        std::max(stats_.peakComposedStates, step.composedStates);
-    stats_.peakComposedTransitions =
-        std::max(stats_.peakComposedTransitions, step.composedTransitions);
-    stats_.peakAggregatedStates =
-        std::max(stats_.peakAggregatedStates, step.aggregatedStates);
-    stats_.peakAggregatedTransitions =
-        std::max(stats_.peakAggregatedTransitions, step.aggregatedTransitions);
-    stats_.steps.push_back(std::move(step));
-
-    slots_[a].reset();
-    slots_[b].reset();
-    slots_.push_back(std::move(result));
-    return slots_.size() - 1;
+/// Folds the per-step size maxima into the stats' peak fields.
+void foldPeaks(CompositionStats& stats) {
+  for (const CompositionStep& s : stats.steps) {
+    stats.peakComposedStates =
+        std::max(stats.peakComposedStates, s.composedStates);
+    stats.peakComposedTransitions =
+        std::max(stats.peakComposedTransitions, s.composedTransitions);
+    stats.peakAggregatedStates =
+        std::max(stats.peakAggregatedStates, s.aggregatedStates);
+    stats.peakAggregatedTransitions =
+        std::max(stats.peakAggregatedTransitions, s.aggregatedTransitions);
   }
+}
 
-  /// True when the two models share a synchronizing action.
-  bool synchronize(std::size_t a, std::size_t b) const {
-    const ioimc::Signature& sa = slots_[a]->signature();
-    const ioimc::Signature& sb = slots_[b]->signature();
-    auto anyShared = [](const std::vector<ioimc::ActionId>& xs,
-                        const ioimc::Signature& other) {
-      return std::any_of(xs.begin(), xs.end(), [&](ioimc::ActionId x) {
-        return other.isInput(x) || other.isOutput(x);
-      });
-    };
-    return anyShared(sa.outputs(), sb) || anyShared(sa.inputs(), sb);
-  }
+/// True when the two models share a synchronizing action.
+bool synchronize(const IOIMC& a, const IOIMC& b) {
+  const ioimc::Signature& sa = a.signature();
+  const ioimc::Signature& sb = b.signature();
+  auto anyShared = [](const std::vector<ioimc::ActionId>& xs,
+                      const ioimc::Signature& other) {
+    return std::any_of(xs.begin(), xs.end(), [&](ioimc::ActionId x) {
+      return other.isInput(x) || other.isOutput(x);
+    });
+  };
+  return anyShared(sa.outputs(), sb) || anyShared(sa.inputs(), sb);
+}
 
-  /// Greedily merges the given live slots into one; returns its index.
-  std::size_t mergePool(std::vector<std::size_t> pool) {
-    require(!pool.empty(), "composeCommunity: empty module pool");
-    while (pool.size() > 1) {
-      // Cheapest synchronizing pair; fall back to cheapest pair overall.
-      std::size_t bestI = 0, bestJ = 1;
-      double bestCost = std::numeric_limits<double>::infinity();
-      bool bestSync = false;
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        for (std::size_t j = i + 1; j < pool.size(); ++j) {
-          double cost = static_cast<double>(slots_[pool[i]]->numStates()) *
-                        static_cast<double>(slots_[pool[j]]->numStates());
-          bool sync = synchronize(pool[i], pool[j]);
-          if ((sync && !bestSync) ||
-              (sync == bestSync && cost < bestCost)) {
-            bestI = i;
-            bestJ = j;
-            bestCost = cost;
-            bestSync = sync;
-          }
+/// Greedily folds the live entries of \p pool into one model, recording
+/// one CompositionStep per pairwise composition into \p steps.  The
+/// cheapest synchronizing pair merges first; \p usedOutside reports
+/// whether an output action has consumers beyond this pool (null = none).
+std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
+                      std::vector<std::size_t> live,
+                      const EngineOptions& opts,
+                      std::vector<CompositionStep>& steps,
+                      const std::function<bool(ioimc::ActionId)>& usedOutside) {
+  require(!live.empty(), "composeCommunity: empty module pool");
+  while (live.size() > 1) {
+    std::size_t bestI = 0, bestJ = 1;
+    double bestCost = std::numeric_limits<double>::infinity();
+    bool bestSync = false;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      for (std::size_t j = i + 1; j < live.size(); ++j) {
+        double cost = static_cast<double>(pool[live[i]]->numStates()) *
+                      static_cast<double>(pool[live[j]]->numStates());
+        bool sync = synchronize(*pool[live[i]], *pool[live[j]]);
+        if ((sync && !bestSync) || (sync == bestSync && cost < bestCost)) {
+          bestI = i;
+          bestJ = j;
+          bestCost = cost;
+          bestSync = sync;
         }
       }
-      std::size_t merged = composePair(pool[bestI], pool[bestJ]);
-      pool.erase(pool.begin() + bestJ);
-      pool.erase(pool.begin() + bestI);
-      pool.push_back(merged);
     }
-    return pool.front();
+    std::size_t a = live[bestI], b = live[bestJ];
+    CompositionStep step;
+    step.name = pool[a]->name() + " || " + pool[b]->name();
+    step.leftStates = pool[a]->numStates();
+    step.rightStates = pool[b]->numStates();
+    IOIMC composed = ioimc::compose(*pool[a], *pool[b]);
+    step.composedStates = composed.numStates();
+    step.composedTransitions = composed.numTransitions();
+    IOIMC result =
+        hideAndAggregatePool(std::move(composed), opts, pool, a, b, usedOutside);
+    step.aggregatedStates = result.numStates();
+    step.aggregatedTransitions = result.numTransitions();
+    steps.push_back(std::move(step));
+    pool[a].reset();
+    pool[b].reset();
+    pool.emplace_back(std::move(result));
+    live.erase(live.begin() + bestJ);
+    live.erase(live.begin() + bestI);
+    live.push_back(pool.size() - 1);
   }
-
-  CompositionStats takeStats() { return std::move(stats_); }
-  IOIMC takeModel(std::size_t idx) { return std::move(*slots_[idx]); }
-
-  void recordModule(const std::string& name, std::size_t idx) {
-    stats_.modules.push_back(
-        {name, slots_[idx]->numStates(), slots_[idx]->numTransitions()});
-  }
-
-  /// Adds a model that was not part of the original community (a cached
-  /// module spliced in by a ModuleCache hit); returns its slot index.
-  std::size_t addSlot(IOIMC model) {
-    slots_.push_back(std::move(model));
-    return slots_.size() - 1;
-  }
-
-  /// Drops a model that will never be composed (its module was served from
-  /// the cache), so it neither counts as a signal consumer in the hiding
-  /// scan nor stays in memory.
-  void releaseSlot(std::size_t i) { slots_[i].reset(); }
-
-  std::size_t stepsSoFar() const { return stats_.steps.size(); }
-
-  void noteCacheSplice(std::size_t stepsSaved) {
-    ++stats_.cachedModules;
-    stats_.stepsSaved += stepsSaved;
-  }
-
- private:
-  EngineOptions opts_;
-  std::vector<std::optional<IOIMC>> slots_;
-  CompositionStats stats_;
-};
+  return live.front();
+}
 
 /// Node of the module containment tree used by the Modular strategy.
 struct ModuleNode {
   std::string name;
-  std::vector<std::size_t> ownModels;   // community model indices
+  std::vector<std::size_t> ownModels;     // community model indices
   std::vector<std::size_t> childModules;  // indices into the node array
+};
+
+/// Parallel aggregation of the module containment tree: one task per
+/// module node, executed once all child modules finished, on a small
+/// worker pool.  Tasks share no mutable state — every node folds its own
+/// community models plus its children's aggregated results, and the
+/// question "is this output consumed outside the pool?" is answered from
+/// the *static* input sets of the original community models outside the
+/// node's subtree (a composite consumes an input action iff one of its
+/// members did, so the static answer equals the sequential engine's scan
+/// over live slots).  Results are therefore bitwise identical for every
+/// thread count.
+class ModularAggregator {
+ public:
+  ModularAggregator(std::vector<std::optional<IOIMC>> models,
+                    std::vector<ModuleNode> nodes, int rootNode,
+                    const std::vector<dft::ModuleInfo>& modules,
+                    std::vector<int> parentOf, const dft::Dft& dft,
+                    const EngineOptions& opts, ModuleCache* cache)
+      : models_(std::move(models)),
+        nodes_(std::move(nodes)),
+        parentOf_(std::move(parentOf)),
+        rootNode_(rootNode),
+        modules_(modules),
+        dft_(dft),
+        opts_(opts),
+        cache_(cache) {
+    const std::size_t numNodes = nodes_.size();
+    spliced_.assign(numNodes, false);
+    spliceRecord_.resize(numNodes);
+    spliceSavedSteps_.assign(numNodes, 0);
+    results_.resize(numNodes);
+    stats_.resize(numNodes);
+    moduleRecord_.resize(numNodes);
+    properModule_.assign(numNodes, 0);
+    pending_.assign(numNodes, 0);
+    buildSubtreeMembership();
+  }
+
+  /// Resolves cache splices (sequentially, on the calling thread), then
+  /// aggregates all remaining module tasks on \p numThreads workers and
+  /// returns the root model plus deterministic, post-ordered stats.
+  std::pair<IOIMC, CompositionStats> run(unsigned numThreads) {
+    resolveSplices(rootNode_);
+    scheduleReadyTasks();
+    runWorkers(numThreads);
+    if (firstError_) std::rethrow_exception(firstError_);
+
+    CompositionStats stats;
+    collectStats(rootNode_, stats);
+    foldPeaks(stats);
+    return {std::move(*results_[rootNode_]), std::move(stats)};
+  }
+
+ private:
+  /// models_ index sets of each node's subtree (own models + descendants),
+  /// used for the static "consumed outside this subtree?" test.
+  void buildSubtreeMembership() {
+    inSubtree_.assign(nodes_.size(),
+                      std::vector<char>(models_.size(), 0));
+    // Children have larger module indices than parents is not guaranteed;
+    // do an explicit post-order walk.
+    struct Frame {
+      int node;
+      std::size_t child = 0;
+    };
+    std::vector<Frame> stack{{rootNode_, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.child < nodes_[f.node].childModules.size()) {
+        stack.push_back({static_cast<int>(nodes_[f.node].childModules[f.child++]), 0});
+        continue;
+      }
+      std::vector<char>& mine = inSubtree_[f.node];
+      for (std::size_t m : nodes_[f.node].ownModels) mine[m] = 1;
+      for (std::size_t c : nodes_[f.node].childModules)
+        for (std::size_t m = 0; m < models_.size(); ++m)
+          if (inSubtree_[c][m]) mine[m] = 1;
+      stack.pop_back();
+    }
+    // Static consumer lists: which original community models input which
+    // action.
+    for (std::size_t m = 0; m < models_.size(); ++m)
+      for (ioimc::ActionId in : models_[m]->signature().inputs())
+        consumers_[in].push_back(static_cast<std::uint32_t>(m));
+  }
+
+  bool usedOutsideSubtree(ioimc::ActionId action, int node) const {
+    auto it = consumers_.find(action);
+    if (it == consumers_.end()) return false;
+    const std::vector<char>& mine = inSubtree_[node];
+    for (std::uint32_t m : it->second)
+      if (!mine[m]) return true;
+    return false;
+  }
+
+  /// Walks the tree in the sequential engine's order, consulting the cache
+  /// for every non-trivial child module; a hit marks the whole child
+  /// subtree spliced (its tasks never run).
+  void resolveSplices(int root) {
+    std::vector<int> pendingNodes{root};
+    while (!pendingNodes.empty()) {
+      int node = pendingNodes.back();
+      pendingNodes.pop_back();
+      for (std::size_t childIdx : nodes_[node].childModules) {
+        int child = static_cast<int>(childIdx);
+        const ModuleNode& childNode = nodes_[child];
+        const bool trivial =
+            childNode.childModules.empty() && childNode.ownModels.size() <= 1;
+        if (cache_ && !trivial) {
+          if (std::optional<CachedModule> hit =
+                  cache_->lookup(dft_, modules_[child].root)) {
+            spliced_[child] = true;
+            spliceRecord_[child] = ModuleResult{childNode.name,
+                                                hit->model.numStates(),
+                                                hit->model.numTransitions()};
+            spliceSavedSteps_[child] = hit->steps;
+            results_[child].emplace(std::move(hit->model));
+            releaseSubtreeModels(child);
+            continue;
+          }
+        }
+        pendingNodes.push_back(child);
+      }
+    }
+  }
+
+  /// Frees the community models of a spliced-away subtree: they will
+  /// never be composed and must not hold memory for the whole run (the
+  /// static consumer lists were built from their signatures beforehand).
+  void releaseSubtreeModels(int root) {
+    std::vector<int> pendingNodes{root};
+    while (!pendingNodes.empty()) {
+      int node = pendingNodes.back();
+      pendingNodes.pop_back();
+      for (std::size_t m : nodes_[node].ownModels) models_[m].reset();
+      for (std::size_t c : nodes_[node].childModules)
+        pendingNodes.push_back(static_cast<int>(c));
+    }
+  }
+
+  int liveChildren(int node) const {
+    int count = 0;
+    for (std::size_t c : nodes_[node].childModules)
+      if (!spliced_[c]) ++count;
+    return count;
+  }
+
+  void scheduleReadyTasks() {
+    struct Frame {
+      int node;
+      std::size_t child = 0;
+    };
+    std::vector<Frame> stack{{rootNode_, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const ModuleNode& node = nodes_[f.node];
+      if (f.child == 0) {
+        ++numTasks_;
+        int live = liveChildren(f.node);
+        pending_[f.node] = live;
+        if (live == 0) ready_.push_back(f.node);
+      }
+      if (f.child < node.childModules.size()) {
+        int child = static_cast<int>(node.childModules[f.child++]);
+        if (!spliced_[child]) stack.push_back({child, 0});
+        continue;
+      }
+      stack.pop_back();
+    }
+  }
+
+  void runWorkers(unsigned numThreads) {
+    // More workers than module tasks would only block on the condition
+    // variable and be joined again; a small tree gets a small pool.
+    numThreads =
+        static_cast<unsigned>(std::min<std::size_t>(numThreads, numTasks_));
+    if (numThreads <= 1) {
+      while (!ready_.empty() && !firstError_) {
+        int node = ready_.front();
+        ready_.pop_front();
+        runTask(node);
+      }
+      return;
+    }
+    std::vector<std::thread> workers;
+    auto workerLoop = [this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (true) {
+        cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+        if (stop_ || ready_.empty()) return;  // error, completion, or drained
+        int node = ready_.front();
+        ready_.pop_front();
+        lock.unlock();
+        runTask(node);
+        lock.lock();
+      }
+    };
+    workers.reserve(numThreads);
+    for (unsigned i = 0; i < numThreads; ++i)
+      workers.emplace_back(workerLoop);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return done_ || firstError_ != nullptr; });
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers) w.join();
+  }
+
+  void runTask(int node) {
+    try {
+      runModuleTask(node);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+      stop_ = true;
+      cv_.notify_all();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (node == rootNode_) {
+      done_ = true;
+      stop_ = true;
+    } else if (!stop_) {
+      int parent = parentOf_[node];
+      if (--pending_[parent] == 0) ready_.push_back(parent);
+    }
+    cv_.notify_all();
+  }
+
+  void runModuleTask(int nodeIdx) {
+    const ModuleNode& node = nodes_[nodeIdx];
+    std::vector<std::optional<IOIMC>> pool;
+    std::vector<std::size_t> live;
+    pool.reserve(node.ownModels.size() + node.childModules.size());
+    for (std::size_t m : node.ownModels) {
+      pool.emplace_back(std::move(models_[m]));
+      live.push_back(pool.size() - 1);
+    }
+    for (std::size_t c : node.childModules) {
+      pool.emplace_back(std::move(results_[c]));
+      results_[c].reset();
+      live.push_back(pool.size() - 1);
+    }
+    const bool properModule = live.size() > 1;
+    properModule_[nodeIdx] = properModule ? 1 : 0;
+    auto usedOutside = [this, nodeIdx](ioimc::ActionId a) {
+      return usedOutsideSubtree(a, nodeIdx);
+    };
+    std::size_t merged =
+        mergePool(pool, std::move(live), opts_, stats_[nodeIdx], usedOutside);
+    if (properModule)
+      moduleRecord_[nodeIdx] = ModuleResult{node.name,
+                                            pool[merged]->numStates(),
+                                            pool[merged]->numTransitions()};
+    if (cache_ && properModule && nodeIdx != rootNode_)
+      cache_->store(dft_, modules_[nodeIdx].root, *pool[merged],
+                    subtreeSteps(nodeIdx));
+    results_[nodeIdx].emplace(std::move(*pool[merged]));
+  }
+
+  /// Compose steps actually executed for this node's whole subtree (what a
+  /// future cache hit on the module saves).
+  std::size_t subtreeSteps(int root) const {
+    std::size_t steps = 0;
+    std::vector<int> pendingNodes{root};
+    while (!pendingNodes.empty()) {
+      int node = pendingNodes.back();
+      pendingNodes.pop_back();
+      steps += stats_[node].size();
+      for (std::size_t c : nodes_[node].childModules)
+        if (!spliced_[c]) pendingNodes.push_back(static_cast<int>(c));
+    }
+    return steps;
+  }
+
+  /// Concatenates per-node stats in the sequential engine's post-order.
+  void collectStats(int root, CompositionStats& out) const {
+    struct Frame {
+      int node;
+      std::size_t child = 0;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const std::vector<std::size_t>& children = nodes_[f.node].childModules;
+      if (f.child < children.size()) {
+        int child = static_cast<int>(children[f.child++]);
+        if (spliced_[child]) {
+          out.modules.push_back(spliceRecord_[child]);
+          ++out.cachedModules;
+          out.stepsSaved += spliceSavedSteps_[child];
+        } else {
+          stack.push_back({child, 0});
+        }
+        continue;
+      }
+      out.steps.insert(out.steps.end(), stats_[f.node].begin(),
+                       stats_[f.node].end());
+      if (properModule_[f.node]) out.modules.push_back(moduleRecord_[f.node]);
+      stack.pop_back();
+    }
+  }
+
+  std::vector<std::optional<IOIMC>> models_;
+  std::vector<ModuleNode> nodes_;
+  std::vector<int> parentOf_;
+  int rootNode_;
+  const std::vector<dft::ModuleInfo>& modules_;
+  const dft::Dft& dft_;
+  const EngineOptions& opts_;
+  ModuleCache* cache_;
+
+  std::vector<std::vector<char>> inSubtree_;
+  std::unordered_map<ioimc::ActionId, std::vector<std::uint32_t>> consumers_;
+
+  std::vector<bool> spliced_;
+  std::vector<ModuleResult> spliceRecord_;
+  std::vector<std::size_t> spliceSavedSteps_;
+  std::vector<std::optional<IOIMC>> results_;
+  std::vector<std::vector<CompositionStep>> stats_;
+  std::vector<ModuleResult> moduleRecord_;
+  std::vector<char> properModule_;  ///< char: workers write concurrently
+  std::vector<int> pending_;  ///< unfinished children; mutex_-guarded
+
+  std::size_t numTasks_ = 0;  ///< scheduled (non-spliced) module tasks
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<int> ready_;
+  bool stop_ = false;
+  bool done_ = false;
+  std::exception_ptr firstError_;
 };
 
 }  // namespace
@@ -165,167 +468,118 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
                               const EngineOptions& opts, ModuleCache* cache) {
   require(!community.models.empty(), "composeCommunity: empty community");
 
-  // Remember the element sets before handing the models to the composer.
+  // Remember the element sets before taking the models.
   std::vector<std::vector<dft::ElementId>> modelElements;
   for (const CommunityModel& m : community.models)
     modelElements.push_back(m.elements);
+  std::vector<std::optional<IOIMC>> slots;
+  slots.reserve(community.models.size());
+  for (CommunityModel& m : community.models)
+    slots.emplace_back(std::move(m.model));
 
-  Composer composer(std::move(community), opts);
-  std::size_t finalIdx = 0;
+  auto finishResult = [&](EngineResult result) {
+    result.model = ioimc::hideAllOutputs(result.model);
+    if (opts.collapseSinks)
+      result.model = ioimc::collapseUnobservableSinks(result.model);
+    result.model = ioimc::aggregate(result.model, opts.weak);
+    return result;
+  };
+
+  auto sequentialMerge = [&](std::vector<std::size_t> live) {
+    CompositionStats stats;
+    std::size_t finalIdx =
+        mergePool(slots, std::move(live), opts, stats.steps, nullptr);
+    foldPeaks(stats);
+    return EngineResult{std::move(*slots[finalIdx]), std::move(stats)};
+  };
 
   if (opts.strategy != CompositionStrategy::Modular) {
-    std::vector<std::size_t> pool(composer.numSlots());
-    for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+    std::vector<std::size_t> live(slots.size());
+    for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
     if (opts.strategy == CompositionStrategy::Declaration) {
-      std::size_t acc = pool.front();
-      for (std::size_t i = 1; i < pool.size(); ++i)
-        acc = composer.composePair(acc, pool[i]);
-      finalIdx = acc;
-    } else {
-      finalIdx = composer.mergePool(std::move(pool));
-    }
-  } else {
-    // Build the module containment tree (modules sorted by size, so a
-    // module's parent is the first later module that contains its root).
-    std::vector<dft::ModuleInfo> modules = dft::independentModules(dft);
-    std::vector<ModuleNode> nodes(modules.size());
-    std::vector<int> parent(modules.size(), -1);
-    for (std::size_t i = 0; i < modules.size(); ++i) {
-      nodes[i].name = dft.element(modules[i].root).name;
-      for (std::size_t j = i + 1; j < modules.size(); ++j) {
-        if (std::binary_search(modules[j].members.begin(),
-                               modules[j].members.end(), modules[i].root) &&
-            modules[j].root != modules[i].root) {
-          parent[i] = static_cast<int>(j);
-          break;
-        }
+      CompositionStats stats;
+      const std::size_t originalCount = slots.size();
+      std::size_t acc = 0;
+      for (std::size_t i = 1; i < originalCount; ++i) {
+        std::vector<std::size_t> pair{acc, i};
+        acc = mergePool(slots, std::move(pair), opts, stats.steps, nullptr);
       }
-      if (parent[i] >= 0)
-        nodes[parent[i]].childModules.push_back(i);
+      foldPeaks(stats);
+      return finishResult(
+          EngineResult{std::move(*slots[acc]), std::move(stats)});
     }
-    // The root module (whole tree) is the largest one containing top.
-    // Trees where an element below the top is also watched by a gate
-    // outside the top's dependency closure have no independent module
-    // around the top at all; fall back to plain greedy composition then.
-    int rootNode = -1;
-    for (std::size_t i = 0; i < modules.size(); ++i)
-      if (parent[i] < 0 && std::binary_search(modules[i].members.begin(),
-                                              modules[i].members.end(),
-                                              dft.top()))
-        rootNode = static_cast<int>(i);
-    if (rootNode < 0) {
-      std::vector<std::size_t> pool(composer.numSlots());
-      for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
-      finalIdx = composer.mergePool(std::move(pool));
-      EngineResult fallback{composer.takeModel(finalIdx),
-                            composer.takeStats()};
-      fallback.model = ioimc::hideAllOutputs(fallback.model);
-      if (opts.collapseSinks)
-        fallback.model = ioimc::collapseUnobservableSinks(fallback.model);
-      fallback.model = ioimc::aggregate(fallback.model, opts.weak);
-      return fallback;
-    }
-    // Any other parentless module hangs off the root (conservative).
-    for (std::size_t i = 0; i < modules.size(); ++i)
-      if (parent[i] < 0 && static_cast<int>(i) != rootNode) {
-        parent[i] = rootNode;
-        nodes[rootNode].childModules.push_back(i);
-      }
-
-    // Assign every community model to the smallest module containing all
-    // the elements it involves.
-    for (std::size_t m = 0; m < modelElements.size(); ++m) {
-      int best = rootNode;
-      for (std::size_t i = 0; i < modules.size(); ++i) {
-        bool containsAll = std::all_of(
-            modelElements[m].begin(), modelElements[m].end(),
-            [&](dft::ElementId e) {
-              return std::binary_search(modules[i].members.begin(),
-                                        modules[i].members.end(), e);
-            });
-        if (containsAll) {
-          best = static_cast<int>(i);
-          break;  // modules are sorted by size: first hit is smallest
-        }
-      }
-      nodes[best].ownModels.push_back(m);
-    }
-
-    // Depth-first composition: children first, then the module's own pool.
-    // Iterative post-order over the containment tree.
-    struct Frame {
-      int node;
-      std::size_t child = 0;
-      std::vector<std::size_t> pool;
-      std::size_t stepsAtEntry = 0;
-    };
-    std::vector<Frame> stack;
-    stack.push_back({rootNode, 0, {}, composer.stepsSoFar()});
-    std::size_t resultIdx = 0;
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      ModuleNode& node = nodes[f.node];
-      if (f.child == 0) f.pool = node.ownModels;
-      if (f.child < node.childModules.size()) {
-        int child = static_cast<int>(node.childModules[f.child++]);
-        // A cache hit replaces the whole child subtree with its previously
-        // aggregated model.  Trivial modules (a single community model,
-        // e.g. a lone basic event) are not worth caching.
-        const ModuleNode& childNode = nodes[child];
-        const bool trivial =
-            childNode.childModules.empty() && childNode.ownModels.size() <= 1;
-        if (cache && !trivial) {
-          if (std::optional<CachedModule> hit =
-                  cache->lookup(dft, modules[child].root)) {
-            // The skipped subtree's community models will never be
-            // composed; release them so they stop acting as signal
-            // consumers (and free their memory).
-            std::vector<int> pending{child};
-            while (!pending.empty()) {
-              int n = pending.back();
-              pending.pop_back();
-              for (std::size_t m : nodes[n].ownModels)
-                composer.releaseSlot(m);
-              for (std::size_t c : nodes[n].childModules)
-                pending.push_back(static_cast<int>(c));
-            }
-            std::size_t slot = composer.addSlot(std::move(hit->model));
-            composer.recordModule(nodes[child].name, slot);
-            composer.noteCacheSplice(hit->steps);
-            f.pool.push_back(slot);
-            continue;
-          }
-        }
-        stack.push_back({child, 0, {}, composer.stepsSoFar()});
-        continue;
-      }
-      // A module with a single member does not need composing, but modules
-      // with several members fold into one model.
-      const bool properModule = f.pool.size() > 1;
-      const int nodeIdx = f.node;
-      const std::size_t stepsAtEntry = f.stepsAtEntry;
-      std::size_t merged = composer.mergePool(f.pool);
-      if (properModule) composer.recordModule(node.name, merged);
-      stack.pop_back();
-      if (stack.empty()) {
-        resultIdx = merged;
-      } else {
-        stack.back().pool.push_back(merged);
-        if (cache && properModule)
-          cache->store(dft, modules[nodeIdx].root, composer.slot(merged),
-                       composer.stepsSoFar() - stepsAtEntry);
-      }
-    }
-    finalIdx = resultIdx;
+    return finishResult(sequentialMerge(std::move(live)));
   }
 
-  EngineResult result{composer.takeModel(finalIdx), composer.takeStats()};
-  // A single-model community may still carry unhidden outputs.
-  result.model = ioimc::hideAllOutputs(result.model);
-  if (opts.collapseSinks)
-    result.model = ioimc::collapseUnobservableSinks(result.model);
-  result.model = ioimc::aggregate(result.model, opts.weak);
-  return result;
+  // Build the module containment tree (modules sorted by size, so a
+  // module's parent is the first later module that contains its root).
+  std::vector<dft::ModuleInfo> modules = dft::independentModules(dft);
+  std::vector<ModuleNode> nodes(modules.size());
+  std::vector<int> parent(modules.size(), -1);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    nodes[i].name = dft.element(modules[i].root).name;
+    for (std::size_t j = i + 1; j < modules.size(); ++j) {
+      if (std::binary_search(modules[j].members.begin(),
+                             modules[j].members.end(), modules[i].root) &&
+          modules[j].root != modules[i].root) {
+        parent[i] = static_cast<int>(j);
+        break;
+      }
+    }
+    if (parent[i] >= 0)
+      nodes[parent[i]].childModules.push_back(i);
+  }
+  // The root module (whole tree) is the largest one containing top.
+  // Trees where an element below the top is also watched by a gate
+  // outside the top's dependency closure have no independent module
+  // around the top at all; fall back to plain greedy composition then.
+  int rootNode = -1;
+  for (std::size_t i = 0; i < modules.size(); ++i)
+    if (parent[i] < 0 && std::binary_search(modules[i].members.begin(),
+                                            modules[i].members.end(),
+                                            dft.top()))
+      rootNode = static_cast<int>(i);
+  if (rootNode < 0) {
+    std::vector<std::size_t> live(slots.size());
+    for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+    return finishResult(sequentialMerge(std::move(live)));
+  }
+  // Any other parentless module hangs off the root (conservative).
+  for (std::size_t i = 0; i < modules.size(); ++i)
+    if (parent[i] < 0 && static_cast<int>(i) != rootNode) {
+      parent[i] = rootNode;
+      nodes[rootNode].childModules.push_back(i);
+    }
+
+  // Assign every community model to the smallest module containing all
+  // the elements it involves.
+  for (std::size_t m = 0; m < modelElements.size(); ++m) {
+    int best = rootNode;
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      bool containsAll = std::all_of(
+          modelElements[m].begin(), modelElements[m].end(),
+          [&](dft::ElementId e) {
+            return std::binary_search(modules[i].members.begin(),
+                                      modules[i].members.end(), e);
+          });
+      if (containsAll) {
+        best = static_cast<int>(i);
+        break;  // modules are sorted by size: first hit is smallest
+      }
+    }
+    nodes[best].ownModels.push_back(m);
+  }
+
+  unsigned numThreads = opts.numThreads;
+  if (numThreads == 0) {
+    numThreads = std::thread::hardware_concurrency();
+    if (numThreads == 0) numThreads = 1;
+  }
+
+  ModularAggregator aggregator(std::move(slots), std::move(nodes), rootNode,
+                               modules, std::move(parent), dft, opts, cache);
+  auto [model, stats] = aggregator.run(numThreads);
+  return finishResult(EngineResult{std::move(model), std::move(stats)});
 }
 
 }  // namespace imcdft::analysis

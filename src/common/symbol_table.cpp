@@ -1,25 +1,35 @@
 #include "common/symbol_table.hpp"
 
+#include <mutex>
+
 #include "common/error.hpp"
 
 namespace imcdft {
 
 SymbolId SymbolTable::intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = ids_.find(name);  // re-check: another writer may have won
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  ids_.emplace(std::string_view(names_.back()), id);
   return id;
 }
 
 SymbolId SymbolTable::find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  std::shared_lock lock(mutex_);
+  auto it = ids_.find(name);
   return it == ids_.end() ? npos : it->second;
 }
 
 const std::string& SymbolTable::name(SymbolId id) const {
-  require(id < names_.size(), "SymbolTable: id out of range");
+  std::shared_lock lock(mutex_);
+  if (id >= names_.size()) require(false, "SymbolTable: id out of range");
   return names_[id];
 }
 

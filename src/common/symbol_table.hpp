@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 /// \file symbol_table.hpp
 /// String interning.  Action names (firing, activation, repair signals) are
@@ -22,6 +23,12 @@ using SymbolId = std::uint32_t;
 /// A SymbolTable is shared (via std::shared_ptr) by all I/O-IMC models that
 /// may ever be composed with each other; composition asserts the tables
 /// match so that equal ids always mean equal action names.
+///
+/// Internally synchronized: intern() takes a writer lock, find()/name()/
+/// size() a reader lock, so the engine's parallel module aggregation can
+/// build quotients (which intern action names) concurrently.  Interned
+/// strings live in a deque, so the references name() returns stay valid
+/// across later interning.
 class SymbolTable {
  public:
   /// Returns the id of \p name, interning it if it is new.
@@ -30,18 +37,23 @@ class SymbolTable {
   /// Returns the id of \p name or npos when it was never interned.
   SymbolId find(std::string_view name) const;
 
-  /// Returns the string for a previously interned id.
+  /// Returns the string for a previously interned id.  The reference stays
+  /// valid for the table's lifetime.
   const std::string& name(SymbolId id) const;
 
   /// Number of interned symbols.
-  std::size_t size() const { return names_.size(); }
+  std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return names_.size();
+  }
 
   /// Sentinel returned by find() for unknown names.
   static constexpr SymbolId npos = static_cast<SymbolId>(-1);
 
  private:
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, SymbolId> ids_;
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;  ///< deque: stable references on append
+  std::unordered_map<std::string_view, SymbolId> ids_;  ///< views into names_
 };
 
 /// Shared handle used across a community of composable models.

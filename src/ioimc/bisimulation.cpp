@@ -1,8 +1,9 @@
 #include "ioimc/bisimulation.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
-#include <tuple>
+#include <span>
 
 #include "common/error.hpp"
 #include "ioimc/builder.hpp"
@@ -15,24 +16,33 @@ namespace {
 /// Rate vector: cumulative rate into each partition class, sorted by class.
 using RateVector = std::vector<std::pair<std::uint32_t, double>>;
 
-/// Signature of one state under the current partition.
+/// Structured signature of one state under the current partition; used only
+/// for quotient construction (once per class).  The refinement loop itself
+/// works on the flat token encoding below.
 struct WeakSig {
   std::vector<std::uint32_t> tauTargets;  ///< classes weakly reachable by tau
   std::vector<std::pair<ActionId, std::uint32_t>> visible;  ///< weak moves
   std::vector<RateVector> stableRates;  ///< rate vectors of stable derivatives
 };
 
-bool operator<(const WeakSig& a, const WeakSig& b) {
-  return std::tie(a.tauTargets, a.visible, a.stableRates) <
-         std::tie(b.tauTargets, b.visible, b.stableRates);
-}
+using Role = ActionRole;
 
 /// Tau-reachability (reflexive-transitive closure over internal
 /// transitions) plus per-state stability.  Closures are computed per SCC of
-/// the tau graph, in the reverse-topological order Tarjan produces.
+/// the tau graph, in the reverse-topological order Tarjan produces, and
+/// shared: states of one SCC point into one CSR row instead of each
+/// carrying a copy of the closure vector.
 struct TauInfo {
-  std::vector<std::vector<StateId>> closure;  ///< sorted, includes self
+  std::vector<std::uint32_t> compOf;       ///< state -> tau-SCC
+  std::vector<std::uint32_t> compOffsets;  ///< SCC -> row in compClosure
+  std::vector<StateId> compClosure;        ///< sorted members, includes self
   std::vector<bool> stable;
+
+  std::span<const StateId> closure(StateId s) const {
+    std::uint32_t c = compOf[s];
+    return {compClosure.data() + compOffsets[c],
+            compOffsets[c + 1] - compOffsets[c]};
+  }
 };
 
 std::vector<StateId> sortedUnion(const std::vector<StateId>& a,
@@ -46,15 +56,16 @@ std::vector<StateId> sortedUnion(const std::vector<StateId>& a,
 
 TauInfo computeTauInfo(const IOIMC& m, bool outputsUrgent) {
   const std::size_t n = m.numStates();
+  const std::vector<Role> roles = actionRoles(m);
   std::vector<std::vector<StateId>> tauSucc(n);
   TauInfo info;
   info.stable.assign(n, true);
   for (StateId s = 0; s < n; ++s) {
     for (const auto& t : m.interactive(s)) {
-      if (m.signature().isInternal(t.action)) {
+      if (roles[t.action] == Role::Internal) {
         tauSucc[s].push_back(t.to);
         info.stable[s] = false;
-      } else if (outputsUrgent && m.signature().isOutput(t.action)) {
+      } else if (outputsUrgent && roles[t.action] == Role::Output) {
         info.stable[s] = false;
       }
     }
@@ -65,7 +76,8 @@ TauInfo computeTauInfo(const IOIMC& m, bool outputsUrgent) {
 
   // Iterative Tarjan SCC over the tau graph.
   constexpr StateId kUndef = static_cast<StateId>(-1);
-  std::vector<StateId> index(n, kUndef), low(n, 0), comp(n, kUndef);
+  std::vector<StateId> index(n, kUndef), low(n, 0);
+  info.compOf.assign(n, kUndef);
   std::vector<bool> onStack(n, false);
   std::vector<StateId> stack;
   std::uint32_t nextIndex = 0, numComps = 0;
@@ -101,7 +113,7 @@ TauInfo computeTauInfo(const IOIMC& m, bool outputsUrgent) {
           StateId w = stack.back();
           stack.pop_back();
           onStack[w] = false;
-          comp[w] = numComps;
+          info.compOf[w] = numComps;
           if (w == v) break;
         }
         ++numComps;
@@ -115,25 +127,36 @@ TauInfo computeTauInfo(const IOIMC& m, bool outputsUrgent) {
   }
 
   // Components are numbered such that every tau successor's component id is
-  // strictly smaller (Tarjan closes sinks first); compute closures bottom-up.
+  // strictly smaller (Tarjan closes sinks first); compute closures bottom-up
+  // and flatten them into one shared CSR array.
   std::vector<std::vector<StateId>> compMembers(numComps);
-  for (StateId s = 0; s < n; ++s) compMembers[comp[s]].push_back(s);
+  for (StateId s = 0; s < n; ++s) compMembers[info.compOf[s]].push_back(s);
   std::vector<std::vector<StateId>> compClosure(numComps);
+  std::size_t totalClosure = 0;
   for (std::uint32_t c = 0; c < numComps; ++c) {
     std::vector<StateId> acc = compMembers[c];
     std::sort(acc.begin(), acc.end());
     std::vector<std::uint32_t> succComps;
     for (StateId s : compMembers[c])
       for (StateId t : tauSucc[s])
-        if (comp[t] != c) succComps.push_back(comp[t]);
+        if (info.compOf[t] != c) succComps.push_back(info.compOf[t]);
     std::sort(succComps.begin(), succComps.end());
     succComps.erase(std::unique(succComps.begin(), succComps.end()),
                     succComps.end());
     for (std::uint32_t sc : succComps) acc = sortedUnion(acc, compClosure[sc]);
+    totalClosure += acc.size();
     compClosure[c] = std::move(acc);
   }
-  info.closure.resize(n);
-  for (StateId s = 0; s < n; ++s) info.closure[s] = compClosure[comp[s]];
+  info.compOffsets.reserve(numComps + 1);
+  info.compClosure.reserve(totalClosure);
+  for (std::uint32_t c = 0; c < numComps; ++c) {
+    info.compOffsets.push_back(
+        static_cast<std::uint32_t>(info.compClosure.size()));
+    info.compClosure.insert(info.compClosure.end(), compClosure[c].begin(),
+                            compClosure[c].end());
+  }
+  info.compOffsets.push_back(
+      static_cast<std::uint32_t>(info.compClosure.size()));
   return info;
 }
 
@@ -163,10 +186,189 @@ Partition initialByLabel(const IOIMC& m) {
   return p;
 }
 
+// ---------------------------------------------------------------------------
+// Hashed signature refinement (Blom/Orzan style, flat-buffer edition).
+//
+// Each iteration canonicalizes every state's signature under the current
+// partition into a reusable scratch buffer of 64-bit tokens, hashes it, and
+// interns it in an open-addressing table; the interned index is the state's
+// class in the refined partition.  Classes are numbered in order of first
+// appearance (scanning states 0..n-1), which keeps the numbering identical
+// to the ordered-map implementation this replaces.  All buffers are reused
+// across iterations, so a refinement pass allocates only on growth.
+// ---------------------------------------------------------------------------
+
+class SignatureInterner {
+ public:
+  /// Prepares the table for up to \p expectedKeys distinct signatures.
+  void beginIteration(std::size_t expectedKeys) {
+    arena_.clear();
+    sigOffsets_.clear();
+    sigOffsets_.push_back(0);
+    hashes_.clear();
+    numClasses_ = 0;
+    std::size_t cap = 64;
+    while (cap < 2 * expectedKeys) cap <<= 1;
+    table_.assign(cap, kEmpty);
+  }
+
+  /// The caller-filled token buffer for the signature being interned.
+  std::vector<std::uint64_t>& scratch() { return scratch_; }
+
+  /// Interns scratch() and returns its dense class id.
+  std::uint32_t internScratch() {
+    const std::uint64_t h = hashTokens(scratch_);
+    const std::size_t mask = table_.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(h) & mask;
+    while (table_[idx] != kEmpty) {
+      const std::uint32_t cls = table_[idx];
+      if (hashes_[cls] == h && equalsClass(cls)) return cls;
+      idx = (idx + 1) & mask;
+    }
+    const std::uint32_t cls = numClasses_++;
+    table_[idx] = cls;
+    hashes_.push_back(h);
+    arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+    sigOffsets_.push_back(arena_.size());
+    return cls;
+  }
+
+  std::uint32_t numClasses() const { return numClasses_; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = static_cast<std::uint32_t>(-1);
+
+  static std::uint64_t hashTokens(const std::vector<std::uint64_t>& tokens) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ tokens.size();
+    for (std::uint64_t t : tokens) {
+      h ^= t;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+    }
+    return h;
+  }
+
+  bool equalsClass(std::uint32_t cls) const {
+    const std::uint64_t begin = sigOffsets_[cls], end = sigOffsets_[cls + 1];
+    if (end - begin != scratch_.size()) return false;
+    return std::equal(scratch_.begin(), scratch_.end(),
+                      arena_.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+
+  std::vector<std::uint64_t> arena_;      ///< tokens of interned signatures
+  std::vector<std::uint64_t> sigOffsets_; ///< per-class token range in arena_
+  std::vector<std::uint64_t> hashes_;     ///< per-class hash
+  std::vector<std::uint32_t> table_;      ///< open-addressing slots
+  std::vector<std::uint64_t> scratch_;
+  std::uint32_t numClasses_ = 0;
+};
+
+/// Reusable scratch buffers for one state's weak-signature encoding.
+struct WeakScratch {
+  std::vector<std::uint32_t> tauTargets;
+  std::vector<std::uint64_t> visible;
+  std::vector<std::pair<std::uint32_t, double>> raw;
+  std::vector<std::uint64_t> rateTokens;  ///< class/rate-bits pairs, flat
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rateVecs;  ///< ranges
+};
+
+/// Appends the canonical token encoding of state \p s's weak signature
+/// under partition \p p to \p out.  Token stream: |tauTargets|, targets...,
+/// |visible|, (action<<32|class)..., |rateVecs|, then per vector its length
+/// and (class, rate-bits) token pairs.  Every section is sorted, so equal
+/// signatures produce equal streams.
+void encodeWeakSignature(const IOIMC& m, const TauInfo& tau,
+                         const std::vector<Role>& roles, const Partition& p,
+                         StateId s, WeakScratch& ws,
+                         std::vector<std::uint64_t>& out) {
+  auto closure = tau.closure(s);
+
+  ws.tauTargets.clear();
+  for (StateId u : closure) ws.tauTargets.push_back(p.classOf[u]);
+  std::sort(ws.tauTargets.begin(), ws.tauTargets.end());
+  ws.tauTargets.erase(
+      std::unique(ws.tauTargets.begin(), ws.tauTargets.end()),
+      ws.tauTargets.end());
+
+  ws.visible.clear();
+  for (StateId u : closure) {
+    for (const auto& t : m.interactive(u)) {
+      const Role r = roles[t.action];
+      if (r == Role::Internal) continue;
+      const bool isInput = r == Role::Input;
+      for (StateId v : tau.closure(t.to)) {
+        std::uint32_t c = p.classOf[v];
+        // Implicit input self-loops make every tau-target an input target
+        // for free; recording those adds no discriminating power, so filter
+        // them to obtain the coarsest (minimal) quotient.
+        if (isInput && std::binary_search(ws.tauTargets.begin(),
+                                          ws.tauTargets.end(), c))
+          continue;
+        ws.visible.push_back((static_cast<std::uint64_t>(t.action) << 32) | c);
+      }
+    }
+  }
+  std::sort(ws.visible.begin(), ws.visible.end());
+  ws.visible.erase(std::unique(ws.visible.begin(), ws.visible.end()),
+                   ws.visible.end());
+
+  ws.rateTokens.clear();
+  ws.rateVecs.clear();
+  for (StateId u : closure) {
+    if (!tau.stable[u]) continue;
+    ws.raw.clear();
+    for (const auto& t : m.markovian(u))
+      ws.raw.emplace_back(p.classOf[t.to], t.rate);
+    std::sort(ws.raw.begin(), ws.raw.end());
+    const std::uint32_t begin = static_cast<std::uint32_t>(ws.rateTokens.size());
+    for (std::size_t i = 0; i < ws.raw.size();) {
+      const std::uint32_t cls = ws.raw[i].first;
+      double sum = 0.0;
+      while (i < ws.raw.size() && ws.raw[i].first == cls) sum += ws.raw[i++].second;
+      ws.rateTokens.push_back(cls);
+      ws.rateTokens.push_back(std::bit_cast<std::uint64_t>(sum));
+    }
+    ws.rateVecs.emplace_back(begin,
+                             static_cast<std::uint32_t>(ws.rateTokens.size()));
+  }
+  // Canonicalize the *set* of rate vectors: order them lexicographically by
+  // token stream and drop duplicates.  (Positive doubles order the same way
+  // as their bit patterns, so this matches ordering by value.)
+  auto vecLess = [&](const std::pair<std::uint32_t, std::uint32_t>& x,
+                     const std::pair<std::uint32_t, std::uint32_t>& y) {
+    return std::lexicographical_compare(
+        ws.rateTokens.begin() + x.first, ws.rateTokens.begin() + x.second,
+        ws.rateTokens.begin() + y.first, ws.rateTokens.begin() + y.second);
+  };
+  auto vecEqual = [&](const std::pair<std::uint32_t, std::uint32_t>& x,
+                      const std::pair<std::uint32_t, std::uint32_t>& y) {
+    return x.second - x.first == y.second - y.first &&
+           std::equal(ws.rateTokens.begin() + x.first,
+                      ws.rateTokens.begin() + x.second,
+                      ws.rateTokens.begin() + y.first);
+  };
+  std::sort(ws.rateVecs.begin(), ws.rateVecs.end(), vecLess);
+  ws.rateVecs.erase(
+      std::unique(ws.rateVecs.begin(), ws.rateVecs.end(), vecEqual),
+      ws.rateVecs.end());
+
+  out.push_back(ws.tauTargets.size());
+  out.insert(out.end(), ws.tauTargets.begin(), ws.tauTargets.end());
+  out.push_back(ws.visible.size());
+  out.insert(out.end(), ws.visible.begin(), ws.visible.end());
+  out.push_back(ws.rateVecs.size());
+  for (const auto& [begin, end] : ws.rateVecs) {
+    out.push_back(end - begin);
+    out.insert(out.end(), ws.rateTokens.begin() + begin,
+               ws.rateTokens.begin() + end);
+  }
+}
+
+/// Structured weak signature of one state (for quotient construction).
 WeakSig weakSignature(const IOIMC& m, const TauInfo& tau, const Partition& p,
                       StateId s) {
   WeakSig sig;
-  for (StateId u : tau.closure[s]) sig.tauTargets.push_back(p.classOf[u]);
+  for (StateId u : tau.closure(s)) sig.tauTargets.push_back(p.classOf[u]);
   std::sort(sig.tauTargets.begin(), sig.tauTargets.end());
   sig.tauTargets.erase(
       std::unique(sig.tauTargets.begin(), sig.tauTargets.end()),
@@ -176,15 +378,12 @@ WeakSig weakSignature(const IOIMC& m, const TauInfo& tau, const Partition& p,
     return std::binary_search(sig.tauTargets.begin(), sig.tauTargets.end(), c);
   };
 
-  for (StateId u : tau.closure[s]) {
+  for (StateId u : tau.closure(s)) {
     for (const auto& t : m.interactive(u)) {
       if (m.signature().isInternal(t.action)) continue;
       const bool isInput = m.signature().isInput(t.action);
-      for (StateId v : tau.closure[t.to]) {
+      for (StateId v : tau.closure(t.to)) {
         std::uint32_t c = p.classOf[v];
-        // Implicit input self-loops make every tau-target an input target
-        // for free; recording those adds no discriminating power, so filter
-        // them to obtain the coarsest (minimal) quotient.
         if (isInput && inTauTargets(c)) continue;
         sig.visible.emplace_back(t.action, c);
       }
@@ -206,34 +405,40 @@ WeakSig weakSignature(const IOIMC& m, const TauInfo& tau, const Partition& p,
   return sig;
 }
 
-}  // namespace
-
-Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts) {
-  TauInfo tau = computeTauInfo(m, opts.outputsUrgent);
+Partition weakBisimulationWithTau(const IOIMC& m, const TauInfo& tau) {
+  const std::size_t n = m.numStates();
+  const std::vector<Role> roles = actionRoles(m);
   Partition p = initialByLabel(m);
+  SignatureInterner interner;
+  WeakScratch ws;
+  std::vector<std::uint32_t> newClassOf(n);
   while (true) {
-    std::map<std::pair<std::uint32_t, WeakSig>, std::uint32_t> next;
-    std::vector<std::uint32_t> newClassOf(m.numStates());
-    for (StateId s = 0; s < m.numStates(); ++s) {
-      auto key = std::make_pair(p.classOf[s], weakSignature(m, tau, p, s));
-      auto [it, inserted] =
-          next.try_emplace(std::move(key),
-                           static_cast<std::uint32_t>(next.size()));
-      (void)inserted;
-      newClassOf[s] = it->second;
+    interner.beginIteration(n);
+    for (StateId s = 0; s < n; ++s) {
+      auto& out = interner.scratch();
+      out.clear();
+      out.push_back(p.classOf[s]);
+      encodeWeakSignature(m, tau, roles, p, s, ws, out);
+      newClassOf[s] = interner.internScratch();
     }
-    std::uint32_t newCount = static_cast<std::uint32_t>(next.size());
-    bool stable = newCount == p.numClasses;
-    p.classOf = std::move(newClassOf);
+    const std::uint32_t newCount = interner.numClasses();
+    const bool stable = newCount == p.numClasses;
+    std::swap(p.classOf, newClassOf);
     p.numClasses = newCount;
     if (stable) break;
   }
   return p;
 }
 
+}  // namespace
+
+Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts) {
+  return weakBisimulationWithTau(m, computeTauInfo(m, opts.outputsUrgent));
+}
+
 IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts) {
   TauInfo tau = computeTauInfo(m, opts.outputsUrgent);
-  Partition p = weakBisimulation(m, opts);
+  Partition p = weakBisimulationWithTau(m, tau);
 
   // Representative (lowest state id) per class, and its converged signature.
   std::vector<StateId> rep(p.numClasses, static_cast<StateId>(-1));
@@ -288,10 +493,6 @@ struct StrongSig {
   RateVector rates;
 };
 
-bool operator<(const StrongSig& a, const StrongSig& b) {
-  return std::tie(a.moves, a.rates) < std::tie(b.moves, b.rates);
-}
-
 StrongSig strongSignature(const IOIMC& m, const Partition& p, StateId s) {
   StrongSig sig;
   for (const auto& t : m.interactive(s)) {
@@ -310,24 +511,61 @@ StrongSig strongSignature(const IOIMC& m, const Partition& p, StateId s) {
   return sig;
 }
 
+/// Reusable scratch for one state's strong-signature encoding.
+struct StrongScratch {
+  std::vector<std::uint64_t> moves;
+  std::vector<std::pair<std::uint32_t, double>> raw;
+};
+
+void encodeStrongSignature(const IOIMC& m, const std::vector<Role>& roles,
+                           const Partition& p, StateId s, StrongScratch& ss,
+                           std::vector<std::uint64_t>& out) {
+  ss.moves.clear();
+  for (const auto& t : m.interactive(s)) {
+    std::uint32_t c = p.classOf[t.to];
+    if (roles[t.action] == Role::Input && c == p.classOf[s]) continue;
+    ss.moves.push_back((static_cast<std::uint64_t>(t.action) << 32) | c);
+  }
+  std::sort(ss.moves.begin(), ss.moves.end());
+  ss.moves.erase(std::unique(ss.moves.begin(), ss.moves.end()),
+                 ss.moves.end());
+
+  ss.raw.clear();
+  for (const auto& t : m.markovian(s)) ss.raw.emplace_back(p.classOf[t.to], t.rate);
+  std::sort(ss.raw.begin(), ss.raw.end());
+
+  out.push_back(ss.moves.size());
+  out.insert(out.end(), ss.moves.begin(), ss.moves.end());
+  for (std::size_t i = 0; i < ss.raw.size();) {
+    const std::uint32_t cls = ss.raw[i].first;
+    double sum = 0.0;
+    while (i < ss.raw.size() && ss.raw[i].first == cls) sum += ss.raw[i++].second;
+    out.push_back(cls);
+    out.push_back(std::bit_cast<std::uint64_t>(sum));
+  }
+}
+
 }  // namespace
 
 Partition strongBisimulation(const IOIMC& m) {
+  const std::size_t n = m.numStates();
+  const std::vector<Role> roles = actionRoles(m);
   Partition p = initialByLabel(m);
+  SignatureInterner interner;
+  StrongScratch ss;
+  std::vector<std::uint32_t> newClassOf(n);
   while (true) {
-    std::map<std::pair<std::uint32_t, StrongSig>, std::uint32_t> next;
-    std::vector<std::uint32_t> newClassOf(m.numStates());
-    for (StateId s = 0; s < m.numStates(); ++s) {
-      auto key = std::make_pair(p.classOf[s], strongSignature(m, p, s));
-      auto [it, inserted] =
-          next.try_emplace(std::move(key),
-                           static_cast<std::uint32_t>(next.size()));
-      (void)inserted;
-      newClassOf[s] = it->second;
+    interner.beginIteration(n);
+    for (StateId s = 0; s < n; ++s) {
+      auto& out = interner.scratch();
+      out.clear();
+      out.push_back(p.classOf[s]);
+      encodeStrongSignature(m, roles, p, s, ss, out);
+      newClassOf[s] = interner.internScratch();
     }
-    std::uint32_t newCount = static_cast<std::uint32_t>(next.size());
-    bool stable = newCount == p.numClasses;
-    p.classOf = std::move(newClassOf);
+    const std::uint32_t newCount = interner.numClasses();
+    const bool stable = newCount == p.numClasses;
+    std::swap(p.classOf, newClassOf);
     p.numClasses = newCount;
     if (stable) break;
   }

@@ -54,15 +54,18 @@ void IOIMCBuilder::interactive(StateId from, std::string_view action,
 }
 
 void IOIMCBuilder::interactive(StateId from, ActionId action, StateId to) {
-  require(from < inter_.size() && to < inter_.size(),
-          "IOIMCBuilder '" + name_ + "': transition state out of range");
+  if (from >= inter_.size() || to >= inter_.size())
+    require(false,
+            "IOIMCBuilder '" + name_ + "': transition state out of range");
   inter_[from].push_back({action, to});
 }
 
 void IOIMCBuilder::markovian(StateId from, double rate, StateId to) {
-  require(from < inter_.size() && to < inter_.size(),
-          "IOIMCBuilder '" + name_ + "': transition state out of range");
-  require(rate > 0.0, "IOIMCBuilder '" + name_ + "': rate must be positive");
+  if (from >= inter_.size() || to >= inter_.size())
+    require(false,
+            "IOIMCBuilder '" + name_ + "': transition state out of range");
+  if (!(rate > 0.0))
+    require(false, "IOIMCBuilder '" + name_ + "': rate must be positive");
   markov_[from].push_back({rate, to});
 }
 

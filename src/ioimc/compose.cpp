@@ -10,12 +10,65 @@ namespace imcdft::ioimc {
 
 namespace {
 
-/// Interactive transitions of one state, grouped by action.
-using ByAction = std::unordered_map<ActionId, std::vector<StateId>>;
+using Role = ActionRole;
 
-ByAction groupByAction(const IOIMC& m, StateId s) {
-  ByAction out;
-  for (const auto& t : m.interactive(s)) out[t.action].push_back(t.to);
+/// One input model's interactive transitions re-packed as per-state spans
+/// grouped by action (groups sorted by action id, targets in declaration
+/// order).  Built once per compose() input instead of hashing every state's
+/// transitions into a fresh unordered_map per visited composite state.
+struct GroupedModel {
+  struct Group {
+    ActionId action;
+    std::uint32_t begin, end;  ///< target range in targets
+  };
+  std::vector<std::uint32_t> stateOffsets;  ///< n+1, into groups
+  std::vector<Group> groups;
+  std::vector<StateId> targets;
+
+  std::span<const Group> groupsOf(StateId s) const {
+    return {groups.data() + stateOffsets[s],
+            stateOffsets[s + 1] - stateOffsets[s]};
+  }
+  /// Binary search for the group of \p action in state \p s.
+  const Group* find(StateId s, ActionId action) const {
+    auto gs = groupsOf(s);
+    auto it = std::lower_bound(
+        gs.begin(), gs.end(), action,
+        [](const Group& g, ActionId a) { return g.action < a; });
+    return (it != gs.end() && it->action == action) ? &*it : nullptr;
+  }
+  std::span<const StateId> targetsOf(const Group& g) const {
+    return {targets.data() + g.begin, static_cast<std::size_t>(g.end - g.begin)};
+  }
+};
+
+GroupedModel groupModel(const IOIMC& m) {
+  GroupedModel out;
+  const std::size_t n = m.numStates();
+  out.stateOffsets.reserve(n + 1);
+  out.targets.reserve(m.numInteractiveTransitions());
+  out.groups.reserve(m.numInteractiveTransitions());
+  std::vector<InteractiveTransition> scratch;
+  for (StateId s = 0; s < n; ++s) {
+    out.stateOffsets.push_back(static_cast<std::uint32_t>(out.groups.size()));
+    auto ts = m.interactive(s);
+    scratch.assign(ts.begin(), ts.end());
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const InteractiveTransition& x,
+                        const InteractiveTransition& y) {
+                       return x.action < y.action;
+                     });
+    for (std::size_t i = 0; i < scratch.size();) {
+      std::size_t j = i;
+      std::uint32_t begin = static_cast<std::uint32_t>(out.targets.size());
+      while (j < scratch.size() && scratch[j].action == scratch[i].action)
+        out.targets.push_back(scratch[j++].to);
+      out.groups.push_back({scratch[i].action, begin,
+                            static_cast<std::uint32_t>(out.targets.size())});
+      i = j;
+    }
+  }
+  out.stateOffsets.push_back(static_cast<std::uint32_t>(out.groups.size()));
   return out;
 }
 
@@ -56,18 +109,24 @@ IOIMC compose(const IOIMC& a, const IOIMC& b) {
   checkCompatible(a, b);
   Signature sig = compositeSignature(a, b);
 
-  // Merge the two label universes.
+  // Merge the two label universes; the name -> index map is built once
+  // instead of linearly scanning labelNames per label per compose.
   std::vector<std::string> labelNames = a.labelNames();
   std::vector<int> bLabelRemap(b.labelNames().size());
-  for (std::size_t i = 0; i < b.labelNames().size(); ++i) {
-    const std::string& ln = b.labelNames()[i];
-    auto it = std::find(labelNames.begin(), labelNames.end(), ln);
-    if (it == labelNames.end()) {
-      require(labelNames.size() < 32, "compose: more than 32 labels");
-      labelNames.push_back(ln);
-      bLabelRemap[i] = static_cast<int>(labelNames.size() - 1);
-    } else {
-      bLabelRemap[i] = static_cast<int>(it - labelNames.begin());
+  {
+    std::unordered_map<std::string, int> labelIndex;
+    labelIndex.reserve(labelNames.size() + b.labelNames().size());
+    for (std::size_t i = 0; i < labelNames.size(); ++i)
+      labelIndex.emplace(labelNames[i], static_cast<int>(i));
+    for (std::size_t i = 0; i < b.labelNames().size(); ++i) {
+      const std::string& ln = b.labelNames()[i];
+      auto [it, inserted] =
+          labelIndex.try_emplace(ln, static_cast<int>(labelNames.size()));
+      if (inserted) {
+        require(labelNames.size() < 32, "compose: more than 32 labels");
+        labelNames.push_back(ln);
+      }
+      bLabelRemap[i] = it->second;
     }
   }
   auto compositeMask = [&](StateId sa, StateId sb) {
@@ -78,12 +137,23 @@ IOIMC compose(const IOIMC& a, const IOIMC& b) {
     return mask;
   };
 
-  // BFS over reachable state pairs.
+  // Per-input precomputation: dense role tables and action-grouped spans.
+  const std::vector<Role> roleA = actionRoles(a);
+  const std::vector<Role> roleB = actionRoles(b);
+  const GroupedModel groupedA = groupModel(a);
+  const GroupedModel groupedB = groupModel(b);
+
+  // BFS over reachable state pairs.  Ids are assigned in discovery order
+  // and the FIFO frontier pops them in exactly that order, so the output
+  // rows can be appended straight into CSR storage.
   auto key = [](StateId sa, StateId sb) {
     return (static_cast<std::uint64_t>(sa) << 32) | sb;
   };
+  const std::size_t sizeEstimate = a.numStates() + b.numStates();
   std::unordered_map<std::uint64_t, StateId> ids;
+  ids.reserve(2 * sizeEstimate);
   std::vector<std::pair<StateId, StateId>> pairs;
+  pairs.reserve(sizeEstimate);
   std::queue<StateId> frontier;
   auto stateOf = [&](StateId sa, StateId sb) {
     auto [it, inserted] = ids.try_emplace(key(sa, sb),
@@ -95,82 +165,89 @@ IOIMC compose(const IOIMC& a, const IOIMC& b) {
     return it->second;
   };
 
-  std::vector<std::vector<InteractiveTransition>> inter;
-  std::vector<std::vector<MarkovianTransition>> markov;
+  const std::size_t degreeEstimate =
+      a.numTransitions() + b.numTransitions();
+  CsrInteractive inter;
+  CsrMarkovian markov;
   std::vector<std::uint32_t> labels;
+  inter.offsets.reserve(sizeEstimate + 1);
+  markov.offsets.reserve(sizeEstimate + 1);
+  inter.data.reserve(2 * degreeEstimate);
+  markov.data.reserve(degreeEstimate);
+  labels.reserve(sizeEstimate);
 
   stateOf(a.initial(), b.initial());
   while (!frontier.empty()) {
     StateId id = frontier.front();
     frontier.pop();
     auto [sa, sb] = pairs[id];
-    if (inter.size() <= id) {
-      inter.resize(id + 1);
-      markov.resize(id + 1);
-      labels.resize(id + 1);
-    }
-    labels[id] = compositeMask(sa, sb);
+    inter.beginState();
+    markov.beginState();
+    labels.push_back(compositeMask(sa, sb));
 
     // Markovian interleaving.
     for (const auto& t : a.markovian(sa))
-      markov[id].push_back({t.rate, stateOf(t.to, sb)});
+      markov.data.push_back({t.rate, stateOf(t.to, sb)});
     for (const auto& t : b.markovian(sb))
-      markov[id].push_back({t.rate, stateOf(sa, t.to)});
-
-    ByAction fromA = groupByAction(a, sa);
-    ByAction fromB = groupByAction(b, sb);
+      markov.data.push_back({t.rate, stateOf(sa, t.to)});
 
     auto emit = [&](ActionId act, StateId ta, StateId tb) {
-      inter[id].push_back({act, stateOf(ta, tb)});
+      inter.data.push_back({act, stateOf(ta, tb)});
     };
 
     // Transitions rooted at A's side.
-    for (const auto& [act, targetsA] : fromA) {
-      const bool internalA = a.signature().isInternal(act);
-      const bool sharedWithB = !internalA && b.signature().hasAction(act);
+    for (const GroupedModel::Group& g : groupedA.groupsOf(sa)) {
+      const ActionId act = g.action;
+      const bool internalA = roleA[act] == Role::Internal;
+      const bool sharedWithB = !internalA && roleB[act] != Role::None;
       if (!sharedWithB) {
         // Interleave: internal actions and actions B does not know about.
-        for (StateId ta : targetsA) emit(act, ta, sb);
+        for (StateId ta : groupedA.targetsOf(g)) emit(act, ta, sb);
         continue;
       }
-      if (a.signature().isInput(act) && b.signature().isOutput(act)) {
+      if (roleA[act] == Role::Input && roleB[act] == Role::Output) {
         // Occurrence is controlled by B; handled on B's side below.
         continue;
       }
       // act is an output of A (B listens), or an input of both.
-      auto itB = fromB.find(act);
-      if (itB == fromB.end()) {
-        for (StateId ta : targetsA) emit(act, ta, sb);  // B stays (implicit)
+      const GroupedModel::Group* gb = groupedB.find(sb, act);
+      if (!gb) {
+        for (StateId ta : groupedA.targetsOf(g))
+          emit(act, ta, sb);  // B stays (implicit)
       } else {
-        for (StateId ta : targetsA)
-          for (StateId tb : itB->second) emit(act, ta, tb);
+        for (StateId ta : groupedA.targetsOf(g))
+          for (StateId tb : groupedB.targetsOf(*gb)) emit(act, ta, tb);
       }
     }
 
     // Transitions rooted at B's side.
-    for (const auto& [act, targetsB] : fromB) {
-      const bool internalB = b.signature().isInternal(act);
-      const bool sharedWithA = !internalB && a.signature().hasAction(act);
+    for (const GroupedModel::Group& g : groupedB.groupsOf(sb)) {
+      const ActionId act = g.action;
+      const bool internalB = roleB[act] == Role::Internal;
+      const bool sharedWithA = !internalB && roleA[act] != Role::None;
       if (!sharedWithA) {
-        for (StateId tb : targetsB) emit(act, sa, tb);
+        for (StateId tb : groupedB.targetsOf(g)) emit(act, sa, tb);
         continue;
       }
-      if (b.signature().isInput(act) && a.signature().isOutput(act)) {
+      if (roleB[act] == Role::Input && roleA[act] == Role::Output) {
         continue;  // controlled by A; handled above
       }
       // act is an output of B, or an input of both.
-      auto itA = fromA.find(act);
-      if (itA == fromA.end()) {
-        for (StateId tb : targetsB) emit(act, sa, tb);  // A stays (implicit)
-      } else if (b.signature().isOutput(act)) {
+      const GroupedModel::Group* ga = groupedA.find(sa, act);
+      if (!ga) {
+        for (StateId tb : groupedB.targetsOf(g))
+          emit(act, sa, tb);  // A stays (implicit)
+      } else if (roleB[act] == Role::Output) {
         // B controls the occurrence; A reacts with its explicit inputs.
         // (A's side skipped this case above.)
-        for (StateId ta : itA->second)
-          for (StateId tb : targetsB) emit(act, ta, tb);
+        for (StateId ta : groupedA.targetsOf(*ga))
+          for (StateId tb : groupedB.targetsOf(g)) emit(act, ta, tb);
       }
       // Input-of-both with both explicit: already emitted on A's side.
     }
   }
+  inter.finish();
+  markov.finish();
 
   return IOIMC("(" + a.name() + "||" + b.name() + ")", a.symbols(),
                std::move(sig), 0, std::move(inter), std::move(markov),

@@ -56,10 +56,38 @@ void Signature::hideOutput(ActionId action) {
   insertSorted(internals_, action);
 }
 
+namespace {
+
+template <class Transition>
+CsrTransitions<Transition> flatten(
+    std::vector<std::vector<Transition>> rows) {
+  CsrTransitions<Transition> csr;
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  csr.offsets.reserve(rows.size() + 1);
+  csr.data.reserve(total);
+  for (const auto& row : rows) {
+    csr.beginState();
+    csr.data.insert(csr.data.end(), row.begin(), row.end());
+  }
+  csr.finish();
+  return csr;
+}
+
+}  // namespace
+
 IOIMC::IOIMC(std::string name, SymbolTablePtr symbols, Signature signature,
              StateId initial,
              std::vector<std::vector<InteractiveTransition>> inter,
              std::vector<std::vector<MarkovianTransition>> markov,
+             std::vector<std::uint32_t> labelMasks,
+             std::vector<std::string> labelNames)
+    : IOIMC(std::move(name), std::move(symbols), std::move(signature), initial,
+            flatten(std::move(inter)), flatten(std::move(markov)),
+            std::move(labelMasks), std::move(labelNames)) {}
+
+IOIMC::IOIMC(std::string name, SymbolTablePtr symbols, Signature signature,
+             StateId initial, CsrInteractive inter, CsrMarkovian markov,
              std::vector<std::uint32_t> labelMasks,
              std::vector<std::string> labelNames)
     : name_(std::move(name)),
@@ -74,37 +102,40 @@ IOIMC::IOIMC(std::string name, SymbolTablePtr symbols, Signature signature,
 }
 
 void IOIMC::validate() const {
+  // Error messages are built only on the failing path: this runs once per
+  // constructed model over every transition, and eagerly concatenating the
+  // model name per check dominated the whole analysis pipeline.
+  auto fail = [this](const char* what) {
+    require(false, "IOIMC '" + name_ + "': " + what);
+  };
   require(symbols_ != nullptr, "IOIMC: missing symbol table");
-  const std::size_t n = inter_.size();
-  require(markov_.size() == n && labelMasks_.size() == n,
-          "IOIMC '" + name_ + "': inconsistent state arrays");
-  require(n > 0, "IOIMC '" + name_ + "': no states");
-  require(initial_ < n, "IOIMC '" + name_ + "': initial state out of range");
-  require(labelNames_.size() <= 32,
-          "IOIMC '" + name_ + "': more than 32 labels");
-  for (std::size_t s = 0; s < n; ++s) {
-    for (const auto& t : inter_[s]) {
-      require(t.to < n, "IOIMC '" + name_ + "': transition target out of range");
-      require(signature_.hasAction(t.action),
-              "IOIMC '" + name_ + "': transition uses action '" +
-                  symbols_->name(t.action) + "' missing from signature");
-    }
-    for (const auto& t : markov_[s]) {
-      require(t.to < n, "IOIMC '" + name_ + "': transition target out of range");
-      require(t.rate > 0.0, "IOIMC '" + name_ + "': non-positive rate");
-    }
+  const std::size_t n = labelMasks_.size();
+  if (inter_.offsets.size() != n + 1 || markov_.offsets.size() != n + 1)
+    fail("inconsistent state arrays");
+  if (n == 0) fail("no states");
+  if (initial_ >= n) fail("initial state out of range");
+  if (labelNames_.size() > 32) fail("more than 32 labels");
+  if (inter_.offsets.front() != 0 ||
+      inter_.offsets.back() != inter_.data.size() ||
+      !std::is_sorted(inter_.offsets.begin(), inter_.offsets.end()) ||
+      markov_.offsets.front() != 0 ||
+      markov_.offsets.back() != markov_.data.size() ||
+      !std::is_sorted(markov_.offsets.begin(), markov_.offsets.end()))
+    fail("malformed CSR offsets");
+  for (const auto& t : inter_.data) {
+    if (t.to >= n) fail("transition target out of range");
+    if (!signature_.hasAction(t.action))
+      require(false, "IOIMC '" + name_ + "': transition uses action '" +
+                         symbols_->name(t.action) + "' missing from signature");
+  }
+  for (const auto& t : markov_.data) {
+    if (t.to >= n) fail("transition target out of range");
+    if (!(t.rate > 0.0)) fail("non-positive rate");
   }
 }
 
-std::size_t IOIMC::numTransitions() const {
-  std::size_t total = 0;
-  for (const auto& v : inter_) total += v.size();
-  for (const auto& v : markov_) total += v.size();
-  return total;
-}
-
 bool IOIMC::isStable(StateId s) const {
-  for (const auto& t : inter_[s])
+  for (const auto& t : interactive(s))
     if (signature_.isInternal(t.action)) return false;
   return true;
 }
@@ -113,16 +144,19 @@ bool IOIMC::isClosed() const {
   return signature_.inputs().empty() && signature_.outputs().empty();
 }
 
-bool IOIMC::isMarkovChain() const {
-  for (const auto& v : inter_)
-    if (!v.empty()) return false;
-  return true;
-}
-
 int IOIMC::labelIndex(const std::string& label) const {
   for (std::size_t i = 0; i < labelNames_.size(); ++i)
     if (labelNames_[i] == label) return static_cast<int>(i);
   return -1;
+}
+
+std::vector<ActionRole> actionRoles(const IOIMC& m) {
+  std::vector<ActionRole> roles(m.symbols()->size(), ActionRole::None);
+  for (ActionId a : m.signature().inputs()) roles[a] = ActionRole::Input;
+  for (ActionId a : m.signature().outputs()) roles[a] = ActionRole::Output;
+  for (ActionId a : m.signature().internals())
+    roles[a] = ActionRole::Internal;
+  return roles;
 }
 
 }  // namespace imcdft::ioimc

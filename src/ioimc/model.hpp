@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,12 @@
 ///  * Output and internal actions are immediate (maximal progress); input
 ///    actions are delayable.  The analysis layer enforces urgency when it
 ///    extracts a CTMC/CTMDP from a fully composed, fully hidden model.
+///
+/// Transitions are stored in CSR (compressed sparse row) form: one
+/// contiguous array of transitions per kind plus a per-state offset table.
+/// Iterating a state's transitions touches one cache line instead of
+/// chasing a vector-of-vectors indirection, and whole-model sweeps
+/// (composition, refinement, extraction) stream linearly through memory.
 
 namespace imcdft::ioimc {
 
@@ -95,6 +102,28 @@ class Signature {
   std::vector<ActionId> internals_;
 };
 
+/// Role of an action id with respect to one model's signature, as stored in
+/// the dense tables actionRoles() builds for the hot loops (composition,
+/// refinement) in place of repeated binary searches over the signature.
+enum class ActionRole : std::uint8_t { None, Input, Output, Internal };
+
+/// Flat CSR transition storage handed to the flat IOIMC constructor by the
+/// hot producers (compose, quotient construction, reachability
+/// restriction).  offsets has numStates()+1 entries; state s owns
+/// data[offsets[s]..offsets[s+1]).
+template <class Transition>
+struct CsrTransitions {
+  std::vector<std::uint32_t> offsets;
+  std::vector<Transition> data;
+
+  /// Appends one state's row; rows must be appended in state order.
+  void beginState() { offsets.push_back(static_cast<std::uint32_t>(data.size())); }
+  void finish() { offsets.push_back(static_cast<std::uint32_t>(data.size())); }
+};
+
+using CsrInteractive = CsrTransitions<InteractiveTransition>;
+using CsrMarkovian = CsrTransitions<MarkovianTransition>;
+
 /// An explicit-state I/O-IMC.
 ///
 /// Instances are immutable after construction (use IOIMCBuilder, or the
@@ -104,9 +133,18 @@ class Signature {
 /// and analysis can observe them.
 class IOIMC {
  public:
+  /// Convenience constructor from per-state transition vectors (the builder
+  /// path); flattens into CSR storage.
   IOIMC(std::string name, SymbolTablePtr symbols, Signature signature,
         StateId initial, std::vector<std::vector<InteractiveTransition>> inter,
         std::vector<std::vector<MarkovianTransition>> markov,
+        std::vector<std::uint32_t> labelMasks,
+        std::vector<std::string> labelNames);
+
+  /// CSR-native constructor (the hot path: composition and quotients build
+  /// their rows in state order and move them in without re-packing).
+  IOIMC(std::string name, SymbolTablePtr symbols, Signature signature,
+        StateId initial, CsrInteractive inter, CsrMarkovian markov,
         std::vector<std::uint32_t> labelMasks,
         std::vector<std::string> labelNames);
 
@@ -114,16 +152,30 @@ class IOIMC {
   const SymbolTablePtr& symbols() const { return symbols_; }
   const Signature& signature() const { return signature_; }
   StateId initial() const { return initial_; }
-  std::size_t numStates() const { return inter_.size(); }
+  std::size_t numStates() const { return labelMasks_.size(); }
 
   /// Total number of interactive plus Markovian transitions.
-  std::size_t numTransitions() const;
-
-  const std::vector<InteractiveTransition>& interactive(StateId s) const {
-    return inter_[s];
+  std::size_t numTransitions() const {
+    return inter_.data.size() + markov_.data.size();
   }
-  const std::vector<MarkovianTransition>& markovian(StateId s) const {
-    return markov_[s];
+  std::size_t numInteractiveTransitions() const { return inter_.data.size(); }
+  std::size_t numMarkovianTransitions() const { return markov_.data.size(); }
+
+  std::span<const InteractiveTransition> interactive(StateId s) const {
+    return {inter_.data.data() + inter_.offsets[s],
+            inter_.offsets[s + 1] - inter_.offsets[s]};
+  }
+  std::span<const MarkovianTransition> markovian(StateId s) const {
+    return {markov_.data.data() + markov_.offsets[s],
+            markov_.offsets[s + 1] - markov_.offsets[s]};
+  }
+
+  /// The whole flat transition arrays (for linear whole-model sweeps).
+  std::span<const InteractiveTransition> allInteractive() const {
+    return {inter_.data.data(), inter_.data.size()};
+  }
+  std::span<const MarkovianTransition> allMarkovian() const {
+    return {markov_.data.data(), markov_.data.size()};
   }
 
   /// True when state \p s has no outgoing internal transition.  Maximal
@@ -135,7 +187,7 @@ class IOIMC {
 
   /// True when the model has no interactive transitions at all, i.e. it can
   /// be read directly as a CTMC.
-  bool isMarkovChain() const;
+  bool isMarkovChain() const { return inter_.data.empty(); }
 
   /// Label interface.  Labels are model-local; masks are bitsets over
   /// labelNames().
@@ -157,10 +209,14 @@ class IOIMC {
   SymbolTablePtr symbols_;
   Signature signature_;
   StateId initial_;
-  std::vector<std::vector<InteractiveTransition>> inter_;
-  std::vector<std::vector<MarkovianTransition>> markov_;
+  CsrInteractive inter_;
+  CsrMarkovian markov_;
   std::vector<std::uint32_t> labelMasks_;
   std::vector<std::string> labelNames_;
 };
+
+/// Dense per-action role table of \p m's signature, indexed by ActionId
+/// (sized to the shared symbol table, so ids of other models resolve too).
+std::vector<ActionRole> actionRoles(const IOIMC& m);
 
 }  // namespace imcdft::ioimc

@@ -11,15 +11,21 @@ namespace imcdft::ioimc {
 IOIMC hide(const IOIMC& m, const std::vector<ActionId>& actions) {
   Signature sig = m.signature();
   for (ActionId a : actions) sig.hideOutput(a);
-  std::vector<std::vector<InteractiveTransition>> inter;
-  std::vector<std::vector<MarkovianTransition>> markov;
-  inter.reserve(m.numStates());
-  markov.reserve(m.numStates());
-  std::vector<std::uint32_t> labels;
-  for (StateId s = 0; s < m.numStates(); ++s) {
-    inter.push_back(m.interactive(s));
-    markov.push_back(m.markovian(s));
-    labels.push_back(m.labelMask(s));
+  // Transitions are untouched by hiding; copy the flat storage wholesale.
+  const std::size_t n = m.numStates();
+  CsrInteractive inter;
+  CsrMarkovian markov;
+  std::vector<std::uint32_t> labels(n);
+  inter.data.assign(m.allInteractive().begin(), m.allInteractive().end());
+  markov.data.assign(m.allMarkovian().begin(), m.allMarkovian().end());
+  inter.offsets.resize(n + 1, 0);
+  markov.offsets.resize(n + 1, 0);
+  for (StateId s = 0; s < n; ++s) {
+    inter.offsets[s + 1] =
+        inter.offsets[s] + static_cast<std::uint32_t>(m.interactive(s).size());
+    markov.offsets[s + 1] =
+        markov.offsets[s] + static_cast<std::uint32_t>(m.markovian(s).size());
+    labels[s] = m.labelMask(s);
   }
   return IOIMC(m.name(), m.symbols(), std::move(sig), m.initial(),
                std::move(inter), std::move(markov), std::move(labels),
@@ -42,15 +48,23 @@ IOIMC renameActions(
     sig.add(mapAction(a), ActionKind::Output);
   for (ActionId a : m.signature().internals())
     sig.add(mapAction(a), ActionKind::Internal);
-  std::vector<std::vector<InteractiveTransition>> inter(m.numStates());
-  std::vector<std::vector<MarkovianTransition>> markov(m.numStates());
-  std::vector<std::uint32_t> labels(m.numStates());
-  for (StateId s = 0; s < m.numStates(); ++s) {
+  const std::size_t n = m.numStates();
+  CsrInteractive inter;
+  CsrMarkovian markov;
+  std::vector<std::uint32_t> labels(n);
+  inter.data.reserve(m.numInteractiveTransitions());
+  markov.data.assign(m.allMarkovian().begin(), m.allMarkovian().end());
+  inter.offsets.reserve(n + 1);
+  markov.offsets.resize(n + 1, 0);
+  for (StateId s = 0; s < n; ++s) {
+    inter.beginState();
+    markov.offsets[s + 1] =
+        markov.offsets[s] + static_cast<std::uint32_t>(m.markovian(s).size());
     for (const auto& t : m.interactive(s))
-      inter[s].push_back({mapAction(t.action), t.to});
-    markov[s] = m.markovian(s);
+      inter.data.push_back({mapAction(t.action), t.to});
     labels[s] = m.labelMask(s);
   }
+  inter.finish();
   return IOIMC(m.name(), m.symbols(), std::move(sig), m.initial(),
                std::move(inter), std::move(markov), std::move(labels),
                m.labelNames());
@@ -77,17 +91,23 @@ IOIMC restrictToReachable(const IOIMC& m) {
     for (const auto& t : m.interactive(s)) visit(t.to);
     for (const auto& t : m.markovian(s)) visit(t.to);
   }
-  std::vector<std::vector<InteractiveTransition>> inter(order.size());
-  std::vector<std::vector<MarkovianTransition>> markov(order.size());
+  CsrInteractive inter;
+  CsrMarkovian markov;
   std::vector<std::uint32_t> labels(order.size());
+  inter.offsets.reserve(order.size() + 1);
+  markov.offsets.reserve(order.size() + 1);
   for (StateId ns = 0; ns < order.size(); ++ns) {
     StateId os = order[ns];
+    inter.beginState();
+    markov.beginState();
     for (const auto& t : m.interactive(os))
-      inter[ns].push_back({t.action, remap[t.to]});
+      inter.data.push_back({t.action, remap[t.to]});
     for (const auto& t : m.markovian(os))
-      markov[ns].push_back({t.rate, remap[t.to]});
+      markov.data.push_back({t.rate, remap[t.to]});
     labels[ns] = m.labelMask(os);
   }
+  inter.finish();
+  markov.finish();
   return IOIMC(m.name(), m.symbols(), m.signature(), 0, std::move(inter),
                std::move(markov), std::move(labels), m.labelNames());
 }
@@ -95,15 +115,23 @@ IOIMC restrictToReachable(const IOIMC& m) {
 IOIMC makeLabelAbsorbing(const IOIMC& m, const std::string& label) {
   int idx = m.labelIndex(label);
   require(idx >= 0, "makeLabelAbsorbing: model has no label '" + label + "'");
-  std::vector<std::vector<InteractiveTransition>> inter(m.numStates());
-  std::vector<std::vector<MarkovianTransition>> markov(m.numStates());
+  CsrInteractive inter;
+  CsrMarkovian markov;
   std::vector<std::uint32_t> labels(m.numStates());
+  inter.offsets.reserve(m.numStates() + 1);
+  markov.offsets.reserve(m.numStates() + 1);
   for (StateId s = 0; s < m.numStates(); ++s) {
+    inter.beginState();
+    markov.beginState();
     labels[s] = m.labelMask(s);
     if (m.hasLabel(s, idx)) continue;  // drop all outgoing transitions
-    inter[s] = m.interactive(s);
-    markov[s] = m.markovian(s);
+    auto it = m.interactive(s);
+    inter.data.insert(inter.data.end(), it.begin(), it.end());
+    auto mt = m.markovian(s);
+    markov.data.insert(markov.data.end(), mt.begin(), mt.end());
   }
+  inter.finish();
+  markov.finish();
   IOIMC out(m.name(), m.symbols(), m.signature(), m.initial(),
             std::move(inter), std::move(markov), std::move(labels),
             m.labelNames());

@@ -12,6 +12,8 @@
 ///     --modular         also run the DIFTree-style modular baseline
 ///     --monolithic      also run the DIFTree-style whole-tree baseline
 ///     --simulate N      also run N Monte-Carlo trajectories
+///     --jobs N          worker threads for module aggregation
+///                       (default: one per hardware thread; 1 = sequential)
 ///     --stats           print composition statistics and phase timings
 ///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
 ///     --aut FILE        write it in Aldebaran format
@@ -49,6 +51,7 @@ struct CliOptions {
   bool modular = false;
   bool monolithic = false;
   bool stats = false;
+  unsigned jobs = 0;  ///< 0 = hardware_concurrency
   std::uint64_t simulateRuns = 0;
   std::string dotPath;
   std::string autPath;
@@ -60,9 +63,10 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s [--time T]... [--bounds] [--unavailability] "
                "[--steady-state] [--mttf]\n"
-               "          [--modular] [--monolithic] [--simulate N] [--stats] "
-               "[--dot FILE] [--aut FILE]\n"
-               "          [--strategy modular|greedy|declaration] <model.dft>\n",
+               "          [--modular] [--monolithic] [--simulate N] "
+               "[--jobs N] [--stats]\n"
+               "          [--dot FILE] [--aut FILE] "
+               "[--strategy modular|greedy|declaration] <model.dft>\n",
                argv0);
   std::exit(2);
 }
@@ -93,6 +97,10 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.stats = true;
     } else if (arg == "--simulate") {
       opts.simulateRuns = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<unsigned>(
+          std::strtoul(next().c_str(), nullptr, 10));
+      if (opts.jobs == 0) usage(argv[0]);
     } else if (arg == "--dot") {
       opts.dotPath = next();
     } else if (arg == "--aut") {
@@ -151,6 +159,7 @@ int main(int argc, char** argv) {
     analysis::AnalysisRequest request =
         analysis::AnalysisRequest::forDft(tree, opts.modelPath);
     request.options.engine.strategy = opts.strategy;
+    request.options.engine.numThreads = opts.jobs;
     if (opts.bounds)
       request.measure(analysis::MeasureSpec::unreliabilityBounds(opts.times));
     else
@@ -179,9 +188,12 @@ int main(int argc, char** argv) {
                   report.analysis->closedModel.numStates(),
                   report.analysis->closedModel.numTransitions());
       std::printf("  phases [s]:      convert %.4f, compose %.4f, "
-                  "extract %.4f, measure %.4f\n",
+                  "extract %.4f, measure %.4f  (total %.4f)\n",
                   report.timings.convert, report.timings.compose,
-                  report.timings.extract, report.timings.measure);
+                  report.timings.extract, report.timings.measure,
+                  report.timings.total());
+      if (opts.jobs != 0)
+        std::printf("  worker threads:  %u\n", opts.jobs);
       std::printf("  tree fingerprint %016llx\n",
                   static_cast<unsigned long long>(report.treeHash));
     }
