@@ -1,19 +1,30 @@
 /// \file bench_compose.cpp
 /// Experiment E12: the flat-storage (CSR) compose/aggregate core against
-/// the frozen pre-refactor baseline (bench/baseline_seed.hpp).
+/// the frozen pre-refactor baseline (bench/baseline_seed.hpp), plus
+/// experiment E13: the symmetry reduction over symmetric-replica families.
 ///
-/// For every configuration of the shared scaling sweep (the CPS family of
-/// bench_scaling plus the CAS and HECS systems) the whole cold pipeline is
-/// timed twice — single-thread (EngineOptions::numThreads = 1, isolating
-/// the flat-storage/hashed-refinement gains) and with one worker per
-/// hardware thread (adding the parallel module aggregation) — with the
+/// E12 — for every configuration of the shared scaling sweep (the CPS
+/// family of bench_scaling plus the CAS and HECS systems) the whole cold
+/// pipeline is timed twice — single-thread (EngineOptions::numThreads = 1,
+/// isolating the flat-storage/hashed-refinement gains) and with one worker
+/// per hardware thread (adding the parallel module aggregation) — with the
 /// exact protocol the baseline was captured with: cold Analyzer, grid
-/// {0.5, 1.0, 2.0}, one untimed warmup, best of 5 timed analyze() calls.
-/// The measure values must agree with the baseline to 1e-9 (on the capture
-/// machine they are byte-identical) and must never be NaN; violations make
+/// {0.5, 1.0, 2.0}, one untimed warmup, best of 5 timed analyze() calls,
+/// and symmetry reduction OFF (the baseline predates it; E13 measures it
+/// separately).  The measure values must agree with the baseline to 1e-9
+/// (on the capture machine they are byte-identical) and must never be NaN.
+///
+/// E13 — for each symmetric-replica family (CAS with k cloned units,
+/// CPS-style replicated sensor banks, the cascaded-PAND sweep) the same
+/// cold protocol runs with --symmetry off and on.  The measures must be
+/// *bit-identical* between the two runs, and the aggregations actually
+/// performed with symmetry on must equal the number of distinct module
+/// shapes (proper modules minus reused siblings); either violation makes
 /// the binary exit nonzero so the CI bench smoke job fails on correctness,
-/// not on timing.  Results land in BENCH_compose.json (override with the
-/// BENCH_COMPOSE_JSON environment variable).
+/// not on timing.  Results (including the per-run symmetry counters:
+/// buckets found, aggregations skipped, steps saved) land in
+/// BENCH_compose.json (override with the BENCH_COMPOSE_JSON environment
+/// variable).
 
 #include <benchmark/benchmark.h>
 
@@ -53,12 +64,18 @@ dft::Dft treeFor(const std::string& name) {
 struct RunResult {
   double wallSeconds = 0.0;
   std::vector<double> values;
+  std::size_t steps = 0;             ///< compose/hide/aggregate steps run
+  std::size_t properModules = 0;     ///< ModuleResult records
+  std::size_t symmetricBuckets = 0;  ///< shape buckets with >= 2 modules
+  std::size_t symmetricReused = 0;   ///< aggregations skipped by renaming
+  std::size_t symmetrySavedSteps = 0;
 };
 
-RunResult timeCold(const dft::Dft& d, unsigned numThreads) {
+RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry) {
   AnalysisRequest req = AnalysisRequest::forDft(d).measure(
       MeasureSpec::unreliability(kGrid));
   req.options.engine.numThreads = numThreads;
+  req.options.engine.symmetry = symmetry;
   RunResult best;
   best.wallSeconds = 1e100;
   {
@@ -73,6 +90,11 @@ RunResult timeCold(const dft::Dft& d, unsigned numThreads) {
     if (dt < best.wallSeconds) {
       best.wallSeconds = dt;
       best.values = rep.measures[0].values;
+      best.steps = rep.stats().steps.size();
+      best.properModules = rep.stats().modules.size();
+      best.symmetricBuckets = rep.stats().symmetricBuckets;
+      best.symmetricReused = rep.stats().symmetricModulesReused;
+      best.symmetrySavedSteps = rep.stats().symmetrySavedSteps;
     }
   }
   return best;
@@ -98,7 +120,81 @@ bool anyNan(const std::vector<double>& v) {
   return false;
 }
 
-void writeJson(const std::vector<ConfigResult>& results, unsigned mtThreads) {
+/// One symmetric-replica family, timed cold with symmetry off and on.
+struct SymmetryResult {
+  std::string name;
+  RunResult off, on;
+  std::size_t moduleCount = 0;  ///< proper modules (symmetry-off records)
+  bool bitIdentical = false;    ///< measures on == off, every bit
+  bool countersOk = false;      ///< buckets found, aggregations dropped
+  std::size_t aggregationsPerformed() const {
+    return on.properModules - on.symmetricReused;
+  }
+};
+
+/// Runs the E13 symmetry sweep; results are appended to \p out and the
+/// function returns false when any correctness check failed.
+bool runSymmetrySweep(std::vector<SymmetryResult>& out) {
+  struct Family {
+    const char* name;
+    dft::Dft tree;
+    /// Distinct proper-module shapes of the family — what the aggregation
+    /// count must drop to with symmetry on (a structural constant of each
+    /// tree, machine-independent).  Cloned CAS: the unit plus its CPU /
+    /// motor / pump sub-modules and the top, independent of the clone
+    /// count.  Sensor banks: bank, sensor chain, top.  Cascaded PANDs:
+    /// one AND shape plus every (depth-distinct) PAND of the chain.
+    std::size_t distinctShapes;
+  };
+  // Replica counts stay moderate: the top-level fold over k independent
+  // aggregated units is inherently exponential in k (the joint unfired
+  // state space), which symmetry reduction does not — and must not —
+  // change.  It removes the per-shape aggregation cost, which dominates
+  // when the modules themselves are large (cps_6x14).
+  const Family families[] = {
+      {"cas_cloned_2", dft::corpus::clonedCas(2), 6},
+      {"cas_cloned_4", dft::corpus::clonedCas(4), 6},
+      {"banks_4x3", dft::corpus::sensorBanks(4, 3), 3},
+      {"banks_8x2", dft::corpus::sensorBanks(8, 2), 3},
+      {"cps_8x10", dft::corpus::cascadedPands(8, 10), 8},
+      {"cps_6x14", dft::corpus::cascadedPands(6, 14), 6},
+  };
+  std::printf("== E13: symmetry reduction over symmetric-replica families ==\n");
+  std::printf("%-14s %11s %11s %8s %8s %8s %8s  %s\n", "family", "off [s]",
+              "on [s]", "speedup", "modules", "aggs", "reused", "measures");
+  bool ok = true;
+  for (const Family& fam : families) {
+    SymmetryResult r;
+    r.name = fam.name;
+    r.off = timeCold(fam.tree, 1, /*symmetry=*/false);
+    r.on = timeCold(fam.tree, 1, /*symmetry=*/true);
+    r.moduleCount = r.off.properModules;
+    r.bitIdentical = r.off.values == r.on.values;
+    // Every family is built symmetric: buckets must form, siblings must be
+    // reused, and the aggregations actually performed must equal the
+    // family's distinct shape count — O(shapes), not O(modules).
+    r.countersOk = r.on.symmetricBuckets > 0 && r.on.symmetricReused > 0 &&
+                   r.aggregationsPerformed() == fam.distinctShapes &&
+                   r.aggregationsPerformed() < r.moduleCount &&
+                   r.on.steps < r.off.steps;
+    if (!r.bitIdentical || r.countersOk == false || anyNan(r.on.values))
+      ok = false;
+    std::printf("%-14s %11.6f %11.6f %7.2fx %8zu %8zu %8zu  %s\n",
+                r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
+                r.off.wallSeconds / r.on.wallSeconds, r.moduleCount,
+                r.aggregationsPerformed(), r.on.symmetricReused,
+                !r.bitIdentical         ? "NOT BIT-IDENTICAL — BUG"
+                : !r.countersOk         ? "COUNTERS WRONG — BUG"
+                                        : "bit-identical");
+    out.push_back(std::move(r));
+  }
+  std::printf("\n");
+  return ok;
+}
+
+void writeJson(const std::vector<ConfigResult>& results,
+               const std::vector<SymmetryResult>& symmetry,
+               unsigned mtThreads) {
   const char* env = std::getenv("BENCH_COMPOSE_JSON");
   std::string path = env ? env : "BENCH_compose.json";
   std::ofstream out(path);
@@ -114,6 +210,7 @@ void writeJson(const std::vector<ConfigResult>& results, unsigned mtThreads) {
   out << "{\n"
       << "  \"bench\": \"flat_storage_compose_sweep\",\n"
       << "  \"baseline\": \"pre-refactor seed (PR 1 tip, commit 84b7bfe)\",\n"
+      << "  \"baseline_header\": \"bench/baseline_seed.hpp\",\n"
       << "  \"time_grid\": " << kGrid.size() << ",\n"
       << "  \"parallel_threads\": " << mtThreads << ",\n"
       << "  \"configs\": [\n";
@@ -132,14 +229,41 @@ void writeJson(const std::vector<ConfigResult>& results, unsigned mtThreads) {
                   i + 1 < results.size() ? "," : "");
     out << buf;
   }
-  char tail[256];
+  out << "  ],\n"
+      << "  \"symmetry_families\": [\n";
+  std::size_t totalReused = 0, totalSaved = 0;
+  for (std::size_t i = 0; i < symmetry.size(); ++i) {
+    const SymmetryResult& r = symmetry[i];
+    totalReused += r.on.symmetricReused;
+    totalSaved += r.on.symmetrySavedSteps;
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"wall_off_seconds\": %.6f, "
+        "\"wall_on_seconds\": %.6f, \"speedup\": %.3f, "
+        "\"modules\": %zu, \"aggregations_performed\": %zu, "
+        "\"buckets_found\": %zu, \"aggregations_skipped\": %zu, "
+        "\"steps_off\": %zu, \"steps_on\": %zu, \"steps_saved\": %zu, "
+        "\"measures_bit_identical\": %s}%s\n",
+        r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
+        r.off.wallSeconds / r.on.wallSeconds, r.moduleCount,
+        r.aggregationsPerformed(), r.on.symmetricBuckets,
+        r.on.symmetricReused, r.off.steps, r.on.steps,
+        r.on.symmetrySavedSteps, r.bitIdentical ? "true" : "false",
+        i + 1 < symmetry.size() ? "," : "");
+    out << buf;
+  }
+  char tail[384];
   std::snprintf(tail, sizeof tail,
                 "  ],\n"
+                "  \"symmetry_total_aggregations_skipped\": %zu,\n"
+                "  \"symmetry_total_steps_saved\": %zu,\n"
                 "  \"largest_config\": \"%s\",\n"
                 "  \"largest_speedup_1t\": %.3f,\n"
                 "  \"largest_speedup_parallel\": %.3f\n"
                 "}\n",
-                largest.name.c_str(), largest.seedWall / largest.wall1t,
+                totalReused, totalSaved, largest.name.c_str(),
+                largest.seedWall / largest.wall1t,
                 largest.seedWall / largest.wallMt);
   out << tail;
   std::printf("wrote %s\n", path.c_str());
@@ -159,8 +283,10 @@ bool runSweep() {
   bool ok = true;
   for (const benchcompose::SeedBaseline& base : benchcompose::seedBaselines()) {
     dft::Dft d = treeFor(base.name);
-    RunResult oneThread = timeCold(d, 1);
-    RunResult parallel = timeCold(d, mtThreads);
+    // Symmetry off: the baseline was captured without it (E13 below
+    // measures the symmetry reduction against this same protocol).
+    RunResult oneThread = timeCold(d, 1, /*symmetry=*/false);
+    RunResult parallel = timeCold(d, mtThreads, /*symmetry=*/false);
     ConfigResult r;
     r.name = base.name;
     r.seedWall = base.wallSeconds;
@@ -178,7 +304,9 @@ bool runSweep() {
     results.push_back(std::move(r));
   }
   std::printf("\n");
-  writeJson(results, mtThreads);
+  std::vector<SymmetryResult> symmetry;
+  if (!runSymmetrySweep(symmetry)) ok = false;
+  writeJson(results, symmetry, mtThreads);
   std::printf("\n");
   return ok;
 }

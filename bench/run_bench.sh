@@ -73,6 +73,10 @@ echo "-------------------------------------------------------------"
 printf "$summary"
 [ -f "$repo_root/BENCH_batch.json" ] && \
   echo "batch sweep:   $(grep -o '"speedup": [0-9.]*' "$repo_root/BENCH_batch.json" || true)"
-[ -f "$repo_root/BENCH_compose.json" ] && \
+if [ -f "$repo_root/BENCH_compose.json" ]; then
   echo "compose sweep: $(grep -o '"largest_speedup_1t": [0-9.]*' "$repo_root/BENCH_compose.json" || true)"
+  # Provenance: which frozen baseline the sweep compared against.
+  echo "  baseline:    $(grep -o '"baseline": "[^"]*"' "$repo_root/BENCH_compose.json" | sed 's/"baseline": //;s/"//g' || true) ($(grep -o '"baseline_header": "[^"]*"' "$repo_root/BENCH_compose.json" | sed 's/"baseline_header": //;s/"//g' || true))"
+  echo "  symmetry:    $(grep -o '"symmetry_total_aggregations_skipped": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*' || true) aggregation(s) skipped, $(grep -o '"symmetry_total_steps_saved": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*' || true) step(s) saved across the symmetric families"
+fi
 exit $status

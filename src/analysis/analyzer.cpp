@@ -7,12 +7,14 @@
 #include <utility>
 
 #include "analysis/measures.hpp"
+#include "analysis/symmetry.hpp"
 #include "common/error.hpp"
 #include "ctmc/mttf.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
 #include "dft/galileo.hpp"
 #include "dft/hash.hpp"
+#include "dft/modules.hpp"
 #include "ioimc/bisimulation.hpp"
 #include "ioimc/ops.hpp"
 
@@ -26,8 +28,9 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Serialization of every option that influences the composed model; part
-/// of both cache keys.
+/// Serialization of every option that influences the composed model (or
+/// its reported statistics, which symmetry changes); part of both cache
+/// keys.
 std::string optionsKey(const AnalysisOptions& opts) {
   std::string key = "sg=";
   key += opts.conversion.subsetGates ? '1' : '0';
@@ -39,6 +42,8 @@ std::string optionsKey(const AnalysisOptions& opts) {
   key += opts.engine.collapseSinks ? '1' : '0';
   key += ";ou=";
   key += opts.engine.weak.outputsUrgent ? '1' : '0';
+  key += ";sy=";
+  key += opts.engine.symmetry ? '1' : '0';
   return key;
 }
 
@@ -73,52 +78,112 @@ const char* measureKindName(MeasureKind kind) {
 /// Independence guarantees everything else — no element below the module
 /// root is referenced from outside it, so the key (the canonical
 /// fingerprint of the module's sub-tree) determines the aggregated model.
+///
+/// With symmetric keying (EngineOptions::symmetry) the fingerprint is the
+/// rename-invariant shape instead, and each entry records the concrete
+/// name basis it was stored under.  A hit whose names differ from the
+/// entry's instantiates the stored model via ioimc::renameActions; the
+/// induced ActionId map must cover the model and be injective (see
+/// analysis/symmetry.hpp) or the lookup counts as a miss and the module
+/// aggregates normally.
 class Analyzer::SessionModuleCache : public ModuleCache {
  public:
   SessionModuleCache(Analyzer& owner, const std::vector<ActivationContext>& ctx,
-                     std::string optsKey, CacheStats& requestStats)
+                     std::string optsKey, bool shapeKeyed,
+                     CacheStats& requestStats)
       : owner_(owner),
         contexts_(ctx),
         optsKey_(std::move(optsKey)),
+        shapeKeyed_(shapeKeyed),
         stats_(requestStats) {}
 
   std::optional<CachedModule> lookup(const dft::Dft& dft,
                                      dft::ElementId root) override {
     if (!cacheable(root)) return std::nullopt;
-    std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
-    auto it = owner_.modules_.find(key(dft, root));
-    if (it == owner_.modules_.end()) {
+    // Key computation (module extraction + serialization) happens before
+    // the lock, and the rename-copy of a hit happens after it — only the
+    // map probe and the entry copy hold modulesMutex_.
+    dft::ModuleShape shape;
+    const std::string k = key(dft, root, shape);
+    std::optional<ModuleEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
+      auto it = owner_.modules_.find(k);
+      if (it != owner_.modules_.end()) entry = it->second;
+    }
+    if (!entry) {
+      ++stats_.moduleMisses;
+      return std::nullopt;
+    }
+    if (!shapeKeyed_ || entry->names == shape.names) {
+      ++stats_.moduleHits;
+      return CachedModule{std::move(entry->model), entry->steps};
+    }
+    // Same shape, different names: instantiate the stored model under the
+    // lifted substitution.  Cross-request reuse only needs an injective,
+    // complete map — the instance is isomorphic to what aggregating this
+    // module would produce, so all measures agree exactly.
+    std::optional<ioimc::IOIMC> instance =
+        renamedInstance(dft, root, shape, *entry);
+    if (!instance) {
       ++stats_.moduleMisses;
       return std::nullopt;
     }
     ++stats_.moduleHits;
-    return CachedModule{it->second.model, it->second.steps};
+    return CachedModule{std::move(*instance), entry->steps};
   }
 
   void store(const dft::Dft& dft, dft::ElementId root,
              const ioimc::IOIMC& model, std::size_t steps) override {
     if (!cacheable(root)) return;
-    std::string k = key(dft, root);
+    dft::ModuleShape shape;
+    std::string k = key(dft, root, shape);
     std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
     if (owner_.modules_.size() >= owner_.opts_.maxCachedModules)
       owner_.modules_.clear();
-    owner_.modules_.insert_or_assign(std::move(k), ModuleEntry{model, steps});
+    owner_.modules_.insert_or_assign(
+        std::move(k), ModuleEntry{model, steps, std::move(shape.names)});
   }
 
  private:
   bool cacheable(dft::ElementId root) const {
     return root < contexts_.size() && contexts_[root].alwaysActive;
   }
-  std::string key(const dft::Dft& dft, dft::ElementId root) const {
-    std::string k = dft::moduleKey(dft, root);
+  /// Builds the cache key; under shape keying \p shape receives the
+  /// computed shape (key and name basis) as a side product.
+  std::string key(const dft::Dft& dft, dft::ElementId root,
+                  dft::ModuleShape& shape) const {
+    std::string k;
+    if (shapeKeyed_) {
+      shape = dft::moduleShape(dft, root);
+      k = "shape\x1f";
+      k += shape.key;
+    } else {
+      k = dft::moduleKey(dft, root);
+    }
     k += '\x1f';
     k += optsKey_;
     return k;
   }
 
+  std::optional<ioimc::IOIMC> renamedInstance(const dft::Dft& dft,
+                                              dft::ElementId root,
+                                              const dft::ModuleShape& shape,
+                                              const ModuleEntry& entry) const {
+    const dft::Dft module = dft::extractModule(dft, root);
+    std::optional<std::unordered_map<std::string, std::string>> lift =
+        liftElementRenaming(module, entry.names, shape.names);
+    if (!lift) return std::nullopt;
+    std::optional<std::unordered_map<ioimc::ActionId, std::string>> renaming =
+        modelRenaming(entry.model, *lift);
+    if (!renaming) return std::nullopt;
+    return ioimc::renameActions(entry.model, *renaming);
+  }
+
   Analyzer& owner_;
   const std::vector<ActivationContext>& contexts_;
   std::string optsKey_;
+  const bool shapeKeyed_;
   CacheStats& stats_;
 };
 
@@ -150,6 +215,7 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
 
   phase = Clock::now();
   SessionModuleCache moduleCache(*this, contexts, optionsKey(opts),
+                                 /*shapeKeyed=*/opts.engine.symmetry,
                                  requestStats);
   // Cached module models are interned in the session table; a community
   // built over a caller-supplied table cannot exchange models with them.
@@ -236,6 +302,15 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
            std::to_string(report.cache.moduleHits) +
                " module(s) spliced from the session cache, saving " +
                std::to_string(report.cache.stepsSaved) +
+               " composition step(s)"});
+    if (analysis->stats.symmetricModulesReused > 0)
+      report.diagnostics.push_back(
+          {Severity::Info,
+           std::to_string(analysis->stats.symmetricModulesReused) +
+               " symmetric module(s) instantiated by renaming (" +
+               std::to_string(analysis->stats.symmetricBuckets) +
+               " shape bucket(s)), saving " +
+               std::to_string(analysis->stats.symmetrySavedSteps) +
                " composition step(s)"});
     if (useTreeCache) {
       if (trees_.size() >= opts_.maxCachedTrees) trees_.clear();

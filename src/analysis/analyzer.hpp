@@ -20,9 +20,15 @@
 ///
 ///  * a whole-tree cache keyed by the canonical tree fingerprint plus the
 ///    conversion/engine options — a repeated request is a pure lookup;
-///  * a per-module cache of aggregated independent-module I/O-IMCs, keyed
-///    by the module's canonical sub-tree fingerprint — a batch over N
-///    scenario variants that share modules only re-composes what changed.
+///  * a per-module cache of aggregated independent-module I/O-IMCs — a
+///    batch over N scenario variants that share modules only re-composes
+///    what changed.  With EngineOptions::symmetry enabled the module cache
+///    keys on the *rename-invariant* shape (dft::moduleShape) and records
+///    the concrete-name basis of the stored model; a later module of the
+///    same shape but different names hits too and is instantiated via
+///    ioimc::renameActions, so a batch over N symmetric variants
+///    aggregates each shape once.  With symmetry disabled the cache keys
+///    on the exact module fingerprint (dft::moduleKey) as before.
 ///
 /// The module cache mirrors the nested-reuse idea of DIFTree-style modular
 /// analysis (Section 5.2 of the paper): an independent module's aggregated
@@ -84,6 +90,10 @@ class Analyzer {
   struct ModuleEntry {
     ioimc::IOIMC model;
     std::size_t steps = 0;
+    /// Concrete element names behind the shape's indices (shape-keyed
+    /// entries only): a same-shape module with different names renames the
+    /// stored model from this basis at lookup.
+    std::vector<std::string> names;
   };
 
   std::shared_ptr<const DftAnalysis> runPipeline(const dft::Dft& tree,

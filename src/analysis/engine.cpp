@@ -12,7 +12,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "analysis/symmetry.hpp"
 #include "common/error.hpp"
+#include "dft/hash.hpp"
 #include "dft/modules.hpp"
 #include "ioimc/compose.hpp"
 #include "ioimc/ops.hpp"
@@ -145,6 +147,8 @@ class ModularAggregator {
                     std::vector<ModuleNode> nodes, int rootNode,
                     const std::vector<dft::ModuleInfo>& modules,
                     std::vector<int> parentOf, const dft::Dft& dft,
+                    const std::vector<std::vector<dft::ElementId>>& modelElements,
+                    const std::vector<ActivationContext>& contexts,
                     const EngineOptions& opts, ModuleCache* cache)
       : models_(std::move(models)),
         nodes_(std::move(nodes)),
@@ -152,6 +156,8 @@ class ModularAggregator {
         rootNode_(rootNode),
         modules_(modules),
         dft_(dft),
+        modelElements_(modelElements),
+        contexts_(contexts),
         opts_(opts),
         cache_(cache) {
     const std::size_t numNodes = nodes_.size();
@@ -163,19 +169,27 @@ class ModularAggregator {
     moduleRecord_.resize(numNodes);
     properModule_.assign(numNodes, 0);
     pending_.assign(numNodes, 0);
+    symmetric_.assign(numNodes, 0);
+    symRepOf_.assign(numNodes, -1);
+    symSiblingsOf_.resize(numNodes);
+    symRenaming_.resize(numNodes);
+    symRecord_.resize(numNodes);
     buildSubtreeMembership();
   }
 
-  /// Resolves cache splices (sequentially, on the calling thread), then
-  /// aggregates all remaining module tasks on \p numThreads workers and
-  /// returns the root model plus deterministic, post-ordered stats.
+  /// Resolves cache splices (sequentially, on the calling thread), plans
+  /// the symmetry buckets, then aggregates all remaining module tasks on
+  /// \p numThreads workers and returns the root model plus deterministic,
+  /// post-ordered stats.
   std::pair<IOIMC, CompositionStats> run(unsigned numThreads) {
     resolveSplices(rootNode_);
+    if (opts_.symmetry) planSymmetry();
     scheduleReadyTasks();
     runWorkers(numThreads);
     if (firstError_) std::rethrow_exception(firstError_);
 
     CompositionStats stats;
+    stats.symmetricBuckets = symmetricBuckets_;
     collectStats(rootNode_, stats);
     foldPeaks(stats);
     return {std::move(*results_[rootNode_]), std::move(stats)};
@@ -268,6 +282,233 @@ class ModularAggregator {
     }
   }
 
+  // ---------------------------------------------------------------------
+  // Symmetry reduction: one aggregation per module shape.
+  // ---------------------------------------------------------------------
+
+  /// Buckets the eligible module nodes by their rename-invariant shape
+  /// (dft::moduleShape).  The first member of a bucket becomes its
+  /// *representative* and is aggregated normally; every further member
+  /// whose structure and induced action renaming pass the checks of
+  /// planSiblingRenaming() is marked symmetric — its subtree is never
+  /// scheduled, and its result is instantiated from the representative's
+  /// via ioimc::renameActions when the representative completes.  Any
+  /// check failure silently falls back to normal aggregation.
+  void planSymmetry() {
+    if (contexts_.empty()) return;
+    std::vector<char> absorbed(nodes_.size(), 0);
+    // Nodes inside a spliced subtree never run; they must not become
+    // representatives (their results would never materialize).
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      if (spliced_[i]) absorbSubtree(static_cast<int>(i), absorbed);
+    std::unordered_map<std::string, int> repOfShape;
+    std::unordered_map<int, dft::ModuleShape> shapeOf;
+    // Walk larger modules first (node indices ascend with module size):
+    // when an outer sibling is absorbed, its inner modules are marked
+    // before they are visited, so nested buckets never overlap.
+    for (int node = static_cast<int>(nodes_.size()) - 1; node >= 0; --node) {
+      if (node == rootNode_ || spliced_[node] || absorbed[node]) continue;
+      const ModuleNode& n = nodes_[node];
+      if (n.childModules.empty() && n.ownModels.size() <= 1)
+        continue;  // trivial: reuse would not save any composition
+      const dft::ElementId moduleRoot = modules_[node].root;
+      if (moduleRoot >= contexts_.size() || !contexts_[moduleRoot].alwaysActive)
+        continue;  // context-dependent conversion; not reusable
+      if (subtreeHasSplice(node)) continue;  // the cache already covers it
+      dft::ModuleShape shape = dft::moduleShape(dft_, moduleRoot);
+      auto [it, fresh] = repOfShape.try_emplace(shape.key, node);
+      if (fresh) {
+        shapeOf.emplace(node, std::move(shape));
+        continue;
+      }
+      const int rep = it->second;
+      std::optional<std::unordered_map<ioimc::ActionId, std::string>> renaming =
+          planSiblingRenaming(rep, shapeOf.at(rep), node, shape);
+      if (!renaming) continue;  // fall back to aggregating this module
+      symmetric_[node] = 1;
+      symRepOf_[node] = rep;
+      symSiblingsOf_[rep].push_back(node);
+      symRenaming_[node] = std::move(*renaming);
+      absorbSubtree(node, absorbed);
+      releaseSubtreeModels(node);
+    }
+    for (const std::vector<int>& siblings : symSiblingsOf_)
+      if (!siblings.empty()) ++symmetricBuckets_;
+  }
+
+  void absorbSubtree(int root, std::vector<char>& absorbed) const {
+    std::vector<int> stack{root};
+    while (!stack.empty()) {
+      int node = stack.back();
+      stack.pop_back();
+      absorbed[node] = 1;
+      for (std::size_t c : nodes_[node].childModules)
+        stack.push_back(static_cast<int>(c));
+    }
+  }
+
+  bool subtreeHasSplice(int root) const {
+    std::vector<int> stack{root};
+    while (!stack.empty()) {
+      int node = stack.back();
+      stack.pop_back();
+      for (std::size_t c : nodes_[node].childModules) {
+        if (spliced_[c]) return true;
+        stack.push_back(static_cast<int>(c));
+      }
+    }
+    return false;
+  }
+
+  /// All action ids appearing in the signatures of the node's subtree
+  /// community models, sorted and deduplicated.  This over-approximates
+  /// the action universe of every model the subtree's aggregation can
+  /// produce (compose introduces no actions, hiding only changes roles,
+  /// and the quotient adds only tau).
+  std::vector<ioimc::ActionId> subtreeActions(int node) const {
+    std::vector<ioimc::ActionId> acts;
+    const std::vector<char>& mine = inSubtree_[node];
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      if (!mine[m] || !models_[m]) continue;
+      const ioimc::Signature& s = models_[m]->signature();
+      acts.insert(acts.end(), s.inputs().begin(), s.inputs().end());
+      acts.insert(acts.end(), s.outputs().begin(), s.outputs().end());
+      acts.insert(acts.end(), s.internals().begin(), s.internals().end());
+    }
+    std::sort(acts.begin(), acts.end());
+    acts.erase(std::unique(acts.begin(), acts.end()), acts.end());
+    return acts;
+  }
+
+  /// Verifies that the sibling's module subtree corresponds node-for-node
+  /// and model-for-model to the representative's under the index-wise
+  /// member substitution — same child order, same own-model element sets.
+  /// Corresponding structures plus an order-preserving action map make the
+  /// representative's aggregation *equivariant*: every ordering decision
+  /// on the sibling's side mirrors the representative's, so the renamed
+  /// result is bitwise what aggregating the sibling would have produced.
+  bool structuresCorrespond(int rep, int sib) const {
+    static constexpr dft::ElementId kNoElement =
+        static_cast<dft::ElementId>(-1);
+    const std::vector<dft::ElementId>& ma = modules_[rep].members;
+    const std::vector<dft::ElementId>& mb = modules_[sib].members;
+    if (ma.size() != mb.size()) return false;
+    std::vector<dft::ElementId> toSib(dft_.size(), kNoElement);
+    for (std::size_t i = 0; i < ma.size(); ++i) toSib[ma[i]] = mb[i];
+    std::vector<std::pair<int, int>> stack{{rep, sib}};
+    while (!stack.empty()) {
+      auto [x, y] = stack.back();
+      stack.pop_back();
+      if (toSib[modules_[x].root] != modules_[y].root) return false;
+      const ModuleNode& nx = nodes_[x];
+      const ModuleNode& ny = nodes_[y];
+      if (nx.childModules.size() != ny.childModules.size()) return false;
+      if (nx.ownModels.size() != ny.ownModels.size()) return false;
+      for (std::size_t k = 0; k < nx.ownModels.size(); ++k) {
+        std::vector<dft::ElementId> ea = modelElements_[nx.ownModels[k]];
+        for (dft::ElementId& e : ea) {
+          if (e >= toSib.size() || toSib[e] == kNoElement) return false;
+          e = toSib[e];
+        }
+        std::sort(ea.begin(), ea.end());
+        std::vector<dft::ElementId> eb = modelElements_[ny.ownModels[k]];
+        std::sort(eb.begin(), eb.end());
+        if (ea != eb) return false;
+      }
+      for (std::size_t c = 0; c < nx.childModules.size(); ++c)
+        stack.push_back({static_cast<int>(nx.childModules[c]),
+                         static_cast<int>(ny.childModules[c])});
+    }
+    return true;
+  }
+
+  /// Builds and validates the ActionId renaming that instantiates \p sib
+  /// from \p rep: structures must correspond, the lifted name substitution
+  /// must cover the representative's whole subtree action universe, its
+  /// image must be exactly the sibling's universe, the id map must be
+  /// strictly order-preserving (the bitwise-identity condition, see
+  /// analysis/symmetry.hpp), and externally visible outputs must stay
+  /// externally visible on both sides (equal hide sets).
+  std::optional<std::unordered_map<ioimc::ActionId, std::string>>
+  planSiblingRenaming(int rep, const dft::ModuleShape& repShape, int sib,
+                      const dft::ModuleShape& sibShape) const {
+    if (repShape.names.size() != sibShape.names.size()) return std::nullopt;
+    if (!structuresCorrespond(rep, sib)) return std::nullopt;
+
+    const dft::Dft repModule = dft::extractModule(dft_, modules_[rep].root);
+    std::optional<std::unordered_map<std::string, std::string>> lift =
+        liftElementRenaming(repModule, repShape.names, sibShape.names);
+    if (!lift) return std::nullopt;
+
+    const SymbolTable& symbols = *symbolTable();
+    const std::vector<ioimc::ActionId> repActs = subtreeActions(rep);
+    std::vector<ActionIdPair> pairs;
+    pairs.reserve(repActs.size() + 1);
+    for (ioimc::ActionId a : repActs) {
+      auto it = lift->find(symbols.name(a));
+      if (it == lift->end()) return std::nullopt;
+      ioimc::ActionId to = symbols.find(it->second);
+      if (to == SymbolTable::npos) return std::nullopt;
+      pairs.emplace_back(a, to);
+    }
+    // In a warm session tau may already be interned between the two
+    // modules' name blocks; it stays fixed, so it must not break the
+    // order correspondence.  (Cold runs intern tau after every community
+    // name, where it cannot interfere.)
+    const ioimc::ActionId tau = symbols.find(ioimc::kTauName);
+    if (tau != SymbolTable::npos) pairs.emplace_back(tau, tau);
+    if (!orderPreserving(pairs)) return std::nullopt;
+
+    // The image must be exactly the sibling's action universe.
+    std::vector<ioimc::ActionId> image;
+    image.reserve(repActs.size());
+    for (const ActionIdPair& p : pairs)
+      if (p.first != tau || tau == SymbolTable::npos) image.push_back(p.second);
+    std::sort(image.begin(), image.end());
+    if (image != subtreeActions(sib)) return std::nullopt;
+
+    // Equal hide sets: an output consumed outside one subtree must map to
+    // an output consumed outside the other, and vice versa.
+    std::unordered_map<ioimc::ActionId, ioimc::ActionId> idMap(pairs.begin(),
+                                                               pairs.end());
+    const std::vector<char>& mine = inSubtree_[rep];
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      if (!mine[m] || !models_[m]) continue;
+      for (ioimc::ActionId out : models_[m]->signature().outputs())
+        if (usedOutsideSubtree(out, rep) !=
+            usedOutsideSubtree(idMap.at(out), sib))
+          return std::nullopt;
+    }
+
+    std::unordered_map<ioimc::ActionId, std::string> renaming;
+    for (const ActionIdPair& p : pairs)
+      if (p.first != p.second) renaming.emplace(p.first, symbols.name(p.second));
+    return renaming;
+  }
+
+  /// The shared symbol table (every community model interns in one table;
+  /// compose() asserts as much).
+  const ioimc::SymbolTablePtr& symbolTable() const {
+    for (const std::optional<IOIMC>& m : models_)
+      if (m) return m->symbols();
+    for (const std::optional<IOIMC>& r : results_)
+      if (r) return r->symbols();
+    throw ModelError("composeCommunity: no model left to take symbols from");
+  }
+
+  /// Instantiates every symmetric sibling of \p rep by renaming the
+  /// representative's aggregated model (called right after the
+  /// representative's task finishes, before its parent may consume it).
+  void instantiateSiblings(int rep) {
+    for (int sib : symSiblingsOf_[rep]) {
+      IOIMC instance =
+          ioimc::renameActions(*results_[rep], symRenaming_[sib]);
+      symRecord_[sib] = ModuleResult{nodes_[sib].name, instance.numStates(),
+                                     instance.numTransitions()};
+      results_[sib].emplace(std::move(instance));
+    }
+  }
+
   int liveChildren(int node) const {
     int count = 0;
     for (std::size_t c : nodes_[node].childModules)
@@ -292,7 +533,11 @@ class ModularAggregator {
       }
       if (f.child < node.childModules.size()) {
         int child = static_cast<int>(node.childModules[f.child++]);
-        if (!spliced_[child]) stack.push_back({child, 0});
+        // Spliced children already carry results; symmetric children are
+        // instantiated when their representative finishes — neither
+        // subtree gets tasks of its own.
+        if (!spliced_[child] && !symmetric_[child])
+          stack.push_back({child, 0});
         continue;
       }
       stack.pop_back();
@@ -340,6 +585,9 @@ class ModularAggregator {
   void runTask(int node) {
     try {
       runModuleTask(node);
+      // Symmetric siblings are pure renames of this result; materialize
+      // them before any parent (theirs or ours) can become ready.
+      if (!symSiblingsOf_[node].empty()) instantiateSiblings(node);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!firstError_) firstError_ = std::current_exception();
@@ -354,6 +602,10 @@ class ModularAggregator {
     } else if (!stop_) {
       int parent = parentOf_[node];
       if (--pending_[parent] == 0) ready_.push_back(parent);
+      for (int sib : symSiblingsOf_[node]) {
+        int sibParent = parentOf_[sib];
+        if (--pending_[sibParent] == 0) ready_.push_back(sibParent);
+      }
     }
     cv_.notify_all();
   }
@@ -420,6 +672,10 @@ class ModularAggregator {
           out.modules.push_back(spliceRecord_[child]);
           ++out.cachedModules;
           out.stepsSaved += spliceSavedSteps_[child];
+        } else if (symmetric_[child]) {
+          out.modules.push_back(symRecord_[child]);
+          ++out.symmetricModulesReused;
+          out.symmetrySavedSteps += subtreeSteps(symRepOf_[child]);
         } else {
           stack.push_back({child, 0});
         }
@@ -438,6 +694,8 @@ class ModularAggregator {
   int rootNode_;
   const std::vector<dft::ModuleInfo>& modules_;
   const dft::Dft& dft_;
+  const std::vector<std::vector<dft::ElementId>>& modelElements_;
+  const std::vector<ActivationContext>& contexts_;
   const EngineOptions& opts_;
   ModuleCache* cache_;
 
@@ -452,6 +710,15 @@ class ModularAggregator {
   std::vector<ModuleResult> moduleRecord_;
   std::vector<char> properModule_;  ///< char: workers write concurrently
   std::vector<int> pending_;  ///< unfinished children; mutex_-guarded
+
+  /// Symmetry plan (fixed before scheduling; only symRecord_ is written
+  /// later, by the representative's worker, before any reader can run).
+  std::vector<char> symmetric_;  ///< instantiated from a representative
+  std::vector<int> symRepOf_;    ///< sibling -> its bucket representative
+  std::vector<std::vector<int>> symSiblingsOf_;  ///< representative -> siblings
+  std::vector<std::unordered_map<ioimc::ActionId, std::string>> symRenaming_;
+  std::vector<ModuleResult> symRecord_;
+  std::size_t symmetricBuckets_ = 0;
 
   std::size_t numTasks_ = 0;  ///< scheduled (non-spliced) module tasks
   std::mutex mutex_;
@@ -468,10 +735,13 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
                               const EngineOptions& opts, ModuleCache* cache) {
   require(!community.models.empty(), "composeCommunity: empty community");
 
-  // Remember the element sets before taking the models.
+  // Remember the element sets and activation contexts before taking the
+  // models (the symmetry planner consults both).
   std::vector<std::vector<dft::ElementId>> modelElements;
   for (const CommunityModel& m : community.models)
     modelElements.push_back(m.elements);
+  const std::vector<ActivationContext> contexts =
+      std::move(community.contexts);
   std::vector<std::optional<IOIMC>> slots;
   slots.reserve(community.models.size());
   for (CommunityModel& m : community.models)
@@ -577,7 +847,8 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
   }
 
   ModularAggregator aggregator(std::move(slots), std::move(nodes), rootNode,
-                               modules, std::move(parent), dft, opts, cache);
+                               modules, std::move(parent), dft, modelElements,
+                               contexts, opts, cache);
   auto [model, stats] = aggregator.run(numThreads);
   return finishResult(EngineResult{std::move(model), std::move(stats)});
 }

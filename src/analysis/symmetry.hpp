@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dft/model.hpp"
+#include "ioimc/model.hpp"
+
+/// \file symmetry.hpp
+/// Shared machinery of the symmetry reduction (the paper's Section 5.2
+/// reuse-by-renaming, automated): lifting an element-name substitution to
+/// the signal-name level, and validating that the induced ActionId map is
+/// safe to apply to an aggregated module I/O-IMC.
+///
+/// Two modules with equal dft::moduleShape() keys are isomorphic under the
+/// index-wise name substitution sigma.  The conversion (analysis/converter)
+/// derives every community action name from element names through the five
+/// signal constructors of semantics/signals.hpp, so sigma lifts to a map of
+/// action names; applying ioimc::renameActions with that map to the
+/// representative's aggregated model yields the sibling's aggregated model.
+/// Both consumers of the lift validate it before use:
+///
+///  * the engine (same-request symmetry) additionally requires the id map
+///    to be *order-preserving*; because every ordering decision in
+///    compose/hide/quotient depends on ActionIds only through their
+///    relative order (never their raw values), an order-preserving rename
+///    makes the instantiated sibling bitwise identical to what aggregating
+///    the sibling itself would have produced — the foundation of the
+///    "--symmetry on is bit-identical to --symmetry off" guarantee;
+///  * the Analyzer's shape-keyed module cache (cross-request reuse) only
+///    requires injectivity and completeness; a hit is then exact up to
+///    action renaming (the spliced model is isomorphic, all measures are
+///    mathematically equal).
+///
+/// Every check failure makes the caller fall back to aggregating the
+/// module normally, so an ambiguous lift can cost performance but never
+/// correctness.
+
+namespace imcdft::analysis {
+
+/// Lifts the element-name substitution oldNames[i] -> newNames[i] to the
+/// signal-name level: for every element, its firing / isolated-firing /
+/// activation / repair signals, and for every spare-like gate, the claim
+/// signals of its slots (primary and spares).  \p module is the extracted
+/// module sub-DFT of the *old* side, whose element ids index both name
+/// vectors.  Returns std::nullopt when the lift is ambiguous, i.e. two
+/// distinct signals collapse to the same concrete string (possible only
+/// with adversarial element names such as "i_X" making "f_" + "i_X" equal
+/// "fi_" + "X").
+std::optional<std::unordered_map<std::string, std::string>>
+liftElementRenaming(const dft::Dft& module,
+                    const std::vector<std::string>& oldNames,
+                    const std::vector<std::string>& newNames);
+
+/// One validated (old, new) ActionId pair of a module renaming.
+using ActionIdPair = std::pair<ioimc::ActionId, ioimc::ActionId>;
+
+/// Sorts \p pairs by old id and reports whether the map is strictly
+/// order-preserving (new ids strictly increase with old ids; duplicates of
+/// either side fail).  Order preservation implies injectivity and is what
+/// makes a renamed instantiation bitwise identical to a from-scratch
+/// aggregation (see the file comment).
+bool orderPreserving(std::vector<ActionIdPair>& pairs);
+
+/// Builds the ActionId -> new-name renaming of \p model induced by
+/// \p nameMap (a lift produced by liftElementRenaming), as the Analyzer's
+/// shape-keyed module cache applies to a stored model.  Every non-tau
+/// action of the model's signature must be covered by the lift, every
+/// target name must already be interned (the sibling's own community
+/// interned them during conversion), and the resulting id map must be
+/// injective.  (The engine's same-request reuse performs its stricter
+/// order-preserving validation over the whole subtree action universe
+/// instead, before any model exists — see engine.cpp.)  Returns
+/// std::nullopt when any condition fails; identity entries are omitted
+/// from the result.
+std::optional<std::unordered_map<ioimc::ActionId, std::string>>
+modelRenaming(const ioimc::IOIMC& model,
+              const std::unordered_map<std::string, std::string>& nameMap);
+
+}  // namespace imcdft::analysis

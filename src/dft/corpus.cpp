@@ -88,6 +88,71 @@ Dft cascadedPands(int modules, int besPerModule, double lambda) {
   return b.build();
 }
 
+Dft clonedCas(int units) {
+  require(units >= 1, "clonedCas: need at least 1 unit");
+  DftBuilder b;
+  std::vector<std::string> roots;
+  for (int u = 0; u < units; ++u) {
+    const std::string s = "_" + std::to_string(u);
+    // CPU unit: warm spare killed by the cross switch or supervision.
+    b.basicEvent("P" + s, 0.5);
+    b.basicEvent("B" + s, 0.5, 0.5);
+    b.basicEvent("CS" + s, 0.2);
+    b.basicEvent("SS" + s, 0.2);
+    b.orGate("Trigger" + s, {"CS" + s, "SS" + s});
+    b.fdep("CPU_fdep" + s, "Trigger" + s, {"P" + s, "B" + s});
+    b.spareGate("CPU_unit" + s, SpareKind::Warm, {"P" + s, "B" + s});
+    // Motor unit: the switch matters only before the primary motor fails.
+    b.basicEvent("MS" + s, 0.01);
+    b.basicEvent("MA" + s, 1.0);
+    b.basicEvent("MB" + s, 1.0);
+    b.pandGate("MP" + s, {"MS" + s, "MA" + s});
+    b.fdep("Motor_fdep" + s, "MP" + s, {"MB" + s});
+    b.spareGate("Motor_unit" + s, SpareKind::Cold, {"MA" + s, "MB" + s});
+    // Pump unit: two primary pumps sharing one cold spare.
+    b.basicEvent("PA" + s, 1.0);
+    b.basicEvent("PB" + s, 1.0);
+    b.basicEvent("PS" + s, 1.0);
+    b.spareGate("Pump_A" + s, SpareKind::Cold, {"PA" + s, "PS" + s});
+    b.spareGate("Pump_B" + s, SpareKind::Cold, {"PB" + s, "PS" + s});
+    b.andGate("Pump_unit" + s, {"Pump_A" + s, "Pump_B" + s});
+    b.orGate("Unit" + s, {"CPU_unit" + s, "Motor_unit" + s, "Pump_unit" + s});
+    roots.push_back("Unit" + s);
+  }
+  if (units == 1) {
+    b.top(roots.front());
+  } else {
+    b.orGate("System", roots);
+    b.top("System");
+  }
+  return b.build();
+}
+
+Dft sensorBanks(int banks, int sensorsPerBank) {
+  require(banks >= 2 && sensorsPerBank >= 1,
+          "sensorBanks: need at least 2 banks and 1 sensor per chain");
+  DftBuilder b;
+  std::vector<std::string> bankNames;
+  for (int k = 0; k < banks; ++k) {
+    const std::string s = "_" + std::to_string(k);
+    for (const char* side : {"A", "B"}) {
+      std::vector<std::string> sensors;
+      for (int i = 0; i < sensorsPerBank; ++i) {
+        std::string name = std::string("S") + side + s + "_" +
+                           std::to_string(i);
+        b.basicEvent(name, 1.0);
+        sensors.push_back(std::move(name));
+      }
+      b.andGate(std::string(side) + s, sensors);
+    }
+    b.pandGate("Bank" + s, {"A" + s, "B" + s});
+    bankNames.push_back("Bank" + s);
+  }
+  b.votingGate("System", 2, bankNames);
+  b.top("System");
+  return b.build();
+}
+
 Dft figure6a() {
   DftBuilder b;
   b.basicEvent("T", 1.0);

@@ -33,6 +33,22 @@ Dft cps();
 /// basic events each, cascaded under a chain of PANDs (modules >= 2).
 Dft cascadedPands(int modules, int besPerModule, double lambda = 1.0);
 
+/// Symmetric-replica family for the symmetry benchmarks: \p units clones
+/// of the full cardiac assist system (CPU, motor and pump units, Fig. 7)
+/// under a top-level OR, each clone's element names suffixed "_k".  All
+/// clones share one module shape, so the symmetry reduction aggregates a
+/// single representative and instantiates the other units by renaming
+/// (units >= 1).
+Dft clonedCas(int units);
+
+/// Symmetric-replica family in the CPS tradition: \p banks replicated
+/// sensor banks under a 2-of-N voting top.  Each bank is a dynamic module
+/// PAND(A_k, B_k) whose two sides are AND chains over \p sensorsPerBank
+/// basic events (all rates 1) — so the banks form one shape bucket, and
+/// inside each bank the two chains form another (banks >= 2,
+/// sensorsPerBank >= 1).
+Dft sensorBanks(int banks, int sensorsPerBank);
+
 /// Fig. 6.a: an FDEP trigger kills both PAND inputs simultaneously —
 /// inherently nondeterministic (the PAND may or may not fire).
 Dft figure6a();

@@ -49,8 +49,9 @@ void appendName(std::string& out, const std::string& name) {
   out += name;
 }
 
-void appendElement(std::string& out, const Dft& dft, const Element& e) {
-  appendName(out, e.name);
+/// Everything about \p e except how its identity and inputs are spelled;
+/// the caller appends those (by name for exact keys, by index for shapes).
+void appendAttributes(std::string& out, const Element& e) {
   out += ' ';
   out += typeTag(e.type);
   if (e.type == ElementType::Voting) {
@@ -75,6 +76,11 @@ void appendElement(std::string& out, const Dft& dft, const Element& e) {
       out += std::to_string(e.be.phases);
     }
   }
+}
+
+void appendElement(std::string& out, const Dft& dft, const Element& e) {
+  appendName(out, e.name);
+  appendAttributes(out, e);
   // Input order is semantically relevant for the dynamic gates and kept for
   // the static ones too (it cannot change the measures, but keeping it makes
   // the key trivially sound).
@@ -128,6 +134,49 @@ std::uint64_t canonicalHash(const Dft& dft) { return fnv1a(canonicalKey(dft)); }
 
 std::string moduleKey(const Dft& dft, ElementId root) {
   return canonicalKey(extractModule(dft, root));
+}
+
+ModuleShape moduleShape(const Dft& dft, ElementId root) {
+  // extractModule remaps ids to 0..n-1 in the module's declaration order;
+  // those ids are the De Bruijn-style indices of the shape.  Elements are
+  // serialized in index order (sorting by name, as canonicalKey does,
+  // would reintroduce the names the shape must be invariant under).
+  const Dft sub = extractModule(dft, root);
+  ModuleShape shape;
+  shape.names.reserve(sub.size());
+  for (ElementId id = 0; id < sub.size(); ++id)
+    shape.names.push_back(sub.element(id).name);
+
+  auto appendIndex = [](std::string& out, ElementId id) {
+    out += '#';
+    out += std::to_string(id);
+  };
+  std::string out = "top=";
+  appendIndex(out, sub.top());
+  out += ';';
+  for (ElementId id = 0; id < sub.size(); ++id) {
+    const Element& e = sub.element(id);
+    appendIndex(out, id);
+    appendAttributes(out, e);
+    for (ElementId in : e.inputs) {
+      out += ' ';
+      appendIndex(out, in);
+    }
+    out += ';';
+  }
+  std::vector<std::pair<ElementId, ElementId>> inhibitions;
+  for (const Inhibition& inh : sub.inhibitions())
+    inhibitions.emplace_back(inh.inhibitor, inh.target);
+  std::sort(inhibitions.begin(), inhibitions.end());
+  for (const auto& [inhibitor, target] : inhibitions) {
+    out += "inh ";
+    appendIndex(out, inhibitor);
+    out += ' ';
+    appendIndex(out, target);
+    out += ';';
+  }
+  shape.key = std::move(out);
+  return shape;
 }
 
 }  // namespace imcdft::dft

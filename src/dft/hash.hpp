@@ -2,18 +2,34 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dft/model.hpp"
 
 /// \file hash.hpp
 /// Canonical fingerprints of fault trees, the foundation of the Analyzer's
-/// session caches (analysis/analyzer.hpp).  Two trees that differ only in
-/// declaration order (and therefore in element ids) serialize to the same
-/// canonical key: elements are emitted sorted by name, with inputs referred
-/// to by name.  Everything that influences the converted I/O-IMC community
-/// is included — element types, input order (semantically relevant for
-/// PAND/SPARE/FDEP/SEQ), voting thresholds, spare kinds, basic-event
-/// attributes, inhibitions and the top element.
+/// session caches (analysis/analyzer.hpp) and of the engine's symmetry
+/// reduction (analysis/engine.hpp).
+///
+/// Two kinds of key are provided:
+///
+///  * canonicalKey() / moduleKey() — *exact* keys.  Two trees that differ
+///    only in declaration order (and therefore in element ids) serialize to
+///    the same canonical key: elements are emitted sorted by name, with
+///    inputs referred to by name.  Everything that influences the converted
+///    I/O-IMC community is included — element types, input order
+///    (semantically relevant for PAND/SPARE/FDEP/SEQ), voting thresholds,
+///    spare kinds, basic-event attributes, inhibitions and the top element.
+///
+///  * moduleShape() — a *rename-invariant* key.  Element names are replaced
+///    by De Bruijn-style indices (the element's position in the extracted
+///    module, i.e. declaration order within the module), and the concrete
+///    names are emitted alongside, in index order.  Two modules with equal
+///    shape keys are isomorphic as DFTs under the substitution
+///    names()[i] -> otherNames()[i]; the engine exploits this to aggregate
+///    one representative per shape and instantiate the isomorphic siblings
+///    via ioimc::renameActions (the paper's Section 5.2 reuse-by-renaming,
+///    automated).
 
 namespace imcdft::dft {
 
@@ -29,6 +45,27 @@ std::uint64_t canonicalHash(const Dft& dft);
 /// and aggregates to the same I/O-IMC, provided the module is always
 /// active (the Analyzer checks that before reusing a cached model).
 std::string moduleKey(const Dft& dft, ElementId root);
+
+/// The rename-invariant fingerprint of one independent module: the
+/// canonical serialization with element names replaced by indices, plus
+/// the concrete names those indices stand for.
+struct ModuleShape {
+  /// Serialization of the module sub-DFT over name indices ("#0", "#1",
+  /// ...).  Equal keys imply DFT isomorphism under the index-wise name
+  /// substitution.
+  std::string key;
+  /// Concrete element names in index order (index i of the key names
+  /// names[i]).  Indices follow the module's internal declaration order,
+  /// so two clones of a sub-tree match only when their members are
+  /// declared in the same relative order — a conservative, never unsound
+  /// restriction.
+  std::vector<std::string> names;
+};
+
+/// Computes the shape of the independent module rooted at \p root (the
+/// standalone sub-DFT over its dependency closure, as extractModule()
+/// builds it).
+ModuleShape moduleShape(const Dft& dft, ElementId root);
 
 /// FNV-1a 64-bit hash over an arbitrary string (exposed for option keys).
 std::uint64_t fnv1a(const std::string& text);

@@ -79,9 +79,15 @@ std::vector<ModuleInfo> independentModules(const Dft& dft) {
     info.members = std::move(members);
     modules.push_back(std::move(info));
   }
+  // The root-id tie-break pins the relative order of equal-sized modules
+  // to declaration order; the engine relies on that so isomorphic sibling
+  // modules keep corresponding child orders (symmetry reduction folds the
+  // representative and the siblings in corresponding orders).
   std::sort(modules.begin(), modules.end(),
             [](const ModuleInfo& a, const ModuleInfo& b) {
-              return a.members.size() < b.members.size();
+              return a.members.size() != b.members.size()
+                         ? a.members.size() < b.members.size()
+                         : a.root < b.root;
             });
   return modules;
 }

@@ -37,9 +37,36 @@ IOIMC hideAllOutputs(const IOIMC& m) { return hide(m, m.signature().outputs()); 
 IOIMC renameActions(
     const IOIMC& m,
     const std::unordered_map<ActionId, std::string>& renaming) {
+  // Resolve the whole signature once (one intern per renamed action, not
+  // one per transition) and reject non-injective maps: two distinct
+  // actions renamed to one name would silently merge behaviors (and
+  // corrupt the signature's disjointness invariant).
+  std::unordered_map<ActionId, ActionId> resolved;
+  std::vector<ActionId> targets;
+  const std::size_t numActions = m.signature().inputs().size() +
+                                 m.signature().outputs().size() +
+                                 m.signature().internals().size();
+  resolved.reserve(numActions);
+  targets.reserve(numActions);
+  auto resolve = [&](const std::vector<ActionId>& actions) {
+    for (ActionId a : actions) {
+      auto it = renaming.find(a);
+      ActionId to = it == renaming.end() ? a : m.symbols()->intern(it->second);
+      resolved.emplace(a, to);
+      targets.push_back(to);
+    }
+  };
+  resolve(m.signature().inputs());
+  resolve(m.signature().outputs());
+  resolve(m.signature().internals());
+  std::sort(targets.begin(), targets.end());
+  auto dup = std::adjacent_find(targets.begin(), targets.end());
+  if (dup != targets.end())
+    throw ModelError("renameActions: renaming maps two distinct actions of '" +
+                     m.name() + "' to '" + m.symbols()->name(*dup) + "'");
   auto mapAction = [&](ActionId a) -> ActionId {
-    auto it = renaming.find(a);
-    return it == renaming.end() ? a : m.symbols()->intern(it->second);
+    auto it = resolved.find(a);
+    return it == resolved.end() ? a : it->second;
   };
   Signature sig;
   for (ActionId a : m.signature().inputs())

@@ -22,10 +22,18 @@ IOIMC hide(const IOIMC& m, const std::vector<ActionId>& actions);
 /// reduced to a single model).
 IOIMC hideAllOutputs(const IOIMC& m);
 
-/// Renames actions according to \p renaming (old action id -> new name).
-/// This implements the reuse-by-renaming of Section 5.2 of the paper:
-/// an aggregated module I/O-IMC is instantiated for a second module by
-/// renaming its activation and firing signals.  Kinds are preserved.
+/// Renames actions according to \p renaming (old action id -> new name);
+/// actions absent from the map keep their names.  This implements the
+/// reuse-by-renaming of Section 5.2 of the paper: an aggregated module
+/// I/O-IMC is instantiated for a sibling module by renaming its firing,
+/// activation and claim signals (the engine's symmetry reduction and the
+/// Analyzer's shape-keyed module cache both build on it, see
+/// analysis/symmetry.hpp).  Action kinds, state order and transition
+/// order are preserved, so an *order-preserving* renaming commutes
+/// bitwise with compose/hide/aggregate.  Throws ModelError when the
+/// resolved map is not injective on the model's signature, i.e. two
+/// distinct actions would collapse into one name (identity entries are
+/// allowed).  New target names are interned in the model's symbol table.
 IOIMC renameActions(const IOIMC& m,
                     const std::unordered_map<ActionId, std::string>& renaming);
 

@@ -25,10 +25,16 @@ TEST(Engine, ResultIsClosedAndFullyHidden) {
 
 TEST(Engine, OneStepPerCompositionPair) {
   dft::Dft d = dft::corpus::cps();
-  EngineResult r = run(d);
-  // N community members fold in exactly N-1 pairwise compositions.
+  // Without symmetry reuse, N community members fold in exactly N-1
+  // pairwise compositions; the symmetry reduction skips the compositions
+  // of reused sibling modules (see test_symmetry.cpp for its invariants).
+  EngineOptions plain;
+  plain.symmetry = false;
+  EngineResult r = run(d, plain);
   Community c = convertDft(d);
   EXPECT_EQ(r.stats.steps.size(), c.models.size() - 1);
+  EngineResult reduced = run(d);
+  EXPECT_LT(reduced.stats.steps.size(), r.stats.steps.size());
 }
 
 TEST(Engine, ModularStrategyRecordsPaperModules) {

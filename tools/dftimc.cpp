@@ -14,6 +14,10 @@
 ///     --simulate N      also run N Monte-Carlo trajectories
 ///     --jobs N          worker threads for module aggregation
 ///                       (default: one per hardware thread; 1 = sequential)
+///     --symmetry on|off symmetry reduction: aggregate one representative
+///                       per module shape and instantiate isomorphic
+///                       siblings by action renaming (default: on;
+///                       measures are bit-identical either way)
 ///     --stats           print composition statistics and phase timings
 ///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
 ///     --aut FILE        write it in Aldebaran format
@@ -51,6 +55,7 @@ struct CliOptions {
   bool modular = false;
   bool monolithic = false;
   bool stats = false;
+  bool symmetry = true;
   unsigned jobs = 0;  ///< 0 = hardware_concurrency
   std::uint64_t simulateRuns = 0;
   std::string dotPath;
@@ -64,7 +69,7 @@ struct CliOptions {
                "usage: %s [--time T]... [--bounds] [--unavailability] "
                "[--steady-state] [--mttf]\n"
                "          [--modular] [--monolithic] [--simulate N] "
-               "[--jobs N] [--stats]\n"
+               "[--jobs N] [--symmetry on|off] [--stats]\n"
                "          [--dot FILE] [--aut FILE] "
                "[--strategy modular|greedy|declaration] <model.dft>\n",
                argv0);
@@ -101,6 +106,14 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.jobs = static_cast<unsigned>(
           std::strtoul(next().c_str(), nullptr, 10));
       if (opts.jobs == 0) usage(argv[0]);
+    } else if (arg == "--symmetry") {
+      std::string v = next();
+      if (v == "on")
+        opts.symmetry = true;
+      else if (v == "off")
+        opts.symmetry = false;
+      else
+        usage(argv[0]);
     } else if (arg == "--dot") {
       opts.dotPath = next();
     } else if (arg == "--aut") {
@@ -160,6 +173,7 @@ int main(int argc, char** argv) {
         analysis::AnalysisRequest::forDft(tree, opts.modelPath);
     request.options.engine.strategy = opts.strategy;
     request.options.engine.numThreads = opts.jobs;
+    request.options.engine.symmetry = opts.symmetry;
     if (opts.bounds)
       request.measure(analysis::MeasureSpec::unreliabilityBounds(opts.times));
     else
@@ -178,6 +192,12 @@ int main(int argc, char** argv) {
       for (const analysis::ModuleResult& m : report.stats().modules)
         std::printf("  module %-16s -> %zu states, %zu transitions\n",
                     m.name.c_str(), m.states, m.transitions);
+      if (report.stats().symmetricBuckets > 0)
+        std::printf("  symmetry:        %zu shape bucket(s), %zu "
+                    "aggregation(s) skipped, %zu step(s) saved\n",
+                    report.stats().symmetricBuckets,
+                    report.stats().symmetricModulesReused,
+                    report.stats().symmetrySavedSteps);
       std::printf("  peak composed:   %zu states, %zu transitions\n",
                   report.stats().peakComposedStates,
                   report.stats().peakComposedTransitions);
