@@ -11,6 +11,16 @@
 /// was produced on.  The bench divides these timings by the current
 /// implementation's to report the flat-storage/parallel speedup, and checks
 /// the measure values still agree to 1e-9.
+///
+/// Provenance across bench-matrix changes: the E12 configurations below are
+/// frozen — later experiments extended the matrix without touching them.
+/// E13 (symmetry reduction, PR 3) and E14 (static-layer numeric
+/// combination, PR 4: clonedCas(2..8), sensorBanks, voterFarm) are
+/// *self-referencing* sweeps — each compares two option settings of the
+/// current build against each other, so they need no frozen numbers from
+/// this header and no re-capture was required.  E12 timings are still
+/// captured with symmetry and static combination off, which remains
+/// exactly the protocol this baseline was recorded under.
 
 namespace benchcompose {
 

@@ -1,7 +1,9 @@
 /// \file bench_compose.cpp
 /// Experiment E12: the flat-storage (CSR) compose/aggregate core against
 /// the frozen pre-refactor baseline (bench/baseline_seed.hpp), plus
-/// experiment E13: the symmetry reduction over symmetric-replica families.
+/// experiment E13: the symmetry reduction over symmetric-replica families,
+/// plus experiment E14: the static-layer numeric combination
+/// (EngineOptions::staticCombine) over wide replicated systems.
 ///
 /// E12 — for every configuration of the shared scaling sweep (the CPS
 /// family of bench_scaling plus the CAS and HECS systems) the whole cold
@@ -25,6 +27,24 @@
 /// buckets found, aggregations skipped, steps saved) land in
 /// BENCH_compose.json (override with the BENCH_COMPOSE_JSON environment
 /// variable).
+///
+/// E14 — the static-combination sweep: clonedCas(2..8), sensorBanks and
+/// the voterFarm family (a VOTING top over replicated dynamic units) run
+/// with --static-combine on; instances small enough to compose fully also
+/// run with it off.  The binary exits nonzero unless (a) the numeric
+/// unreliabilities agree with full composition within 1e-9 relative (with
+/// a 5e-10 absolute floor, a few times the 1e-10 uniformization truncation
+/// bound below which the composition path itself is no more accurate),
+/// (b) the numeric path
+/// actually applied, with one module per replicated unit component
+/// (linear in k) and one distinct curve per module *shape*, and (c) the
+/// peak intermediate model stays at O(largest single module) — clonedCas(8)
+/// must never materialize the ~2.7M-state joint product the composition
+/// path builds.
+///
+/// Every experiment records peak-memory proxies (the largest intermediate
+/// model in states/transitions) next to its timings; run_bench.sh prints
+/// them in its summary.
 
 #include <benchmark/benchmark.h>
 
@@ -39,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/static_combine.hpp"
 #include "baseline_seed.hpp"
 #include "bench_util.hpp"
 #include "dft/corpus.hpp"
@@ -69,20 +90,29 @@ struct RunResult {
   std::size_t symmetricBuckets = 0;  ///< shape buckets with >= 2 modules
   std::size_t symmetricReused = 0;   ///< aggregations skipped by renaming
   std::size_t symmetrySavedSteps = 0;
+  /// Peak-memory proxies: the largest intermediate model of the run.
+  std::size_t peakStates = 0;
+  std::size_t peakTransitions = 0;
+  /// Static combination (E14): applied at all, and its decomposition.
+  bool numericApplied = false;
+  std::size_t numericModules = 0;  ///< frontier modules (linear in k)
+  std::size_t numericChains = 0;   ///< distinct curves (one per shape)
 };
 
-RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry) {
+RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry,
+                   bool staticCombine, int repetitions = 5) {
   AnalysisRequest req = AnalysisRequest::forDft(d).measure(
       MeasureSpec::unreliability(kGrid));
   req.options.engine.numThreads = numThreads;
   req.options.engine.symmetry = symmetry;
+  req.options.engine.staticCombine = staticCombine;
   RunResult best;
   best.wallSeconds = 1e100;
   {
     analysis::Analyzer warmup(benchutil::coldOptions());
     (void)warmup.analyze(req);
   }
-  for (int r = 0; r < 5; ++r) {
+  for (int r = 0; r < repetitions; ++r) {
     analysis::Analyzer session(benchutil::coldOptions());
     auto t0 = Clock::now();
     analysis::AnalysisReport rep = session.analyze(req);
@@ -95,6 +125,13 @@ RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry) {
       best.symmetricBuckets = rep.stats().symmetricBuckets;
       best.symmetricReused = rep.stats().symmetricModulesReused;
       best.symmetrySavedSteps = rep.stats().symmetrySavedSteps;
+      best.peakStates = rep.stats().peakComposedStates;
+      best.peakTransitions = rep.stats().peakComposedTransitions;
+      best.numericApplied = rep.analysis->staticCombo != nullptr;
+      if (best.numericApplied) {
+        best.numericModules = rep.analysis->staticCombo->modules().size();
+        best.numericChains = rep.analysis->staticCombo->chains().size();
+      }
     }
   }
   return best;
@@ -105,6 +142,10 @@ struct ConfigResult {
   double seedWall = 0.0, wall1t = 0.0, wallMt = 0.0;
   bool valuesOk = true;
   bool hasNan = false;
+  /// Largest intermediate model of the single-thread run (peak-memory
+  /// proxy; the parallel run composes the same models).
+  std::size_t peakStates = 0;
+  std::size_t peakTransitions = 0;
 };
 
 bool agreeTo1e9(const std::vector<double>& a, const std::vector<double>& b) {
@@ -166,8 +207,10 @@ bool runSymmetrySweep(std::vector<SymmetryResult>& out) {
   for (const Family& fam : families) {
     SymmetryResult r;
     r.name = fam.name;
-    r.off = timeCold(fam.tree, 1, /*symmetry=*/false);
-    r.on = timeCold(fam.tree, 1, /*symmetry=*/true);
+    // Static combination off throughout E13: it would bypass the top-level
+    // fold this experiment measures (E14 covers the numeric path).
+    r.off = timeCold(fam.tree, 1, /*symmetry=*/false, /*staticCombine=*/false);
+    r.on = timeCold(fam.tree, 1, /*symmetry=*/true, /*staticCombine=*/false);
     r.moduleCount = r.off.properModules;
     r.bitIdentical = r.off.values == r.on.values;
     // Every family is built symmetric: buckets must form, siblings must be
@@ -192,8 +235,116 @@ bool runSymmetrySweep(std::vector<SymmetryResult>& out) {
   return ok;
 }
 
+/// One E14 family: static combination on, and — when the instance is small
+/// enough to compose fully in reasonable time — off for comparison.
+struct StaticCombineResult {
+  std::string name;
+  RunResult on, off;
+  bool offRun = false;        ///< the full-composition reference ran
+  bool valuesOk = true;       ///< numeric vs composition within budget
+  bool structureOk = true;    ///< applied, k-linear modules, shape-many curves
+  bool peakOk = true;         ///< peak stays O(largest single module)
+};
+
+/// Numeric-vs-composition agreement: 1e-9 relative with a 5e-10 absolute
+/// floor — a few times the composition path's 1e-10 uniformization
+/// truncation bound, since several per-module errors can stack and on
+/// small probabilities the full pipeline itself is only that accurate.
+bool agreeNumeric(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) >
+        1e-9 * std::max(std::abs(a[i]), std::abs(b[i])) + 5e-10)
+      return false;
+  return true;
+}
+
+/// Runs the E14 static-combination sweep; results append to \p out and the
+/// function returns false when any correctness check failed.
+bool runStaticCombineSweep(std::vector<StaticCombineResult>& out) {
+  struct Family {
+    std::string name;
+    dft::Dft tree;
+    bool runOff;                 ///< small enough to compose fully
+    std::size_t expectModules;   ///< frontier modules — linear in k
+    std::size_t expectChains;    ///< distinct curves — one per module shape
+    std::size_t peakBound;       ///< peak states must stay below this
+  };
+  std::vector<Family> families;
+  // Cloned CAS: 3 frontier modules per unit (CPU, motor, pump), 3 shapes
+  // total.  Full composition is exponential in k — the off reference stops
+  // at 4 units; clonedCas(8) (the ~2.7M-state joint product on the
+  // composition path) runs numeric-only and must stay under 100 states.
+  for (int k = 2; k <= 8; ++k)
+    families.push_back({"cas_cloned_" + std::to_string(k),
+                        dft::corpus::clonedCas(k), k <= 4,
+                        static_cast<std::size_t>(3 * k), 3, 100});
+  families.push_back(
+      {"banks_6x2", dft::corpus::sensorBanks(6, 2), true, 6, 1, 200});
+  families.push_back(
+      {"banks_8x2", dft::corpus::sensorBanks(8, 2), true, 8, 1, 200});
+  // Voter farm: VOTING top over per-unit ORs — a multi-gate layer; two
+  // modules per unit (control chain, power slot), two shapes.
+  families.push_back(
+      {"voter_4of2", dft::corpus::voterFarm(4, 2), true, 8, 2, 100});
+  families.push_back(
+      {"voter_6of3", dft::corpus::voterFarm(6, 3), true, 12, 2, 100});
+  families.push_back(
+      {"voter_8of4", dft::corpus::voterFarm(8, 4), false, 16, 2, 100});
+
+  std::printf(
+      "== E14: static-layer numeric combination over wide systems ==\n");
+  std::printf("%-14s %11s %11s %8s %8s %8s %10s %10s  %s\n", "family",
+              "on [s]", "off [s]", "modules", "curves", "steps",
+              "peak on", "peak off", "measures");
+  bool ok = true;
+  for (Family& fam : families) {
+    StaticCombineResult r;
+    r.name = fam.name;
+    r.on = timeCold(fam.tree, 1, /*symmetry=*/true, /*staticCombine=*/true);
+    r.offRun = fam.runOff;
+    if (fam.runOff) {
+      // The big instances would dominate the bench; 2 repetitions suffice
+      // for a correctness reference.
+      r.off = timeCold(fam.tree, 1, /*symmetry=*/true,
+                       /*staticCombine=*/false, /*repetitions=*/2);
+      r.valuesOk = agreeNumeric(r.on.values, r.off.values) &&
+                   !anyNan(r.on.values) && !anyNan(r.off.values);
+    } else {
+      r.valuesOk = !anyNan(r.on.values);
+    }
+    r.structureOk = r.on.numericApplied &&
+                    r.on.numericModules == fam.expectModules &&
+                    r.on.numericChains == fam.expectChains;
+    r.peakOk = r.on.peakStates < fam.peakBound &&
+               (!fam.runOff || r.on.peakStates <= r.off.peakStates);
+    if (!r.valuesOk || !r.structureOk || !r.peakOk) ok = false;
+    char offWall[24], offPeak[24];
+    if (fam.runOff) {
+      std::snprintf(offWall, sizeof offWall, "%11.6f", r.off.wallSeconds);
+      std::snprintf(offPeak, sizeof offPeak, "%10zu", r.off.peakStates);
+    } else {
+      std::snprintf(offWall, sizeof offWall, "%11s", "-");
+      std::snprintf(offPeak, sizeof offPeak, "%10s", "-");
+    }
+    std::printf("%-14s %11.6f %s %8zu %8zu %8zu %10zu %s  %s\n",
+                r.name.c_str(), r.on.wallSeconds, offWall,
+                r.on.numericModules, r.on.numericChains, r.on.steps,
+                r.on.peakStates, offPeak,
+                !r.structureOk ? "NUMERIC PATH NOT APPLIED — BUG"
+                : !r.peakOk    ? "PEAK TOO LARGE — BUG"
+                : !r.valuesOk  ? "MISMATCH — BUG"
+                : fam.runOff   ? "agree to 1e-9"
+                               : "numeric only");
+    out.push_back(std::move(r));
+  }
+  std::printf("\n");
+  return ok;
+}
+
 void writeJson(const std::vector<ConfigResult>& results,
                const std::vector<SymmetryResult>& symmetry,
+               const std::vector<StaticCombineResult>& staticCombine,
                unsigned mtThreads) {
   const char* env = std::getenv("BENCH_COMPOSE_JSON");
   std::string path = env ? env : "BENCH_compose.json";
@@ -216,15 +367,17 @@ void writeJson(const std::vector<ConfigResult>& results,
       << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
-    char buf[512];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"seed_wall_seconds\": %.6f, "
                   "\"flat_1t_wall_seconds\": %.6f, "
                   "\"flat_parallel_wall_seconds\": %.6f, "
                   "\"speedup_1t\": %.3f, \"speedup_parallel\": %.3f, "
+                  "\"peak_states\": %zu, \"peak_transitions\": %zu, "
                   "\"measures_match_1e9\": %s, \"nan\": %s}%s\n",
                   r.name.c_str(), r.seedWall, r.wall1t, r.wallMt,
                   r.seedWall / r.wall1t, r.seedWall / r.wallMt,
+                  r.peakStates, r.peakTransitions,
                   r.valuesOk ? "true" : "false", r.hasNan ? "true" : "false",
                   i + 1 < results.size() ? "," : "");
     out << buf;
@@ -236,7 +389,7 @@ void writeJson(const std::vector<ConfigResult>& results,
     const SymmetryResult& r = symmetry[i];
     totalReused += r.on.symmetricReused;
     totalSaved += r.on.symmetrySavedSteps;
-    char buf[640];
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "    {\"name\": \"%s\", \"wall_off_seconds\": %.6f, "
@@ -244,26 +397,60 @@ void writeJson(const std::vector<ConfigResult>& results,
         "\"modules\": %zu, \"aggregations_performed\": %zu, "
         "\"buckets_found\": %zu, \"aggregations_skipped\": %zu, "
         "\"steps_off\": %zu, \"steps_on\": %zu, \"steps_saved\": %zu, "
+        "\"peak_states\": %zu, \"peak_transitions\": %zu, "
         "\"measures_bit_identical\": %s}%s\n",
         r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
         r.off.wallSeconds / r.on.wallSeconds, r.moduleCount,
         r.aggregationsPerformed(), r.on.symmetricBuckets,
         r.on.symmetricReused, r.off.steps, r.on.steps,
-        r.on.symmetrySavedSteps, r.bitIdentical ? "true" : "false",
+        r.on.symmetrySavedSteps, r.on.peakStates, r.on.peakTransitions,
+        r.bitIdentical ? "true" : "false",
         i + 1 < symmetry.size() ? "," : "");
     out << buf;
   }
-  char tail[384];
+  out << "  ],\n"
+      << "  \"static_combine_families\": [\n";
+  std::size_t worstPeakOn = 0, worstPeakOff = 0;
+  for (std::size_t i = 0; i < staticCombine.size(); ++i) {
+    const StaticCombineResult& r = staticCombine[i];
+    worstPeakOn = std::max(worstPeakOn, r.on.peakStates);
+    if (r.offRun) worstPeakOff = std::max(worstPeakOff, r.off.peakStates);
+    char offWall[32], offPeak[32];
+    if (r.offRun) {
+      std::snprintf(offWall, sizeof offWall, "%.6f", r.off.wallSeconds);
+      std::snprintf(offPeak, sizeof offPeak, "%zu", r.off.peakStates);
+    } else {
+      std::snprintf(offWall, sizeof offWall, "null");
+      std::snprintf(offPeak, sizeof offPeak, "null");
+    }
+    char buf[768];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"wall_on_seconds\": %.6f, "
+        "\"wall_off_seconds\": %s, \"modules\": %zu, \"curves\": %zu, "
+        "\"steps_on\": %zu, \"peak_states_on\": %zu, "
+        "\"peak_states_off\": %s, \"numeric_applied\": %s, "
+        "\"measures_agree_1e9\": %s}%s\n",
+        r.name.c_str(), r.on.wallSeconds, offWall, r.on.numericModules,
+        r.on.numericChains, r.on.steps, r.on.peakStates, offPeak,
+        r.on.numericApplied ? "true" : "false",
+        r.valuesOk ? "true" : "false",
+        i + 1 < staticCombine.size() ? "," : "");
+    out << buf;
+  }
+  char tail[512];
   std::snprintf(tail, sizeof tail,
                 "  ],\n"
                 "  \"symmetry_total_aggregations_skipped\": %zu,\n"
                 "  \"symmetry_total_steps_saved\": %zu,\n"
+                "  \"static_combine_worst_peak_states\": %zu,\n"
+                "  \"static_combine_worst_peak_states_composed\": %zu,\n"
                 "  \"largest_config\": \"%s\",\n"
                 "  \"largest_speedup_1t\": %.3f,\n"
                 "  \"largest_speedup_parallel\": %.3f\n"
                 "}\n",
-                totalReused, totalSaved, largest.name.c_str(),
-                largest.seedWall / largest.wall1t,
+                totalReused, totalSaved, worstPeakOn, worstPeakOff,
+                largest.name.c_str(), largest.seedWall / largest.wall1t,
                 largest.seedWall / largest.wallMt);
   out << tail;
   std::printf("wrote %s\n", path.c_str());
@@ -283,15 +470,19 @@ bool runSweep() {
   bool ok = true;
   for (const benchcompose::SeedBaseline& base : benchcompose::seedBaselines()) {
     dft::Dft d = treeFor(base.name);
-    // Symmetry off: the baseline was captured without it (E13 below
-    // measures the symmetry reduction against this same protocol).
-    RunResult oneThread = timeCold(d, 1, /*symmetry=*/false);
-    RunResult parallel = timeCold(d, mtThreads, /*symmetry=*/false);
+    // Symmetry and static combination off: the baseline was captured with
+    // neither (E13/E14 below measure them against this same protocol).
+    RunResult oneThread =
+        timeCold(d, 1, /*symmetry=*/false, /*staticCombine=*/false);
+    RunResult parallel =
+        timeCold(d, mtThreads, /*symmetry=*/false, /*staticCombine=*/false);
     ConfigResult r;
     r.name = base.name;
     r.seedWall = base.wallSeconds;
     r.wall1t = oneThread.wallSeconds;
     r.wallMt = parallel.wallSeconds;
+    r.peakStates = oneThread.peakStates;
+    r.peakTransitions = oneThread.peakTransitions;
     r.valuesOk = agreeTo1e9(oneThread.values, base.values) &&
                  agreeTo1e9(parallel.values, base.values) &&
                  oneThread.values == parallel.values;
@@ -306,7 +497,9 @@ bool runSweep() {
   std::printf("\n");
   std::vector<SymmetryResult> symmetry;
   if (!runSymmetrySweep(symmetry)) ok = false;
-  writeJson(results, symmetry, mtThreads);
+  std::vector<StaticCombineResult> staticCombine;
+  if (!runStaticCombineSweep(staticCombine)) ok = false;
+  writeJson(results, symmetry, staticCombine, mtThreads);
   std::printf("\n");
   return ok;
 }

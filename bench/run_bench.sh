@@ -78,5 +78,12 @@ if [ -f "$repo_root/BENCH_compose.json" ]; then
   # Provenance: which frozen baseline the sweep compared against.
   echo "  baseline:    $(grep -o '"baseline": "[^"]*"' "$repo_root/BENCH_compose.json" | sed 's/"baseline": //;s/"//g' || true) ($(grep -o '"baseline_header": "[^"]*"' "$repo_root/BENCH_compose.json" | sed 's/"baseline_header": //;s/"//g' || true))"
   echo "  symmetry:    $(grep -o '"symmetry_total_aggregations_skipped": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*' || true) aggregation(s) skipped, $(grep -o '"symmetry_total_steps_saved": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*' || true) step(s) saved across the symmetric families"
+  # Peak-memory proxies: the largest intermediate model each path built in
+  # the E14 static-combination sweep (the numeric path must stay at
+  # O(largest single module) while full composition is exponential in k).
+  echo "  peak states: $(grep -o '"static_combine_worst_peak_states": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*$' || true) numerically combined vs $(grep -o '"static_combine_worst_peak_states_composed": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*$' || true) composed (E14 worst case)"
+  echo "  per-experiment peaks (states/transitions):"
+  grep -o '"name": "[^"]*", [^{]*"peak_states": [0-9]*, "peak_transitions": [0-9]*' "$repo_root/BENCH_compose.json" \
+    | sed 's/"name": "\([^"]*\)".*"peak_states": \([0-9]*\), "peak_transitions": \([0-9]*\)/    \1: \2 states, \3 transitions/' || true
 fi
 exit $status

@@ -1,12 +1,15 @@
 #include "analysis/analyzer.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <utility>
 
 #include "analysis/measures.hpp"
+#include "analysis/static_combine.hpp"
 #include "analysis/symmetry.hpp"
 #include "common/error.hpp"
 #include "ctmc/mttf.hpp"
@@ -53,6 +56,35 @@ std::string readFile(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Exact serialization of a time grid (hexfloat: no rounding collisions);
+/// the curve-cache key suffix.
+std::string gridKey(const std::vector<double>& times) {
+  std::string key;
+  char buf[40];
+  for (double t : times) {
+    std::snprintf(buf, sizeof buf, "%a,", t);
+    key += buf;
+  }
+  return key;
+}
+
+/// The numeric path's per-module fingerprint: rename-invariant shape under
+/// symmetry (isomorphic siblings share one solved chain and one curve),
+/// exact module key otherwise — mirroring the module cache's keying.
+std::string chainKey(const dft::Dft& tree, dft::ElementId root,
+                     const AnalysisOptions& opts, const std::string& optsKey) {
+  std::string k;
+  if (opts.engine.symmetry) {
+    k = "shape\x1f";
+    k += dft::moduleShape(tree, root).key;
+  } else {
+    k = dft::moduleKey(tree, root);
+  }
+  k += '\x1f';
+  k += optsKey;
+  return k;
 }
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -195,6 +227,151 @@ Analyzer::~Analyzer() = default;
 void Analyzer::clearCache() {
   trees_.clear();
   modules_.clear();
+  chains_.clear();
+  curves_.clear();
+}
+
+std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
+    const dft::Dft& tree, const dft::StaticLayer& layer,
+    const AnalysisOptions& opts, PhaseTimings& timings,
+    CacheStats& requestStats, std::vector<Diagnostic>& diagnostics) {
+  // Belt and suspenders: the layer's structural checks already imply that
+  // every frontier module is always active (its only referencers are the
+  // layer's static gates), but the conversion's activation analysis is the
+  // authority — disagree and we fall back.
+  const std::vector<ActivationContext> contexts = activationContexts(tree);
+  for (dft::ElementId root : layer.moduleRoots) {
+    if (root >= contexts.size() || !contexts[root].alwaysActive) {
+      diagnostics.push_back(
+          {Severity::Info,
+           "static combination disabled: module '" +
+               tree.element(root).name + "' is not always active"});
+      return nullptr;
+    }
+  }
+
+  const std::string optsKey_ = optionsKey(opts);
+  const bool useChainCache = opts_.cacheModules;
+  std::vector<StaticCombination::SolvedChain> solved;
+  std::vector<NumericModule> modules;
+  std::vector<std::size_t> solvedSteps;          // per solved chain
+  std::vector<std::size_t> membersOfChain;       // bucket sizes
+  std::unordered_map<std::string, std::size_t> localIndex;
+  CompositionStats stats;
+
+  for (dft::ElementId root : layer.moduleRoots) {
+    const std::string key = chainKey(tree, root, opts, optsKey_);
+    std::size_t index;
+    auto local = localIndex.find(key);
+    if (local != localIndex.end()) {
+      // Symmetric sibling within this request: one curve for free.
+      index = local->second;
+      ++membersOfChain[index];
+      ++stats.symmetricModulesReused;
+      stats.symmetrySavedSteps += solvedSteps[index];
+    } else {
+      std::shared_ptr<const DftAnalysis> sub;
+      std::size_t steps = 0;
+      if (useChainCache) {
+        auto it = chains_.find(key);
+        if (it != chains_.end()) {
+          sub = it->second.analysis;
+          steps = it->second.steps;
+          ++requestStats.moduleHits;
+          ++stats.cachedModules;
+          stats.stepsSaved += steps;
+          requestStats.stepsSaved += steps;
+        }
+      }
+      if (!sub) {
+        ++requestStats.moduleMisses;
+        const dft::Dft moduleDft = dft::extractModule(tree, root);
+        PhaseTimings subTimings;
+        sub = runPipeline(moduleDft, opts, subTimings, requestStats);
+        timings.convert += subTimings.convert;
+        timings.compose += subTimings.compose;
+        timings.extract += subTimings.extract;
+        if (sub->nondeterministic) {
+          diagnostics.push_back(
+              {Severity::Warning,
+               "static combination fell back to full composition: module '" +
+                   tree.element(root).name +
+                   "' is nondeterministic (FDEP-induced simultaneity, "
+                   "Section 4.4)"});
+          return nullptr;
+        }
+        steps = sub->stats.steps.size();
+        // Fold the per-module pipeline into the request's stats: its steps
+        // are the only compositions that happen at all, and its peaks bound
+        // the largest intermediate model of the whole analysis.
+        stats.steps.insert(stats.steps.end(), sub->stats.steps.begin(),
+                           sub->stats.steps.end());
+        stats.cachedModules += sub->stats.cachedModules;
+        stats.stepsSaved += sub->stats.stepsSaved;
+        stats.symmetricBuckets += sub->stats.symmetricBuckets;
+        stats.symmetricModulesReused += sub->stats.symmetricModulesReused;
+        stats.symmetrySavedSteps += sub->stats.symmetrySavedSteps;
+        stats.peakComposedStates =
+            std::max(stats.peakComposedStates, sub->stats.peakComposedStates);
+        stats.peakComposedTransitions = std::max(
+            stats.peakComposedTransitions, sub->stats.peakComposedTransitions);
+        stats.peakAggregatedStates = std::max(stats.peakAggregatedStates,
+                                              sub->stats.peakAggregatedStates);
+        stats.peakAggregatedTransitions =
+            std::max(stats.peakAggregatedTransitions,
+                     sub->stats.peakAggregatedTransitions);
+        if (useChainCache) {
+          if (chains_.size() >= opts_.maxCachedModules) chains_.clear();
+          chains_.insert_or_assign(key, ChainEntry{sub, steps});
+        }
+      }
+      index = solved.size();
+      solved.push_back({key, std::move(sub)});
+      solvedSteps.push_back(steps);
+      membersOfChain.push_back(1);
+      localIndex.emplace(key, index);
+    }
+    const DftAnalysis& chain = *solved[index].analysis;
+    modules.push_back(NumericModule{tree.element(root).name, index,
+                                    chain.closedModel.numStates(),
+                                    chain.closedModel.numTransitions()});
+  }
+  for (std::size_t members : membersOfChain)
+    if (members >= 2) ++stats.symmetricBuckets;
+  for (const NumericModule& m : modules)
+    stats.modules.push_back(ModuleResult{m.name, m.states, m.transitions});
+
+  // The placeholder model keeps DftAnalysis well-formed (exports and state
+  // counts read 1 state, 0 transitions); every measure evaluates through
+  // staticCombo instead.
+  std::vector<std::vector<ioimc::InteractiveTransition>> inter(1);
+  std::vector<std::vector<ioimc::MarkovianTransition>> markov(1);
+  ioimc::IOIMC placeholder("static-combination", symbols_, ioimc::Signature{},
+                           0, std::move(inter), std::move(markov), {0}, {});
+  DftAnalysis result{std::move(placeholder),
+                     std::move(stats),
+                     Extraction{},
+                     /*nondeterministic=*/false,
+                     /*repairable=*/false,
+                     std::nullopt,
+                     std::make_shared<StaticCombination>(
+                         tree, layer, std::move(solved), std::move(modules))};
+  return std::make_shared<DftAnalysis>(std::move(result));
+}
+
+std::vector<double> Analyzer::cachedCurve(const StaticCombination& combo,
+                                          std::size_t chainIndex,
+                                          const std::vector<double>& times) {
+  if (!opts_.cacheModules) return combo.solveCurve(chainIndex, times);
+  std::string key = combo.chains()[chainIndex].key;
+  key += '\x1f';
+  key += gridKey(times);
+  auto it = curves_.find(key);
+  if (it != curves_.end()) return it->second;
+  std::vector<double> curve = combo.solveCurve(chainIndex, times);
+  if (curves_.size() >= opts_.maxCachedCurves) curves_.clear();
+  curves_.emplace(std::move(key), curve);
+  return curve;
 }
 
 std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
@@ -238,7 +415,8 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
   timings.extract = secondsSince(phase);
 
   DftAnalysis result{std::move(engine.model), std::move(engine.stats),
-                     std::move(absorbed), false, repairable, std::nullopt};
+                     std::move(absorbed), false, repairable, std::nullopt,
+                     nullptr};
   result.nondeterministic = !result.absorbed.deterministic;
   return std::make_shared<DftAnalysis>(std::move(result));
 }
@@ -277,13 +455,35 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   // Requests with their own symbol table are served one-shot: every cached
   // model (and every model a cached DftAnalysis holds) is interned in the
   // session table, which is not the table such a request asked for.
-  const bool useTreeCache =
-      opts_.cacheTrees && (!request.options.conversion.symbols ||
-                           request.options.conversion.symbols == symbols_);
+  const bool sessionSymbols = !request.options.conversion.symbols ||
+                              request.options.conversion.symbols == symbols_;
+  const bool useTreeCache = opts_.cacheTrees && sessionSymbols;
+
+  // Static-layer numeric combination (EngineOptions::staticCombine): only
+  // unreliability-kind measures can be read off per-module curves, so any
+  // other requested measure routes to the full composition pipeline — and
+  // the tree-cache key records which kind of analysis is stored (";nc=").
+  // A numeric-kind request probes the numeric key first and the full key
+  // second (a full analysis answers unreliability too, and an ineligible
+  // or fallen-back tree is stored under the full key); other requests
+  // probe only the full key.  Layer detection itself — a structural walk
+  // over the whole tree — runs only on a cache miss.
+  const bool wantNumeric =
+      request.options.engine.staticCombine && sessionSymbols &&
+      request.options.engine.strategy == CompositionStrategy::Modular &&
+      !request.measures.empty() &&
+      std::all_of(request.measures.begin(), request.measures.end(),
+                  [](const MeasureSpec& m) {
+                    return m.kind == MeasureKind::Unreliability ||
+                           m.kind == MeasureKind::UnreliabilityBounds;
+                  });
+  const std::string fullKey = treeKey + ";nc=0";
+  const std::string numericKey = treeKey + ";nc=1";
 
   std::shared_ptr<const DftAnalysis> analysis;
   if (useTreeCache) {
-    auto it = trees_.find(treeKey);
+    auto it = wantNumeric ? trees_.find(numericKey) : trees_.end();
+    if (it == trees_.end()) it = trees_.find(fullKey);
     if (it != trees_.end()) {
       analysis = it->second;
       report.fromCache = true;
@@ -292,10 +492,27 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
           {Severity::Info, "composition served from the whole-tree cache"});
     }
   }
+  std::string storeKey = fullKey;
   if (!analysis) {
     ++report.cache.treeMisses;
-    analysis = runPipeline(*tree, request.options, report.timings,
-                           report.cache);
+    if (wantNumeric) {
+      dft::StaticLayer layer = dft::detectStaticLayer(*tree);
+      if (layer.eligible) {
+        analysis = runNumericPipeline(*tree, layer, request.options,
+                                      report.timings, report.cache,
+                                      report.diagnostics);
+        if (analysis) storeKey = numericKey;
+        // Null = a module was nondeterministic (Warning already
+        // attached); the fallen-back full analysis lands under fullKey.
+      } else {
+        report.diagnostics.push_back(
+            {Severity::Info,
+             "static combination not applicable: " + layer.reason});
+      }
+    }
+    if (!analysis)
+      analysis = runPipeline(*tree, request.options, report.timings,
+                             report.cache);
     if (report.cache.moduleHits > 0)
       report.diagnostics.push_back(
           {Severity::Info,
@@ -314,13 +531,24 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
                " composition step(s)"});
     if (useTreeCache) {
       if (trees_.size() >= opts_.maxCachedTrees) trees_.clear();
-      trees_.emplace(std::move(treeKey), analysis);
+      trees_.emplace(std::move(storeKey), analysis);
     }
   }
   report.analysis = analysis;
+  if (analysis->staticCombo)
+    report.diagnostics.push_back(
+        {Severity::Info, analysis->staticCombo->summary()});
 
   // --- Evaluate the measures. ---
   phase = Clock::now();
+  // Numeric-path curves are served through the session curve cache, so a
+  // batch over symmetric or repeated grids solves each distinct chain once.
+  auto numericCurve = [&](const std::vector<double>& times) {
+    return analysis->staticCombo->evaluate(
+        times, [&](std::size_t index, const std::vector<double>& ts) {
+          return cachedCurve(*analysis->staticCombo, index, ts);
+        });
+  };
   auto warn = [&](const std::string& message) {
     report.diagnostics.push_back({Severity::Warning, message});
   };
@@ -345,7 +573,9 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
       switch (spec.kind) {
         case MeasureKind::Unreliability:
           if (!requireGrid(r)) break;
-          if (analysis->nondeterministic) {
+          if (analysis->staticCombo) {
+            r.values = numericCurve(spec.times);
+          } else if (analysis->nondeterministic) {
             r.boundsSubstituted = true;
             for (double t : spec.times)
               r.bounds.push_back(unreliabilityBounds(*analysis, t));
@@ -359,8 +589,15 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
           break;
         case MeasureKind::UnreliabilityBounds:
           if (!requireGrid(r)) break;
-          for (double t : spec.times)
-            r.bounds.push_back(unreliabilityBounds(*analysis, t));
+          if (analysis->staticCombo) {
+            // The numeric path only exists when every module extraction is
+            // deterministic; the scheduler bounds coincide.
+            for (double v : numericCurve(spec.times))
+              r.bounds.push_back(ctmdp::ReachabilityBounds{v, v});
+          } else {
+            for (double t : spec.times)
+              r.bounds.push_back(unreliabilityBounds(*analysis, t));
+          }
           break;
         case MeasureKind::Unavailability:
           if (!requireGrid(r)) break;

@@ -8,6 +8,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/request.hpp"
+#include "dft/modules.hpp"
 #include "ioimc/model.hpp"
 
 /// \file analyzer.hpp
@@ -45,11 +46,14 @@ struct AnalyzerOptions {
   /// Serve repeated identical (tree, options) requests from cache.
   bool cacheTrees = true;
   /// Reuse aggregated independent-module models across requests (Modular
-  /// strategy only).
+  /// strategy only).  Also gates the numeric path's solved-chain and
+  /// per-module curve caches (they are module-level caches too).
   bool cacheModules = true;
   /// Crude bounds: when a cache grows past its limit it is cleared whole.
   std::size_t maxCachedTrees = 256;
   std::size_t maxCachedModules = 1024;
+  /// Numeric-path curve cache entries (one per solved chain x time grid).
+  std::size_t maxCachedCurves = 4096;
 };
 
 class Analyzer {
@@ -79,6 +83,10 @@ class Analyzer {
   /// Number of entries currently cached.
   std::size_t cachedTreeCount() const { return trees_.size(); }
   std::size_t cachedModuleCount() const { return modules_.size(); }
+  /// Numeric-path caches: solved per-module CTMCs and their unreliability
+  /// curves (see analysis/static_combine.hpp).
+  std::size_t cachedChainCount() const { return chains_.size(); }
+  std::size_t cachedCurveCount() const { return curves_.size(); }
 
   void clearCache();
 
@@ -101,6 +109,22 @@ class Analyzer {
                                                  PhaseTimings& timings,
                                                  CacheStats& requestStats);
 
+  /// The static-combination numeric path: per-module pipelines + BDD
+  /// structure function over the frontier of \p layer (which must be
+  /// eligible).  Returns null — after appending a Warning — when a module
+  /// turns out nondeterministic; the caller then falls back to
+  /// runPipeline.
+  std::shared_ptr<const DftAnalysis> runNumericPipeline(
+      const dft::Dft& tree, const dft::StaticLayer& layer,
+      const AnalysisOptions& opts, PhaseTimings& timings,
+      CacheStats& requestStats, std::vector<Diagnostic>& diagnostics);
+
+  /// Serves a numeric-path chain's curve from the session curve cache
+  /// (keyed chain fingerprint x time grid), solving on miss.
+  std::vector<double> cachedCurve(const StaticCombination& combo,
+                                  std::size_t chainIndex,
+                                  const std::vector<double>& times);
+
   AnalyzerOptions opts_;
   ioimc::SymbolTablePtr symbols_;
   CacheStats sessionStats_;
@@ -110,6 +134,17 @@ class Analyzer {
   /// Analyzer stays single-threaded-per-session).
   std::mutex modulesMutex_;
   std::unordered_map<std::string, ModuleEntry> modules_;
+  /// Numeric-path solved chains: module fingerprint (shape or exact, plus
+  /// engine options) -> whole per-module pipeline result.  Only touched
+  /// from the session thread.
+  struct ChainEntry {
+    std::shared_ptr<const DftAnalysis> analysis;
+    std::size_t steps = 0;  ///< compose steps a hit saves
+  };
+  std::unordered_map<std::string, ChainEntry> chains_;
+  /// Numeric-path curves: chain fingerprint x time grid -> unreliability
+  /// curve ("symmetric siblings get one curve for free" across requests).
+  std::unordered_map<std::string, std::vector<double>> curves_;
 };
 
 }  // namespace imcdft::analysis

@@ -56,6 +56,18 @@ struct EngineOptions {
   /// symmetry-off run; any check failure falls back to aggregating the
   /// module normally (see analysis/symmetry.hpp).
   bool symmetry = true;
+  /// Static-layer numeric combination (Analyzer pipeline, Modular strategy
+  /// only): when the top of the tree is a static combination layer over
+  /// independent modules (dft::detectStaticLayer), solve each module's
+  /// unreliability numerically on its own absorbing CTMC and evaluate the
+  /// layer's structure function over the per-time probabilities with a BDD
+  /// instead of composing the joint unfired product — linear in the number
+  /// of modules where composition is exponential (see
+  /// analysis/static_combine.hpp).  Falls back to full composition, with a
+  /// diagnostic, whenever eligibility cannot be proven or a module turns
+  /// out nondeterministic.  Exact up to CTMC transient tolerances; the E14
+  /// bench enforces 1e-9-relative agreement with the composition path.
+  bool staticCombine = true;
   ioimc::WeakOptions weak;
 };
 

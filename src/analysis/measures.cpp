@@ -1,6 +1,7 @@
 #include "analysis/measures.hpp"
 
 #include "analysis/analyzer.hpp"
+#include "analysis/static_combine.hpp"
 #include "common/error.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
@@ -19,6 +20,8 @@ DftAnalysis analyzeDft(const dft::Dft& dft, const AnalysisOptions& opts) {
 }
 
 double unreliability(const DftAnalysis& analysis, double missionTime) {
+  if (analysis.staticCombo)
+    return analysis.staticCombo->unreliabilityCurve({missionTime}).front();
   require(!analysis.nondeterministic,
           "unreliability: the model is nondeterministic (FDEP simultaneity, "
           "Section 4.4); use unreliabilityBounds()");
@@ -28,18 +31,32 @@ double unreliability(const DftAnalysis& analysis, double missionTime) {
 
 std::vector<double> unreliabilityCurve(const DftAnalysis& analysis,
                                        const std::vector<double>& times) {
-  std::vector<double> out;
-  out.reserve(times.size());
-  for (double t : times) out.push_back(unreliability(analysis, t));
-  return out;
+  if (analysis.staticCombo)
+    return analysis.staticCombo->unreliabilityCurve(times);
+  require(!analysis.nondeterministic,
+          "unreliability: the model is nondeterministic (FDEP simultaneity, "
+          "Section 4.4); use unreliabilityBounds()");
+  // One shared uniformization sweep for the whole grid (each point is
+  // bitwise identical to a per-point unreliability() call).
+  return ctmc::labelCurve(analysis.absorbed.chain, kDownLabel, times);
 }
 
 ctmdp::ReachabilityBounds unreliabilityBounds(const DftAnalysis& analysis,
                                               double missionTime) {
+  if (analysis.staticCombo) {
+    // The numeric path only exists when every module is deterministic; the
+    // scheduler bounds collapse onto the point value.
+    const double v = unreliability(analysis, missionTime);
+    return {v, v};
+  }
   return ctmdp::reachabilityBounds(analysis.absorbed.mdp, missionTime);
 }
 
 const Extraction& fullExtraction(const DftAnalysis& analysis) {
+  require(!analysis.staticCombo,
+          "fullExtraction: not available under static combination (the "
+          "joint model was never built); rerun with "
+          "EngineOptions::staticCombine off");
   if (!analysis.fullMemo) {
     Extraction full = extract(analysis.closedModel, kDownLabel);
     require(full.deterministic,

@@ -18,6 +18,8 @@
 
 namespace imcdft::analysis {
 
+class StaticCombination;  // analysis/static_combine.hpp
+
 /// The state label the top-event monitor attaches to failed states.
 inline constexpr const char* kDownLabel = "down";
 
@@ -43,6 +45,12 @@ struct DftAnalysis {
   /// instances from several threads must serialize (like the Analyzer
   /// itself, this type is single-thread-per-instance).
   mutable std::optional<Extraction> fullMemo;
+  /// Set when the static-combination numeric path served this analysis
+  /// (EngineOptions::staticCombine): per-module absorbing CTMCs plus the
+  /// layer's BDD structure function.  closedModel is then a one-state
+  /// placeholder and absorbed is empty — unreliability measures evaluate
+  /// through this object instead (see analysis/static_combine.hpp).
+  std::shared_ptr<const StaticCombination> staticCombo;
 };
 
 enum class Severity : std::uint8_t { Info, Warning, Error };

@@ -71,6 +71,59 @@ std::vector<double> transientDistribution(const Ctmc& chain, double t,
   return transientDistribution(chain, std::move(initial), t, opts);
 }
 
+std::vector<std::vector<double>> transientDistributions(
+    const Ctmc& chain, std::vector<double> initial,
+    const std::vector<double>& times, const TransientOptions& opts) {
+  chain.validate();
+  require(initial.size() == chain.numStates(),
+          "transientDistributions: initial distribution size mismatch");
+  for (double t : times)
+    require(t >= 0.0, "transientDistributions: negative time");
+  const double maxExit = chain.maxExitRate();
+
+  std::vector<std::vector<double>> out(times.size());
+  if (maxExit == 0.0) {
+    for (std::vector<double>& o : out) o = initial;
+    return out;
+  }
+  const double lambda = opts.uniformizationSlack * maxExit;
+
+  // One truncated Poisson window per time point; the iterate sweep below
+  // runs once, to the right edge of the widest window.
+  std::vector<PoissonWeights> windows(times.size());
+  std::size_t maxRight = 0;
+  bool anyPositive = false;
+  for (std::size_t j = 0; j < times.size(); ++j) {
+    if (times[j] == 0.0) {
+      out[j] = initial;
+      continue;
+    }
+    windows[j] = poissonWeights(lambda * times[j], opts.epsilon);
+    maxRight = std::max(maxRight, windows[j].right());
+    anyPositive = true;
+    out[j].assign(chain.numStates(), 0.0);
+  }
+  if (!anyPositive) return out;
+
+  std::vector<double> current = std::move(initial);
+  std::vector<double> next(chain.numStates());
+  for (std::size_t k = 0; true; ++k) {
+    for (std::size_t j = 0; j < times.size(); ++j) {
+      if (times[j] == 0.0) continue;
+      const PoissonWeights& pw = windows[j];
+      if (k < pw.left || k > pw.right()) continue;
+      const double w = pw.weights[k - pw.left] / pw.totalMass;
+      std::vector<double>& acc = out[j];
+      for (StateId s = 0; s < chain.numStates(); ++s)
+        acc[s] += w * current[s];
+    }
+    if (k == maxRight) break;
+    stepUniformized(chain, lambda, current, next);
+    std::swap(current, next);
+  }
+  return out;
+}
+
 double probabilityOfLabelAt(const Ctmc& chain, const std::string& label,
                             double t, const TransientOptions& opts) {
   return probabilityOfLabel(chain, transientDistribution(chain, t, opts),
@@ -80,9 +133,14 @@ double probabilityOfLabelAt(const Ctmc& chain, const std::string& label,
 std::vector<double> labelCurve(const Ctmc& chain, const std::string& label,
                                const std::vector<double>& times,
                                const TransientOptions& opts) {
+  std::vector<double> initial(chain.numStates(), 0.0);
+  if (!initial.empty()) initial[chain.initial] = 1.0;
+  std::vector<std::vector<double>> distributions =
+      transientDistributions(chain, std::move(initial), times, opts);
   std::vector<double> out;
   out.reserve(times.size());
-  for (double t : times) out.push_back(probabilityOfLabelAt(chain, label, t, opts));
+  for (const std::vector<double>& pi : distributions)
+    out.push_back(probabilityOfLabel(chain, pi, label));
   return out;
 }
 

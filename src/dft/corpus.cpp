@@ -153,6 +153,30 @@ Dft sensorBanks(int banks, int sensorsPerBank) {
   return b.build();
 }
 
+Dft voterFarm(int units, int need) {
+  require(units >= 2 && need >= 1 && need <= units,
+          "voterFarm: need units >= 2 and 1 <= need <= units");
+  DftBuilder b;
+  std::vector<std::string> unitNames;
+  for (int u = 0; u < units; ++u) {
+    const std::string s = "_" + std::to_string(u);
+    // Control chain: the sensor must outlive the controller for the chain
+    // to fail (PAND keeps the unit genuinely dynamic).
+    b.basicEvent("C1" + s, 0.8);
+    b.basicEvent("C2" + s, 1.2);
+    b.pandGate("Ctrl" + s, {"C1" + s, "C2" + s});
+    // Power slot: primary with a warm standby.
+    b.basicEvent("PP" + s, 0.6);
+    b.basicEvent("PS" + s, 0.6, 0.3);
+    b.spareGate("Power" + s, SpareKind::Warm, {"PP" + s, "PS" + s});
+    b.orGate("Unit" + s, {"Ctrl" + s, "Power" + s});
+    unitNames.push_back("Unit" + s);
+  }
+  b.votingGate("System", static_cast<std::uint32_t>(need), unitNames);
+  b.top("System");
+  return b.build();
+}
+
 Dft figure6a() {
   DftBuilder b;
   b.basicEvent("T", 1.0);

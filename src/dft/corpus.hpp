@@ -49,6 +49,15 @@ Dft clonedCas(int units);
 /// sensorsPerBank >= 1).
 Dft sensorBanks(int banks, int sensorsPerBank);
 
+/// Voter-farm family for the static-combination benchmarks: \p units
+/// replicated dynamic units under a \p need-of-units VOTING top.  Each
+/// unit fails when its control chain (PAND over two basic events) or its
+/// power slot (warm spare) fails, so the per-unit OR and the voting top
+/// form a multi-gate static layer over 2·units independent dynamic
+/// modules — the shape the numeric combination path solves without ever
+/// building the joint product (units >= 2, 1 <= need <= units).
+Dft voterFarm(int units, int need);
+
 /// Fig. 6.a: an FDEP trigger kills both PAND inputs simultaneously —
 /// inherently nondeterministic (the PAND may or may not fire).
 Dft figure6a();

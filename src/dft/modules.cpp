@@ -46,28 +46,49 @@ std::vector<ElementId> dependencyClosure(const Dft& dft, ElementId root) {
   return closure;
 }
 
-std::vector<ModuleInfo> independentModules(const Dft& dft) {
-  // Referencers: X references d when d is a direct dependency of X.
+namespace {
+
+/// Referencer lists: X references d when d is a direct dependency of X
+/// (the reverse of directDependencies, shared by the independence checks).
+std::vector<std::vector<ElementId>> referencerLists(const Dft& dft) {
   std::vector<std::vector<ElementId>> referencers(dft.size());
   for (ElementId x = 0; x < dft.size(); ++x)
     for (ElementId d : directDependencies(dft, x)) referencers[d].push_back(x);
+  return referencers;
+}
+
+bool isStaticGateType(ElementType t) {
+  return t == ElementType::And || t == ElementType::Or ||
+         t == ElementType::Voting;
+}
+
+/// The independence test shared by independentModules and
+/// detectStaticLayer: no member of \p root's dependency closure
+/// (\p members, sorted) is referenced from outside the closure — the root
+/// itself may be referenced freely (that is how the module connects to
+/// its parents).
+bool independentClosure(const std::vector<std::vector<ElementId>>& referencers,
+                        const std::vector<ElementId>& members,
+                        ElementId root) {
+  for (ElementId m : members) {
+    if (m == root) continue;
+    for (ElementId r : referencers[m])
+      if (!std::binary_search(members.begin(), members.end(), r))
+        return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ModuleInfo> independentModules(const Dft& dft) {
+  const std::vector<std::vector<ElementId>> referencers = referencerLists(dft);
 
   std::vector<ModuleInfo> modules;
   for (ElementId root = 0; root < dft.size(); ++root) {
     if (dft.element(root).type == ElementType::Fdep) continue;
     std::vector<ElementId> members = dependencyClosure(dft, root);
-    bool independent = true;
-    for (ElementId m : members) {
-      if (m == root) continue;
-      for (ElementId r : referencers[m]) {
-        if (!std::binary_search(members.begin(), members.end(), r)) {
-          independent = false;
-          break;
-        }
-      }
-      if (!independent) break;
-    }
-    if (!independent) continue;
+    if (!independentClosure(referencers, members, root)) continue;
     ModuleInfo info;
     info.root = root;
     info.dynamic = std::any_of(members.begin(), members.end(), [&](ElementId m) {
@@ -90,6 +111,177 @@ std::vector<ModuleInfo> independentModules(const Dft& dft) {
                          : a.root < b.root;
             });
   return modules;
+}
+
+StaticLayer detectStaticLayer(const Dft& dft) {
+  StaticLayer out;
+  if (dft.isRepairable()) {
+    out.reason =
+        "the tree is repairable: with repair the top's first-passage time "
+        "is not a function of the modules' first passages";
+    return out;
+  }
+  if (!isStaticGateType(dft.element(dft.top()).type)) {
+    out.reason = "the top element '" + dft.element(dft.top()).name +
+                 "' is not a static gate";
+    return out;
+  }
+  const std::vector<std::vector<ElementId>> referencers = referencerLists(dft);
+  if (!referencers[dft.top()].empty()) {
+    out.reason = "the top element is referenced by '" +
+                 dft.element(referencers[dft.top()].front()).name +
+                 "' (a dynamic construct observes the top)";
+    return out;
+  }
+
+  // A gate is *pure static* when its direct dependencies are exactly its
+  // inputs — no FDEP targets it, nothing inhibits it.  (Couplings where
+  // others reference the gate — spare slots, triggers — surface through
+  // the coverage check below.)  Memoized: the DFS below asks once per
+  // frame resume.
+  std::vector<signed char> pureMemo(dft.size(), -1);
+  auto pureStatic = [&](ElementId id) {
+    if (pureMemo[id] >= 0) return pureMemo[id] == 1;
+    const Element& e = dft.element(id);
+    bool pure = false;
+    if (isStaticGateType(e.type)) {
+      std::vector<ElementId> ins = e.inputs;
+      std::sort(ins.begin(), ins.end());
+      ins.erase(std::unique(ins.begin(), ins.end()), ins.end());
+      pure = directDependencies(dft, id) == ins;
+    }
+    pureMemo[id] = pure ? 1 : 0;
+    return pure;
+  };
+  auto independentRoot = [&](ElementId id) {
+    return independentClosure(referencers, dependencyClosure(dft, id), id);
+  };
+
+  // Resolve every node reachable from the top: a pure static gate whose
+  // inputs all resolve joins the layer; otherwise the node must be the
+  // root of an independent module (the layer's frontier stops there); a
+  // node that is neither makes the whole layer ineligible.  The greedy
+  // preference for expanding keeps the layer maximal — more, smaller
+  // modules — and the module fallback recovers exactly the places where
+  // expansion would cut through an internal coupling (e.g. a shared spare
+  // pool two slots down).
+  enum : char { kUnknown = 0, kLayer, kModule, kFail };
+  std::vector<char> state(dft.size(), kUnknown);
+  std::string failName;
+  struct Frame {
+    ElementId id;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack{{dft.top(), 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (state[f.id] != kUnknown) {
+      stack.pop_back();
+      continue;
+    }
+    if (!pureStatic(f.id)) {
+      state[f.id] = independentRoot(f.id) ? kModule : kFail;
+      if (state[f.id] == kFail && failName.empty())
+        failName = dft.element(f.id).name;
+      stack.pop_back();
+      continue;
+    }
+    const std::vector<ElementId>& ins = dft.element(f.id).inputs;
+    bool descended = false;
+    while (f.next < ins.size()) {
+      ElementId child = ins[f.next++];
+      if (state[child] == kUnknown) {
+        stack.push_back({child, 0});
+        descended = true;
+        break;
+      }
+    }
+    if (descended) continue;
+    bool allOk = true;
+    for (ElementId in : ins)
+      if (state[in] != kLayer && state[in] != kModule) allOk = false;
+    if (allOk) {
+      state[f.id] = kLayer;
+    } else {
+      state[f.id] = independentRoot(f.id) ? kModule : kFail;
+      if (state[f.id] == kFail && failName.empty())
+        failName = dft.element(f.id).name;
+    }
+    stack.pop_back();
+  }
+
+  if (state[dft.top()] != kLayer) {
+    out.reason =
+        state[dft.top()] == kModule
+            ? "the whole tree is one indivisible module (a dynamic coupling "
+              "reaches every static gate below the top)"
+            : "element '" + failName +
+                  "' is neither a pure static gate nor the root of an "
+                  "independent module";
+    return out;
+  }
+
+  // Collect the layer and its frontier from the top (resolution may have
+  // classified nodes that only unreachable paths lead to).
+  std::vector<char> inLayer(dft.size(), 0), inFrontier(dft.size(), 0);
+  std::vector<ElementId> frontier;
+  std::vector<ElementId> walk{dft.top()};
+  inLayer[dft.top()] = 1;
+  out.gates.push_back(dft.top());
+  while (!walk.empty()) {
+    ElementId g = walk.back();
+    walk.pop_back();
+    for (ElementId in : dft.element(g).inputs) {
+      if (state[in] == kLayer) {
+        if (!inLayer[in]) {
+          inLayer[in] = 1;
+          out.gates.push_back(in);
+          walk.push_back(in);
+        }
+      } else if (!inFrontier[in]) {
+        inFrontier[in] = 1;
+        frontier.push_back(in);
+      }
+    }
+  }
+  std::sort(out.gates.begin(), out.gates.end());
+  std::sort(frontier.begin(), frontier.end());
+
+  // Coverage and disjointness: every element belongs to exactly one
+  // frontier module's dependency closure, or is a layer gate.  Any overlap
+  // is a coupling crossing the layer boundary (a shared spare pool, an
+  // FDEP whose trigger and dependent live in different modules, an
+  // inhibition across modules); any uncovered element is logic the
+  // decomposition cannot account for.  Both make the layer ineligible.
+  constexpr ElementId kUnassigned = static_cast<ElementId>(-1);
+  constexpr ElementId kLayerColor = static_cast<ElementId>(-2);
+  std::vector<ElementId> color(dft.size(), kUnassigned);
+  for (ElementId g : out.gates) color[g] = kLayerColor;
+  for (ElementId f : frontier) {
+    for (ElementId m : dependencyClosure(dft, f)) {
+      if (color[m] != kUnassigned) {
+        out.gates.clear();
+        out.reason =
+            "element '" + dft.element(m).name +
+            "' is coupled into two frontier modules (a dependency crosses "
+            "the layer boundary)";
+        return out;
+      }
+      color[m] = f;
+    }
+  }
+  for (ElementId id = 0; id < dft.size(); ++id) {
+    if (color[id] == kUnassigned) {
+      out.gates.clear();
+      out.reason = "element '" + dft.element(id).name +
+                   "' lies outside the layer decomposition";
+      return out;
+    }
+  }
+
+  out.eligible = true;
+  out.moduleRoots = std::move(frontier);
+  return out;
 }
 
 Dft extractModule(const Dft& dft, ElementId root) {

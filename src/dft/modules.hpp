@@ -38,4 +38,43 @@ std::vector<ModuleInfo> independentModules(const Dft& dft);
 /// (element names are preserved; ids are remapped).
 Dft extractModule(const Dft& dft, ElementId root);
 
+/// The maximal *static combination layer* of a tree: the connected region
+/// of AND/OR/VOTING gates containing the top whose frontier inputs are
+/// pairwise-disjoint independent modules, with no dynamic coupling (FDEP,
+/// spare sharing, sequence, inhibition) crossing the region boundary and
+/// nothing above the region at all (the region contains the top, so no
+/// dynamic gate can observe the *order* of module failures — only the
+/// structure function of their failure events matters).
+///
+/// When such a layer exists, the joint unfired product of the frontier
+/// modules never has to be built: each module's unreliability can be
+/// solved numerically on its own absorbing CTMC and the layer's structure
+/// function evaluated over the per-time probabilities (the DIFTree
+/// numeric-combination shortcut, sound precisely because the modules are
+/// stochastically independent and the surrounding structure is static and
+/// order-blind).  The engine's static-combination path
+/// (analysis/static_combine.hpp) consumes this; any ineligibility reason
+/// makes it fall back to full composition.
+struct StaticLayer {
+  bool eligible = false;
+  /// Human-readable ineligibility reason (diagnostics); empty if eligible.
+  std::string reason;
+  /// Layer gates, sorted ascending; contains the top when eligible.
+  std::vector<ElementId> gates;
+  /// Frontier module roots, sorted ascending.  Each is the root of an
+  /// independent module whose dependency closure is disjoint from every
+  /// other frontier module and from the layer gates; together they cover
+  /// the whole tree.  A root referenced by several layer gates appears
+  /// once (the structure function sees it as one shared variable).
+  std::vector<ElementId> moduleRoots;
+};
+
+/// Detects the static combination layer of \p dft.  Structural and
+/// conservative: any configuration whose independence or order-blindness
+/// cannot be proven yields eligible == false with a reason, never a wrong
+/// decomposition.  Repairable trees are always ineligible (with repair the
+/// top's first-passage time is not a function of the modules' first
+/// passages).
+StaticLayer detectStaticLayer(const Dft& dft);
+
 }  // namespace imcdft::dft

@@ -16,52 +16,89 @@ using dft::Element;
 using dft::ElementId;
 using dft::ElementType;
 
-double staticUnreliability(const Dft& dft,
-                           const std::vector<double>& beProbability) {
-  require(beProbability.size() == dft.size(),
-          "staticUnreliability: probability vector size mismatch");
-  // One BDD variable per basic event, in id order.
-  std::vector<std::uint32_t> varOf(dft.size(), 0);
-  std::uint32_t numVars = 0;
-  for (ElementId id = 0; id < dft.size(); ++id)
-    if (dft.element(id).isBasicEvent()) varOf[id] = numVars++;
+namespace {
 
-  bdd::BddManager manager(numVars);
+/// Basic events of \p dft in id order (the shared BDD variable order).
+std::vector<ElementId> staticBasicEvents(const Dft& dft) {
+  std::vector<ElementId> bes;
+  for (ElementId id = 0; id < dft.size(); ++id)
+    if (dft.element(id).isBasicEvent()) bes.push_back(id);
+  return bes;
+}
+
+}  // namespace
+
+StaticStructure::StaticStructure(const Dft& dft)
+    : varOf_(dft.size(), 0),
+      beOfVar_(staticBasicEvents(dft)),
+      manager_(static_cast<std::uint32_t>(beOfVar_.size())) {
+  for (std::uint32_t var = 0; var < beOfVar_.size(); ++var)
+    varOf_[beOfVar_[var]] = var;
   std::vector<bdd::NodeRef> node(dft.size(), bdd::kFalse);
   for (ElementId id : dft.topologicalOrder()) {
     const Element& e = dft.element(id);
     switch (e.type) {
       case ElementType::BasicEvent:
-        node[id] = manager.variable(varOf[id]);
+        node[id] = manager_.variable(varOf_[id]);
         break;
       case ElementType::And: {
         bdd::NodeRef acc = bdd::kTrue;
-        for (ElementId in : e.inputs) acc = manager.bddAnd(acc, node[in]);
+        for (ElementId in : e.inputs) acc = manager_.bddAnd(acc, node[in]);
         node[id] = acc;
         break;
       }
       case ElementType::Or: {
         bdd::NodeRef acc = bdd::kFalse;
-        for (ElementId in : e.inputs) acc = manager.bddOr(acc, node[in]);
+        for (ElementId in : e.inputs) acc = manager_.bddOr(acc, node[in]);
         node[id] = acc;
         break;
       }
       case ElementType::Voting: {
         std::vector<bdd::NodeRef> ins;
         for (ElementId in : e.inputs) ins.push_back(node[in]);
-        node[id] = manager.atLeast(ins, e.votingThreshold);
+        node[id] = manager_.atLeast(ins, e.votingThreshold);
         break;
       }
       default:
         throw UnsupportedError(
-            "staticUnreliability: element '" + e.name + "' is not static");
+            "StaticStructure: element '" + e.name + "' is not static");
     }
   }
-  std::vector<double> varProbs(numVars, 0.0);
-  for (ElementId id = 0; id < dft.size(); ++id)
-    if (dft.element(id).isBasicEvent())
-      varProbs[varOf[id]] = beProbability[id];
-  return manager.probability(node[dft.top()], varProbs);
+  root_ = node[dft.top()];
+}
+
+double StaticStructure::probability(
+    const std::vector<double>& beProbability) const {
+  require(beProbability.size() == varOf_.size(),
+          "StaticStructure: probability vector size mismatch");
+  std::vector<double> varProbs(beOfVar_.size(), 0.0);
+  for (std::uint32_t var = 0; var < beOfVar_.size(); ++var)
+    varProbs[var] = beProbability[beOfVar_[var]];
+  return manager_.probability(root_, varProbs);
+}
+
+std::vector<double> StaticStructure::curve(
+    const std::vector<std::vector<double>>& beProbabilityPerTime) const {
+  std::vector<double> out;
+  out.reserve(beProbabilityPerTime.size());
+  for (const std::vector<double>& probs : beProbabilityPerTime)
+    out.push_back(probability(probs));
+  return out;
+}
+
+std::vector<std::vector<ElementId>> StaticStructure::minimalCutSets() const {
+  std::vector<std::vector<ElementId>> out;
+  for (const auto& cut : manager_.minimalCutSets(root_)) {
+    std::vector<ElementId> ids;
+    for (std::uint32_t var : cut) ids.push_back(beOfVar_[var]);
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+double staticUnreliability(const Dft& dft,
+                           const std::vector<double>& beProbability) {
+  return StaticStructure(dft).probability(beProbability);
 }
 
 namespace {
@@ -214,7 +251,10 @@ std::vector<ImportanceResult> birnbaumImportance(const Dft& dft,
                                                  double missionTime) {
   requireStatic(dft, "birnbaumImportance");
   std::vector<double> probs = staticBeProbabilities(dft, missionTime);
-  const double top = staticUnreliability(dft, probs);
+  // One BDD for the whole sweep: only the probability evaluation repeats
+  // over the 2N+1 perturbed vectors.
+  const StaticStructure structure(dft);
+  const double top = structure.probability(probs);
   std::vector<ImportanceResult> out;
   for (ElementId id = 0; id < dft.size(); ++id) {
     const Element& e = dft.element(id);
@@ -225,7 +265,7 @@ std::vector<ImportanceResult> birnbaumImportance(const Dft& dft,
     std::vector<double> hi = probs, lo = probs;
     hi[id] = 1.0;
     lo[id] = 0.0;
-    r.birnbaum = staticUnreliability(dft, hi) - staticUnreliability(dft, lo);
+    r.birnbaum = structure.probability(hi) - structure.probability(lo);
     r.criticality = top > 0.0 ? r.birnbaum * probs[id] / top : 0.0;
     out.push_back(std::move(r));
   }
@@ -234,50 +274,11 @@ std::vector<ImportanceResult> birnbaumImportance(const Dft& dft,
 
 std::vector<std::vector<std::string>> minimalCutSets(const Dft& dft) {
   requireStatic(dft, "minimalCutSets");
-  // Rebuild the BDD exactly as staticUnreliability does, then walk it.
-  std::vector<std::uint32_t> varOf(dft.size(), 0);
-  std::vector<ElementId> beOfVar;
-  for (ElementId id = 0; id < dft.size(); ++id)
-    if (dft.element(id).isBasicEvent()) {
-      varOf[id] = static_cast<std::uint32_t>(beOfVar.size());
-      beOfVar.push_back(id);
-    }
-  bdd::BddManager manager(static_cast<std::uint32_t>(beOfVar.size()));
-  std::vector<bdd::NodeRef> node(dft.size(), bdd::kFalse);
-  for (ElementId id : dft.topologicalOrder()) {
-    const Element& e = dft.element(id);
-    switch (e.type) {
-      case ElementType::BasicEvent:
-        node[id] = manager.variable(varOf[id]);
-        break;
-      case ElementType::And: {
-        bdd::NodeRef acc = bdd::kTrue;
-        for (ElementId in : e.inputs) acc = manager.bddAnd(acc, node[in]);
-        node[id] = acc;
-        break;
-      }
-      case ElementType::Or: {
-        bdd::NodeRef acc = bdd::kFalse;
-        for (ElementId in : e.inputs) acc = manager.bddOr(acc, node[in]);
-        node[id] = acc;
-        break;
-      }
-      case ElementType::Voting: {
-        std::vector<bdd::NodeRef> ins;
-        for (ElementId in : e.inputs) ins.push_back(node[in]);
-        node[id] = manager.atLeast(ins, e.votingThreshold);
-        break;
-      }
-      default:
-        throw UnsupportedError("minimalCutSets: element '" + e.name +
-                               "' is not static");
-    }
-  }
   std::vector<std::vector<std::string>> out;
-  for (const auto& cut : manager.minimalCutSets(node[dft.top()])) {
+  for (const std::vector<ElementId>& cut :
+       StaticStructure(dft).minimalCutSets()) {
     std::vector<std::string> names;
-    for (std::uint32_t var : cut)
-      names.push_back(dft.element(beOfVar[var]).name);
+    for (ElementId id : cut) names.push_back(dft.element(id).name);
     out.push_back(std::move(names));
   }
   return out;

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "dft/model.hpp"
 
 /// \file modular.hpp
@@ -38,8 +40,49 @@ struct ModularResult {
 /// Unrepairable trees only.
 ModularResult modularAnalysis(const dft::Dft& dft, double missionTime);
 
+/// A static (sub)tree's structure function compiled to a BDD once and
+/// evaluated any number of times — the DIFTree static solver with the BDD
+/// construction hoisted out of the evaluation loop.  Callers that evaluate
+/// the same tree under many probability vectors (mission-time grids,
+/// importance measures, the engine's static-combination numeric path)
+/// construct one StaticStructure and call probability() per vector;
+/// staticUnreliability() below stays as the one-shot convenience.
+class StaticStructure {
+ public:
+  /// Compiles \p dft's structure function: one BDD variable per basic
+  /// event, ordered by element id.  Throws UnsupportedError when the tree
+  /// contains anything but BEs and AND/OR/VOTING gates.
+  explicit StaticStructure(const dft::Dft& dft);
+
+  /// P(top fails) when basic event \p id fails independently with
+  /// probability beProbability[id] (indexed by ElementId of the compiled
+  /// tree; non-BE entries are ignored).
+  double probability(const std::vector<double>& beProbability) const;
+
+  /// probability() per row of \p beProbabilityPerTime (the per-time
+  /// combination step of the numeric path).
+  std::vector<double> curve(
+      const std::vector<std::vector<double>>& beProbabilityPerTime) const;
+
+  /// Basic events in variable order (ElementIds of the compiled tree).
+  const std::vector<dft::ElementId>& basicEvents() const { return beOfVar_; }
+
+  /// Minimal cut sets as sorted ElementId lists of the compiled tree.
+  std::vector<std::vector<dft::ElementId>> minimalCutSets() const;
+
+  std::size_t bddNodes() const { return manager_.size(root_); }
+
+ private:
+  std::vector<std::uint32_t> varOf_;     ///< ElementId -> BDD variable
+  std::vector<dft::ElementId> beOfVar_;  ///< BDD variable -> ElementId
+  bdd::BddManager manager_;
+  bdd::NodeRef root_ = bdd::kFalse;
+};
+
 /// Solves a purely static (sub)tree with the BDD engine; \p beProbability
 /// gives each basic event's failure probability at the mission time.
+/// One-shot wrapper over StaticStructure — hoist the construction out
+/// yourself when evaluating the same tree repeatedly.
 double staticUnreliability(const dft::Dft& dft,
                            const std::vector<double>& beProbability);
 

@@ -50,11 +50,18 @@ TEST(Analyzer, RepeatedRequestIsAPureLookup) {
 
 TEST(Analyzer, VariantsShareModulesAcrossTheSession) {
   Analyzer session;
+  // Composition path pinned: this test guards the aggregated-module
+  // I/O-IMC splice cache (the numeric path has its own chain/curve caches,
+  // covered in test_static_combine.cpp).
+  AnalysisOptions viaComposition;
+  viaComposition.engine.staticCombine = false;
   AnalysisReport base = session.analyze(
       AnalysisRequest::forGalileo(dft::corpus::galileoCas(), "base")
+          .withOptions(viaComposition)
           .measure(MeasureSpec::unreliability({1.0})));
   AnalysisReport variant = session.analyze(
       AnalysisRequest::forGalileo(perturbedCas(0.4), "cs=0.4")
+          .withOptions(viaComposition)
           .measure(MeasureSpec::unreliability({1.0})));
 
   EXPECT_NE(base.treeHash, variant.treeHash);
@@ -74,11 +81,17 @@ TEST(Analyzer, VariantsShareModulesAcrossTheSession) {
 
 TEST(Analyzer, BatchMatchesSequentialColdRuns) {
   const std::vector<double> grid{0.5, 1.0, 2.0};
+  // Composition path pinned, as in VariantsShareModulesAcrossTheSession:
+  // the cold analyzeDft reference below runs the composition pipeline, and
+  // the numeric path only agrees with it up to transient tolerances.
+  AnalysisOptions viaComposition;
+  viaComposition.engine.staticCombine = false;
   std::vector<AnalysisRequest> requests;
   std::vector<double> lambdas{0.2, 0.3, 0.45, 0.7};
   for (double l : lambdas)
     requests.push_back(
         AnalysisRequest::forGalileo(perturbedCas(l), "cs=" + std::to_string(l))
+            .withOptions(viaComposition)
             .measure(MeasureSpec::unreliability(grid)));
 
   Analyzer session;
@@ -283,8 +296,11 @@ TEST(Analyzer, CustomSymbolTableBypassesTheCaches) {
   EXPECT_EQ(report.cache.moduleHits, 0u);
   EXPECT_EQ(report.analysis->closedModel.symbols(),
             custom.options.conversion.symbols);
+  // 1e-9: the warm default request was served by the numeric path, the
+  // custom-table one by full composition; they agree up to transient
+  // truncation tolerances, not bitwise.
   EXPECT_NEAR(report.measures[0].values.at(0), first.measures[0].values.at(0),
-              1e-12);
+              1e-9);
 
   // And the session still serves later default requests from cache.
   AnalysisReport third = session.analyze(warm);

@@ -116,6 +116,37 @@ TEST(Transient, CurveIsMonotoneForAbsorbingTarget) {
     EXPECT_GE(curve[i], curve[i - 1]);
 }
 
+TEST(Transient, SharedSweepIsBitwiseIdenticalToPerPointRuns) {
+  // The multi-time overload shares one uniformized power-vector sweep
+  // across all points; per point it must reproduce the single-time call
+  // bit for bit (same weights, same iterates, same accumulation order).
+  Ctmc c;
+  c.initial = 0;
+  c.rates = {{{1.0, 1}, {2.0, 2}}, {{0.5, 2}, {0.25, 0}}, {{4.0, 0}}};
+  c.labelMasks = {0, 1, 0};
+  c.labelNames = {"down"};
+  const std::vector<double> times{0.0, 3.7, 0.3, 1.0, 1.0, 0.05};
+  std::vector<double> initial{1.0, 0.0, 0.0};
+  auto shared = transientDistributions(c, initial, times);
+  ASSERT_EQ(shared.size(), times.size());
+  for (std::size_t j = 0; j < times.size(); ++j)
+    EXPECT_EQ(shared[j], transientDistribution(c, initial, times[j]))
+        << "t=" << times[j];
+  auto curve = labelCurve(c, "down", times);
+  for (std::size_t j = 0; j < times.size(); ++j)
+    EXPECT_EQ(curve[j], probabilityOfLabelAt(c, "down", times[j]));
+}
+
+TEST(Transient, SharedSweepOnRatelessChain) {
+  Ctmc c;
+  c.initial = 0;
+  c.rates = {{}, {}};
+  c.labelMasks = {0, 1};
+  c.labelNames = {"down"};
+  auto curve = labelCurve(c, "down", {0.0, 1.0, 5.0});
+  EXPECT_EQ(curve, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
 TEST(Transient, LargeUniformizationParameter) {
   // Fast rates with long horizon exercise the log-space Poisson weights.
   Ctmc c = twoState(200.0);

@@ -161,6 +161,36 @@ TEST(StaticSolver, SharedEventsHandledExactly) {
   EXPECT_NEAR(staticUnreliability(d, p), pa + (1 - pa) * pb * pc, 1e-12);
 }
 
+TEST(StaticSolver, HoistedStructureMatchesOneShotSolves) {
+  // One StaticStructure, many probability vectors: each evaluation must
+  // equal the from-scratch staticUnreliability call bit for bit (it is the
+  // same BDD and the same Shannon expansion).
+  dft::Dft d = DftBuilder()
+                   .basicEvent("A", 1.0)
+                   .basicEvent("B", 1.0)
+                   .basicEvent("C", 1.0)
+                   .orGate("L", {"A", "B"})
+                   .votingGate("Top", 2, {"L", "B", "C"})
+                   .top("Top")
+                   .build();
+  const StaticStructure structure(d);
+  std::vector<std::vector<double>> grids;
+  for (double base : {0.1, 0.35, 0.8}) {
+    std::vector<double> p(d.size(), 0.0);
+    p[d.byName("A")] = base;
+    p[d.byName("B")] = 1.0 - base;
+    p[d.byName("C")] = base / 2.0;
+    EXPECT_EQ(structure.probability(p), staticUnreliability(d, p));
+    grids.push_back(std::move(p));
+  }
+  std::vector<double> curve = structure.curve(grids);
+  ASSERT_EQ(curve.size(), grids.size());
+  for (std::size_t i = 0; i < grids.size(); ++i)
+    EXPECT_EQ(curve[i], structure.probability(grids[i]));
+  EXPECT_EQ(structure.basicEvents().size(), 3u);
+  EXPECT_THROW(StaticStructure(dft::corpus::cps()), UnsupportedError);
+}
+
 TEST(Modular, StaticTreeSolvedByBdd) {
   dft::Dft d = DftBuilder()
                    .basicEvent("A", 1.0)

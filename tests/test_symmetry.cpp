@@ -245,6 +245,10 @@ AnalysisReport analyzeCold(const dft::Dft& d, bool symmetry,
   AnalysisRequest req = AnalysisRequest::forDft(d);
   req.options.engine.symmetry = symmetry;
   req.options.engine.numThreads = threads;
+  // These tests probe the composition engine's symmetry machinery; the
+  // static-combination numeric path would bypass the top-level fold (its
+  // own symmetry counters are covered in test_static_combine.cpp).
+  req.options.engine.staticCombine = false;
   for (MeasureSpec& m : measures) req.measure(std::move(m));
   return session.analyze(req);
 }

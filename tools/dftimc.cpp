@@ -18,6 +18,14 @@
 ///                       per module shape and instantiate isomorphic
 ///                       siblings by action renaming (default: on;
 ///                       measures are bit-identical either way)
+///     --static-combine on|off
+///                       numeric combination of the top static layer:
+///                       solve independent modules as CTMCs and fold their
+///                       unreliability curves through a BDD instead of
+///                       composing the joint product (default: on; applies
+///                       to unreliability measures on eligible trees, falls
+///                       back to composition otherwise; forced off when
+///                       --dot/--aut need the composed model)
 ///     --stats           print composition statistics and phase timings
 ///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
 ///     --aut FILE        write it in Aldebaran format
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/static_combine.hpp"
 #include "common/error.hpp"
 #include "ctmc/transient.hpp"
 #include "dft/galileo.hpp"
@@ -56,6 +65,7 @@ struct CliOptions {
   bool monolithic = false;
   bool stats = false;
   bool symmetry = true;
+  bool staticCombine = true;
   unsigned jobs = 0;  ///< 0 = hardware_concurrency
   std::uint64_t simulateRuns = 0;
   std::string dotPath;
@@ -69,9 +79,11 @@ struct CliOptions {
                "usage: %s [--time T]... [--bounds] [--unavailability] "
                "[--steady-state] [--mttf]\n"
                "          [--modular] [--monolithic] [--simulate N] "
-               "[--jobs N] [--symmetry on|off] [--stats]\n"
-               "          [--dot FILE] [--aut FILE] "
-               "[--strategy modular|greedy|declaration] <model.dft>\n",
+               "[--jobs N] [--symmetry on|off]\n"
+               "          [--static-combine on|off] [--stats] "
+               "[--dot FILE] [--aut FILE]\n"
+               "          [--strategy modular|greedy|declaration] "
+               "<model.dft>\n",
                argv0);
   std::exit(2);
 }
@@ -112,6 +124,14 @@ CliOptions parseArgs(int argc, char** argv) {
         opts.symmetry = true;
       else if (v == "off")
         opts.symmetry = false;
+      else
+        usage(argv[0]);
+    } else if (arg == "--static-combine") {
+      std::string v = next();
+      if (v == "on")
+        opts.staticCombine = true;
+      else if (v == "off")
+        opts.staticCombine = false;
       else
         usage(argv[0]);
     } else if (arg == "--dot") {
@@ -174,6 +194,11 @@ int main(int argc, char** argv) {
     request.options.engine.strategy = opts.strategy;
     request.options.engine.numThreads = opts.jobs;
     request.options.engine.symmetry = opts.symmetry;
+    // The exports need the composed model, which the numeric path never
+    // builds; force the composition pipeline then.
+    if (!opts.dotPath.empty() || !opts.autPath.empty())
+      opts.staticCombine = false;
+    request.options.engine.staticCombine = opts.staticCombine;
     if (opts.bounds)
       request.measure(analysis::MeasureSpec::unreliabilityBounds(opts.times));
     else
@@ -198,15 +223,26 @@ int main(int argc, char** argv) {
                     report.stats().symmetricBuckets,
                     report.stats().symmetricModulesReused,
                     report.stats().symmetrySavedSteps);
+      if (report.analysis->staticCombo) {
+        const analysis::StaticCombination& sc = *report.analysis->staticCombo;
+        std::printf("  numeric path:    %zu layer gate(s) over %zu "
+                    "module(s), %zu distinct curve(s), %zu BDD node(s)\n",
+                    sc.layerGateCount(), sc.modules().size(),
+                    sc.chains().size(), sc.bddNodes());
+      }
       std::printf("  peak composed:   %zu states, %zu transitions\n",
                   report.stats().peakComposedStates,
                   report.stats().peakComposedTransitions);
       std::printf("  peak aggregated: %zu states, %zu transitions\n",
                   report.stats().peakAggregatedStates,
                   report.stats().peakAggregatedTransitions);
-      std::printf("  final model:     %zu states, %zu transitions\n",
-                  report.analysis->closedModel.numStates(),
-                  report.analysis->closedModel.numTransitions());
+      if (report.analysis->staticCombo)
+        std::printf("  final model:     numerically combined (the joint "
+                    "product was never built)\n");
+      else
+        std::printf("  final model:     %zu states, %zu transitions\n",
+                    report.analysis->closedModel.numStates(),
+                    report.analysis->closedModel.numTransitions());
       std::printf("  phases [s]:      convert %.4f, compose %.4f, "
                   "extract %.4f, measure %.4f  (total %.4f)\n",
                   report.timings.convert, report.timings.compose,
