@@ -42,6 +42,21 @@
 /// must never materialize the ~2.7M-state joint product the composition
 /// path builds.
 ///
+/// E15 — the on-the-fly sweep: the fused compose-and-minimize engine
+/// (EngineOptions::onTheFly, ioimc::otf) against the classic
+/// compose+quotient chain, over the workloads it targets: deep
+/// PAND-over-module chains (corpus::cascadedPand — static combination is
+/// ineligible there, every step composes) and the wide cascaded-PAND CPS
+/// families.  Both arms run the identical cold protocol; E12/E13/E14 pin
+/// --on-the-fly off to keep their protocols what their baselines were
+/// captured with.  The binary exits nonzero unless, for every family, (a)
+/// the measures are *bit-identical* between on and off, (b) the fused
+/// peak (live states) is strictly below the classic full product, (c)
+/// every step actually fused (no invariant fallbacks — fallbacks are safe
+/// but must not silently become the norm) and (d) nothing is NaN.  The
+/// JSON gains an "otf_families" section with the peaks and the fused-step/
+/// fallback counters.
+///
 /// Every experiment records peak-memory proxies (the largest intermediate
 /// model in states/transitions) next to its timings; run_bench.sh prints
 /// them in its summary.
@@ -76,8 +91,10 @@ const std::vector<double> kGrid{0.5, 1.0, 2.0};
 dft::Dft treeFor(const std::string& name) {
   if (name == "cas") return dft::corpus::cas();
   if (name == "hecs") return dft::corpus::hecs();
-  // "cps_MxB"
   int m = 0, b = 0;
+  if (std::sscanf(name.c_str(), "cpand_%dx%d", &m, &b) == 2)
+    return dft::corpus::cascadedPand(m, b);
+  // "cps_MxB"
   std::sscanf(name.c_str(), "cps_%dx%d", &m, &b);
   return dft::corpus::cascadedPands(m, b);
 }
@@ -97,15 +114,20 @@ struct RunResult {
   bool numericApplied = false;
   std::size_t numericModules = 0;  ///< frontier modules (linear in k)
   std::size_t numericChains = 0;   ///< distinct curves (one per shape)
+  /// On-the-fly (E15): fused steps, invariant fallbacks, saved peak.
+  std::size_t otfSteps = 0;
+  std::size_t otfFallbacks = 0;
+  std::size_t otfSavedPeak = 0;
 };
 
 RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry,
-                   bool staticCombine, int repetitions = 5) {
+                   bool staticCombine, bool onTheFly, int repetitions = 5) {
   AnalysisRequest req = AnalysisRequest::forDft(d).measure(
       MeasureSpec::unreliability(kGrid));
   req.options.engine.numThreads = numThreads;
   req.options.engine.symmetry = symmetry;
   req.options.engine.staticCombine = staticCombine;
+  req.options.engine.onTheFly = onTheFly;
   RunResult best;
   best.wallSeconds = 1e100;
   {
@@ -127,6 +149,9 @@ RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry,
       best.symmetrySavedSteps = rep.stats().symmetrySavedSteps;
       best.peakStates = rep.stats().peakComposedStates;
       best.peakTransitions = rep.stats().peakComposedTransitions;
+      best.otfSteps = rep.stats().onTheFlySteps;
+      best.otfFallbacks = rep.stats().onTheFlyFallbacks;
+      best.otfSavedPeak = rep.stats().onTheFlySavedPeakStates;
       best.numericApplied = rep.analysis->staticCombo != nullptr;
       if (best.numericApplied) {
         best.numericModules = rep.analysis->staticCombo->modules().size();
@@ -209,8 +234,10 @@ bool runSymmetrySweep(std::vector<SymmetryResult>& out) {
     r.name = fam.name;
     // Static combination off throughout E13: it would bypass the top-level
     // fold this experiment measures (E14 covers the numeric path).
-    r.off = timeCold(fam.tree, 1, /*symmetry=*/false, /*staticCombine=*/false);
-    r.on = timeCold(fam.tree, 1, /*symmetry=*/true, /*staticCombine=*/false);
+    r.off = timeCold(fam.tree, 1, /*symmetry=*/false, /*staticCombine=*/false,
+                     /*onTheFly=*/false);
+    r.on = timeCold(fam.tree, 1, /*symmetry=*/true, /*staticCombine=*/false,
+                    /*onTheFly=*/false);
     r.moduleCount = r.off.properModules;
     r.bitIdentical = r.off.values == r.on.values;
     // Every family is built symmetric: buckets must form, siblings must be
@@ -301,13 +328,15 @@ bool runStaticCombineSweep(std::vector<StaticCombineResult>& out) {
   for (Family& fam : families) {
     StaticCombineResult r;
     r.name = fam.name;
-    r.on = timeCold(fam.tree, 1, /*symmetry=*/true, /*staticCombine=*/true);
+    r.on = timeCold(fam.tree, 1, /*symmetry=*/true, /*staticCombine=*/true,
+                    /*onTheFly=*/false);
     r.offRun = fam.runOff;
     if (fam.runOff) {
       // The big instances would dominate the bench; 2 repetitions suffice
       // for a correctness reference.
       r.off = timeCold(fam.tree, 1, /*symmetry=*/true,
-                       /*staticCombine=*/false, /*repetitions=*/2);
+                       /*staticCombine=*/false, /*onTheFly=*/false,
+                       /*repetitions=*/2);
       r.valuesOk = agreeNumeric(r.on.values, r.off.values) &&
                    !anyNan(r.on.values) && !anyNan(r.off.values);
     } else {
@@ -342,10 +371,64 @@ bool runStaticCombineSweep(std::vector<StaticCombineResult>& out) {
   return ok;
 }
 
+/// One E15 family: the fused engine on vs the classic chain.
+struct OtfResultRow {
+  std::string name;
+  RunResult on, off;
+  bool bitIdentical = false;  ///< measures on == off, every bit
+  bool peakOk = false;        ///< fused peak strictly below classic product
+  bool fusedOk = false;       ///< every step fused, zero fallbacks
+};
+
+/// Runs the E15 on-the-fly sweep; results append to \p out and the
+/// function returns false when any correctness check failed.
+bool runOtfSweep(std::vector<OtfResultRow>& out) {
+  // Deep PAND-over-module chains (static combination ineligible: a PAND
+  // sits above every unit) plus the wide CPS configurations of E12/E13.
+  // Every family's largest composition step materializes well past the
+  // fused engine's refinement threshold, so collapses must actually fire.
+  const char* families[] = {"cpand_4x2", "cpand_4x3", "cpand_6x2",
+                            "cps_8x10", "cps_6x14"};
+  std::printf("== E15: fused compose-and-minimize vs classic product ==\n");
+  std::printf("%-12s %11s %11s %10s %10s %8s %6s %5s  %s\n", "family",
+              "off [s]", "on [s]", "peak off", "peak on", "ratio", "fused",
+              "fb", "measures");
+  bool ok = true;
+  for (const char* name : families) {
+    dft::Dft d = treeFor(name);
+    OtfResultRow r;
+    r.name = name;
+    // Two repetitions: E15 gates on correctness and peaks, not timing.
+    r.off = timeCold(d, 1, /*symmetry=*/true, /*staticCombine=*/false,
+                     /*onTheFly=*/false, /*repetitions=*/2);
+    r.on = timeCold(d, 1, /*symmetry=*/true, /*staticCombine=*/false,
+                    /*onTheFly=*/true, /*repetitions=*/2);
+    r.bitIdentical = r.on.values == r.off.values && !anyNan(r.on.values);
+    r.peakOk = r.on.peakStates < r.off.peakStates &&
+               r.on.peakTransitions < r.off.peakTransitions;
+    r.fusedOk = r.on.otfSteps == r.on.steps && r.on.otfFallbacks == 0 &&
+                r.off.otfSteps == 0;
+    if (!r.bitIdentical || !r.peakOk || !r.fusedOk) ok = false;
+    std::printf("%-12s %11.6f %11.6f %10zu %10zu %7.2fx %6zu %5zu  %s\n",
+                r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
+                r.off.peakStates, r.on.peakStates,
+                static_cast<double>(r.off.peakStates) /
+                    static_cast<double>(r.on.peakStates),
+                r.on.otfSteps, r.on.otfFallbacks,
+                !r.bitIdentical ? "NOT BIT-IDENTICAL — BUG"
+                : !r.peakOk     ? "PEAK NOT BELOW PRODUCT — BUG"
+                : !r.fusedOk    ? "STEPS FELL BACK — BUG"
+                                : "bit-identical");
+    out.push_back(std::move(r));
+  }
+  std::printf("\n");
+  return ok;
+}
+
 void writeJson(const std::vector<ConfigResult>& results,
                const std::vector<SymmetryResult>& symmetry,
                const std::vector<StaticCombineResult>& staticCombine,
-               unsigned mtThreads) {
+               const std::vector<OtfResultRow>& otf, unsigned mtThreads) {
   const char* env = std::getenv("BENCH_COMPOSE_JSON");
   std::string path = env ? env : "BENCH_compose.json";
   std::ofstream out(path);
@@ -438,19 +521,52 @@ void writeJson(const std::vector<ConfigResult>& results,
         i + 1 < staticCombine.size() ? "," : "");
     out << buf;
   }
-  char tail[512];
+  out << "  ],\n"
+      << "  \"otf_families\": [\n";
+  std::size_t otfTotalSaved = 0;
+  double otfBestRatio = 0.0;
+  for (std::size_t i = 0; i < otf.size(); ++i) {
+    const OtfResultRow& r = otf[i];
+    otfTotalSaved += r.off.peakStates - std::min(r.on.peakStates,
+                                                 r.off.peakStates);
+    otfBestRatio = std::max(otfBestRatio,
+                            static_cast<double>(r.off.peakStates) /
+                                static_cast<double>(r.on.peakStates));
+    char buf[768];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"wall_off_seconds\": %.6f, "
+        "\"wall_on_seconds\": %.6f, \"peak_states_off\": %zu, "
+        "\"peak_states_on\": %zu, \"peak_transitions_off\": %zu, "
+        "\"peak_transitions_on\": %zu, \"peak_ratio\": %.3f, "
+        "\"fused_steps\": %zu, \"fallbacks\": %zu, "
+        "\"saved_vs_product_bound\": %zu, "
+        "\"measures_bit_identical\": %s}%s\n",
+        r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
+        r.off.peakStates, r.on.peakStates, r.off.peakTransitions,
+        r.on.peakTransitions,
+        static_cast<double>(r.off.peakStates) /
+            static_cast<double>(r.on.peakStates),
+        r.on.otfSteps, r.on.otfFallbacks, r.on.otfSavedPeak,
+        r.bitIdentical ? "true" : "false", i + 1 < otf.size() ? "," : "");
+    out << buf;
+  }
+  char tail[640];
   std::snprintf(tail, sizeof tail,
                 "  ],\n"
                 "  \"symmetry_total_aggregations_skipped\": %zu,\n"
                 "  \"symmetry_total_steps_saved\": %zu,\n"
                 "  \"static_combine_worst_peak_states\": %zu,\n"
                 "  \"static_combine_worst_peak_states_composed\": %zu,\n"
+                "  \"otf_total_peak_states_saved\": %zu,\n"
+                "  \"otf_best_peak_ratio\": %.3f,\n"
                 "  \"largest_config\": \"%s\",\n"
                 "  \"largest_speedup_1t\": %.3f,\n"
                 "  \"largest_speedup_parallel\": %.3f\n"
                 "}\n",
                 totalReused, totalSaved, worstPeakOn, worstPeakOff,
-                largest.name.c_str(), largest.seedWall / largest.wall1t,
+                otfTotalSaved, otfBestRatio, largest.name.c_str(),
+                largest.seedWall / largest.wall1t,
                 largest.seedWall / largest.wallMt);
   out << tail;
   std::printf("wrote %s\n", path.c_str());
@@ -472,10 +588,11 @@ bool runSweep() {
     dft::Dft d = treeFor(base.name);
     // Symmetry and static combination off: the baseline was captured with
     // neither (E13/E14 below measure them against this same protocol).
-    RunResult oneThread =
-        timeCold(d, 1, /*symmetry=*/false, /*staticCombine=*/false);
+    RunResult oneThread = timeCold(d, 1, /*symmetry=*/false,
+                                   /*staticCombine=*/false, /*onTheFly=*/false);
     RunResult parallel =
-        timeCold(d, mtThreads, /*symmetry=*/false, /*staticCombine=*/false);
+        timeCold(d, mtThreads, /*symmetry=*/false, /*staticCombine=*/false,
+                 /*onTheFly=*/false);
     ConfigResult r;
     r.name = base.name;
     r.seedWall = base.wallSeconds;
@@ -499,7 +616,9 @@ bool runSweep() {
   if (!runSymmetrySweep(symmetry)) ok = false;
   std::vector<StaticCombineResult> staticCombine;
   if (!runStaticCombineSweep(staticCombine)) ok = false;
-  writeJson(results, symmetry, staticCombine, mtThreads);
+  std::vector<OtfResultRow> otf;
+  if (!runOtfSweep(otf)) ok = false;
+  writeJson(results, symmetry, staticCombine, otf, mtThreads);
   std::printf("\n");
   return ok;
 }

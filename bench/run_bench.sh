@@ -82,6 +82,12 @@ if [ -f "$repo_root/BENCH_compose.json" ]; then
   # the E14 static-combination sweep (the numeric path must stay at
   # O(largest single module) while full composition is exponential in k).
   echo "  peak states: $(grep -o '"static_combine_worst_peak_states": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*$' || true) numerically combined vs $(grep -o '"static_combine_worst_peak_states_composed": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*$' || true) composed (E14 worst case)"
+  # On-the-fly fused composition (E15): peak live states vs the classic
+  # full product, per family and in total.
+  echo "  on-the-fly:  $(grep -o '"otf_total_peak_states_saved": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*$' || true) peak state(s) never materialized, best reduction $(grep -o '"otf_best_peak_ratio": [0-9.]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9.]*$' || true)x (E15)"
+  echo "  per-family E15 peaks (classic product -> fused live):"
+  grep -o '"name": "[^"]*", "wall_off_seconds[^{]*"peak_states_off": [0-9]*, "peak_states_on": [0-9]*[^{]*"fallbacks": [0-9]*' "$repo_root/BENCH_compose.json" \
+    | sed 's/"name": "\([^"]*\)".*"peak_states_off": \([0-9]*\), "peak_states_on": \([0-9]*\).*"fallbacks": \([0-9]*\)/    \1: \2 -> \3 states (\4 fallback(s))/' || true
   echo "  per-experiment peaks (states/transitions):"
   grep -o '"name": "[^"]*", [^{]*"peak_states": [0-9]*, "peak_transitions": [0-9]*' "$repo_root/BENCH_compose.json" \
     | sed 's/"name": "\([^"]*\)".*"peak_states": \([0-9]*\), "peak_transitions": \([0-9]*\)/    \1: \2 states, \3 transitions/' || true

@@ -47,6 +47,15 @@ std::string optionsKey(const AnalysisOptions& opts) {
   key += opts.engine.weak.outputsUrgent ? '1' : '0';
   key += ";sy=";
   key += opts.engine.symmetry ? '1' : '0';
+  // The fused engine is built to be bit-identical to the classic path, but
+  // its stats (peaks, fused-step counters) differ — and fallback behavior
+  // may evolve — so cached analyses are keyed per path.  The live-state
+  // cap changes which steps fall back (and hence the cached stats and
+  // diagnostics), so it is part of the key too.
+  key += ";ot=";
+  key += opts.engine.onTheFly ? '1' : '0';
+  key += ";oc=";
+  key += std::to_string(opts.engine.onTheFlyMaxVisited);
   return key;
 }
 
@@ -311,6 +320,11 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
         stats.symmetricBuckets += sub->stats.symmetricBuckets;
         stats.symmetricModulesReused += sub->stats.symmetricModulesReused;
         stats.symmetrySavedSteps += sub->stats.symmetrySavedSteps;
+        stats.onTheFlySteps += sub->stats.onTheFlySteps;
+        stats.onTheFlyFallbacks += sub->stats.onTheFlyFallbacks;
+        stats.onTheFlySavedPeakStates += sub->stats.onTheFlySavedPeakStates;
+        for (const std::string& reason : sub->stats.onTheFlyFallbackReasons)
+          stats.noteOnTheFlyFallbackReason(reason);
         stats.peakComposedStates =
             std::max(stats.peakComposedStates, sub->stats.peakComposedStates);
         stats.peakComposedTransitions = std::max(
@@ -529,6 +543,26 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
                " shape bucket(s)), saving " +
                std::to_string(analysis->stats.symmetrySavedSteps) +
                " composition step(s)"});
+    if (analysis->stats.onTheFlySteps > 0)
+      report.diagnostics.push_back(
+          {Severity::Info,
+           std::to_string(analysis->stats.onTheFlySteps) +
+               " composition step(s) ran fused (on-the-fly), keeping at "
+               "least " +
+               std::to_string(analysis->stats.onTheFlySavedPeakStates) +
+               " product state(s) below the materialization bound"});
+    if (analysis->stats.onTheFlyFallbacks > 0) {
+      std::string why;
+      for (const std::string& reason : analysis->stats.onTheFlyFallbackReasons) {
+        if (!why.empty()) why += "; ";
+        why += reason;
+      }
+      report.diagnostics.push_back(
+          {Severity::Warning,
+           "on-the-fly composition fell back to the classic path for " +
+               std::to_string(analysis->stats.onTheFlyFallbacks) +
+               " step(s): " + why});
+    }
     if (useTreeCache) {
       if (trees_.size() >= opts_.maxCachedTrees) trees_.clear();
       trees_.emplace(std::move(storeKey), analysis);

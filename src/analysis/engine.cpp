@@ -18,21 +18,31 @@
 #include "dft/modules.hpp"
 #include "ioimc/compose.hpp"
 #include "ioimc/ops.hpp"
+#include "ioimc/otf_compose.hpp"
 
 namespace imcdft::analysis {
 
 using ioimc::IOIMC;
 
+void CompositionStats::noteOnTheFlyFallbackReason(const std::string& reason) {
+  if (onTheFlyFallbackReasons.size() >= 8) return;
+  if (std::find(onTheFlyFallbackReasons.begin(), onTheFlyFallbackReasons.end(),
+                reason) != onTheFlyFallbackReasons.end())
+    return;
+  onTheFlyFallbackReasons.push_back(reason);
+}
+
 namespace {
 
-/// Hides the outputs of \p m that are consumed neither by a live pool
-/// member nor externally, then collapses/aggregates per the options.
-IOIMC hideAndAggregatePool(
-    IOIMC m, const EngineOptions& opts,
+/// The outputs among \p outputs that are consumed neither by a live pool
+/// member (other than the two operands) nor externally — what the step
+/// hides right after composing.
+std::vector<ioimc::ActionId> hiddenOutputsFor(
+    const std::vector<ioimc::ActionId>& outputs,
     const std::vector<std::optional<IOIMC>>& pool, std::size_t skipA,
     std::size_t skipB, const std::function<bool(ioimc::ActionId)>& usedOutside) {
   std::vector<ioimc::ActionId> hidden;
-  for (ioimc::ActionId out : m.signature().outputs()) {
+  for (ioimc::ActionId out : outputs) {
     bool used = false;
     for (std::size_t i = 0; i < pool.size() && !used; ++i) {
       if (!pool[i] || i == skipA || i == skipB) continue;
@@ -41,13 +51,28 @@ IOIMC hideAndAggregatePool(
     if (!used && usedOutside) used = usedOutside(out);
     if (!used) hidden.push_back(out);
   }
-  IOIMC result = ioimc::hide(m, hidden);
+  return hidden;
+}
+
+/// Hides the outputs of \p m that are consumed neither by a live pool
+/// member nor externally, then collapses/aggregates per the options.
+IOIMC hideAndAggregatePool(
+    IOIMC m, const EngineOptions& opts,
+    const std::vector<std::optional<IOIMC>>& pool, std::size_t skipA,
+    std::size_t skipB, const std::function<bool(ioimc::ActionId)>& usedOutside) {
+  IOIMC result = ioimc::hide(
+      m, hiddenOutputsFor(m.signature().outputs(), pool, skipA, skipB,
+                          usedOutside));
   if (opts.collapseSinks) result = ioimc::collapseUnobservableSinks(result);
-  if (opts.aggregateEachStep) result = ioimc::aggregate(result, opts.weak);
+  // To fixpoint, not a single pass: the fused on-the-fly path and this
+  // classic chain reach byte-identical results only in the *minimal*
+  // quotient (both are canonically renumbered there).
+  if (opts.aggregateEachStep)
+    result = ioimc::aggregateFixpoint(result, opts.weak);
   return result;
 }
 
-/// Folds the per-step size maxima into the stats' peak fields.
+/// Folds the per-step size maxima and on-the-fly counters into the stats.
 void foldPeaks(CompositionStats& stats) {
   for (const CompositionStep& s : stats.steps) {
     stats.peakComposedStates =
@@ -58,6 +83,16 @@ void foldPeaks(CompositionStats& stats) {
         std::max(stats.peakAggregatedStates, s.aggregatedStates);
     stats.peakAggregatedTransitions =
         std::max(stats.peakAggregatedTransitions, s.aggregatedTransitions);
+    if (s.onTheFly) {
+      ++stats.onTheFlySteps;
+      const std::size_t bound = s.leftStates * s.rightStates;
+      if (bound > s.composedStates)
+        stats.onTheFlySavedPeakStates += bound - s.composedStates;
+    }
+    if (s.onTheFlyFallback) {
+      ++stats.onTheFlyFallbacks;
+      stats.noteOnTheFlyFallbackReason(s.onTheFlyFallbackReason);
+    }
   }
 }
 
@@ -106,11 +141,42 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
     step.name = pool[a]->name() + " || " + pool[b]->name();
     step.leftStates = pool[a]->numStates();
     step.rightStates = pool[b]->numStates();
-    IOIMC composed = ioimc::compose(*pool[a], *pool[b]);
-    step.composedStates = composed.numStates();
-    step.composedTransitions = composed.numTransitions();
-    IOIMC result =
-        hideAndAggregatePool(std::move(composed), opts, pool, a, b, usedOutside);
+    std::optional<IOIMC> fused;
+    if (opts.onTheFly && opts.aggregateEachStep) {
+      // The composite's outputs (out(A) u out(B); shared outputs are
+      // rejected by compose anyway) determine the hide set without
+      // materializing the product.
+      std::vector<ioimc::ActionId> outs = pool[a]->signature().outputs();
+      const std::vector<ioimc::ActionId>& outsB =
+          pool[b]->signature().outputs();
+      outs.insert(outs.end(), outsB.begin(), outsB.end());
+      std::sort(outs.begin(), outs.end());
+      outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+      ioimc::otf::OtfOptions fusedOpts;
+      fusedOpts.weak = opts.weak;
+      fusedOpts.collapseSinks = opts.collapseSinks;
+      fusedOpts.maxLiveStates = opts.onTheFlyMaxVisited;
+      ioimc::otf::OtfResult r = ioimc::otf::otfComposeAggregate(
+          *pool[a], *pool[b],
+          hiddenOutputsFor(outs, pool, a, b, usedOutside), fusedOpts);
+      if (r.ok) {
+        step.onTheFly = true;
+        step.composedStates = r.stats.peakLiveStates;
+        step.composedTransitions = r.stats.peakLiveTransitions;
+        fused.emplace(std::move(*r.model));
+      } else {
+        step.onTheFlyFallback = true;
+        step.onTheFlyFallbackReason = std::move(r.failureReason);
+      }
+    }
+    IOIMC result = [&] {
+      if (fused) return std::move(*fused);
+      IOIMC composed = ioimc::compose(*pool[a], *pool[b]);
+      step.composedStates = composed.numStates();
+      step.composedTransitions = composed.numTransitions();
+      return hideAndAggregatePool(std::move(composed), opts, pool, a, b,
+                                  usedOutside);
+    }();
     step.aggregatedStates = result.numStates();
     step.aggregatedTransitions = result.numTransitions();
     steps.push_back(std::move(step));

@@ -68,6 +68,22 @@ struct EngineOptions {
   /// out nondeterministic.  Exact up to CTMC transient tolerances; the E14
   /// bench enforces 1e-9-relative agreement with the composition path.
   bool staticCombine = true;
+  /// Fused compose-and-minimize (ioimc::otf::otfComposeAggregate): every
+  /// per-step compose/hide/collapse/aggregate chain explores the
+  /// synchronized product frontier-by-frontier and collapses product
+  /// states into weak-bisimulation classes *while exploration is still
+  /// running*, so the peak memory of a composition step scales with the
+  /// running quotient instead of the full reachable product.  The fused
+  /// result is canonically renumbered and re-verified as a fixpoint of the
+  /// ordinary refinement; measures are bit-identical to the classic path
+  /// (the E15 bench enforces this).  Any invariant failure falls back to
+  /// the classic chain for that step — never a wrong answer — and is
+  /// counted in CompositionStats::onTheFlyFallbacks (the Analyzer attaches
+  /// a Diagnostic).  Only applies when aggregateEachStep is on.
+  bool onTheFly = true;
+  /// Safety valve for the fused engine: a step whose live region exceeds
+  /// this many states falls back to the classic chain.  0 = unlimited.
+  std::size_t onTheFlyMaxVisited = 0;
   ioimc::WeakOptions weak;
 };
 
@@ -76,10 +92,19 @@ struct CompositionStep {
   std::string name;                 ///< "left || right" of the composed pair
   std::size_t leftStates = 0;       ///< operand sizes going in
   std::size_t rightStates = 0;
-  std::size_t composedStates = 0;   ///< product size before aggregation
+  /// Largest intermediate of the step: the full product size on the
+  /// classic path, the peak *live* region when the step ran fused
+  /// (onTheFly) — both are the step's peak-memory proxy.
+  std::size_t composedStates = 0;
   std::size_t composedTransitions = 0;
   std::size_t aggregatedStates = 0; ///< size after hide/collapse/aggregate
   std::size_t aggregatedTransitions = 0;
+  /// The step ran through the fused compose-and-minimize engine.
+  bool onTheFly = false;
+  /// The fused engine was attempted but hit an invariant failure; the step
+  /// was served by the classic chain instead (reason below).
+  bool onTheFlyFallback = false;
+  std::string onTheFlyFallbackReason;
 };
 
 /// Aggregated I/O-IMC of one completed independent module.  Modules that
@@ -108,12 +133,30 @@ struct CompositionStats {
   /// Compose/hide/aggregate steps those instantiations avoided (the
   /// representative's subtree step count, once per reused sibling).
   std::size_t symmetrySavedSteps = 0;
-  /// Size of the biggest I/O-IMC generated by any composition step.
+  /// Size of the biggest intermediate any composition step materialized
+  /// (full product on the classic path, peak live region on fused steps).
   std::size_t peakComposedStates = 0;
   std::size_t peakComposedTransitions = 0;
   /// Size of the biggest model after aggregation.
   std::size_t peakAggregatedStates = 0;
   std::size_t peakAggregatedTransitions = 0;
+  /// Fused compose-and-minimize (EngineOptions::onTheFly): steps served by
+  /// the fused engine, and steps that fell back to the classic chain.
+  std::size_t onTheFlySteps = 0;
+  std::size_t onTheFlyFallbacks = 0;
+  /// Peak states the fused steps never materialized, summed against the
+  /// |left| x |right| materialization bound of each fused step (the exact
+  /// reachable-product size is only known when the classic path runs; the
+  /// E15 bench measures that comparison directly).
+  std::size_t onTheFlySavedPeakStates = 0;
+  /// Distinct fallback reasons seen (deduplicated, capped; Diagnostics).
+  std::vector<std::string> onTheFlyFallbackReasons;
+
+  /// Appends \p reason to onTheFlyFallbackReasons unless it is already
+  /// recorded or the cap (8 distinct reasons) is reached — the one policy
+  /// for both the engine's per-step folding and the Analyzer's
+  /// per-module stat merging.
+  void noteOnTheFlyFallbackReason(const std::string& reason);
 };
 
 struct EngineResult {

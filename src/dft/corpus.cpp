@@ -88,6 +88,41 @@ Dft cascadedPands(int modules, int besPerModule, double lambda) {
   return b.build();
 }
 
+Dft cascadedPand(int depth, int width) {
+  require(depth >= 2 && width >= 1,
+          "cascadedPand: need depth >= 2 and width >= 1");
+  DftBuilder b;
+  std::vector<std::string> unitNames;
+  for (int k = 0; k < depth; ++k) {
+    const std::string s = "_" + std::to_string(k);
+    // Quarter-step rates are exactly representable, so the family is
+    // bit-reproducible across machines; distinct rates per level keep the
+    // units in distinct shape buckets (symmetry reduction cannot absorb
+    // the chain — the fused engine has to carry it).
+    std::vector<std::string> bes;
+    for (int i = 0; i < width; ++i) {
+      std::string be = "L" + s + "_" + std::to_string(i);
+      b.basicEvent(be, 1.0 + 0.25 * k);
+      bes.push_back(std::move(be));
+    }
+    b.andGate("Chain" + s, bes);
+    b.basicEvent("PP" + s, 0.75 + 0.25 * k);
+    b.basicEvent("PS" + s, 0.5, 0.25);
+    b.spareGate("Slot" + s, SpareKind::Warm, {"PP" + s, "PS" + s});
+    b.orGate("U" + s, {"Chain" + s, "Slot" + s});
+    unitNames.push_back("U" + s);
+  }
+  // Right-leaning cascade like the CPS: P_k = PAND(U_k, P_{k+1}).
+  std::string right = unitNames.back();
+  for (int k = depth - 2; k >= 0; --k) {
+    std::string name = k == 0 ? "System" : "P" + std::to_string(k);
+    b.pandGate(name, {unitNames[k], right});
+    right = name;
+  }
+  b.top("System");
+  return b.build();
+}
+
 Dft clonedCas(int units) {
   require(units >= 1, "clonedCas: need at least 1 unit");
   DftBuilder b;

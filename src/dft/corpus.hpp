@@ -33,6 +33,16 @@ Dft cps();
 /// basic events each, cascaded under a chain of PANDs (modules >= 2).
 Dft cascadedPands(int modules, int besPerModule, double lambda = 1.0);
 
+/// Deep PAND-over-module chains for the on-the-fly benchmarks (E15):
+/// \p depth dynamic units U_k — each an OR of an AND chain over \p width
+/// basic events and a warm-spare power slot — cascaded under a
+/// right-leaning chain of PANDs, with level-specific rates so no two units
+/// share a module shape.  The PANDs above every unit make static
+/// combination ineligible and the chain of top-level compositions long —
+/// exactly the workload whose peak memory the fused compose-and-minimize
+/// engine targets (depth >= 2, width >= 1).
+Dft cascadedPand(int depth, int width);
+
 /// Symmetric-replica family for the symmetry benchmarks: \p units clones
 /// of the full cardiac assist system (CPU, motor and pump units, Fig. 7)
 /// under a top-level OR, each clone's element names suffixed "_k".  All

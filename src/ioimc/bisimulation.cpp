@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
 #include <span>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "ioimc/builder.hpp"
 #include "ioimc/ops.hpp"
+#include "ioimc/signature_interner.hpp"
+#include "ioimc/tau_closure.hpp"
 
 namespace imcdft::ioimc {
 
@@ -27,138 +29,9 @@ struct WeakSig {
 
 using Role = ActionRole;
 
-/// Tau-reachability (reflexive-transitive closure over internal
-/// transitions) plus per-state stability.  Closures are computed per SCC of
-/// the tau graph, in the reverse-topological order Tarjan produces, and
-/// shared: states of one SCC point into one CSR row instead of each
-/// carrying a copy of the closure vector.
-struct TauInfo {
-  std::vector<std::uint32_t> compOf;       ///< state -> tau-SCC
-  std::vector<std::uint32_t> compOffsets;  ///< SCC -> row in compClosure
-  std::vector<StateId> compClosure;        ///< sorted members, includes self
-  std::vector<bool> stable;
-
-  std::span<const StateId> closure(StateId s) const {
-    std::uint32_t c = compOf[s];
-    return {compClosure.data() + compOffsets[c],
-            compOffsets[c + 1] - compOffsets[c]};
-  }
-};
-
-std::vector<StateId> sortedUnion(const std::vector<StateId>& a,
-                                 const std::vector<StateId>& b) {
-  std::vector<StateId> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
-  return out;
-}
-
-TauInfo computeTauInfo(const IOIMC& m, bool outputsUrgent) {
-  const std::size_t n = m.numStates();
-  const std::vector<Role> roles = actionRoles(m);
-  std::vector<std::vector<StateId>> tauSucc(n);
-  TauInfo info;
-  info.stable.assign(n, true);
-  for (StateId s = 0; s < n; ++s) {
-    for (const auto& t : m.interactive(s)) {
-      if (roles[t.action] == Role::Internal) {
-        tauSucc[s].push_back(t.to);
-        info.stable[s] = false;
-      } else if (outputsUrgent && roles[t.action] == Role::Output) {
-        info.stable[s] = false;
-      }
-    }
-    std::sort(tauSucc[s].begin(), tauSucc[s].end());
-    tauSucc[s].erase(std::unique(tauSucc[s].begin(), tauSucc[s].end()),
-                     tauSucc[s].end());
-  }
-
-  // Iterative Tarjan SCC over the tau graph.
-  constexpr StateId kUndef = static_cast<StateId>(-1);
-  std::vector<StateId> index(n, kUndef), low(n, 0);
-  info.compOf.assign(n, kUndef);
-  std::vector<bool> onStack(n, false);
-  std::vector<StateId> stack;
-  std::uint32_t nextIndex = 0, numComps = 0;
-  struct Frame {
-    StateId v;
-    std::size_t child;
-  };
-  std::vector<Frame> callStack;
-  for (StateId root = 0; root < n; ++root) {
-    if (index[root] != kUndef) continue;
-    callStack.push_back({root, 0});
-    while (!callStack.empty()) {
-      Frame& f = callStack.back();
-      StateId v = f.v;
-      if (f.child == 0) {
-        index[v] = low[v] = nextIndex++;
-        stack.push_back(v);
-        onStack[v] = true;
-      }
-      bool descended = false;
-      while (f.child < tauSucc[v].size()) {
-        StateId w = tauSucc[v][f.child++];
-        if (index[w] == kUndef) {
-          callStack.push_back({w, 0});
-          descended = true;
-          break;
-        }
-        if (onStack[w]) low[v] = std::min(low[v], index[w]);
-      }
-      if (descended) continue;
-      if (low[v] == index[v]) {
-        while (true) {
-          StateId w = stack.back();
-          stack.pop_back();
-          onStack[w] = false;
-          info.compOf[w] = numComps;
-          if (w == v) break;
-        }
-        ++numComps;
-      }
-      callStack.pop_back();
-      if (!callStack.empty()) {
-        StateId parent = callStack.back().v;
-        low[parent] = std::min(low[parent], low[v]);
-      }
-    }
-  }
-
-  // Components are numbered such that every tau successor's component id is
-  // strictly smaller (Tarjan closes sinks first); compute closures bottom-up
-  // and flatten them into one shared CSR array.
-  std::vector<std::vector<StateId>> compMembers(numComps);
-  for (StateId s = 0; s < n; ++s) compMembers[info.compOf[s]].push_back(s);
-  std::vector<std::vector<StateId>> compClosure(numComps);
-  std::size_t totalClosure = 0;
-  for (std::uint32_t c = 0; c < numComps; ++c) {
-    std::vector<StateId> acc = compMembers[c];
-    std::sort(acc.begin(), acc.end());
-    std::vector<std::uint32_t> succComps;
-    for (StateId s : compMembers[c])
-      for (StateId t : tauSucc[s])
-        if (info.compOf[t] != c) succComps.push_back(info.compOf[t]);
-    std::sort(succComps.begin(), succComps.end());
-    succComps.erase(std::unique(succComps.begin(), succComps.end()),
-                    succComps.end());
-    for (std::uint32_t sc : succComps) acc = sortedUnion(acc, compClosure[sc]);
-    totalClosure += acc.size();
-    compClosure[c] = std::move(acc);
-  }
-  info.compOffsets.reserve(numComps + 1);
-  info.compClosure.reserve(totalClosure);
-  for (std::uint32_t c = 0; c < numComps; ++c) {
-    info.compOffsets.push_back(
-        static_cast<std::uint32_t>(info.compClosure.size()));
-    info.compClosure.insert(info.compClosure.end(), compClosure[c].begin(),
-                            compClosure[c].end());
-  }
-  info.compOffsets.push_back(
-      static_cast<std::uint32_t>(info.compClosure.size()));
-  return info;
-}
+/// Tau-reachability and stability, shared with the semantic sink collapse
+/// (see tau_closure.hpp).
+using TauInfo = detail::TauClosure;
 
 /// Deterministically accumulates (class, rate) pairs into a rate vector.
 RateVector accumulateRates(std::vector<std::pair<std::uint32_t, double>> raw) {
@@ -176,7 +49,10 @@ RateVector accumulateRates(std::vector<std::pair<std::uint32_t, double>> raw) {
 Partition initialByLabel(const IOIMC& m) {
   Partition p;
   p.classOf.resize(m.numStates());
-  std::map<std::uint32_t, std::uint32_t> byMask;
+  // Class numbering is by first encounter, so the map's iteration order
+  // never matters; reserve for the worst case (every state its own mask).
+  std::unordered_map<std::uint32_t, std::uint32_t> byMask;
+  byMask.reserve(m.numStates());
   for (StateId s = 0; s < m.numStates(); ++s) {
     auto [it, inserted] =
         byMask.try_emplace(m.labelMask(s), p.numClasses);
@@ -191,77 +67,12 @@ Partition initialByLabel(const IOIMC& m) {
 //
 // Each iteration canonicalizes every state's signature under the current
 // partition into a reusable scratch buffer of 64-bit tokens, hashes it, and
-// interns it in an open-addressing table; the interned index is the state's
-// class in the refined partition.  Classes are numbered in order of first
-// appearance (scanning states 0..n-1), which keeps the numbering identical
-// to the ordered-map implementation this replaces.  All buffers are reused
-// across iterations, so a refinement pass allocates only on growth.
+// interns it via the shared detail::SignatureInterner; the interned index
+// is the state's class in the refined partition.  Classes are numbered in
+// order of first appearance (scanning states 0..n-1).
 // ---------------------------------------------------------------------------
 
-class SignatureInterner {
- public:
-  /// Prepares the table for up to \p expectedKeys distinct signatures.
-  void beginIteration(std::size_t expectedKeys) {
-    arena_.clear();
-    sigOffsets_.clear();
-    sigOffsets_.push_back(0);
-    hashes_.clear();
-    numClasses_ = 0;
-    std::size_t cap = 64;
-    while (cap < 2 * expectedKeys) cap <<= 1;
-    table_.assign(cap, kEmpty);
-  }
-
-  /// The caller-filled token buffer for the signature being interned.
-  std::vector<std::uint64_t>& scratch() { return scratch_; }
-
-  /// Interns scratch() and returns its dense class id.
-  std::uint32_t internScratch() {
-    const std::uint64_t h = hashTokens(scratch_);
-    const std::size_t mask = table_.size() - 1;
-    std::size_t idx = static_cast<std::size_t>(h) & mask;
-    while (table_[idx] != kEmpty) {
-      const std::uint32_t cls = table_[idx];
-      if (hashes_[cls] == h && equalsClass(cls)) return cls;
-      idx = (idx + 1) & mask;
-    }
-    const std::uint32_t cls = numClasses_++;
-    table_[idx] = cls;
-    hashes_.push_back(h);
-    arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
-    sigOffsets_.push_back(arena_.size());
-    return cls;
-  }
-
-  std::uint32_t numClasses() const { return numClasses_; }
-
- private:
-  static constexpr std::uint32_t kEmpty = static_cast<std::uint32_t>(-1);
-
-  static std::uint64_t hashTokens(const std::vector<std::uint64_t>& tokens) {
-    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ tokens.size();
-    for (std::uint64_t t : tokens) {
-      h ^= t;
-      h *= 0xff51afd7ed558ccdull;
-      h ^= h >> 33;
-    }
-    return h;
-  }
-
-  bool equalsClass(std::uint32_t cls) const {
-    const std::uint64_t begin = sigOffsets_[cls], end = sigOffsets_[cls + 1];
-    if (end - begin != scratch_.size()) return false;
-    return std::equal(scratch_.begin(), scratch_.end(),
-                      arena_.begin() + static_cast<std::ptrdiff_t>(begin));
-  }
-
-  std::vector<std::uint64_t> arena_;      ///< tokens of interned signatures
-  std::vector<std::uint64_t> sigOffsets_; ///< per-class token range in arena_
-  std::vector<std::uint64_t> hashes_;     ///< per-class hash
-  std::vector<std::uint32_t> table_;      ///< open-addressing slots
-  std::vector<std::uint64_t> scratch_;
-  std::uint32_t numClasses_ = 0;
-};
+using detail::SignatureInterner;
 
 /// Reusable scratch buffers for one state's weak-signature encoding.
 struct WeakScratch {
@@ -433,11 +244,11 @@ Partition weakBisimulationWithTau(const IOIMC& m, const TauInfo& tau) {
 }  // namespace
 
 Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts) {
-  return weakBisimulationWithTau(m, computeTauInfo(m, opts.outputsUrgent));
+  return weakBisimulationWithTau(m, detail::computeTauClosure(m, opts.outputsUrgent));
 }
 
 IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts) {
-  TauInfo tau = computeTauInfo(m, opts.outputsUrgent);
+  TauInfo tau = detail::computeTauClosure(m, opts.outputsUrgent);
   Partition p = weakBisimulationWithTau(m, tau);
 
   // Representative (lowest state id) per class, and its converged signature.
@@ -482,7 +293,22 @@ IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts) {
 }
 
 IOIMC aggregate(const IOIMC& m, const WeakOptions& opts) {
-  return restrictToReachable(weakQuotient(m, opts));
+  // The canonical renumbering at the end makes the aggregated model's bytes
+  // a function of its isomorphism class alone: the classic
+  // compose/hide/aggregate chain and the fused on-the-fly engine reach the
+  // same minimal quotient through different intermediate graphs (hence
+  // different state discovery orders), and renumbering both canonically is
+  // what makes every downstream measure bit-identical between the paths.
+  return canonicalRenumber(restrictToReachable(weakQuotient(m, opts)));
+}
+
+IOIMC aggregateFixpoint(const IOIMC& m, const WeakOptions& opts) {
+  IOIMC current = aggregate(m, opts);
+  while (true) {
+    const Partition p = weakBisimulation(current, opts);
+    if (p.numClasses == current.numStates()) return current;
+    current = aggregate(current, opts);
+  }
 }
 
 namespace {

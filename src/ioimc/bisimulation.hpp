@@ -53,7 +53,18 @@ IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts = {});
 /// Builds the quotient induced by strongBisimulation().
 IOIMC strongQuotient(const IOIMC& m);
 
-/// Convenience: weakQuotient followed by reachability restriction.
+/// Convenience: weakQuotient followed by reachability restriction and
+/// canonical renumbering (ioimc::canonicalRenumber).
 IOIMC aggregate(const IOIMC& m, const WeakOptions& opts = {});
+
+/// aggregate() iterated until the result is a fixpoint of the refinement
+/// (weakBisimulation finds no further merges).  One quotient pass is not
+/// always a fixpoint — quotient construction saturates tau edges and can
+/// expose second-order merges — and the fused on-the-fly engine and the
+/// classic chain only meet in the *minimal* quotient, so the engine
+/// aggregates every composition step to fixpoint.  Terminates because the
+/// state count strictly decreases; on typical models it converges after
+/// the first pass.
+IOIMC aggregateFixpoint(const IOIMC& m, const WeakOptions& opts = {});
 
 }  // namespace imcdft::ioimc

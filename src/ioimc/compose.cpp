@@ -5,42 +5,11 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "ioimc/compose_internal.hpp"
 
 namespace imcdft::ioimc {
 
-namespace {
-
-using Role = ActionRole;
-
-/// One input model's interactive transitions re-packed as per-state spans
-/// grouped by action (groups sorted by action id, targets in declaration
-/// order).  Built once per compose() input instead of hashing every state's
-/// transitions into a fresh unordered_map per visited composite state.
-struct GroupedModel {
-  struct Group {
-    ActionId action;
-    std::uint32_t begin, end;  ///< target range in targets
-  };
-  std::vector<std::uint32_t> stateOffsets;  ///< n+1, into groups
-  std::vector<Group> groups;
-  std::vector<StateId> targets;
-
-  std::span<const Group> groupsOf(StateId s) const {
-    return {groups.data() + stateOffsets[s],
-            stateOffsets[s + 1] - stateOffsets[s]};
-  }
-  /// Binary search for the group of \p action in state \p s.
-  const Group* find(StateId s, ActionId action) const {
-    auto gs = groupsOf(s);
-    auto it = std::lower_bound(
-        gs.begin(), gs.end(), action,
-        [](const Group& g, ActionId a) { return g.action < a; });
-    return (it != gs.end() && it->action == action) ? &*it : nullptr;
-  }
-  std::span<const StateId> targetsOf(const Group& g) const {
-    return {targets.data() + g.begin, static_cast<std::size_t>(g.end - g.begin)};
-  }
-};
+namespace detail {
 
 GroupedModel groupModel(const IOIMC& m) {
   GroupedModel out;
@@ -103,45 +72,41 @@ Signature compositeSignature(const IOIMC& a, const IOIMC& b) {
   return sig;
 }
 
-}  // namespace
+MergedLabels mergeLabels(const IOIMC& a, const IOIMC& b) {
+  // The name -> index map is built once instead of linearly scanning
+  // labelNames per label per compose.
+  MergedLabels out;
+  out.names = a.labelNames();
+  out.bRemap.resize(b.labelNames().size());
+  std::unordered_map<std::string, int> labelIndex;
+  labelIndex.reserve(out.names.size() + b.labelNames().size());
+  for (std::size_t i = 0; i < out.names.size(); ++i)
+    labelIndex.emplace(out.names[i], static_cast<int>(i));
+  for (std::size_t i = 0; i < b.labelNames().size(); ++i) {
+    const std::string& ln = b.labelNames()[i];
+    auto [it, inserted] =
+        labelIndex.try_emplace(ln, static_cast<int>(out.names.size()));
+    if (inserted) {
+      require(out.names.size() < 32, "compose: more than 32 labels");
+      out.names.push_back(ln);
+    }
+    out.bRemap[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace detail
 
 IOIMC compose(const IOIMC& a, const IOIMC& b) {
-  checkCompatible(a, b);
-  Signature sig = compositeSignature(a, b);
-
-  // Merge the two label universes; the name -> index map is built once
-  // instead of linearly scanning labelNames per label per compose.
-  std::vector<std::string> labelNames = a.labelNames();
-  std::vector<int> bLabelRemap(b.labelNames().size());
-  {
-    std::unordered_map<std::string, int> labelIndex;
-    labelIndex.reserve(labelNames.size() + b.labelNames().size());
-    for (std::size_t i = 0; i < labelNames.size(); ++i)
-      labelIndex.emplace(labelNames[i], static_cast<int>(i));
-    for (std::size_t i = 0; i < b.labelNames().size(); ++i) {
-      const std::string& ln = b.labelNames()[i];
-      auto [it, inserted] =
-          labelIndex.try_emplace(ln, static_cast<int>(labelNames.size()));
-      if (inserted) {
-        require(labelNames.size() < 32, "compose: more than 32 labels");
-        labelNames.push_back(ln);
-      }
-      bLabelRemap[i] = it->second;
-    }
-  }
-  auto compositeMask = [&](StateId sa, StateId sb) {
-    std::uint32_t mask = a.labelMask(sa);
-    std::uint32_t mb = b.labelMask(sb);
-    for (std::size_t i = 0; i < bLabelRemap.size(); ++i)
-      if ((mb >> i) & 1u) mask |= 1u << bLabelRemap[i];
-    return mask;
-  };
+  detail::checkCompatible(a, b);
+  Signature sig = detail::compositeSignature(a, b);
+  detail::MergedLabels labelUnion = detail::mergeLabels(a, b);
 
   // Per-input precomputation: dense role tables and action-grouped spans.
-  const std::vector<Role> roleA = actionRoles(a);
-  const std::vector<Role> roleB = actionRoles(b);
-  const GroupedModel groupedA = groupModel(a);
-  const GroupedModel groupedB = groupModel(b);
+  const std::vector<ActionRole> roleA = actionRoles(a);
+  const std::vector<ActionRole> roleB = actionRoles(b);
+  const detail::GroupedModel groupedA = detail::groupModel(a);
+  const detail::GroupedModel groupedB = detail::groupModel(b);
 
   // BFS over reachable state pairs.  Ids are assigned in discovery order
   // and the FIFO frontier pops them in exactly that order, so the output
@@ -183,75 +148,22 @@ IOIMC compose(const IOIMC& a, const IOIMC& b) {
     auto [sa, sb] = pairs[id];
     inter.beginState();
     markov.beginState();
-    labels.push_back(compositeMask(sa, sb));
-
-    // Markovian interleaving.
-    for (const auto& t : a.markovian(sa))
-      markov.data.push_back({t.rate, stateOf(t.to, sb)});
-    for (const auto& t : b.markovian(sb))
-      markov.data.push_back({t.rate, stateOf(sa, t.to)});
-
-    auto emit = [&](ActionId act, StateId ta, StateId tb) {
-      inter.data.push_back({act, stateOf(ta, tb)});
-    };
-
-    // Transitions rooted at A's side.
-    for (const GroupedModel::Group& g : groupedA.groupsOf(sa)) {
-      const ActionId act = g.action;
-      const bool internalA = roleA[act] == Role::Internal;
-      const bool sharedWithB = !internalA && roleB[act] != Role::None;
-      if (!sharedWithB) {
-        // Interleave: internal actions and actions B does not know about.
-        for (StateId ta : groupedA.targetsOf(g)) emit(act, ta, sb);
-        continue;
-      }
-      if (roleA[act] == Role::Input && roleB[act] == Role::Output) {
-        // Occurrence is controlled by B; handled on B's side below.
-        continue;
-      }
-      // act is an output of A (B listens), or an input of both.
-      const GroupedModel::Group* gb = groupedB.find(sb, act);
-      if (!gb) {
-        for (StateId ta : groupedA.targetsOf(g))
-          emit(act, ta, sb);  // B stays (implicit)
-      } else {
-        for (StateId ta : groupedA.targetsOf(g))
-          for (StateId tb : groupedB.targetsOf(*gb)) emit(act, ta, tb);
-      }
-    }
-
-    // Transitions rooted at B's side.
-    for (const GroupedModel::Group& g : groupedB.groupsOf(sb)) {
-      const ActionId act = g.action;
-      const bool internalB = roleB[act] == Role::Internal;
-      const bool sharedWithA = !internalB && roleA[act] != Role::None;
-      if (!sharedWithA) {
-        for (StateId tb : groupedB.targetsOf(g)) emit(act, sa, tb);
-        continue;
-      }
-      if (roleB[act] == Role::Input && roleA[act] == Role::Output) {
-        continue;  // controlled by A; handled above
-      }
-      // act is an output of B, or an input of both.
-      const GroupedModel::Group* ga = groupedA.find(sa, act);
-      if (!ga) {
-        for (StateId tb : groupedB.targetsOf(g))
-          emit(act, sa, tb);  // A stays (implicit)
-      } else if (roleB[act] == Role::Output) {
-        // B controls the occurrence; A reacts with its explicit inputs.
-        // (A's side skipped this case above.)
-        for (StateId ta : groupedA.targetsOf(*ga))
-          for (StateId tb : groupedB.targetsOf(g)) emit(act, ta, tb);
-      }
-      // Input-of-both with both explicit: already emitted on A's side.
-    }
+    labels.push_back(labelUnion.compositeMask(a.labelMask(sa), b.labelMask(sb)));
+    detail::forEachProductTransition(
+        a, b, roleA, roleB, groupedA, groupedB, sa, sb,
+        [&](ActionId act, StateId ta, StateId tb) {
+          inter.data.push_back({act, stateOf(ta, tb)});
+        },
+        [&](double rate, StateId ta, StateId tb) {
+          markov.data.push_back({rate, stateOf(ta, tb)});
+        });
   }
   inter.finish();
   markov.finish();
 
   return IOIMC("(" + a.name() + "||" + b.name() + ")", a.symbols(),
                std::move(sig), 0, std::move(inter), std::move(markov),
-               std::move(labels), std::move(labelNames));
+               std::move(labels), std::move(labelUnion.names));
 }
 
 }  // namespace imcdft::ioimc

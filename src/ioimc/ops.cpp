@@ -1,6 +1,8 @@
 #include "ioimc/ops.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 #include <queue>
 #include <unordered_map>
 
@@ -139,6 +141,137 @@ IOIMC restrictToReachable(const IOIMC& m) {
                std::move(markov), std::move(labels), m.labelNames());
 }
 
+IOIMC canonicalRenumber(const IOIMC& m, bool* complete) {
+  const std::size_t n = m.numStates();
+
+  // Round 0: rank by (is-initial, label mask).  Both properties are
+  // invariant under isomorphism, so corresponding states of two isomorphic
+  // models start with equal ranks.
+  std::vector<std::uint32_t> rank(n);
+  std::uint32_t numRanks = 0;
+  {
+    std::vector<std::uint64_t> key(n);
+    for (StateId s = 0; s < n; ++s)
+      key[s] = (static_cast<std::uint64_t>(s == m.initial() ? 0 : 1) << 32) |
+               m.labelMask(s);
+    std::vector<std::uint64_t> sorted = key;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    numRanks = static_cast<std::uint32_t>(sorted.size());
+    for (StateId s = 0; s < n; ++s)
+      rank[s] = static_cast<std::uint32_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), key[s]) -
+          sorted.begin());
+  }
+
+  // Iterate: each round encodes every state's strong one-step signature
+  // under the current ranks as a token stream, orders the streams
+  // lexicographically and re-ranks by position among the distinct streams.
+  // Streams start with the state's current rank, so the partition only
+  // refines; the rank *values* are derived from the sorted stream order,
+  // never from state ids, which keeps them isomorphism-invariant.
+  std::vector<std::uint64_t> arena;
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint64_t> interTokens;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> markovTokens;
+  std::vector<std::uint32_t> order(n), next(n);
+  while (numRanks < n) {
+    arena.clear();
+    offsets.assign(1, 0);
+    for (StateId s = 0; s < n; ++s) {
+      arena.push_back(rank[s]);
+      interTokens.clear();
+      for (const auto& t : m.interactive(s))
+        interTokens.push_back((static_cast<std::uint64_t>(t.action) << 32) |
+                              rank[t.to]);
+      std::sort(interTokens.begin(), interTokens.end());
+      arena.push_back(interTokens.size());
+      arena.insert(arena.end(), interTokens.begin(), interTokens.end());
+      markovTokens.clear();
+      for (const auto& t : m.markovian(s))
+        markovTokens.emplace_back(rank[t.to],
+                                  std::bit_cast<std::uint64_t>(t.rate));
+      std::sort(markovTokens.begin(), markovTokens.end());
+      arena.push_back(markovTokens.size());
+      for (const auto& [to, rate] : markovTokens) {
+        arena.push_back(to);
+        arena.push_back(rate);
+      }
+      offsets.push_back(arena.size());
+    }
+    auto stream = [&](StateId s) {
+      return std::span<const std::uint64_t>(arena.data() + offsets[s],
+                                            offsets[s + 1] - offsets[s]);
+    };
+    auto less = [&](StateId x, StateId y) {
+      auto sx = stream(x), sy = stream(y);
+      return std::lexicographical_compare(sx.begin(), sx.end(), sy.begin(),
+                                          sy.end());
+    };
+    auto equal = [&](StateId x, StateId y) {
+      auto sx = stream(x), sy = stream(y);
+      return sx.size() == sy.size() &&
+             std::equal(sx.begin(), sx.end(), sy.begin());
+    };
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), less);
+    std::uint32_t newRanks = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && !equal(order[i - 1], order[i])) ++newRanks;
+      next[order[i]] = newRanks;
+    }
+    ++newRanks;
+    if (newRanks == numRanks) break;  // converged short of singletons
+    rank.swap(next);
+    numRanks = newRanks;
+  }
+
+  if (complete) *complete = numRanks == n;
+  if (numRanks != n) return m;  // ambiguous: keep the input numbering
+
+  // Every rank is unique: renumber state s to rank[s] and emit each row in
+  // canonical inner order.
+  std::vector<StateId> stateOfRank(n);
+  for (StateId s = 0; s < n; ++s) stateOfRank[rank[s]] = s;
+  CsrInteractive inter;
+  CsrMarkovian markov;
+  std::vector<std::uint32_t> labels(n);
+  inter.offsets.reserve(n + 1);
+  markov.offsets.reserve(n + 1);
+  inter.data.reserve(m.numInteractiveTransitions());
+  markov.data.reserve(m.numMarkovianTransitions());
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const StateId s = stateOfRank[r];
+    inter.beginState();
+    markov.beginState();
+    labels[r] = m.labelMask(s);
+    const std::size_t interBegin = inter.data.size();
+    for (const auto& t : m.interactive(s))
+      inter.data.push_back({t.action, rank[t.to]});
+    std::sort(inter.data.begin() + static_cast<std::ptrdiff_t>(interBegin),
+              inter.data.end(),
+              [](const InteractiveTransition& x, const InteractiveTransition& y) {
+                return x.action != y.action ? x.action < y.action : x.to < y.to;
+              });
+    const std::size_t markovBegin = markov.data.size();
+    for (const auto& t : m.markovian(s))
+      markov.data.push_back({t.rate, rank[t.to]});
+    std::sort(markov.data.begin() + static_cast<std::ptrdiff_t>(markovBegin),
+              markov.data.end(),
+              [](const MarkovianTransition& x, const MarkovianTransition& y) {
+                return x.to != y.to
+                           ? x.to < y.to
+                           : std::bit_cast<std::uint64_t>(x.rate) <
+                                 std::bit_cast<std::uint64_t>(y.rate);
+              });
+  }
+  inter.finish();
+  markov.finish();
+  return IOIMC(m.name(), m.symbols(), m.signature(), rank[m.initial()],
+               std::move(inter), std::move(markov), std::move(labels),
+               m.labelNames());
+}
+
 IOIMC makeLabelAbsorbing(const IOIMC& m, const std::string& label) {
   int idx = m.labelIndex(label);
   require(idx >= 0, "makeLabelAbsorbing: model has no label '" + label + "'");
@@ -167,17 +300,33 @@ IOIMC makeLabelAbsorbing(const IOIMC& m, const std::string& label) {
 
 IOIMC collapseUnobservableSinks(const IOIMC& m) {
   const std::size_t n = m.numStates();
-  // A state is a "boundary" when it can itself produce visible behavior or
-  // directly change the observable label mask.
+  const std::vector<ActionRole> roles = actionRoles(m);
+  // A state is a "boundary" when its future can actually be observed.  The
+  // criterion is *semantic*, not syntactic, so that every graph realization
+  // of the same behavior collapses identically (the on-the-fly engine's
+  // reduced graphs must collapse exactly like the classic full product):
+  //  * an output transition is observable (urgent, locally controlled);
+  //  * any transition that changes the label mask is observable — except a
+  //    Markovian transition of a state with enabled internal transitions,
+  //    which maximal progress keeps from ever firing;
+  //  * an *input* transition is observable only when its target is — an
+  //    environment that triggers it and then sees an unobservable same-mask
+  //    future has learned nothing (co-inductive: badness of the target
+  //    propagates to the edge owner through the backward closure below).
   std::vector<std::uint8_t> bad(n, 0);
   std::vector<std::vector<StateId>> predecessors(n);
   for (StateId s = 0; s < n; ++s) {
+    bool hasTau = false;
+    for (const auto& t : m.interactive(s))
+      if (roles[t.action] == ActionRole::Internal) hasTau = true;
     for (const auto& t : m.interactive(s)) {
       predecessors[t.to].push_back(s);
-      if (!m.signature().isInternal(t.action)) bad[s] = 1;
+      if (roles[t.action] == ActionRole::Output) bad[s] = 1;
       if (m.labelMask(t.to) != m.labelMask(s)) bad[s] = 1;
     }
     for (const auto& t : m.markovian(s)) {
+      if (hasTau) continue;  // maximal progress: this rate can never fire,
+                             // so it neither observes nor reaches anything
       predecessors[t.to].push_back(s);
       if (m.labelMask(t.to) != m.labelMask(s)) bad[s] = 1;
     }
@@ -198,6 +347,7 @@ IOIMC collapseUnobservableSinks(const IOIMC& m) {
 
   // One absorbing sink per label mask found among sinkable states.
   std::unordered_map<std::uint32_t, StateId> sinkOf;
+  sinkOf.reserve(32);  // at most one sink per label-mask bit combination seen
   std::vector<StateId> remap(n);
   StateId next = 0;
   for (StateId s = 0; s < n; ++s)

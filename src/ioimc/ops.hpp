@@ -40,6 +40,23 @@ IOIMC renameActions(const IOIMC& m,
 /// Removes states unreachable from the initial state.
 IOIMC restrictToReachable(const IOIMC& m);
 
+/// Deterministically renumbers \p m into a canonical form: states are
+/// ranked by iterated strong-signature refinement seeded with
+/// (is-initial, label mask) — an order-independent coloring — and rows are
+/// re-sorted by (action, target) / (target, rate bits).  Two models that
+/// are isomorphic (equal up to state numbering and within-row transition
+/// order, with bit-equal rates) produce *byte-identical* canonical forms,
+/// provided the ranking separates every state.  On minimal weak quotients
+/// it always does (distinct states are not even weakly bisimilar, and the
+/// ranking is at least as fine as strong bisimulation); when it does not —
+/// the model has non-trivial strong-bisimulation classes — the input is
+/// returned unchanged and \p complete (when non-null) is set to false.
+/// This is the normalization that lets the on-the-fly compose-and-minimize
+/// engine guarantee bit-identical measures against the classic
+/// compose+quotient pipeline (see otf_compose.hpp); aggregate() applies it
+/// to every quotient.
+IOIMC canonicalRenumber(const IOIMC& m, bool* complete = nullptr);
+
 /// Deletes all outgoing transitions of states carrying \p label, making them
 /// absorbing.  Sound for time-bounded reachability of \p label (the measure
 /// the paper computes: system unreliability).

@@ -1,0 +1,244 @@
+#include "ioimc/otf_partition.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <span>
+
+#include "common/error.hpp"
+#include "ioimc/signature_interner.hpp"
+#include "ioimc/tau_closure.hpp"
+
+namespace imcdft::ioimc::otf {
+
+namespace {
+
+using Role = ActionRole;
+
+constexpr std::uint32_t kNoDense = static_cast<std::uint32_t>(-1);
+
+/// detail::TauClosure over the dense live region, indexed by dense ids.
+/// Unexpanded states have no outgoing edges here, so they are closure
+/// leaves; their stability is unknown and never consulted (they are
+/// singleton classes and contribute to other states' signatures only
+/// through their class id).
+using PartialTauInfo = detail::TauClosure;
+
+PartialTauInfo computePartialTauInfo(
+    const PartialGraph& g, const std::vector<StateId>& live,
+    const std::vector<std::uint32_t>& denseOf) {
+  const std::size_t n = live.size();
+  const std::vector<Role>& roles = *g.roles;
+  PartialTauInfo info;
+  info.stable.assign(n, true);
+  std::vector<std::vector<std::uint32_t>> tauSucc(n);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    const StateId s = live[d];
+    if (!(*g.expanded)[s]) continue;
+    for (const auto& t : (*g.inter)[s]) {
+      const StateId to = (*g.rep)[t.to];
+      require(to < denseOf.size() && denseOf[to] != kNoDense,
+              "otf refine: live state has an edge to a non-live state");
+      if (roles[t.action] == Role::Internal) {
+        tauSucc[d].push_back(denseOf[to]);
+        info.stable[d] = false;
+      } else if (g.outputsUrgent && roles[t.action] == Role::Output) {
+        info.stable[d] = false;
+      }
+    }
+    std::sort(tauSucc[d].begin(), tauSucc[d].end());
+    tauSucc[d].erase(std::unique(tauSucc[d].begin(), tauSucc[d].end()),
+                     tauSucc[d].end());
+  }
+  detail::computeSccClosures(tauSucc, info);
+  return info;
+}
+
+/// Reusable scratch buffers for one state's weak-signature encoding
+/// (mirrors WeakScratch in bisimulation.cpp).
+struct Scratch {
+  std::vector<std::uint32_t> tauTargets;
+  std::vector<std::uint64_t> visible;
+  std::vector<std::pair<std::uint32_t, double>> raw;
+  std::vector<std::uint64_t> rateTokens;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rateVecs;
+};
+
+/// Appends the canonical token encoding of expanded dense state \p d's
+/// weak signature under partition \p classOf — the exact encoding of
+/// bisimulation.cpp's encodeWeakSignature, evaluated over the partial
+/// graph.  Frontier states appear through their singleton classes only.
+void encodePartialWeakSignature(const PartialGraph& g,
+                                const std::vector<StateId>& live,
+                                const std::vector<std::uint32_t>& denseOf,
+                                const PartialTauInfo& tau,
+                                const std::vector<std::uint32_t>& classOf,
+                                std::uint32_t d, Scratch& ws,
+                                std::vector<std::uint64_t>& out) {
+  const std::vector<Role>& roles = *g.roles;
+  auto closure = tau.closure(d);
+
+  ws.tauTargets.clear();
+  for (std::uint32_t u : closure) ws.tauTargets.push_back(classOf[u]);
+  std::sort(ws.tauTargets.begin(), ws.tauTargets.end());
+  ws.tauTargets.erase(
+      std::unique(ws.tauTargets.begin(), ws.tauTargets.end()),
+      ws.tauTargets.end());
+
+  ws.visible.clear();
+  for (std::uint32_t u : closure) {
+    const StateId su = live[u];
+    if (!(*g.expanded)[su]) continue;  // frontier member: moves unknown
+    for (const auto& t : (*g.inter)[su]) {
+      const Role r = roles[t.action];
+      if (r == Role::Internal) continue;
+      const bool isInput = r == Role::Input;
+      const std::uint32_t target = denseOf[(*g.rep)[t.to]];
+      for (std::uint32_t v : tau.closure(target)) {
+        std::uint32_t c = classOf[v];
+        if (isInput && std::binary_search(ws.tauTargets.begin(),
+                                          ws.tauTargets.end(), c))
+          continue;
+        ws.visible.push_back((static_cast<std::uint64_t>(t.action) << 32) | c);
+      }
+    }
+  }
+  std::sort(ws.visible.begin(), ws.visible.end());
+  ws.visible.erase(std::unique(ws.visible.begin(), ws.visible.end()),
+                   ws.visible.end());
+
+  ws.rateTokens.clear();
+  ws.rateVecs.clear();
+  for (std::uint32_t u : closure) {
+    const StateId su = live[u];
+    if (!(*g.expanded)[su]) continue;  // stability unknown: no rate vector
+    if (!tau.stable[u]) continue;
+    ws.raw.clear();
+    for (const auto& t : (*g.markov)[su])
+      ws.raw.emplace_back(classOf[denseOf[(*g.rep)[t.to]]], t.rate);
+    std::sort(ws.raw.begin(), ws.raw.end());
+    const std::uint32_t begin = static_cast<std::uint32_t>(ws.rateTokens.size());
+    for (std::size_t i = 0; i < ws.raw.size();) {
+      const std::uint32_t cls = ws.raw[i].first;
+      double sum = 0.0;
+      while (i < ws.raw.size() && ws.raw[i].first == cls) sum += ws.raw[i++].second;
+      ws.rateTokens.push_back(cls);
+      ws.rateTokens.push_back(std::bit_cast<std::uint64_t>(sum));
+    }
+    ws.rateVecs.emplace_back(begin,
+                             static_cast<std::uint32_t>(ws.rateTokens.size()));
+  }
+  auto vecLess = [&](const std::pair<std::uint32_t, std::uint32_t>& x,
+                     const std::pair<std::uint32_t, std::uint32_t>& y) {
+    return std::lexicographical_compare(
+        ws.rateTokens.begin() + x.first, ws.rateTokens.begin() + x.second,
+        ws.rateTokens.begin() + y.first, ws.rateTokens.begin() + y.second);
+  };
+  auto vecEqual = [&](const std::pair<std::uint32_t, std::uint32_t>& x,
+                      const std::pair<std::uint32_t, std::uint32_t>& y) {
+    return x.second - x.first == y.second - y.first &&
+           std::equal(ws.rateTokens.begin() + x.first,
+                      ws.rateTokens.begin() + x.second,
+                      ws.rateTokens.begin() + y.first);
+  };
+  std::sort(ws.rateVecs.begin(), ws.rateVecs.end(), vecLess);
+  ws.rateVecs.erase(
+      std::unique(ws.rateVecs.begin(), ws.rateVecs.end(), vecEqual),
+      ws.rateVecs.end());
+
+  out.push_back(ws.tauTargets.size());
+  out.insert(out.end(), ws.tauTargets.begin(), ws.tauTargets.end());
+  out.push_back(ws.visible.size());
+  out.insert(out.end(), ws.visible.begin(), ws.visible.end());
+  out.push_back(ws.rateVecs.size());
+  for (const auto& [begin, end] : ws.rateVecs) {
+    out.push_back(end - begin);
+    out.insert(out.end(), ws.rateTokens.begin() + begin,
+               ws.rateTokens.begin() + end);
+  }
+}
+
+/// Frontier-singleton marker (no expanded-state stream starts with it:
+/// their streams start with a class id, always < 2^32).
+constexpr std::uint64_t kFrontierMarker = ~0ull;
+
+}  // namespace
+
+PartialPartition refinePartial(const PartialGraph& g,
+                               const std::vector<StateId>& live) {
+  const std::size_t n = live.size();
+  std::size_t maxId = 0;
+  for (StateId s : live) maxId = std::max<std::size_t>(maxId, s);
+  std::vector<std::uint32_t> denseOf(maxId + 1, kNoDense);
+  for (std::uint32_t d = 0; d < n; ++d) denseOf[live[d]] = d;
+
+  const PartialTauInfo tau = computePartialTauInfo(g, live, denseOf);
+
+  detail::SignatureInterner interner;
+  PartialPartition p;
+  p.classOf.resize(n);
+
+  // Round 0: expanded states by label mask, frontier states singleton.
+  interner.beginIteration(n);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    auto& out = interner.scratch();
+    out.clear();
+    if ((*g.expanded)[live[d]]) {
+      out.push_back((*g.labelMask)[live[d]]);
+    } else {
+      out.push_back(kFrontierMarker);
+      out.push_back(d);
+    }
+    p.classOf[d] = interner.internScratch();
+  }
+  p.numClasses = interner.numClasses();
+
+  Scratch ws;
+  std::vector<std::uint32_t> newClassOf(n);
+  while (true) {
+    interner.beginIteration(n);
+    for (std::uint32_t d = 0; d < n; ++d) {
+      auto& out = interner.scratch();
+      out.clear();
+      out.push_back(p.classOf[d]);
+      if ((*g.expanded)[live[d]]) {
+        encodePartialWeakSignature(g, live, denseOf, tau, p.classOf, d, ws,
+                                   out);
+      } else {
+        out.push_back(kFrontierMarker);
+        out.push_back(d);
+      }
+      newClassOf[d] = interner.internScratch();
+    }
+    const std::uint32_t newCount = interner.numClasses();
+    const bool stable = newCount == p.numClasses;
+    std::swap(p.classOf, newClassOf);
+    p.numClasses = newCount;
+    if (stable) break;
+  }
+
+  // Per-class converged tau-target sets (first member encountered speaks
+  // for the class; tauTargets is a class invariant at convergence).
+  std::vector<std::vector<std::uint32_t>> classTau(p.numClasses);
+  std::vector<std::uint8_t> done(p.numClasses, 0);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    const std::uint32_t c = p.classOf[d];
+    if (done[c]) continue;
+    done[c] = 1;
+    std::vector<std::uint32_t>& targets = classTau[c];
+    for (std::uint32_t u : tau.closure(d)) targets.push_back(p.classOf[u]);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  }
+  p.classTauOffsets.reserve(p.numClasses + 1);
+  for (const std::vector<std::uint32_t>& targets : classTau) {
+    p.classTauOffsets.push_back(
+        static_cast<std::uint32_t>(p.classTauTargets.size()));
+    p.classTauTargets.insert(p.classTauTargets.end(), targets.begin(),
+                             targets.end());
+  }
+  p.classTauOffsets.push_back(
+      static_cast<std::uint32_t>(p.classTauTargets.size()));
+  return p;
+}
+
+}  // namespace imcdft::ioimc::otf

@@ -1,0 +1,132 @@
+#include "ioimc/tau_closure.hpp"
+
+#include <algorithm>
+
+namespace imcdft::ioimc::detail {
+
+namespace {
+
+std::vector<StateId> sortedUnion(const std::vector<StateId>& a,
+                                 const std::vector<StateId>& b) {
+  std::vector<StateId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+TauClosure computeTauClosure(const IOIMC& m, bool outputsUrgent) {
+  const std::size_t n = m.numStates();
+  const std::vector<ActionRole> roles = actionRoles(m);
+  std::vector<std::vector<StateId>> tauSucc(n);
+  TauClosure info;
+  info.stable.assign(n, true);
+  for (StateId s = 0; s < n; ++s) {
+    for (const auto& t : m.interactive(s)) {
+      if (roles[t.action] == ActionRole::Internal) {
+        tauSucc[s].push_back(t.to);
+        info.stable[s] = false;
+      } else if (outputsUrgent && roles[t.action] == ActionRole::Output) {
+        info.stable[s] = false;
+      }
+    }
+    std::sort(tauSucc[s].begin(), tauSucc[s].end());
+    tauSucc[s].erase(std::unique(tauSucc[s].begin(), tauSucc[s].end()),
+                     tauSucc[s].end());
+  }
+  computeSccClosures(tauSucc, info);
+  return info;
+}
+
+void computeSccClosures(const std::vector<std::vector<std::uint32_t>>& tauSucc,
+                        TauClosure& info) {
+  const std::size_t n = tauSucc.size();
+
+  // Iterative Tarjan SCC over the tau graph.
+  constexpr StateId kUndef = static_cast<StateId>(-1);
+  std::vector<StateId> index(n, kUndef), low(n, 0);
+  info.compOf.assign(n, kUndef);
+  std::vector<bool> onStack(n, false);
+  std::vector<StateId> stack;
+  std::uint32_t nextIndex = 0, numComps = 0;
+  struct Frame {
+    StateId v;
+    std::size_t child;
+  };
+  std::vector<Frame> callStack;
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kUndef) continue;
+    callStack.push_back({root, 0});
+    while (!callStack.empty()) {
+      Frame& f = callStack.back();
+      StateId v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = nextIndex++;
+        stack.push_back(v);
+        onStack[v] = true;
+      }
+      bool descended = false;
+      while (f.child < tauSucc[v].size()) {
+        StateId w = tauSucc[v][f.child++];
+        if (index[w] == kUndef) {
+          callStack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (onStack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          StateId w = stack.back();
+          stack.pop_back();
+          onStack[w] = false;
+          info.compOf[w] = numComps;
+          if (w == v) break;
+        }
+        ++numComps;
+      }
+      callStack.pop_back();
+      if (!callStack.empty()) {
+        StateId parent = callStack.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+
+  // Components are numbered such that every tau successor's component id is
+  // strictly smaller (Tarjan closes sinks first); compute closures bottom-up
+  // and flatten them into one shared CSR array.
+  std::vector<std::vector<StateId>> compMembers(numComps);
+  for (StateId s = 0; s < n; ++s) compMembers[info.compOf[s]].push_back(s);
+  std::vector<std::vector<StateId>> compClosure(numComps);
+  std::size_t totalClosure = 0;
+  for (std::uint32_t c = 0; c < numComps; ++c) {
+    std::vector<StateId> acc = compMembers[c];
+    std::sort(acc.begin(), acc.end());
+    std::vector<std::uint32_t> succComps;
+    for (StateId s : compMembers[c])
+      for (StateId t : tauSucc[s])
+        if (info.compOf[t] != c) succComps.push_back(info.compOf[t]);
+    std::sort(succComps.begin(), succComps.end());
+    succComps.erase(std::unique(succComps.begin(), succComps.end()),
+                    succComps.end());
+    for (std::uint32_t sc : succComps) acc = sortedUnion(acc, compClosure[sc]);
+    totalClosure += acc.size();
+    compClosure[c] = std::move(acc);
+  }
+  info.compOffsets.reserve(numComps + 1);
+  info.compClosure.reserve(totalClosure);
+  for (std::uint32_t c = 0; c < numComps; ++c) {
+    info.compOffsets.push_back(
+        static_cast<std::uint32_t>(info.compClosure.size()));
+    info.compClosure.insert(info.compClosure.end(), compClosure[c].begin(),
+                            compClosure[c].end());
+  }
+  info.compOffsets.push_back(
+      static_cast<std::uint32_t>(info.compClosure.size()));
+}
+
+}  // namespace imcdft::ioimc::detail

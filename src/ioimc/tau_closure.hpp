@@ -1,0 +1,52 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ioimc/model.hpp"
+
+/// \file tau_closure.hpp
+/// Shared tau-reachability machinery: the reflexive-transitive closure over
+/// internal transitions plus per-state stability, computed per SCC of the
+/// tau graph and shared (states of one SCC point into one CSR row instead
+/// of each carrying a copy of the closure vector).  Used by the weak
+/// refinement (bisimulation.cpp) and by the semantic sink collapse
+/// (ops.cpp).  Not part of the public ioimc surface.
+
+namespace imcdft::ioimc::detail {
+
+struct TauClosure {
+  std::vector<std::uint32_t> compOf;       ///< state -> tau-SCC
+  std::vector<std::uint32_t> compOffsets;  ///< SCC -> row in compClosure
+  std::vector<StateId> compClosure;        ///< sorted members, includes self
+  std::vector<bool> stable;
+
+  std::span<const StateId> closure(StateId s) const {
+    std::uint32_t c = compOf[s];
+    return {compClosure.data() + compOffsets[c],
+            compOffsets[c + 1] - compOffsets[c]};
+  }
+  /// True when \p t is tau-reachable from \p s (reflexively).
+  bool reaches(StateId s, StateId t) const {
+    auto row = closure(s);
+    return std::binary_search(row.begin(), row.end(), t);
+  }
+};
+
+/// Computes tau closures and stability.  A state is stable when it enables
+/// no internal transition and — when \p outputsUrgent — no output
+/// transition (I/O-IMC maximal progress).
+TauClosure computeTauClosure(const IOIMC& m, bool outputsUrgent);
+
+/// The graph-agnostic core shared by computeTauClosure and the partial
+/// refiner (otf_partition.cpp): SCC decomposition of the given adjacency
+/// (Tarjan, iterative) plus per-SCC reflexive-transitive closures
+/// flattened into one shared CSR array.  \p tauSucc rows must be sorted
+/// and deduplicated; the result's compOf/compOffsets/compClosure are
+/// filled, stability is left to the caller.
+void computeSccClosures(const std::vector<std::vector<std::uint32_t>>& tauSucc,
+                        TauClosure& info);
+
+}  // namespace imcdft::ioimc::detail

@@ -245,8 +245,19 @@ TEST(StaticCombine, EligibleFamiliesAgreeWithComposition) {
     EXPECT_TRUE(agreeRel(on.measures[0].values, off.measures[0].values, 1e-9))
         << f.name;
     // The numeric path never builds the joint product: its largest
-    // intermediate is bounded by the largest single module pipeline.
-    EXPECT_LE(on.stats().peakComposedStates, off.stats().peakComposedStates)
+    // intermediate is bounded by the largest single module pipeline.  With
+    // the fused (on-the-fly) engine on, peakComposedStates is the peak
+    // *live* region, which lands wherever the step happened to cross a
+    // refinement trigger — the numeric path's standalone module pipelines
+    // hide slightly differently than the in-context ones, so their
+    // trigger points can differ by up to the states one expansion adds
+    // (one product row).  kOtfPeakJitter bounds that row for these
+    // families with room to spare while staying far below any real
+    // peak-memory regression (the off-path peaks here are in the
+    // hundreds to tens of thousands).
+    constexpr std::size_t kOtfPeakJitter = 32;
+    EXPECT_LE(on.stats().peakComposedStates,
+              off.stats().peakComposedStates + kOtfPeakJitter)
         << f.name;
   }
 }
