@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Builds and runs every benchmark harness.  Each bench leaves a
 # google-benchmark JSON (BENCH_<name>.json) at the repository root, next to
-# the richer custom reports the batch and compose benches write themselves
-# (BENCH_batch.json, BENCH_compose.json), and a one-line-per-bench summary
-# table is printed at the end.
+# the richer custom reports the batch, compose and serve benches write
+# themselves (BENCH_batch.json, BENCH_compose.json, BENCH_serve.json), and
+# a one-line-per-bench summary table is printed at the end.
 #
 # Usage: bench/run_bench.sh [build-dir] [bench-name ...]
 #   build-dir     defaults to ./build
@@ -46,16 +46,17 @@ for name in $benches; do
   fi
   echo "== $name =="
   short=${name#bench_}
-  # The batch and compose benches write their own richer reproduction
-  # JSONs under the short name; park their google-benchmark timings in a
-  # *_gbench file so they do not clobber them.
+  # The batch, compose and serve benches write their own richer
+  # reproduction JSONs under the short name; park their google-benchmark
+  # timings in a *_gbench file so they do not clobber them.
   case $short in
-    batch|compose) json_name="BENCH_${short}_gbench.json" ;;
+    batch|compose|serve) json_name="BENCH_${short}_gbench.json" ;;
     *) json_name="BENCH_${short}.json" ;;
   esac
   start=$(date +%s)
   if BENCH_BATCH_JSON="$repo_root/BENCH_batch.json" \
      BENCH_COMPOSE_JSON="$repo_root/BENCH_compose.json" \
+     BENCH_SERVE_JSON="$repo_root/BENCH_serve.json" \
      "$build_dir/$name" --benchmark_min_warmup_time=0 \
        --benchmark_out="$repo_root/$json_name" --benchmark_out_format=json; then
     result=ok
@@ -73,6 +74,8 @@ echo "-------------------------------------------------------------"
 printf "$summary"
 [ -f "$repo_root/BENCH_batch.json" ] && \
   echo "batch sweep:   $(grep -o '"speedup": [0-9.]*' "$repo_root/BENCH_batch.json" || true)"
+[ -f "$repo_root/BENCH_serve.json" ] && \
+  echo "serve sweep:   $(grep -o '"warm_speedup": [0-9.]*' "$repo_root/BENCH_serve.json" || true) (warm store over no store, bitwise: $(grep -o '"warm_bitwise_identical": [a-z]*' "$repo_root/BENCH_serve.json" | grep -o '[a-z]*$' || true))"
 if [ -f "$repo_root/BENCH_compose.json" ]; then
   echo "compose sweep: $(grep -o '"largest_speedup_1t": [0-9.]*' "$repo_root/BENCH_compose.json" || true)"
   # Provenance: which frozen baseline the sweep compared against.

@@ -1,11 +1,13 @@
 #include "analysis/analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "analysis/measures.hpp"
@@ -20,6 +22,7 @@
 #include "dft/modules.hpp"
 #include "ioimc/bisimulation.hpp"
 #include "ioimc/ops.hpp"
+#include "store/quotient_store.hpp"
 
 namespace imcdft::analysis {
 
@@ -33,7 +36,10 @@ double secondsSince(Clock::time_point start) {
 
 /// Serialization of every option that influences the composed model (or
 /// its reported statistics, which symmetry changes); part of both cache
-/// keys.
+/// keys.  EngineOptions::storeDir is deliberately absent: a store hit is
+/// bitwise identical to cold aggregation, so the same analysis keyed with
+/// and without a store must share cache entries (and store records written
+/// by a session with one store directory stay valid for every other).
 std::string optionsKey(const AnalysisOptions& opts) {
   std::string key = "sg=";
   key += opts.conversion.subsetGates ? '1' : '0';
@@ -112,13 +118,14 @@ const char* measureKindName(MeasureKind kind) {
   return "?";
 }
 
-/// The engine-facing adapter around the session's module map.  Only
-/// always-active modules are cacheable: a module activated from outside
-/// (it is somebody's spare) converts to different elementary models
-/// depending on that outside context, which the module key cannot see.
-/// Independence guarantees everything else — no element below the module
-/// root is referenced from outside it, so the key (the canonical
-/// fingerprint of the module's sub-tree) determines the aggregated model.
+/// The engine-facing adapter around the session's module cache and the
+/// persistent store.  Only always-active modules are cacheable: a module
+/// activated from outside (it is somebody's spare) converts to different
+/// elementary models depending on that outside context, which the module
+/// key cannot see.  Independence guarantees everything else — no element
+/// below the module root is referenced from outside it, so the key (the
+/// canonical fingerprint of the module's sub-tree) determines the
+/// aggregated model.
 ///
 /// With symmetric keying (EngineOptions::symmetry) the fingerprint is the
 /// rename-invariant shape instead, and each entry records the concrete
@@ -127,30 +134,51 @@ const char* measureKindName(MeasureKind kind) {
 /// induced ActionId map must cover the model and be injective (see
 /// analysis/symmetry.hpp) or the lookup counts as a miss and the module
 /// aggregates normally.
+///
+/// Lookup order is memory, then store: a store hit deserializes the module
+/// quotient into the session symbol table, promotes it into the in-memory
+/// LRU, and then behaves exactly like a session hit (including the
+/// rename-instantiation path).  Freshly aggregated modules are published
+/// back to the store.
+///
+/// Thread safety: lookup() runs on this request's calling thread (per the
+/// ModuleCache contract) and may write the request's CacheStats directly;
+/// store() runs on engine worker threads and accumulates its counters in
+/// atomics, folded into the request stats by foldInto() after the engine
+/// returns.
 class Analyzer::SessionModuleCache : public ModuleCache {
  public:
   SessionModuleCache(Analyzer& owner, const std::vector<ActivationContext>& ctx,
                      std::string optsKey, bool shapeKeyed,
-                     CacheStats& requestStats)
+                     CacheStats& requestStats,
+                     std::shared_ptr<store::QuotientStore> store)
       : owner_(owner),
         contexts_(ctx),
         optsKey_(std::move(optsKey)),
         shapeKeyed_(shapeKeyed),
-        stats_(requestStats) {}
+        stats_(requestStats),
+        store_(std::move(store)) {}
 
   std::optional<CachedModule> lookup(const dft::Dft& dft,
                                      dft::ElementId root) override {
     if (!cacheable(root)) return std::nullopt;
-    // Key computation (module extraction + serialization) happens before
-    // the lock, and the rename-copy of a hit happens after it — only the
-    // map probe and the entry copy hold modulesMutex_.
     dft::ModuleShape shape;
     const std::string k = key(dft, root, shape);
-    std::optional<ModuleEntry> entry;
-    {
-      std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
-      auto it = owner_.modules_.find(k);
-      if (it != owner_.modules_.end()) entry = it->second;
+    std::shared_ptr<const ModuleEntry> entry;
+    if (std::optional<std::shared_ptr<const ModuleEntry>> hit =
+            owner_.modules_.get(k))
+      entry = std::move(*hit);
+    if (!entry && store_) {
+      if (std::optional<store::QuotientStore::LoadedModule> loaded =
+              store_->loadModule(k, owner_.symbols_)) {
+        entry = std::make_shared<const ModuleEntry>(
+            ModuleEntry{std::move(loaded->model), loaded->steps,
+                        std::move(loaded->names)});
+        ++stats_.storeHits;
+        stats_.moduleEvictions += owner_.modules_.put(k, entry);
+      } else {
+        ++stats_.storeMisses;
+      }
     }
     if (!entry) {
       ++stats_.moduleMisses;
@@ -158,7 +186,7 @@ class Analyzer::SessionModuleCache : public ModuleCache {
     }
     if (!shapeKeyed_ || entry->names == shape.names) {
       ++stats_.moduleHits;
-      return CachedModule{std::move(entry->model), entry->steps};
+      return CachedModule{entry->model, entry->steps};
     }
     // Same shape, different names: instantiate the stored model under the
     // lifted substitution.  Cross-request reuse only needs an injective,
@@ -179,11 +207,19 @@ class Analyzer::SessionModuleCache : public ModuleCache {
     if (!cacheable(root)) return;
     dft::ModuleShape shape;
     std::string k = key(dft, root, shape);
-    std::lock_guard<std::mutex> lock(owner_.modulesMutex_);
-    if (owner_.modules_.size() >= owner_.opts_.maxCachedModules)
-      owner_.modules_.clear();
-    owner_.modules_.insert_or_assign(
-        std::move(k), ModuleEntry{model, steps, std::move(shape.names)});
+    if (store_ && store_->storeModule(k, model, steps, shape.names))
+      storeWrites_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t evicted = owner_.modules_.put(
+        std::move(k), std::make_shared<const ModuleEntry>(
+                          ModuleEntry{model, steps, std::move(shape.names)}));
+    moduleEvictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+
+  /// Folds the worker-thread counters into the request's stats; call after
+  /// composeCommunity() has returned (no store() can still be running).
+  void foldInto(CacheStats& stats) const {
+    stats.storeWrites += storeWrites_.load(std::memory_order_relaxed);
+    stats.moduleEvictions += moduleEvictions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -226,12 +262,26 @@ class Analyzer::SessionModuleCache : public ModuleCache {
   std::string optsKey_;
   const bool shapeKeyed_;
   CacheStats& stats_;
+  std::shared_ptr<store::QuotientStore> store_;
+  /// Worker-thread counters (store() side); see foldInto().
+  std::atomic<std::size_t> storeWrites_{0};
+  std::atomic<std::size_t> moduleEvictions_{0};
 };
 
 Analyzer::Analyzer(AnalyzerOptions opts)
-    : opts_(opts), symbols_(ioimc::makeSymbolTable()) {}
+    : opts_(opts),
+      symbols_(ioimc::makeSymbolTable()),
+      trees_(opts.maxCachedTrees),
+      modules_(opts.maxCachedModules),
+      chains_(opts.maxCachedModules),
+      curves_(opts.maxCachedCurves) {}
 
 Analyzer::~Analyzer() = default;
+
+CacheStats Analyzer::cacheStats() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return sessionStats_;
+}
 
 void Analyzer::clearCache() {
   trees_.clear();
@@ -240,10 +290,31 @@ void Analyzer::clearCache() {
   curves_.clear();
 }
 
+std::shared_ptr<store::QuotientStore> Analyzer::openStore(
+    const std::string& dir, std::vector<Diagnostic>& diagnostics) {
+  if (dir.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(storesMutex_);
+  auto it = stores_.find(dir);
+  if (it != stores_.end()) return it->second;
+  std::shared_ptr<store::QuotientStore> handle;
+  try {
+    handle = store::QuotientStore::open(dir);
+  } catch (const Error& e) {
+    // Soft: the session keeps serving without persistence.  Remembered as
+    // disabled so a long-lived service warns once, not once per request.
+    diagnostics.push_back(
+        {Severity::Warning,
+         std::string("quotient store disabled: ") + e.what()});
+  }
+  stores_.emplace(dir, handle);
+  return handle;
+}
+
 std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
     const dft::Dft& tree, const dft::StaticLayer& layer,
     const AnalysisOptions& opts, PhaseTimings& timings,
-    CacheStats& requestStats, std::vector<Diagnostic>& diagnostics) {
+    CacheStats& requestStats, std::vector<Diagnostic>& diagnostics,
+    const std::shared_ptr<store::QuotientStore>& store) {
   // Belt and suspenders: the layer's structural checks already imply that
   // every frontier module is always active (its only referencers are the
   // layer's static gates), but the conversion's activation analysis is the
@@ -282,10 +353,9 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
       std::shared_ptr<const DftAnalysis> sub;
       std::size_t steps = 0;
       if (useChainCache) {
-        auto it = chains_.find(key);
-        if (it != chains_.end()) {
-          sub = it->second.analysis;
-          steps = it->second.steps;
+        if (std::optional<ChainEntry> hit = chains_.get(key)) {
+          sub = std::move(hit->analysis);
+          steps = hit->steps;
           ++requestStats.moduleHits;
           ++stats.cachedModules;
           stats.stepsSaved += steps;
@@ -296,7 +366,7 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
         ++requestStats.moduleMisses;
         const dft::Dft moduleDft = dft::extractModule(tree, root);
         PhaseTimings subTimings;
-        sub = runPipeline(moduleDft, opts, subTimings, requestStats);
+        sub = runPipeline(moduleDft, opts, subTimings, requestStats, store);
         timings.convert += subTimings.convert;
         timings.compose += subTimings.compose;
         timings.extract += subTimings.extract;
@@ -334,10 +404,8 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
         stats.peakAggregatedTransitions =
             std::max(stats.peakAggregatedTransitions,
                      sub->stats.peakAggregatedTransitions);
-        if (useChainCache) {
-          if (chains_.size() >= opts_.maxCachedModules) chains_.clear();
-          chains_.insert_or_assign(key, ChainEntry{sub, steps});
-        }
+        if (useChainCache)
+          requestStats.chainEvictions += chains_.put(key, ChainEntry{sub, steps});
       }
       index = solved.size();
       solved.push_back({key, std::move(sub)});
@@ -367,30 +435,40 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
                      Extraction{},
                      /*nondeterministic=*/false,
                      /*repairable=*/false,
-                     std::nullopt,
+                     nullptr,
                      std::make_shared<StaticCombination>(
                          tree, layer, std::move(solved), std::move(modules))};
   return std::make_shared<DftAnalysis>(std::move(result));
 }
 
-std::vector<double> Analyzer::cachedCurve(const StaticCombination& combo,
-                                          std::size_t chainIndex,
-                                          const std::vector<double>& times) {
+std::vector<double> Analyzer::cachedCurve(
+    const StaticCombination& combo, std::size_t chainIndex,
+    const std::vector<double>& times,
+    const std::shared_ptr<store::QuotientStore>& store, CacheStats& stats) {
   if (!opts_.cacheModules) return combo.solveCurve(chainIndex, times);
   std::string key = combo.chains()[chainIndex].key;
   key += '\x1f';
   key += gridKey(times);
-  auto it = curves_.find(key);
-  if (it != curves_.end()) return it->second;
+  if (std::optional<std::vector<double>> hit = curves_.get(key))
+    return std::move(*hit);
+  if (store) {
+    if (std::optional<std::vector<double>> loaded = store->loadCurve(key)) {
+      ++stats.storeHits;
+      stats.curveEvictions += curves_.put(std::move(key), *loaded);
+      return std::move(*loaded);
+    }
+    ++stats.storeMisses;
+  }
   std::vector<double> curve = combo.solveCurve(chainIndex, times);
-  if (curves_.size() >= opts_.maxCachedCurves) curves_.clear();
-  curves_.emplace(std::move(key), curve);
+  if (store && store->storeCurve(key, curve)) ++stats.storeWrites;
+  stats.curveEvictions += curves_.put(std::move(key), curve);
   return curve;
 }
 
 std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
     const dft::Dft& tree, const AnalysisOptions& opts, PhaseTimings& timings,
-    CacheStats& requestStats) {
+    CacheStats& requestStats,
+    const std::shared_ptr<store::QuotientStore>& store) {
   ConversionOptions conversion = opts.conversion;
   const bool customSymbols =
       conversion.symbols && conversion.symbols != symbols_;
@@ -405,17 +483,19 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
   const std::vector<ActivationContext> contexts = community.contexts;
 
   phase = Clock::now();
-  SessionModuleCache moduleCache(*this, contexts, optionsKey(opts),
-                                 /*shapeKeyed=*/opts.engine.symmetry,
-                                 requestStats);
   // Cached module models are interned in the session table; a community
   // built over a caller-supplied table cannot exchange models with them.
   const bool useModuleCache =
       opts_.cacheModules && !customSymbols &&
       opts.engine.strategy == CompositionStrategy::Modular;
+  SessionModuleCache moduleCache(*this, contexts, optionsKey(opts),
+                                 /*shapeKeyed=*/opts.engine.symmetry,
+                                 requestStats,
+                                 useModuleCache ? store : nullptr);
   EngineResult engine =
       composeCommunity(std::move(community), tree, opts.engine,
                        useModuleCache ? &moduleCache : nullptr);
+  moduleCache.foldInto(requestStats);
   timings.compose = secondsSince(phase);
   requestStats.stepsRun += engine.stats.steps.size();
   requestStats.stepsSaved += engine.stats.stepsSaved;
@@ -429,7 +509,7 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
   timings.extract = secondsSince(phase);
 
   DftAnalysis result{std::move(engine.model), std::move(engine.stats),
-                     std::move(absorbed), false, repairable, std::nullopt,
+                     std::move(absorbed), false, repairable, nullptr,
                      nullptr};
   result.nondeterministic = !result.absorbed.deterministic;
   return std::make_shared<DftAnalysis>(std::move(result));
@@ -468,7 +548,9 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
 
   // Requests with their own symbol table are served one-shot: every cached
   // model (and every model a cached DftAnalysis holds) is interned in the
-  // session table, which is not the table such a request asked for.
+  // session table, which is not the table such a request asked for.  The
+  // persistent store deserializes into the session table too, so it is
+  // gated the same way.
   const bool sessionSymbols = !request.options.conversion.symbols ||
                               request.options.conversion.symbols == symbols_;
   const bool useTreeCache = opts_.cacheTrees && sessionSymbols;
@@ -494,78 +576,187 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   const std::string fullKey = treeKey + ";nc=0";
   const std::string numericKey = treeKey + ";nc=1";
 
-  std::shared_ptr<const DftAnalysis> analysis;
-  if (useTreeCache) {
-    auto it = wantNumeric ? trees_.find(numericKey) : trees_.end();
-    if (it == trees_.end()) it = trees_.find(fullKey);
-    if (it != trees_.end()) {
-      analysis = it->second;
+  const std::shared_ptr<store::QuotientStore> storeHandle =
+      sessionSymbols
+          ? openStore(request.options.engine.storeDir, report.diagnostics)
+          : nullptr;
+
+  auto probeTreeCache = [&]() -> std::shared_ptr<const DftAnalysis> {
+    if (!useTreeCache) return nullptr;
+    if (wantNumeric)
+      if (std::optional<std::shared_ptr<const DftAnalysis>> hit =
+              trees_.get(numericKey))
+        return *hit;
+    if (std::optional<std::shared_ptr<const DftAnalysis>> hit =
+            trees_.get(fullKey))
+      return *hit;
+    return nullptr;
+  };
+  auto noteTreeHit = [&]() {
+    report.fromCache = true;
+    ++report.cache.treeHits;
+    report.diagnostics.push_back(
+        {Severity::Info, "composition served from the whole-tree cache"});
+  };
+
+  std::shared_ptr<const DftAnalysis> analysis = probeTreeCache();
+  if (analysis) noteTreeHit();
+
+  // --- In-flight dedup. ---
+  // The first concurrent request for a fingerprint becomes the leader and
+  // aggregates; identical requests arriving while it runs join its future
+  // instead of aggregating again.  The wantNumeric flag is part of the
+  // flight key because the two request kinds build different analyses.
+  const std::string flightKey = treeKey + (wantNumeric ? ";wn=1" : ";wn=0");
+  bool leader = false;
+  std::promise<std::shared_ptr<const DftAnalysis>> flightPromise;
+  std::shared_future<std::shared_ptr<const DftAnalysis>> flight;
+  if (!analysis && useTreeCache) {
+    std::unique_lock<std::mutex> lock(inflightMutex_);
+    auto it = inflight_.find(flightKey);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      // Double-check the tree cache under the flight lock: a leader may
+      // have finished (published and left the map) between our first probe
+      // and here.
+      analysis = probeTreeCache();
+      if (analysis) {
+        noteTreeHit();
+      } else {
+        flight = flightPromise.get_future().share();
+        inflight_.emplace(flightKey, flight);
+        leader = true;
+      }
+    }
+    lock.unlock();
+    if (!leader && !analysis) {
+      // Joiner: block on the leader's aggregation (its exception, if any,
+      // rethrows here — identical input, identical failure).
+      analysis = flight.get();
       report.fromCache = true;
-      ++report.cache.treeHits;
+      ++report.cache.inflightJoins;
       report.diagnostics.push_back(
-          {Severity::Info, "composition served from the whole-tree cache"});
+          {Severity::Info,
+           "served from an in-flight aggregation of a concurrent identical "
+           "request"});
     }
   }
-  std::string storeKey = fullKey;
+
   if (!analysis) {
-    ++report.cache.treeMisses;
-    if (wantNumeric) {
-      dft::StaticLayer layer = dft::detectStaticLayer(*tree);
-      if (layer.eligible) {
-        analysis = runNumericPipeline(*tree, layer, request.options,
-                                      report.timings, report.cache,
-                                      report.diagnostics);
-        if (analysis) storeKey = numericKey;
-        // Null = a module was nondeterministic (Warning already
-        // attached); the fallen-back full analysis lands under fullKey.
-      } else {
+    std::string storeKey = fullKey;
+    try {
+      ++report.cache.treeMisses;
+      if (wantNumeric) {
+        dft::StaticLayer layer = dft::detectStaticLayer(*tree);
+        if (layer.eligible) {
+          analysis = runNumericPipeline(*tree, layer, request.options,
+                                        report.timings, report.cache,
+                                        report.diagnostics, storeHandle);
+          if (analysis) storeKey = numericKey;
+          // Null = a module was nondeterministic (Warning already
+          // attached); the fallen-back full analysis lands under fullKey.
+        } else {
+          report.diagnostics.push_back(
+              {Severity::Info,
+               "static combination not applicable: " + layer.reason});
+        }
+      }
+      bool fresh = false;
+      if (!analysis && storeHandle) {
+        // Whole-tree store probe: a hit skips conversion and composition
+        // entirely; only the (cheap) absorb/re-aggregate/extract tail runs
+        // on the already-aggregated quotient.  Numeric-path analyses are
+        // never persisted whole-tree (their value lives in module and
+        // curve records), so the probe is for the full key.
+        phase = Clock::now();
+        if (std::optional<store::QuotientStore::LoadedTree> loaded =
+                storeHandle->loadTree(fullKey, symbols_)) {
+          ioimc::IOIMC absorbedModel =
+              ioimc::makeLabelAbsorbing(loaded->model, kDownLabel);
+          absorbedModel =
+              ioimc::aggregate(absorbedModel, request.options.engine.weak);
+          Extraction absorbed = extract(absorbedModel, kDownLabel);
+          DftAnalysis rebuilt{std::move(loaded->model), CompositionStats{},
+                              std::move(absorbed), false, loaded->repairable,
+                              nullptr, nullptr};
+          rebuilt.nondeterministic = !rebuilt.absorbed.deterministic;
+          analysis = std::make_shared<DftAnalysis>(std::move(rebuilt));
+          ++report.cache.storeHits;
+          report.timings.extract += secondsSince(phase);
+          report.diagnostics.push_back(
+              {Severity::Info,
+               "whole-tree quotient served from the persistent store "
+               "(composition skipped)"});
+        } else {
+          ++report.cache.storeMisses;
+        }
+      }
+      if (!analysis) {
+        analysis = runPipeline(*tree, request.options, report.timings,
+                               report.cache, storeHandle);
+        fresh = true;
+      }
+      if (report.cache.moduleHits > 0)
         report.diagnostics.push_back(
             {Severity::Info,
-             "static combination not applicable: " + layer.reason});
+             std::to_string(report.cache.moduleHits) +
+                 " module(s) spliced from the session cache, saving " +
+                 std::to_string(report.cache.stepsSaved) +
+                 " composition step(s)"});
+      if (analysis->stats.symmetricModulesReused > 0)
+        report.diagnostics.push_back(
+            {Severity::Info,
+             std::to_string(analysis->stats.symmetricModulesReused) +
+                 " symmetric module(s) instantiated by renaming (" +
+                 std::to_string(analysis->stats.symmetricBuckets) +
+                 " shape bucket(s)), saving " +
+                 std::to_string(analysis->stats.symmetrySavedSteps) +
+                 " composition step(s)"});
+      if (analysis->stats.onTheFlySteps > 0)
+        report.diagnostics.push_back(
+            {Severity::Info,
+             std::to_string(analysis->stats.onTheFlySteps) +
+                 " composition step(s) ran fused (on-the-fly), keeping at "
+                 "least " +
+                 std::to_string(analysis->stats.onTheFlySavedPeakStates) +
+                 " product state(s) below the materialization bound"});
+      if (analysis->stats.onTheFlyFallbacks > 0) {
+        std::string why;
+        for (const std::string& reason :
+             analysis->stats.onTheFlyFallbackReasons) {
+          if (!why.empty()) why += "; ";
+          why += reason;
+        }
+        report.diagnostics.push_back(
+            {Severity::Warning,
+             "on-the-fly composition fell back to the classic path for " +
+                 std::to_string(analysis->stats.onTheFlyFallbacks) +
+                 " step(s): " + why});
       }
-    }
-    if (!analysis)
-      analysis = runPipeline(*tree, request.options, report.timings,
-                             report.cache);
-    if (report.cache.moduleHits > 0)
-      report.diagnostics.push_back(
-          {Severity::Info,
-           std::to_string(report.cache.moduleHits) +
-               " module(s) spliced from the session cache, saving " +
-               std::to_string(report.cache.stepsSaved) +
-               " composition step(s)"});
-    if (analysis->stats.symmetricModulesReused > 0)
-      report.diagnostics.push_back(
-          {Severity::Info,
-           std::to_string(analysis->stats.symmetricModulesReused) +
-               " symmetric module(s) instantiated by renaming (" +
-               std::to_string(analysis->stats.symmetricBuckets) +
-               " shape bucket(s)), saving " +
-               std::to_string(analysis->stats.symmetrySavedSteps) +
-               " composition step(s)"});
-    if (analysis->stats.onTheFlySteps > 0)
-      report.diagnostics.push_back(
-          {Severity::Info,
-           std::to_string(analysis->stats.onTheFlySteps) +
-               " composition step(s) ran fused (on-the-fly), keeping at "
-               "least " +
-               std::to_string(analysis->stats.onTheFlySavedPeakStates) +
-               " product state(s) below the materialization bound"});
-    if (analysis->stats.onTheFlyFallbacks > 0) {
-      std::string why;
-      for (const std::string& reason : analysis->stats.onTheFlyFallbackReasons) {
-        if (!why.empty()) why += "; ";
-        why += reason;
+      // Publish the freshly composed whole-tree quotient to the store.
+      // Store-loaded and numeric analyses are skipped: the former's record
+      // already exists, the latter is served by module/curve records.
+      if (fresh && storeHandle && !analysis->staticCombo) {
+        if (storeHandle->storeTree(fullKey, analysis->closedModel,
+                                   analysis->repairable))
+          ++report.cache.storeWrites;
       }
-      report.diagnostics.push_back(
-          {Severity::Warning,
-           "on-the-fly composition fell back to the classic path for " +
-               std::to_string(analysis->stats.onTheFlyFallbacks) +
-               " step(s): " + why});
+      if (useTreeCache)
+        report.cache.treeEvictions +=
+            trees_.put(std::move(storeKey), analysis);
+    } catch (...) {
+      if (leader) {
+        flightPromise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        inflight_.erase(flightKey);
+      }
+      throw;
     }
-    if (useTreeCache) {
-      if (trees_.size() >= opts_.maxCachedTrees) trees_.clear();
-      trees_.emplace(std::move(storeKey), analysis);
+    if (leader) {
+      flightPromise.set_value(analysis);
+      std::lock_guard<std::mutex> lock(inflightMutex_);
+      inflight_.erase(flightKey);
     }
   }
   report.analysis = analysis;
@@ -580,7 +771,8 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   auto numericCurve = [&](const std::vector<double>& times) {
     return analysis->staticCombo->evaluate(
         times, [&](std::size_t index, const std::vector<double>& ts) {
-          return cachedCurve(*analysis->staticCombo, index, ts);
+          return cachedCurve(*analysis->staticCombo, index, ts, storeHandle,
+                             report.cache);
         });
   };
   auto warn = [&](const std::string& message) {
@@ -669,12 +861,19 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   report.timings.measure = secondsSince(phase);
 
   // --- Session bookkeeping. ---
-  sessionStats_.treeHits += report.cache.treeHits;
-  sessionStats_.treeMisses += report.cache.treeMisses;
-  sessionStats_.moduleHits += report.cache.moduleHits;
-  sessionStats_.moduleMisses += report.cache.moduleMisses;
-  sessionStats_.stepsRun += report.cache.stepsRun;
-  sessionStats_.stepsSaved += report.cache.stepsSaved;
+  if (storeHandle) {
+    // Surface soft store failures on whichever request drains them first
+    // (the store is shared; attribution is best-effort by design).
+    for (std::string& w : storeHandle->drainWarnings()) {
+      ++report.cache.storeErrors;
+      report.diagnostics.push_back(
+          {Severity::Warning, "quotient store: " + std::move(w)});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    sessionStats_.accumulate(report.cache);
+  }
   return report;
 }
 
@@ -684,6 +883,38 @@ std::vector<AnalysisReport> Analyzer::analyzeBatch(
   reports.reserve(requests.size());
   for (const AnalysisRequest& request : requests)
     reports.push_back(analyze(request));
+  return reports;
+}
+
+std::vector<AnalysisReport> Analyzer::analyzeBatch(
+    const std::vector<AnalysisRequest>& requests, unsigned workers) {
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > requests.size())
+    workers = static_cast<unsigned>(requests.size());
+  if (workers <= 1) return analyzeBatch(requests);
+
+  std::vector<AnalysisReport> reports(requests.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= requests.size()) return;
+      try {
+        reports[i] = analyze(requests[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
   return reports;
 }
 

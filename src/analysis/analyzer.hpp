@@ -1,5 +1,6 @@
 #pragma once
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/request.hpp"
+#include "common/lru_map.hpp"
 #include "dft/modules.hpp"
 #include "ioimc/model.hpp"
 
@@ -38,7 +40,31 @@
 /// requests of a session intern action names in one shared symbol table to
 /// make that splicing sound.
 ///
-/// Analyzer is not thread-safe; use one session per thread.
+/// Concurrency.  One Analyzer serves any number of concurrent sessions:
+/// every cache is an internally synchronized LRU map (common/lru_map.hpp,
+/// the module and curve caches sharded by key hash), the session symbol
+/// table is itself synchronized, and cached DftAnalysis objects are
+/// immutable once published (the one lazily computed field, fullMemo, is
+/// installed with a first-write-wins CAS — see measures.cpp).  Concurrent
+/// requests for the *same* fingerprint dedup in flight: the first becomes
+/// the leader and runs the aggregation, later arrivals block on a shared
+/// future and receive the leader's (identical) result, counted in
+/// CacheStats::inflightJoins.  N identical concurrent requests therefore
+/// perform exactly one aggregation.
+///
+/// Persistence.  When EngineOptions::storeDir names a directory, the
+/// session reads aggregated whole-tree and module quotients plus solved
+/// numeric-path curves from the content-addressed on-disk store
+/// (store/quotient_store.hpp) before aggregating, and publishes fresh
+/// results back.  Store records are keyed by the same canonical
+/// fingerprints as the in-memory caches and deserialize by action *name*
+/// into the session symbol table, so a store hit is bitwise identical to
+/// the cold aggregation it replaces.  Store failures are soft: they count
+/// as misses, attach Warning diagnostics, and never change an answer.
+
+namespace imcdft::store {
+class QuotientStore;  // store/quotient_store.hpp
+}
 
 namespace imcdft::analysis {
 
@@ -47,9 +73,12 @@ struct AnalyzerOptions {
   bool cacheTrees = true;
   /// Reuse aggregated independent-module models across requests (Modular
   /// strategy only).  Also gates the numeric path's solved-chain and
-  /// per-module curve caches (they are module-level caches too).
+  /// per-module curve caches (they are module-level caches too) and the
+  /// persistent store's module/curve record traffic.
   bool cacheModules = true;
-  /// Crude bounds: when a cache grows past its limit it is cleared whole.
+  /// Capacity bounds: least-recently-used entries are evicted once a cache
+  /// grows past its limit (counted in CacheStats::*Evictions); 0 means
+  /// unbounded.
   std::size_t maxCachedTrees = 256;
   std::size_t maxCachedModules = 1024;
   /// Numeric-path curve cache entries (one per solved chain x time grid).
@@ -69,6 +98,9 @@ class Analyzer {
   /// unreliability, unavailability of an irreparable tree) surface as
   /// diagnostics and per-measure errors, not exceptions; exceptions are
   /// reserved for malformed input (parse errors, unsupported trees).
+  ///
+  /// Safe to call from any number of threads concurrently; see the file
+  /// comment for the concurrency contract.
   AnalysisReport analyze(const AnalysisRequest& request);
 
   /// Serves the requests in order against the shared session caches and
@@ -77,8 +109,16 @@ class Analyzer {
   std::vector<AnalysisReport> analyzeBatch(
       const std::vector<AnalysisRequest>& requests);
 
-  /// Session-wide cache counters (sums over all analyze() calls).
-  const CacheStats& cacheStats() const { return sessionStats_; }
+  /// Concurrent batch: serves the requests on \p workers threads over the
+  /// shared session caches and returns the reports in request order.
+  /// 0 picks std::thread::hardware_concurrency().  Identical requests
+  /// dedup in flight (one aggregation, many joiners).  The first
+  /// exception, if any, is rethrown after all workers finish.
+  std::vector<AnalysisReport> analyzeBatch(
+      const std::vector<AnalysisRequest>& requests, unsigned workers);
+
+  /// Session-wide cache counters (sums over all analyze() calls so far).
+  CacheStats cacheStats() const;
 
   /// Number of entries currently cached.
   std::size_t cachedTreeCount() const { return trees_.size(); }
@@ -103,11 +143,17 @@ class Analyzer {
     /// stored model from this basis at lookup.
     std::vector<std::string> names;
   };
+  /// Numeric-path solved chain: module fingerprint (shape or exact, plus
+  /// engine options) -> whole per-module pipeline result.
+  struct ChainEntry {
+    std::shared_ptr<const DftAnalysis> analysis;
+    std::size_t steps = 0;  ///< compose steps a hit saves
+  };
 
-  std::shared_ptr<const DftAnalysis> runPipeline(const dft::Dft& tree,
-                                                 const AnalysisOptions& opts,
-                                                 PhaseTimings& timings,
-                                                 CacheStats& requestStats);
+  std::shared_ptr<const DftAnalysis> runPipeline(
+      const dft::Dft& tree, const AnalysisOptions& opts,
+      PhaseTimings& timings, CacheStats& requestStats,
+      const std::shared_ptr<store::QuotientStore>& store);
 
   /// The static-combination numeric path: per-module pipelines + BDD
   /// structure function over the frontier of \p layer (which must be
@@ -117,34 +163,50 @@ class Analyzer {
   std::shared_ptr<const DftAnalysis> runNumericPipeline(
       const dft::Dft& tree, const dft::StaticLayer& layer,
       const AnalysisOptions& opts, PhaseTimings& timings,
-      CacheStats& requestStats, std::vector<Diagnostic>& diagnostics);
+      CacheStats& requestStats, std::vector<Diagnostic>& diagnostics,
+      const std::shared_ptr<store::QuotientStore>& store);
 
   /// Serves a numeric-path chain's curve from the session curve cache
-  /// (keyed chain fingerprint x time grid), solving on miss.
-  std::vector<double> cachedCurve(const StaticCombination& combo,
-                                  std::size_t chainIndex,
-                                  const std::vector<double>& times);
+  /// (keyed chain fingerprint x time grid), then from the persistent
+  /// store, solving on a double miss (and publishing the fresh curve).
+  std::vector<double> cachedCurve(
+      const StaticCombination& combo, std::size_t chainIndex,
+      const std::vector<double>& times,
+      const std::shared_ptr<store::QuotientStore>& store, CacheStats& stats);
+
+  /// Resolves (and memoizes) the store handle for \p dir; an empty dir
+  /// returns null.  A directory that cannot be opened warns once (on the
+  /// first request that touches it) and is remembered as disabled.
+  std::shared_ptr<store::QuotientStore> openStore(
+      const std::string& dir, std::vector<Diagnostic>& diagnostics);
 
   AnalyzerOptions opts_;
   ioimc::SymbolTablePtr symbols_;
+
+  mutable std::mutex statsMutex_;
   CacheStats sessionStats_;
-  std::unordered_map<std::string, std::shared_ptr<const DftAnalysis>> trees_;
-  /// Guards modules_: the engine's parallel module aggregation stores
-  /// freshly aggregated modules from its worker threads (the rest of the
-  /// Analyzer stays single-threaded-per-session).
-  std::mutex modulesMutex_;
-  std::unordered_map<std::string, ModuleEntry> modules_;
-  /// Numeric-path solved chains: module fingerprint (shape or exact, plus
-  /// engine options) -> whole per-module pipeline result.  Only touched
-  /// from the session thread.
-  struct ChainEntry {
-    std::shared_ptr<const DftAnalysis> analysis;
-    std::size_t steps = 0;  ///< compose steps a hit saves
-  };
-  std::unordered_map<std::string, ChainEntry> chains_;
-  /// Numeric-path curves: chain fingerprint x time grid -> unreliability
-  /// curve ("symmetric siblings get one curve for free" across requests).
-  std::unordered_map<std::string, std::vector<double>> curves_;
+
+  /// The four session caches; all internally synchronized LRU maps.
+  /// trees_/chains_ are only touched from request-serving threads;
+  /// modules_ is also stored into from the engine's worker threads, and
+  /// curves_ takes measure-evaluation traffic from every session — both
+  /// are sharded to keep concurrent sessions off one mutex.
+  LruMap<std::shared_ptr<const DftAnalysis>> trees_;
+  ShardedLruMap<std::shared_ptr<const ModuleEntry>> modules_;
+  LruMap<ChainEntry> chains_;
+  ShardedLruMap<std::vector<double>> curves_;
+
+  /// In-flight dedup: fingerprint -> the future every concurrent identical
+  /// request joins on.  Entries live only while a leader is aggregating.
+  std::mutex inflightMutex_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const DftAnalysis>>>
+      inflight_;
+
+  /// Persistent stores by directory (null = directory unusable, warned).
+  std::mutex storesMutex_;
+  std::unordered_map<std::string, std::shared_ptr<store::QuotientStore>>
+      stores_;
 };
 
 }  // namespace imcdft::analysis

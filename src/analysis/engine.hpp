@@ -84,6 +84,15 @@ struct EngineOptions {
   /// Safety valve for the fused engine: a step whose live region exceeds
   /// this many states falls back to the classic chain.  0 = unlimited.
   std::size_t onTheFlyMaxVisited = 0;
+  /// Directory of the persistent quotient store (store/quotient_store.hpp).
+  /// Empty disables persistence.  The Analyzer reads aggregated module and
+  /// whole-tree quotients plus solved curves from it before aggregating,
+  /// and publishes fresh results back; a fleet of processes pointed at one
+  /// directory shares a warm cache across restarts.  Deliberately NOT part
+  /// of the semantic cache key (optionsKey): store hits are bitwise
+  /// identical to cold aggregation, so the same analysis keyed with and
+  /// without a store must share cache entries.
+  std::string storeDir;
   ioimc::WeakOptions weak;
 };
 

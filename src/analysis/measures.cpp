@@ -1,5 +1,8 @@
 #include "analysis/measures.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "analysis/analyzer.hpp"
 #include "analysis/static_combine.hpp"
 #include "common/error.hpp"
@@ -57,14 +60,26 @@ const Extraction& fullExtraction(const DftAnalysis& analysis) {
           "fullExtraction: not available under static combination (the "
           "joint model was never built); rerun with "
           "EngineOptions::staticCombine off");
-  if (!analysis.fullMemo) {
+  // Concurrent sessions share one DftAnalysis; the memo is installed with
+  // a first-write-wins CAS.  Racing threads compute identical extractions
+  // (the pipeline is deterministic), so whichever pointer lands is correct
+  // and, being immutable afterwards, safe to return by reference.
+  auto memo = std::atomic_load_explicit(&analysis.fullMemo,
+                                        std::memory_order_acquire);
+  if (!memo) {
     Extraction full = extract(analysis.closedModel, kDownLabel);
     require(full.deterministic,
             "unavailability: the model is nondeterministic; no "
             "scheduler-free answer exists");
-    analysis.fullMemo = std::move(full);
+    auto fresh = std::make_shared<const Extraction>(std::move(full));
+    std::shared_ptr<const Extraction> expected;
+    if (std::atomic_compare_exchange_strong(&analysis.fullMemo, &expected,
+                                            fresh))
+      memo = std::move(fresh);
+    else
+      memo = std::move(expected);
   }
-  return *analysis.fullMemo;
+  return *memo;
 }
 
 double unavailability(const DftAnalysis& analysis, double t) {

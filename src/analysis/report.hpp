@@ -40,11 +40,12 @@ struct DftAnalysis {
   /// Lazily computed extraction of the *non-absorbed* model (needed by the
   /// unavailability measures, where the system leaves the down states again
   /// after repair).  Use fullExtraction() in measures.hpp; do not touch.
-  /// The memo is unsynchronized: reports of one session share a single
-  /// DftAnalysis, so callers evaluating unavailability measures on shared
-  /// instances from several threads must serialize (like the Analyzer
-  /// itself, this type is single-thread-per-instance).
-  mutable std::optional<Extraction> fullMemo;
+  /// Accessed only through the std::atomic_* shared_ptr free functions:
+  /// reports of concurrent sessions share a single DftAnalysis, and the
+  /// first successfully installed extraction wins (racing threads compute
+  /// identical values, so the race is benign and the published pointer
+  /// never changes afterwards).
+  mutable std::shared_ptr<const Extraction> fullMemo;
   /// Set when the static-combination numeric path served this analysis
   /// (EngineOptions::staticCombine): per-module absorbing CTMCs plus the
   /// layer's BDD structure function.  closedModel is then a one-state
@@ -104,6 +105,49 @@ struct CacheStats {
   /// Compose/hide/aggregate steps actually executed vs avoided by hits.
   std::size_t stepsRun = 0;
   std::size_t stepsSaved = 0;
+  /// Persistent quotient store (EngineOptions::storeDir): records served
+  /// from / probed and absent in the on-disk store, summed over all three
+  /// record kinds (whole-tree quotients, module quotients, solved curves).
+  /// Store hits at the module level also count as moduleHits (they splice
+  /// like a session-cache hit would).
+  std::size_t storeHits = 0;
+  std::size_t storeMisses = 0;
+  /// New record files published to the store (existing records are never
+  /// rewritten and do not count).
+  std::size_t storeWrites = 0;
+  /// Soft store problems observed (a record that failed to load —
+  /// truncation, corruption, checksum or version mismatch — or a publish
+  /// that failed).  Each degrades to the cold path and attaches a Warning
+  /// diagnostic — never a wrong answer.
+  std::size_t storeErrors = 0;
+  /// Requests that joined an in-flight identical aggregation started by a
+  /// concurrent request instead of running their own (in-flight dedup).
+  std::size_t inflightJoins = 0;
+  /// LRU evictions per session cache (entries dropped past the capacity
+  /// bounds in AnalyzerOptions).
+  std::size_t treeEvictions = 0;
+  std::size_t moduleEvictions = 0;
+  std::size_t chainEvictions = 0;
+  std::size_t curveEvictions = 0;
+
+  /// Field-wise sum (request stats folding into session stats).
+  void accumulate(const CacheStats& other) {
+    treeHits += other.treeHits;
+    treeMisses += other.treeMisses;
+    moduleHits += other.moduleHits;
+    moduleMisses += other.moduleMisses;
+    stepsRun += other.stepsRun;
+    stepsSaved += other.stepsSaved;
+    storeHits += other.storeHits;
+    storeMisses += other.storeMisses;
+    storeWrites += other.storeWrites;
+    storeErrors += other.storeErrors;
+    inflightJoins += other.inflightJoins;
+    treeEvictions += other.treeEvictions;
+    moduleEvictions += other.moduleEvictions;
+    chainEvictions += other.chainEvictions;
+    curveEvictions += other.curveEvictions;
+  }
 };
 
 /// Response to one AnalysisRequest.

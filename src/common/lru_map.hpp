@@ -1,0 +1,124 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+/// \file lru_map.hpp
+/// The synchronized LRU maps behind the Analyzer's session caches: bounded
+/// maps from string cache keys to values that evict the least recently
+/// used entries past their capacity instead of clearing whole (the crude
+/// pre-LRU policy), plus a sharded wrapper for the caches hit from the
+/// engine's worker threads.
+
+namespace imcdft {
+
+/// A mutex-guarded LRU map from string keys to copyable values.  get()
+/// refreshes recency; put() evicts from the cold end while over capacity
+/// and reports how many entries it dropped, so callers can keep eviction
+/// counters.  A capacity of 0 means unbounded.
+template <class V>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : cap_(capacity) {}
+
+  std::optional<V> get(std::string_view key) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; returns the number of entries evicted.
+  std::size_t put(std::string key, V value) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = index_.find(std::string_view(key));
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return 0;
+    }
+    order_.emplace_front(std::move(key), std::move(value));
+    index_.emplace(std::string_view(order_.front().first), order_.begin());
+    std::size_t evicted = 0;
+    while (cap_ != 0 && order_.size() > cap_) {
+      index_.erase(std::string_view(order_.back().first));
+      order_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return order_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(m_);
+    index_.clear();
+    order_.clear();
+  }
+
+ private:
+  using Entry = std::pair<std::string, V>;
+
+  mutable std::mutex m_;
+  std::size_t cap_;
+  std::list<Entry> order_;  ///< front = most recently used
+  /// Views into the list nodes' key strings (stable across splices).
+  std::unordered_map<std::string_view, typename std::list<Entry>::iterator>
+      index_;
+};
+
+/// An LRU map split into independently locked shards by key hash, for the
+/// caches the engine's parallel module aggregation stores into from worker
+/// threads.  The capacity is divided evenly across shards, so the bound is
+/// approximate per shard but exact in total order of magnitude; the shard
+/// count never exceeds the capacity, so small caps still evict strictly.
+template <class V>
+class ShardedLruMap {
+ public:
+  explicit ShardedLruMap(std::size_t capacity, std::size_t shards = 8) {
+    if (capacity != 0 && shards > capacity) shards = capacity;
+    if (shards == 0) shards = 1;
+    const std::size_t perShard =
+        capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+    for (std::size_t i = 0; i < shards; ++i) shards_.emplace_back(perShard);
+  }
+
+  std::optional<V> get(std::string_view key) {
+    return shards_[shardOf(key)].get(key);
+  }
+
+  std::size_t put(std::string key, V value) {
+    LruMap<V>& shard = shards_[shardOf(key)];
+    return shard.put(std::move(key), std::move(value));
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const LruMap<V>& shard : shards_) total += shard.size();
+    return total;
+  }
+
+  void clear() {
+    for (LruMap<V>& shard : shards_) shard.clear();
+  }
+
+ private:
+  std::size_t shardOf(std::string_view key) const {
+    return std::hash<std::string_view>{}(key) % shards_.size();
+  }
+
+  std::deque<LruMap<V>> shards_;  ///< deque: LruMap is not movable
+};
+
+}  // namespace imcdft

@@ -18,8 +18,11 @@ PoissonWeights poissonWeights(double q, double epsilon) {
   }
 
   auto logPmf = [q](std::size_t k) {
+    // lgamma_r, not std::lgamma: the latter writes the global signgam,
+    // which races when concurrent sessions solve transients in parallel.
+    int sign = 0;
     return -q + static_cast<double>(k) * std::log(q) -
-           std::lgamma(static_cast<double>(k) + 1.0);
+           ::lgamma_r(static_cast<double>(k) + 1.0, &sign);
   };
 
   const std::size_t mode = static_cast<std::size_t>(q);

@@ -1,0 +1,205 @@
+#include "ioimc/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imcdft::ioimc {
+
+void ByteWriter::u32(std::uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out_.append(b, 4);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t size) {
+  out_.append(static_cast<const char*>(data), size);
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  std::uint32_t n = u32();
+  if (!take(n)) return {};
+  std::string s(data_ + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void serializeModel(const IOIMC& m, ByteWriter& out) {
+  out.str(m.name());
+  // The signature's three name lists double as the action table: a
+  // transition's action is encoded as its index in inputs|outputs|internals
+  // concatenation order, which is stable across symbol tables.
+  const Signature& sig = m.signature();
+  std::unordered_map<ActionId, std::uint32_t> actionIndex;
+  std::uint32_t next = 0;
+  auto writeActions = [&](const std::vector<ActionId>& actions) {
+    out.u32(static_cast<std::uint32_t>(actions.size()));
+    for (ActionId a : actions) {
+      out.str(m.actionName(a));
+      actionIndex.emplace(a, next++);
+    }
+  };
+  writeActions(sig.inputs());
+  writeActions(sig.outputs());
+  writeActions(sig.internals());
+
+  const std::uint32_t numStates = static_cast<std::uint32_t>(m.numStates());
+  out.u32(numStates);
+  out.u32(m.initial());
+
+  // CSR rows in state order: per-state lengths, then the flat data arrays
+  // in their stored order (prefix sums on load rebuild identical offsets).
+  for (StateId s = 0; s < numStates; ++s)
+    out.u32(static_cast<std::uint32_t>(m.interactive(s).size()));
+  for (const InteractiveTransition& t : m.allInteractive()) {
+    out.u32(actionIndex.at(t.action));
+    out.u32(t.to);
+  }
+  for (StateId s = 0; s < numStates; ++s)
+    out.u32(static_cast<std::uint32_t>(m.markovian(s).size()));
+  for (const MarkovianTransition& t : m.allMarkovian()) {
+    out.f64(t.rate);
+    out.u32(t.to);
+  }
+
+  for (StateId s = 0; s < numStates; ++s) out.u32(m.labelMask(s));
+  out.u32(static_cast<std::uint32_t>(m.labelNames().size()));
+  for (const std::string& label : m.labelNames()) out.str(label);
+}
+
+std::optional<IOIMC> deserializeModel(ByteReader& in,
+                                      const SymbolTablePtr& symbols) {
+  std::string name = in.str();
+
+  Signature sig;
+  std::vector<ActionId> actionTable;
+  auto readActions = [&](ActionKind kind) {
+    std::uint32_t n = in.u32();
+    // A name costs at least 4 bytes (its length field): reject counts the
+    // remaining bytes cannot possibly hold before resizing anything.
+    if (n > in.remaining() / 4 + 1) n = 0;
+    for (std::uint32_t i = 0; i < n && in.ok(); ++i) {
+      ActionId a = symbols->intern(in.str());
+      actionTable.push_back(a);
+      try {
+        sig.add(a, kind);
+      } catch (const Error&) {
+        return false;  // duplicate action across roles: malformed
+      }
+    }
+    return in.ok();
+  };
+  if (!readActions(ActionKind::Input) || !readActions(ActionKind::Output) ||
+      !readActions(ActionKind::Internal))
+    return std::nullopt;
+
+  const std::uint32_t numStates = in.u32();
+  const std::uint32_t initial = in.u32();
+  if (numStates > in.remaining() / 4 + 1 || !in.ok()) return std::nullopt;
+
+  auto readLengths = [&](std::vector<std::uint32_t>& lens) {
+    lens.resize(numStates);
+    for (std::uint32_t s = 0; s < numStates; ++s) lens[s] = in.u32();
+    return in.ok();
+  };
+
+  CsrInteractive inter;
+  {
+    std::vector<std::uint32_t> lens;
+    if (!readLengths(lens)) return std::nullopt;
+    inter.offsets.reserve(numStates + 1);
+    for (std::uint32_t s = 0; s < numStates; ++s) {
+      inter.beginState();
+      for (std::uint32_t i = 0; i < lens[s] && in.ok(); ++i) {
+        std::uint32_t action = in.u32();
+        std::uint32_t to = in.u32();
+        if (action >= actionTable.size()) return std::nullopt;
+        inter.data.push_back({actionTable[action], to});
+      }
+    }
+    inter.finish();
+  }
+
+  CsrMarkovian markov;
+  {
+    std::vector<std::uint32_t> lens;
+    if (!readLengths(lens)) return std::nullopt;
+    markov.offsets.reserve(numStates + 1);
+    for (std::uint32_t s = 0; s < numStates; ++s) {
+      markov.beginState();
+      for (std::uint32_t i = 0; i < lens[s] && in.ok(); ++i) {
+        double rate = in.f64();
+        std::uint32_t to = in.u32();
+        markov.data.push_back({rate, to});
+      }
+    }
+    markov.finish();
+  }
+
+  std::vector<std::uint32_t> labelMasks(numStates);
+  for (std::uint32_t s = 0; s < numStates; ++s) labelMasks[s] = in.u32();
+
+  std::vector<std::string> labelNames;
+  std::uint32_t numLabels = in.u32();
+  if (numLabels > 32 || !in.ok()) return std::nullopt;
+  for (std::uint32_t i = 0; i < numLabels; ++i) labelNames.push_back(in.str());
+
+  if (!in.ok()) return std::nullopt;
+  try {
+    return IOIMC(std::move(name), symbols, std::move(sig), initial,
+                 std::move(inter), std::move(markov), std::move(labelMasks),
+                 std::move(labelNames));
+  } catch (const Error&) {
+    // The model-level validation (target bounds, positive rates, signature
+    // consistency) is the last line of defense against corrupted payloads
+    // that happen to parse.
+    return std::nullopt;
+  }
+}
+
+}  // namespace imcdft::ioimc

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ioimc/model.hpp"
+
+/// \file serialize.hpp
+/// Exact binary (de)serialization of I/O-IMC models, the payload codec of
+/// the persistent quotient store (store/quotient_store.hpp).
+///
+/// The encoding is *exact* and *session-independent*:
+///
+///  * Markovian rates are emitted as raw IEEE-754 bit patterns, so a
+///    round trip is bitwise lossless;
+///  * transitions keep their CSR order, so the reconstructed model's flat
+///    arrays are identical to the source's;
+///  * actions are referred to by their *names* (via an index into the
+///    serialized signature), never by SymbolId — the bytes written by one
+///    process deserialize correctly into any other symbol table.
+///
+/// Together these give the store its determinism guarantee: a model loaded
+/// into a session whose symbol table already interned the model's action
+/// names (which holds for module quotients, because conversion interns
+/// every signal of the tree before the engine probes any cache) is
+/// *byte-identical* — same CSR arrays, same ids — to what aggregating the
+/// module in that session would have produced.
+
+namespace imcdft::ioimc {
+
+/// Append-only little-endian byte sink used by the store's record codecs.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw IEEE-754 bit pattern; the round trip is bitwise exact.
+  void f64(double v);
+  /// u32 length followed by the bytes.
+  void str(std::string_view s);
+  void raw(const void* data, std::size_t size);
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a byte span.  Any overrun
+/// poisons the reader (ok() turns false) and every later read returns a
+/// zero value, so decoders can parse first and check once at the end —
+/// truncated or corrupted input can never read out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n);
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Appends the exact encoding of \p m to \p out (see the file comment for
+/// the guarantees).
+void serializeModel(const IOIMC& m, ByteWriter& out);
+
+/// Reconstructs a model written by serializeModel(), interning every action
+/// and symbol name into \p symbols.  Returns nullopt — never throws, never
+/// reads out of bounds — when the bytes are malformed (truncation,
+/// inconsistent counts, or anything the IOIMC constructor's validation
+/// rejects).
+std::optional<IOIMC> deserializeModel(ByteReader& in,
+                                      const SymbolTablePtr& symbols);
+
+}  // namespace imcdft::ioimc

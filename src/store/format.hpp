@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ioimc/model.hpp"
+
+/// \file format.hpp
+/// The on-disk record format of the persistent quotient store: one
+/// versioned, checksummed, self-describing record per file.
+///
+/// Layout (all integers little-endian):
+///
+///     offset  size  field
+///     0       8     magic "IMCQSTR\x01"
+///     8       4     format version (kFormatVersion)
+///     12      4     record kind (RecordKind)
+///     16      8     payload size in bytes
+///     24      8     FNV-1a 64 checksum of the payload
+///     32      -     payload
+///
+/// Every payload starts with the full cache key the record was stored
+/// under.  File names are derived from a 64-bit hash of that key, so the
+/// embedded key is what makes the store content-addressed rather than
+/// merely hash-addressed: a loader verifies it and treats a mismatch (a
+/// hash collision) as a miss, never as an answer.
+///
+/// Payloads:
+///  * ModuleQuotient — key, steps saved, the concrete-name basis of the
+///    shape (empty under exact keying), and the aggregated module I/O-IMC
+///    (ioimc/serialize.hpp).
+///  * Curve — key and the raw IEEE-754 solved values.
+///  * TreeQuotient — key, the repairable flag, and the whole-tree closed
+///    model; the loader re-derives the absorbed extraction (cheap: the
+///    model is already aggregated).
+///
+/// Decoders never throw and never read out of bounds; any malformation
+/// (bad magic, version mismatch, truncation, checksum mismatch, malformed
+/// payload) yields nullopt plus a diagnostic message, which the Analyzer
+/// surfaces as a soft Warning and answers by cold aggregation instead.
+
+namespace imcdft::store {
+
+inline constexpr char kMagic[8] = {'I', 'M', 'C', 'Q', 'S', 'T', 'R', '\x01'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderSize = 32;
+
+enum class RecordKind : std::uint32_t {
+  ModuleQuotient = 1,
+  Curve = 2,
+  TreeQuotient = 3,
+};
+
+/// FNV-1a 64 over a raw byte range (the payload checksum).
+std::uint64_t fnv1aBytes(const char* data, std::size_t size);
+
+struct ModuleRecord {
+  std::string key;
+  std::uint64_t steps = 0;
+  std::vector<std::string> names;
+  ioimc::IOIMC model;
+};
+
+struct CurveRecord {
+  std::string key;
+  std::vector<double> values;
+};
+
+struct TreeRecord {
+  std::string key;
+  bool repairable = false;
+  ioimc::IOIMC model;
+};
+
+std::string encodeModuleRecord(const std::string& key,
+                               const ioimc::IOIMC& model, std::uint64_t steps,
+                               const std::vector<std::string>& names);
+std::string encodeCurveRecord(const std::string& key,
+                              const std::vector<double>& values);
+std::string encodeTreeRecord(const std::string& key,
+                             const ioimc::IOIMC& model, bool repairable);
+
+/// Decode a whole record file.  \p error receives a human-readable reason
+/// on failure; a key that parses fine but differs from \p key sets \p
+/// error empty and returns nullopt (a silent collision miss).
+std::optional<ModuleRecord> decodeModuleRecord(
+    const char* data, std::size_t size, const std::string& key,
+    const ioimc::SymbolTablePtr& symbols, std::string& error);
+std::optional<CurveRecord> decodeCurveRecord(const char* data,
+                                             std::size_t size,
+                                             const std::string& key,
+                                             std::string& error);
+std::optional<TreeRecord> decodeTreeRecord(
+    const char* data, std::size_t size, const std::string& key,
+    const ioimc::SymbolTablePtr& symbols, std::string& error);
+
+}  // namespace imcdft::store

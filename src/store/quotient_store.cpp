@@ -1,0 +1,223 @@
+#include "store/quotient_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace imcdft::store {
+
+namespace {
+
+/// RAII read-only mapping of one record file.  A fleet of workers loading
+/// the same record shares the page-cache pages behind these mappings.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) return;
+    struct ::stat st{};
+    if (::fstat(fd_, &st) != 0 || st.st_size < 0) return;
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) {
+      empty_ = true;
+      return;
+    }
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd_, 0);
+    if (p != MAP_FAILED) data_ = static_cast<const char*>(p);
+  }
+  ~MappedFile() {
+    if (data_) ::munmap(const_cast<char*>(data_), size_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The file does not exist (a plain miss, not an error).
+  bool absent() const { return fd_ < 0; }
+  /// The file exists but could not be mapped or is empty (an error).
+  bool unreadable() const { return fd_ >= 0 && !data_; }
+  bool emptyFile() const { return empty_; }
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool empty_ = false;
+};
+
+char kindTag(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::ModuleQuotient: return 'q';
+    case RecordKind::Curve: return 'c';
+    case RecordKind::TreeQuotient: return 't';
+  }
+  return 'x';
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::shared_ptr<QuotientStore> QuotientStore::open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw Error("quotient store: cannot create '" + dir +
+                "': " + ec.message());
+  if (!std::filesystem::is_directory(dir))
+    throw Error("quotient store: '" + dir + "' is not a directory");
+  // Probe writability up front so a read-only mount surfaces as one clear
+  // error instead of a warning per record.
+  const std::string probe =
+      dir + "/.probe-" + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(probe.c_str(), "wb");
+  if (!f)
+    throw Error("quotient store: '" + dir + "' is not writable: " +
+                std::strerror(errno));
+  std::fclose(f);
+  ::unlink(probe.c_str());
+  return std::shared_ptr<QuotientStore>(new QuotientStore(dir));
+}
+
+std::string QuotientStore::entryPath(const std::string& key,
+                                     RecordKind kind) const {
+  return dir_ + "/" + kindTag(kind) +
+         hex64(fnv1aBytes(key.data(), key.size())) + ".imcq";
+}
+
+template <class Record, class Decode>
+std::optional<Record> QuotientStore::loadRecord(const std::string& key,
+                                                RecordKind kind,
+                                                Decode&& decode) {
+  const std::string path = entryPath(key, kind);
+  MappedFile file(path);
+  if (file.absent()) return std::nullopt;
+  std::string error;
+  std::optional<Record> record;
+  if (file.emptyFile() || file.unreadable())
+    error = file.emptyFile() ? "empty record file" : "cannot map record file";
+  else
+    record = decode(file.data(), file.size(), error);
+  if (!record && !error.empty()) {
+    loadErrors_.fetch_add(1, std::memory_order_relaxed);
+    warn("'" + path + "': " + error + " — recomputing");
+  }
+  return record;
+}
+
+std::optional<QuotientStore::LoadedModule> QuotientStore::loadModule(
+    const std::string& key, const ioimc::SymbolTablePtr& symbols) {
+  auto record = loadRecord<ModuleRecord>(
+      key, RecordKind::ModuleQuotient,
+      [&](const char* data, std::size_t size, std::string& error) {
+        return decodeModuleRecord(data, size, key, symbols, error);
+      });
+  if (!record) return std::nullopt;
+  return LoadedModule{std::move(record->model), record->steps,
+                      std::move(record->names)};
+}
+
+std::optional<std::vector<double>> QuotientStore::loadCurve(
+    const std::string& key) {
+  auto record = loadRecord<CurveRecord>(
+      key, RecordKind::Curve,
+      [&](const char* data, std::size_t size, std::string& error) {
+        return decodeCurveRecord(data, size, key, error);
+      });
+  if (!record) return std::nullopt;
+  return std::move(record->values);
+}
+
+std::optional<QuotientStore::LoadedTree> QuotientStore::loadTree(
+    const std::string& key, const ioimc::SymbolTablePtr& symbols) {
+  auto record = loadRecord<TreeRecord>(
+      key, RecordKind::TreeQuotient,
+      [&](const char* data, std::size_t size, std::string& error) {
+        return decodeTreeRecord(data, size, key, symbols, error);
+      });
+  if (!record) return std::nullopt;
+  return LoadedTree{std::move(record->model), record->repairable};
+}
+
+bool QuotientStore::publish(const std::string& path,
+                            const std::string& bytes) {
+  // Content-addressing makes rewrites pointless: an existing record for
+  // this path already holds these bytes (or a colliding key's — which a
+  // rewrite would clobber for no gain either way).
+  if (std::filesystem::exists(path)) return false;
+  const std::string tmp = dir_ + "/.tmp-" +
+                          std::to_string(static_cast<long>(::getpid())) + "-" +
+                          std::to_string(tmpSeq_.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    warn("cannot create '" + tmp + "': " + std::strerror(errno));
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    warn("short write to '" + tmp + "'");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    warn("cannot publish '" + path + "': " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool QuotientStore::storeModule(const std::string& key,
+                                const ioimc::IOIMC& model,
+                                std::uint64_t steps,
+                                const std::vector<std::string>& names) {
+  const std::string path = entryPath(key, RecordKind::ModuleQuotient);
+  if (std::filesystem::exists(path)) return false;
+  return publish(path, encodeModuleRecord(key, model, steps, names));
+}
+
+bool QuotientStore::storeCurve(const std::string& key,
+                               const std::vector<double>& values) {
+  const std::string path = entryPath(key, RecordKind::Curve);
+  if (std::filesystem::exists(path)) return false;
+  return publish(path, encodeCurveRecord(key, values));
+}
+
+bool QuotientStore::storeTree(const std::string& key,
+                              const ioimc::IOIMC& model, bool repairable) {
+  const std::string path = entryPath(key, RecordKind::TreeQuotient);
+  if (std::filesystem::exists(path)) return false;
+  return publish(path, encodeTreeRecord(key, model, repairable));
+}
+
+std::vector<std::string> QuotientStore::drainWarnings() {
+  std::lock_guard<std::mutex> lock(warningsMutex_);
+  return std::exchange(warnings_, {});
+}
+
+void QuotientStore::warn(std::string message) {
+  std::lock_guard<std::mutex> lock(warningsMutex_);
+  // Bounded: a store full of corrupt files must not grow an unbounded
+  // diagnostic queue inside a long-lived service.
+  if (warnings_.size() < 64) warnings_.push_back(std::move(message));
+}
+
+}  // namespace imcdft::store

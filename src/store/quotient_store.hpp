@@ -1,0 +1,105 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ioimc/model.hpp"
+#include "store/format.hpp"
+
+/// \file quotient_store.hpp
+/// The persistent, content-addressed quotient store: a directory of
+/// checksummed record files (store/format.hpp) holding aggregated module
+/// quotients, whole-tree quotients and solved curves, keyed by the same
+/// canonical fingerprints the Analyzer's in-memory caches use
+/// (dft::canonicalKey / dft::moduleKey / dft::moduleShape plus the engine
+/// options).  A fleet of worker processes pointed at one directory shares
+/// a single warm cache across restarts:
+///
+///  * loads go through mmap(2), so identical records read by many workers
+///    occupy one set of page-cache pages;
+///  * writes build the record in a temporary file and publish it with
+///    rename(2), so readers only ever observe complete records and
+///    concurrent writers of the same key are safe (last rename wins, and
+///    both bodies are identical anyway — records are pure functions of
+///    their key);
+///  * a record that exists is never rewritten (content-addressing: same
+///    key means same bytes), so steady-state serving does no write I/O.
+///
+/// Every failure mode is *soft*: a missing, truncated, corrupted,
+/// version-mismatched or colliding record behaves as a cache miss.  Load
+/// failures additionally queue a human-readable warning (drainWarnings())
+/// which the Analyzer turns into a Warning diagnostic — never a wrong
+/// answer, never an exception past open().
+///
+/// Instances are internally synchronized; one store may serve any number
+/// of concurrent Analyzer sessions.
+
+namespace imcdft::store {
+
+class QuotientStore {
+ public:
+  /// Opens \p dir, creating it (and parents) when absent.  Throws Error
+  /// only when the directory cannot be created or is not writable — after
+  /// open() succeeds, no store condition throws.
+  static std::shared_ptr<QuotientStore> open(const std::string& dir);
+
+  struct LoadedModule {
+    ioimc::IOIMC model;
+    std::uint64_t steps = 0;
+    std::vector<std::string> names;
+  };
+  struct LoadedTree {
+    ioimc::IOIMC model;
+    bool repairable = false;
+  };
+
+  std::optional<LoadedModule> loadModule(const std::string& key,
+                                         const ioimc::SymbolTablePtr& symbols);
+  std::optional<std::vector<double>> loadCurve(const std::string& key);
+  std::optional<LoadedTree> loadTree(const std::string& key,
+                                     const ioimc::SymbolTablePtr& symbols);
+
+  /// Store a record; returns true when a new file was published, false
+  /// when the record already existed (the common steady-state case) or the
+  /// write failed (which queues a warning).
+  bool storeModule(const std::string& key, const ioimc::IOIMC& model,
+                   std::uint64_t steps, const std::vector<std::string>& names);
+  bool storeCurve(const std::string& key, const std::vector<double>& values);
+  bool storeTree(const std::string& key, const ioimc::IOIMC& model,
+                 bool repairable);
+
+  /// The file the record for \p key lives at (exposed for tests/tooling).
+  std::string entryPath(const std::string& key, RecordKind kind) const;
+
+  /// Load failures (not misses) observed so far.
+  std::uint64_t loadErrors() const { return loadErrors_.load(); }
+
+  /// Returns and clears the queued soft diagnostics.
+  std::vector<std::string> drainWarnings();
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  explicit QuotientStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Maps the record file for (key, kind) and decodes it via \p decode;
+  /// shared miss/error bookkeeping for the three load fronts.
+  template <class Record, class Decode>
+  std::optional<Record> loadRecord(const std::string& key, RecordKind kind,
+                                   Decode&& decode);
+  bool publish(const std::string& path, const std::string& bytes);
+  void warn(std::string message);
+
+  std::string dir_;
+  std::mutex warningsMutex_;
+  std::vector<std::string> warnings_;
+  std::atomic<std::uint64_t> loadErrors_{0};
+  std::atomic<std::uint64_t> tmpSeq_{0};
+};
+
+}  // namespace imcdft::store

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/measures.hpp"
+#include "dft/corpus.hpp"
+
+/// \file test_concurrent_analyzer.cpp
+/// The Analyzer's concurrency contract: genuinely concurrent sessions over
+/// one Analyzer, in-flight dedup of identical requests (N concurrent
+/// identical requests perform exactly one aggregation), the lazily
+/// installed unavailability extraction under contention, a fleet of
+/// sessions sharing one persistent store, and LRU eviction of every
+/// session cache.  The whole file runs under TSan in CI (the suite names
+/// contain "Concurrent"/run via ctest -R 'Concurrent' — see also
+/// StoreRobustness.ConcurrentWriters in test_store.cpp).
+
+namespace imcdft {
+namespace {
+
+namespace fs = std::filesystem;
+using analysis::AnalysisOptions;
+using analysis::AnalysisReport;
+using analysis::AnalysisRequest;
+using analysis::Analyzer;
+using analysis::AnalyzerOptions;
+using analysis::MeasureSpec;
+
+/// CAS variant with the cross-switch failure rate perturbed: every variant
+/// interns the same action-name universe, so cross-session comparisons are
+/// exact (see the determinism note in analyzer.hpp).
+std::string perturbedCas(double csLambda) {
+  std::string text = dft::corpus::galileoCas();
+  const std::string needle = "\"CS\" lambda=0.2;";
+  auto pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(),
+               "\"CS\" lambda=" + std::to_string(csLambda) + ";");
+  return text;
+}
+
+AnalysisOptions viaComposition() {
+  AnalysisOptions opts;
+  opts.engine.staticCombine = false;
+  return opts;
+}
+
+TEST(ConcurrentAnalyzer, InFlightDedupAggregatesExactlyOnce) {
+  constexpr unsigned kThreads = 8;
+  Analyzer session;
+  const AnalysisRequest request =
+      AnalysisRequest::forGalileo(dft::corpus::galileoCas(), "cas")
+          .withOptions(viaComposition())
+          .measure(MeasureSpec::unreliability({0.5, 1.0, 2.0}));
+
+  std::barrier start(kThreads);
+  std::vector<AnalysisReport> reports(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned i = 0; i < kThreads; ++i)
+    pool.emplace_back([&, i] {
+      start.arrive_and_wait();  // maximize the in-flight overlap
+      reports[i] = session.analyze(request);
+    });
+  for (std::thread& t : pool) t.join();
+
+  std::size_t misses = 0, hits = 0, joins = 0;
+  for (const AnalysisReport& r : reports) {
+    misses += r.cache.treeMisses;
+    hits += r.cache.treeHits;
+    joins += r.cache.inflightJoins;
+    ASSERT_EQ(r.measures.size(), 1u);
+    EXPECT_TRUE(r.measures[0].ok);
+    // Everyone shares the leader's analysis object — no duplicates.
+    EXPECT_EQ(r.analysis.get(), reports[0].analysis.get());
+    for (std::size_t p = 0; p < r.measures[0].values.size(); ++p)
+      EXPECT_EQ(r.measures[0].values[p], reports[0].measures[0].values[p]);
+  }
+  // Exactly one aggregation ran; every other request either joined it in
+  // flight or hit the tree cache after the leader published.
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(hits + joins, kThreads - 1);
+  EXPECT_EQ(session.cacheStats().treeMisses, 1u);
+}
+
+TEST(ConcurrentAnalyzer, BatchMatchesSequentialBitForBit) {
+  std::vector<AnalysisRequest> requests;
+  for (double l : {0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55})
+    requests.push_back(
+        AnalysisRequest::forGalileo(perturbedCas(l), "cas-" + std::to_string(l))
+            .withOptions(viaComposition())
+            .measure(MeasureSpec::unreliability({0.5, 1.0, 2.0})));
+
+  Analyzer sequential;
+  std::vector<AnalysisReport> ref = sequential.analyzeBatch(requests);
+
+  Analyzer concurrent;
+  std::vector<AnalysisReport> got = concurrent.analyzeBatch(requests, 4);
+
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].label, ref[i].label);  // reports in request order
+    ASSERT_EQ(got[i].measures.size(), 1u);
+    EXPECT_TRUE(got[i].measures[0].ok);
+    ASSERT_EQ(got[i].measures[0].values.size(),
+              ref[i].measures[0].values.size());
+    for (std::size_t p = 0; p < ref[i].measures[0].values.size(); ++p)
+      EXPECT_EQ(got[i].measures[0].values[p], ref[i].measures[0].values[p])
+          << got[i].label << " point " << p;
+  }
+}
+
+TEST(ConcurrentAnalyzer, MixedMeasuresShareOneAnalysis) {
+  // Concurrent unavailability requests race to install the lazily computed
+  // full extraction (DftAnalysis::fullMemo, a first-write-wins CAS).
+  constexpr unsigned kThreads = 8;
+  Analyzer session;
+  const AnalysisRequest request =
+      AnalysisRequest::forDft(dft::corpus::repairableAnd(), "rep")
+          .measure(MeasureSpec::unavailability({0.5, 1.0}))
+          .measure(MeasureSpec::steadyStateUnavailability());
+
+  std::barrier start(kThreads);
+  std::vector<AnalysisReport> reports(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned i = 0; i < kThreads; ++i)
+    pool.emplace_back([&, i] {
+      start.arrive_and_wait();
+      reports[i] = session.analyze(request);
+    });
+  for (std::thread& t : pool) t.join();
+
+  for (const AnalysisReport& r : reports) {
+    EXPECT_TRUE(r.allMeasuresOk());
+    EXPECT_EQ(r.analysis.get(), reports[0].analysis.get());
+    for (std::size_t m = 0; m < r.measures.size(); ++m)
+      for (std::size_t p = 0; p < r.measures[m].values.size(); ++p)
+        EXPECT_EQ(r.measures[m].values[p],
+                  reports[0].measures[m].values[p]);
+  }
+  EXPECT_EQ(session.cacheStats().treeMisses, 1u);
+}
+
+TEST(ConcurrentAnalyzer, FleetSharesOnePersistentStore) {
+  const std::string dir = ::testing::TempDir() + "imcq_fleet";
+  fs::remove_all(dir);
+
+  auto makeRequests = [&](const std::string& storeDir) {
+    std::vector<AnalysisRequest> requests;
+    for (double l : {0.2, 0.3, 0.4, 0.5}) {
+      AnalysisRequest req =
+          AnalysisRequest::forGalileo(perturbedCas(l),
+                                      "cas-" + std::to_string(l))
+              .withOptions(viaComposition())
+              .measure(MeasureSpec::unreliability({1.0, 2.0}));
+      req.options.engine.storeDir = storeDir;
+      requests.push_back(std::move(req));
+    }
+    return requests;
+  };
+
+  // Reference values from a session with no store at all.
+  Analyzer plain;
+  std::vector<AnalysisReport> ref = plain.analyzeBatch(makeRequests(""));
+
+  // Worker 1 of the fleet warms the shared directory.
+  Analyzer first;
+  first.analyzeBatch(makeRequests(dir));
+  EXPECT_GT(first.cacheStats().storeWrites, 0u);
+
+  // Worker 2 starts cold (fresh symbol table, empty session caches) and
+  // serves the same sweep concurrently from the shared store.
+  Analyzer second;
+  std::vector<AnalysisReport> got = second.analyzeBatch(makeRequests(dir), 4);
+  EXPECT_GT(second.cacheStats().storeHits, 0u);
+
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_TRUE(got[i].allMeasuresOk());
+    ASSERT_EQ(got[i].measures[0].values.size(),
+              ref[i].measures[0].values.size());
+    for (std::size_t p = 0; p < ref[i].measures[0].values.size(); ++p)
+      EXPECT_EQ(got[i].measures[0].values[p], ref[i].measures[0].values[p])
+          << got[i].label << " point " << p;
+  }
+}
+
+TEST(ConcurrentAnalyzer, ManyDistinctRequestsStressSharedCaches) {
+  // Distinct variants on many threads: no dedup to hide behind, every
+  // cache front takes concurrent insert traffic.  Run twice so the second
+  // round takes the hit paths concurrently too.
+  std::vector<AnalysisRequest> requests;
+  for (double l : {0.2, 0.26, 0.32, 0.38, 0.44, 0.5})
+    requests.push_back(
+        AnalysisRequest::forGalileo(perturbedCas(l), "cas-" + std::to_string(l))
+            .withOptions(viaComposition())
+            .measure(MeasureSpec::unreliability({1.0})));
+
+  Analyzer session;
+  std::vector<AnalysisReport> cold = session.analyzeBatch(requests, 4);
+  std::vector<AnalysisReport> warm = session.analyzeBatch(requests, 4);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_TRUE(cold[i].allMeasuresOk());
+    EXPECT_TRUE(warm[i].fromCache);
+    EXPECT_EQ(warm[i].measures[0].values.at(0),
+              cold[i].measures[0].values.at(0));
+  }
+  EXPECT_EQ(session.cacheStats().treeMisses, requests.size());
+}
+
+// ---------------------------------------------------------------------------
+// LRU eviction.
+// ---------------------------------------------------------------------------
+
+TEST(LruEviction, TreeCacheEvictsLeastRecentlyUsed) {
+  AnalyzerOptions opts;
+  opts.maxCachedTrees = 2;
+  Analyzer session(opts);
+  auto request = [&](double l, const std::string& label) {
+    return AnalysisRequest::forGalileo(perturbedCas(l), label)
+        .withOptions(viaComposition())
+        .measure(MeasureSpec::unreliability({1.0}));
+  };
+
+  session.analyze(request(0.2, "a"));
+  session.analyze(request(0.3, "b"));
+  session.analyze(request(0.4, "c"));  // capacity 2: evicts a
+  EXPECT_EQ(session.cachedTreeCount(), 2u);
+  EXPECT_EQ(session.cacheStats().treeEvictions, 1u);
+
+  EXPECT_TRUE(session.analyze(request(0.3, "b-again")).fromCache);
+  EXPECT_FALSE(session.analyze(request(0.2, "a-again")).fromCache);
+}
+
+TEST(LruEviction, TreeCacheHitRefreshesRecency) {
+  AnalyzerOptions opts;
+  opts.maxCachedTrees = 2;
+  Analyzer session(opts);
+  auto request = [&](double l, const std::string& label) {
+    return AnalysisRequest::forGalileo(perturbedCas(l), label)
+        .withOptions(viaComposition())
+        .measure(MeasureSpec::unreliability({1.0}));
+  };
+
+  session.analyze(request(0.2, "a"));
+  session.analyze(request(0.3, "b"));
+  EXPECT_TRUE(session.analyze(request(0.2, "a-touch")).fromCache);
+  session.analyze(request(0.4, "c"));  // b is now the LRU entry
+  EXPECT_TRUE(session.analyze(request(0.2, "a-hit")).fromCache);
+  EXPECT_FALSE(session.analyze(request(0.3, "b-miss")).fromCache);
+}
+
+TEST(LruEviction, ModuleCacheHonorsCapacityBound) {
+  AnalyzerOptions opts;
+  opts.cacheTrees = false;     // force the pipeline every time
+  opts.maxCachedModules = 1;   // clamps to one shard: strict bound
+  Analyzer session(opts);
+  AnalysisRequest request =
+      AnalysisRequest::forGalileo(dft::corpus::galileoCas(), "cas")
+          .withOptions(viaComposition())
+          .measure(MeasureSpec::unreliability({1.0}));
+  AnalysisReport report = session.analyze(request);
+  EXPECT_TRUE(report.allMeasuresOk());
+  // The CAS has several independent modules; all but one were evicted.
+  EXPECT_LE(session.cachedModuleCount(), 1u);
+  EXPECT_GT(session.cacheStats().moduleEvictions, 0u);
+}
+
+TEST(LruEviction, CurveCacheHonorsCapacityBound) {
+  AnalyzerOptions opts;
+  opts.maxCachedCurves = 1;
+  Analyzer session(opts);
+  // The numeric path solves one curve per module chain x time grid; two
+  // grids over the same tree overflow a one-entry cache.
+  auto request = [&](std::vector<double> grid, const std::string& label) {
+    return AnalysisRequest::forDft(dft::corpus::voterFarm(3, 2), label)
+        .measure(MeasureSpec::unreliability(std::move(grid)));
+  };
+  EXPECT_TRUE(session.analyze(request({0.5, 1.0}, "g1")).allMeasuresOk());
+  EXPECT_TRUE(session.analyze(request({2.0, 3.0}, "g2")).allMeasuresOk());
+  EXPECT_LE(session.cachedCurveCount(), 1u);
+  EXPECT_GT(session.cacheStats().curveEvictions, 0u);
+}
+
+TEST(LruEviction, UnboundedCachesNeverEvict) {
+  AnalyzerOptions opts;
+  opts.maxCachedTrees = 0;  // 0 = unbounded
+  opts.maxCachedModules = 0;
+  opts.maxCachedCurves = 0;
+  Analyzer session(opts);
+  for (double l : {0.2, 0.3, 0.4, 0.5})
+    session.analyze(
+        AnalysisRequest::forGalileo(perturbedCas(l), "cas")
+            .withOptions(viaComposition())
+            .measure(MeasureSpec::unreliability({1.0})));
+  const analysis::CacheStats stats = session.cacheStats();
+  EXPECT_EQ(stats.treeEvictions, 0u);
+  EXPECT_EQ(stats.moduleEvictions, 0u);
+  EXPECT_EQ(stats.curveEvictions, 0u);
+  EXPECT_EQ(session.cachedTreeCount(), 4u);
+}
+
+}  // namespace
+}  // namespace imcdft

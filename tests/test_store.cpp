@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/measures.hpp"
+#include "dft/corpus.hpp"
+#include "dft/galileo.hpp"
+#include "ioimc/serialize.hpp"
+#include "store/format.hpp"
+#include "store/quotient_store.hpp"
+
+/// \file test_store.cpp
+/// The persistent quotient store: byte-exact serialization round trips,
+/// robustness against every malformed-record shape (all of which must
+/// degrade to a cold-aggregation miss with a soft diagnostic — never a
+/// wrong answer or a crash), concurrent writers, and the end-to-end
+/// guarantee that a warm store serves bitwise-identical results.
+
+namespace imcdft {
+namespace {
+
+namespace fs = std::filesystem;
+using analysis::AnalysisOptions;
+using analysis::AnalysisReport;
+using analysis::AnalysisRequest;
+using analysis::Analyzer;
+using analysis::AnalyzerOptions;
+using analysis::MeasureSpec;
+using analysis::Severity;
+using store::QuotientStore;
+using store::RecordKind;
+
+/// A fresh, empty directory under the test temp root.
+std::string freshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "imcq_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+/// CAS variant with the cross-switch failure rate perturbed (same helper
+/// as test_analyzer.cpp): only the CPU unit changes.
+std::string perturbedCas(double csLambda) {
+  std::string text = dft::corpus::galileoCas();
+  const std::string needle = "\"CS\" lambda=0.2;";
+  auto pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(),
+               "\"CS\" lambda=" + std::to_string(csLambda) + ";");
+  return text;
+}
+
+std::string serializedBytes(const ioimc::IOIMC& model) {
+  ioimc::ByteWriter w;
+  ioimc::serializeModel(model, w);
+  return w.take();
+}
+
+bool hasDiagnostic(const AnalysisReport& report, Severity severity,
+                   const std::string& needle) {
+  for (const analysis::Diagnostic& d : report.diagnostics)
+    if (d.severity == severity &&
+        d.message.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// Analyzes the cardiac assist system through the composition pipeline and
+/// hands back the session (whose symbol table the model is interned in)
+/// plus the aggregated whole-tree quotient.
+struct ComposedCas {
+  Analyzer session;
+  std::shared_ptr<const analysis::DftAnalysis> analysis;
+
+  ComposedCas() {
+    AnalysisOptions opts;
+    opts.engine.staticCombine = false;
+    AnalysisReport report = session.analyze(
+        AnalysisRequest::forDft(dft::corpus::cas(), "cas")
+            .withOptions(opts)
+            .measure(MeasureSpec::unreliability({1.0})));
+    EXPECT_TRUE(report.allMeasuresOk());
+    analysis = report.analysis;
+  }
+};
+
+TEST(Store, ModelSerializationRoundTripsByteExactly) {
+  ComposedCas cas;
+  const ioimc::IOIMC& model = cas.analysis->closedModel;
+  const std::string bytes = serializedBytes(model);
+
+  ioimc::ByteReader in(bytes.data(), bytes.size());
+  std::optional<ioimc::IOIMC> back =
+      ioimc::deserializeModel(in, cas.session.symbols());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_EQ(back->numStates(), model.numStates());
+  EXPECT_EQ(back->numTransitions(), model.numTransitions());
+  EXPECT_EQ(back->initial(), model.initial());
+  // Byte-exact: re-serializing the deserialized model reproduces the
+  // original record bit for bit.
+  EXPECT_EQ(serializedBytes(*back), bytes);
+}
+
+TEST(Store, ModelSerializationIsSymbolTableIndependent) {
+  ComposedCas cas;
+  const std::string bytes = serializedBytes(cas.analysis->closedModel);
+
+  // Deserializing into a *fresh* table (a different process of the fleet)
+  // re-interns every action by name; the structure — and hence the
+  // re-serialized bytes — must not depend on the table's id assignment.
+  ioimc::SymbolTablePtr fresh = ioimc::makeSymbolTable();
+  ioimc::ByteReader in(bytes.data(), bytes.size());
+  std::optional<ioimc::IOIMC> back = ioimc::deserializeModel(in, fresh);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(serializedBytes(*back), bytes);
+}
+
+TEST(Store, ModuleRecordRoundTrip) {
+  ComposedCas cas;
+  const std::string dir = freshDir("module_roundtrip");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+
+  const std::string key = "module-key-1";
+  const std::vector<std::string> names{"MA", "MB", "MS"};
+  EXPECT_TRUE(
+      store->storeModule(key, cas.analysis->closedModel, 7, names));
+  // Content-addressed: a record that exists is never rewritten.
+  EXPECT_FALSE(
+      store->storeModule(key, cas.analysis->closedModel, 7, names));
+
+  std::optional<QuotientStore::LoadedModule> loaded =
+      store->loadModule(key, cas.session.symbols());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->steps, 7u);
+  EXPECT_EQ(loaded->names, names);
+  EXPECT_EQ(serializedBytes(loaded->model),
+            serializedBytes(cas.analysis->closedModel));
+  EXPECT_EQ(store->loadErrors(), 0u);
+  EXPECT_TRUE(store->drainWarnings().empty());
+}
+
+TEST(Store, CurveRecordRoundTripIsBitExact) {
+  const std::string dir = freshDir("curve_roundtrip");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+
+  const std::vector<double> values{0.1, 0.6579, 1e-300, 0.0,
+                                   0.30000000000000004};
+  EXPECT_TRUE(store->storeCurve("curve-key", values));
+  std::optional<std::vector<double>> loaded = store->loadCurve("curve-key");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ((*loaded)[i], values[i]);  // exact, not approximate
+}
+
+TEST(Store, TreeRecordRoundTrip) {
+  ComposedCas cas;
+  const std::string dir = freshDir("tree_roundtrip");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+
+  EXPECT_TRUE(store->storeTree("tree-key", cas.analysis->closedModel,
+                               /*repairable=*/true));
+  std::optional<QuotientStore::LoadedTree> loaded =
+      store->loadTree("tree-key", cas.session.symbols());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->repairable);
+  EXPECT_EQ(serializedBytes(loaded->model),
+            serializedBytes(cas.analysis->closedModel));
+}
+
+TEST(Store, MissingRecordIsASilentMiss) {
+  const std::string dir = freshDir("missing");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  EXPECT_FALSE(store->loadCurve("never-stored").has_value());
+  EXPECT_EQ(store->loadErrors(), 0u);
+  EXPECT_TRUE(store->drainWarnings().empty());
+}
+
+/// Applies \p mutate to the stored curve record's file and expects the
+/// next load to be an error-miss whose warning mentions \p expectWarning
+/// (or a silent miss when \p expectWarning is empty).
+void corruptionCase(const std::string& dirName,
+                    void (*mutate)(std::string&),
+                    const std::string& expectWarning) {
+  const std::string dir = freshDir(dirName);
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  const std::vector<double> values{0.25, 0.5};
+  ASSERT_TRUE(store->storeCurve("the-key", values));
+  const std::string path = store->entryPath("the-key", RecordKind::Curve);
+
+  std::string data = readAll(path);
+  mutate(data);
+  writeAll(path, data);
+
+  EXPECT_FALSE(store->loadCurve("the-key").has_value());
+  if (expectWarning.empty()) {
+    EXPECT_EQ(store->loadErrors(), 0u);
+    EXPECT_TRUE(store->drainWarnings().empty());
+  } else {
+    EXPECT_EQ(store->loadErrors(), 1u);
+    std::vector<std::string> warnings = store->drainWarnings();
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find(expectWarning), std::string::npos)
+        << warnings[0];
+  }
+}
+
+TEST(StoreRobustness, TruncatedBelowHeaderIsAnErrorMiss) {
+  corruptionCase(
+      "truncated_header", +[](std::string& d) { d.resize(20); },
+      "truncated record");
+}
+
+TEST(StoreRobustness, TruncatedPayloadIsAnErrorMiss) {
+  corruptionCase(
+      "truncated_payload", +[](std::string& d) { d.resize(d.size() - 5); },
+      "truncated record");
+}
+
+TEST(StoreRobustness, MagicMismatchIsAnErrorMiss) {
+  corruptionCase(
+      "bad_magic", +[](std::string& d) { d[0] ^= '\xff'; },
+      "magic mismatch");
+}
+
+TEST(StoreRobustness, FormatVersionMismatchIsAnErrorMiss) {
+  // The version field is the u32 right after the 8-byte magic; bumping it
+  // leaves the payload checksum valid, so the version check must fire
+  // first.
+  corruptionCase(
+      "bad_version", +[](std::string& d) { d[8] = '\x7f'; },
+      "version mismatch");
+}
+
+TEST(StoreRobustness, ChecksumMismatchIsAnErrorMiss) {
+  corruptionCase(
+      "bad_checksum", +[](std::string& d) { d.back() ^= '\xff'; },
+      "checksum mismatch");
+}
+
+TEST(StoreRobustness, EmptyFileIsAnErrorMiss) {
+  corruptionCase(
+      "empty_file", +[](std::string& d) { d.clear(); }, "empty record");
+}
+
+TEST(StoreRobustness, RecordKindMismatchIsAnErrorMiss) {
+  ComposedCas cas;
+  const std::string dir = freshDir("wrong_kind");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  // A well-formed curve record parked at a module path must be rejected.
+  writeAll(store->entryPath("k", RecordKind::ModuleQuotient),
+           store::encodeCurveRecord("k", {0.5}));
+  EXPECT_FALSE(store->loadModule("k", cas.session.symbols()).has_value());
+  EXPECT_EQ(store->loadErrors(), 1u);
+  std::vector<std::string> warnings = store->drainWarnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("kind mismatch"), std::string::npos);
+}
+
+TEST(StoreRobustness, KeyCollisionIsASilentMiss) {
+  const std::string dir = freshDir("collision");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  // Simulate two keys hashing to one file: a record whose embedded key is
+  // not the probed key is a plain miss (recompute), never an error — and
+  // never the other key's data.
+  writeAll(store->entryPath("wanted", RecordKind::Curve),
+           store::encodeCurveRecord("other", {0.75}));
+  EXPECT_FALSE(store->loadCurve("wanted").has_value());
+  EXPECT_EQ(store->loadErrors(), 0u);
+  EXPECT_TRUE(store->drainWarnings().empty());
+}
+
+TEST(StoreRobustness, GarbagePayloadNeverCrashes) {
+  const std::string dir = freshDir("garbage");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  ioimc::SymbolTablePtr symbols = ioimc::makeSymbolTable();
+  // Valid header framing around adversarial payload bytes: the decoder's
+  // bounds-checked reader must reject, not crash or over-allocate.
+  for (const std::string payload :
+       {std::string(1, '\0'), std::string(200, '\xff'),
+        std::string("\x06\x00\x00\x00module-key-1\xff\xff\xff\xff", 20)}) {
+    ioimc::ByteWriter w;
+    w.raw(store::kMagic, sizeof store::kMagic);
+    w.u32(store::kFormatVersion);
+    w.u32(static_cast<std::uint32_t>(RecordKind::ModuleQuotient));
+    w.u64(payload.size());
+    w.u64(store::fnv1aBytes(payload.data(), payload.size()));
+    std::string record = w.take() + payload;
+    writeAll(store->entryPath("k", RecordKind::ModuleQuotient), record);
+    EXPECT_FALSE(store->loadModule("k", symbols).has_value());
+    fs::remove(store->entryPath("k", RecordKind::ModuleQuotient));
+  }
+  store->drainWarnings();
+}
+
+TEST(StoreRobustness, ConcurrentWritersPublishOnlyCompleteRecords) {
+  const std::string dir = freshDir("concurrent_writers");
+  // Two handles on one directory, as two fleet processes would hold.
+  std::shared_ptr<QuotientStore> a = QuotientStore::open(dir);
+  std::shared_ptr<QuotientStore> b = QuotientStore::open(dir);
+
+  const std::vector<double> shared{0.1, 0.2, 0.3};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kThreads; ++i)
+    pool.emplace_back([&, i] {
+      QuotientStore& mine = (i % 2 == 0) ? *a : *b;
+      // Everyone races to publish the same key (identical bytes — records
+      // are pure functions of their key) plus one private key each.
+      mine.storeCurve("shared-key", shared);
+      mine.storeCurve("own-" + std::to_string(i), {double(i), 0.5});
+    });
+  for (std::thread& t : pool) t.join();
+
+  std::optional<std::vector<double>> got = a->loadCurve("shared-key");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, shared);
+  for (int i = 0; i < kThreads; ++i) {
+    std::optional<std::vector<double>> own =
+        b->loadCurve("own-" + std::to_string(i));
+    ASSERT_TRUE(own.has_value()) << i;
+    EXPECT_EQ((*own)[0], double(i));
+  }
+  EXPECT_EQ(a->loadErrors() + b->loadErrors(), 0u);
+  // No leftover temporaries: every .tmp either renamed or unlinked.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    EXPECT_EQ(e.path().extension(), ".imcq") << e.path();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the Analyzer over a store directory.
+// ---------------------------------------------------------------------------
+
+/// Runs the corpus sweep (CAS variants, HECS, a voter farm) on a fresh
+/// session and returns every measured value in order, plus the session's
+/// cache counters via \p statsOut.
+std::vector<double> runSweep(const std::string& storeDir, bool staticCombine,
+                             analysis::CacheStats* statsOut = nullptr) {
+  Analyzer session;
+  const std::vector<double> grid{0.5, 1.0, 2.0};
+  std::vector<AnalysisRequest> requests;
+  for (double l : {0.2, 0.35, 0.5})
+    requests.push_back(AnalysisRequest::forGalileo(
+        perturbedCas(l), "cas-" + std::to_string(l)));
+  requests.push_back(
+      AnalysisRequest::forGalileo(dft::corpus::galileoHecs(), "hecs"));
+  requests.push_back(
+      AnalysisRequest::forDft(dft::corpus::voterFarm(3, 2), "farm"));
+  std::vector<double> values;
+  for (AnalysisRequest& request : requests) {
+    request.options.engine.staticCombine = staticCombine;
+    request.options.engine.storeDir = storeDir;
+    request.measure(MeasureSpec::unreliability(grid));
+    AnalysisReport report = session.analyze(request);
+    EXPECT_TRUE(report.allMeasuresOk()) << request.label;
+    for (const analysis::MeasureResult& m : report.measures)
+      values.insert(values.end(), m.values.begin(), m.values.end());
+  }
+  if (statsOut) *statsOut = session.cacheStats();
+  return values;
+}
+
+TEST(Store, WarmStoreIsBitwiseIdenticalToColdComposition) {
+  const std::string dir = freshDir("warm_composition");
+  const std::vector<double> noStore = runSweep("", /*staticCombine=*/false);
+  analysis::CacheStats cold, warm;
+  const std::vector<double> coldStore = runSweep(dir, false, &cold);
+  const std::vector<double> warmStore = runSweep(dir, false, &warm);
+
+  EXPECT_GT(cold.storeWrites, 0u);
+  EXPECT_GT(warm.storeHits, 0u);
+  EXPECT_EQ(warm.storeWrites, 0u);  // steady state: no write I/O
+  ASSERT_EQ(coldStore.size(), noStore.size());
+  ASSERT_EQ(warmStore.size(), noStore.size());
+  for (std::size_t i = 0; i < noStore.size(); ++i) {
+    EXPECT_EQ(coldStore[i], noStore[i]) << i;  // exact, not approximate
+    EXPECT_EQ(warmStore[i], noStore[i]) << i;
+  }
+}
+
+TEST(Store, WarmStoreIsBitwiseIdenticalToColdNumericPath) {
+  const std::string dir = freshDir("warm_numeric");
+  const std::vector<double> noStore = runSweep("", /*staticCombine=*/true);
+  analysis::CacheStats cold, warm;
+  const std::vector<double> coldStore = runSweep(dir, true, &cold);
+  const std::vector<double> warmStore = runSweep(dir, true, &warm);
+
+  EXPECT_GT(cold.storeWrites, 0u);
+  EXPECT_GT(warm.storeHits, 0u);
+  ASSERT_EQ(coldStore.size(), noStore.size());
+  ASSERT_EQ(warmStore.size(), noStore.size());
+  for (std::size_t i = 0; i < noStore.size(); ++i) {
+    EXPECT_EQ(coldStore[i], noStore[i]) << i;
+    EXPECT_EQ(warmStore[i], noStore[i]) << i;
+  }
+}
+
+TEST(Store, CorruptedStoreFallsBackToColdAggregationEverywhere) {
+  const std::string dir = freshDir("corrupt_all");
+  const std::vector<double> reference = runSweep("", false);
+  runSweep(dir, false);  // warm it
+  // Flip the last payload byte of every record: every checksum breaks.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    std::string data = readAll(e.path().string());
+    data.back() ^= '\xff';
+    writeAll(e.path().string(), data);
+  }
+  analysis::CacheStats stats;
+  const std::vector<double> recovered = runSweep(dir, false, &stats);
+  EXPECT_GT(stats.storeErrors, 0u);
+  EXPECT_EQ(stats.storeHits, 0u);
+  ASSERT_EQ(recovered.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(recovered[i], reference[i]) << i;
+}
+
+TEST(Store, AnalyzerSurfacesCorruptionAsWarningDiagnostic) {
+  const std::string dir = freshDir("corrupt_diag");
+  AnalysisOptions opts;
+  opts.engine.staticCombine = false;
+  opts.engine.storeDir = dir;
+  auto request = [&] {
+    return AnalysisRequest::forDft(dft::corpus::cas(), "cas")
+        .withOptions(opts)
+        .measure(MeasureSpec::unreliability({1.0}));
+  };
+  double reference;
+  {
+    Analyzer session;
+    reference = session.analyze(request()).measures[0].values.at(0);
+  }
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    std::string data = readAll(e.path().string());
+    data.back() ^= '\xff';
+    writeAll(e.path().string(), data);
+  }
+  Analyzer session;
+  AnalysisReport report = session.analyze(request());
+  EXPECT_TRUE(report.allMeasuresOk());
+  EXPECT_EQ(report.measures[0].values.at(0), reference);
+  EXPECT_GT(report.cache.storeErrors, 0u);
+  EXPECT_TRUE(hasDiagnostic(report, Severity::Warning, "quotient store"));
+}
+
+TEST(Store, UnusableStoreDirectoryDegradesSoftly) {
+  // A regular file where the store directory should be: open() fails, the
+  // request warns once and proceeds without persistence.
+  const std::string blocker = freshDir("not_a_dir");
+  writeAll(blocker, "i am a file");
+  AnalysisOptions opts;
+  opts.engine.storeDir = blocker;
+  Analyzer session;
+  AnalysisReport report = session.analyze(
+      AnalysisRequest::forDft(dft::corpus::cas(), "cas")
+          .withOptions(opts)
+          .measure(MeasureSpec::unreliability({1.0})));
+  EXPECT_TRUE(report.allMeasuresOk());
+  EXPECT_TRUE(
+      hasDiagnostic(report, Severity::Warning, "quotient store disabled"));
+  EXPECT_NEAR(report.measures[0].values.at(0), 0.6579, 1e-3);
+}
+
+}  // namespace
+}  // namespace imcdft

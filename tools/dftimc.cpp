@@ -35,19 +35,39 @@
 ///                       (default: on; measures are bit-identical either
 ///                       way, invariant failures fall back per step)
 ///     --stats           print composition statistics and phase timings
+///     --store DIR       persistent quotient store: read aggregated
+///                       quotients and solved curves from DIR before
+///                       composing, publish fresh ones back (created on
+///                       first use; a fleet of processes may share one
+///                       directory; all failures degrade to cold analysis)
 ///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
 ///     --aut FILE        write it in Aldebaran format
 ///     --strategy S      composition order: modular | greedy | declaration
 ///
 /// Every requested measure — including the baselines and the simulator —
 /// is evaluated at every --time point.
+///
+/// Service mode:
+///
+///   dftimc --serve [--workers N] [measure/engine options] [--store DIR]
+///
+/// reads newline-delimited requests from stdin — one request per line,
+/// `<model.dft> [time]...` (bare numbers override the --time grid; blank
+/// lines and `#` comments are skipped) — serves them concurrently over one
+/// shared Analyzer session on N worker threads (default: one per hardware
+/// thread), prints the results in input order, and ends with a summary of
+/// the session's cache, in-flight-dedup and store counters.  Concurrent
+/// identical requests perform exactly one aggregation; with --store, a
+/// warm store turns repeated sweeps into pure record reads.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -75,8 +95,11 @@ struct CliOptions {
   bool symmetry = true;
   bool staticCombine = true;
   bool onTheFly = true;
-  unsigned jobs = 0;  ///< 0 = hardware_concurrency
+  bool serve = false;
+  unsigned jobs = 0;     ///< 0 = hardware_concurrency
+  unsigned workers = 0;  ///< serve mode session threads; 0 = hardware
   std::uint64_t simulateRuns = 0;
+  std::string storeDir;
   std::string dotPath;
   std::string autPath;
   imcdft::analysis::CompositionStrategy strategy =
@@ -91,10 +114,12 @@ struct CliOptions {
                "[--jobs N] [--symmetry on|off]\n"
                "          [--static-combine on|off] [--on-the-fly on|off] "
                "[--stats]\n"
-               "          [--dot FILE] [--aut FILE]\n"
+               "          [--store DIR] [--dot FILE] [--aut FILE]\n"
                "          [--strategy modular|greedy|declaration] "
-               "<model.dft>\n",
-               argv0);
+               "<model.dft>\n"
+               "       %s --serve [--workers N] [options]   "
+               "(requests on stdin: '<model.dft> [time]...')\n",
+               argv0, argv0);
   std::exit(2);
 }
 
@@ -128,6 +153,14 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.jobs = static_cast<unsigned>(
           std::strtoul(next().c_str(), nullptr, 10));
       if (opts.jobs == 0) usage(argv[0]);
+    } else if (arg == "--serve") {
+      opts.serve = true;
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<unsigned>(
+          std::strtoul(next().c_str(), nullptr, 10));
+      if (opts.workers == 0) usage(argv[0]);
+    } else if (arg == "--store") {
+      opts.storeDir = next();
     } else if (arg == "--symmetry") {
       std::string v = next();
       if (v == "on")
@@ -174,7 +207,16 @@ CliOptions parseArgs(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opts.modelPath.empty()) usage(argv[0]);
+  if (opts.serve) {
+    // Service mode takes its models from stdin; the one-shot extras that
+    // need a positional model (baselines, simulation, exports) don't mix.
+    if (!opts.modelPath.empty() || opts.modular || opts.monolithic ||
+        opts.simulateRuns > 0 || !opts.dotPath.empty() ||
+        !opts.autPath.empty())
+      usage(argv[0]);
+  } else if (opts.modelPath.empty()) {
+    usage(argv[0]);
+  }
   if (opts.times.empty()) opts.times.push_back(1.0);
   return opts;
 }
@@ -196,11 +238,199 @@ const char* severityTag(imcdft::analysis::Severity s) {
   return "?";
 }
 
+/// The engine/measure knobs shared by the one-shot and serve paths.
+void configureRequest(imcdft::analysis::AnalysisRequest& request,
+                      const CliOptions& opts,
+                      const std::vector<double>& times) {
+  namespace analysis = imcdft::analysis;
+  request.options.engine.strategy = opts.strategy;
+  request.options.engine.numThreads = opts.jobs;
+  request.options.engine.symmetry = opts.symmetry;
+  request.options.engine.staticCombine = opts.staticCombine;
+  request.options.engine.onTheFly = opts.onTheFly;
+  request.options.engine.storeDir = opts.storeDir;
+  if (opts.bounds)
+    request.measure(analysis::MeasureSpec::unreliabilityBounds(times));
+  else
+    request.measure(analysis::MeasureSpec::unreliability(times));
+  if (opts.unavailability)
+    request.measure(analysis::MeasureSpec::unavailability(times));
+  if (opts.steadyState)
+    request.measure(analysis::MeasureSpec::steadyStateUnavailability());
+  if (opts.mttf) request.measure(analysis::MeasureSpec::mttf());
+}
+
+/// Prints every measure of \p report; returns false when any failed.
+bool printMeasureResults(const imcdft::analysis::AnalysisReport& report) {
+  namespace analysis = imcdft::analysis;
+  bool allOk = true;
+  for (const analysis::MeasureResult& m : report.measures) {
+    if (!m.ok) {
+      allOk = false;
+      std::fprintf(stderr, "error: %s: %s\n",
+                   analysis::measureKindName(m.spec.kind), m.error.c_str());
+      continue;
+    }
+    switch (m.spec.kind) {
+      case analysis::MeasureKind::Unreliability:
+      case analysis::MeasureKind::UnreliabilityBounds:
+        for (std::size_t i = 0; i < m.spec.times.size(); ++i) {
+          if (!m.bounds.empty())
+            std::printf("unreliability in [%.8f, %.8f] at t=%g\n",
+                        m.bounds[i].lower, m.bounds[i].upper,
+                        m.spec.times[i]);
+          else
+            std::printf("unreliability      %.8f at t=%g\n", m.values[i],
+                        m.spec.times[i]);
+        }
+        break;
+      case analysis::MeasureKind::Unavailability:
+        for (std::size_t i = 0; i < m.spec.times.size(); ++i)
+          std::printf("unavailability     %.8f at t=%g\n", m.values[i],
+                      m.spec.times[i]);
+        break;
+      case analysis::MeasureKind::SteadyStateUnavailability:
+        std::printf("steady-state unavailability %.8f\n", m.values[0]);
+        break;
+      case analysis::MeasureKind::Mttf:
+        std::printf("mean time to failure %.8f\n", m.values[0]);
+        break;
+    }
+  }
+  return allOk;
+}
+
+/// Service mode: newline-delimited requests on stdin, served concurrently
+/// over one shared Analyzer session, results in input order, then a
+/// session summary (cache, in-flight dedup, store counters).
+int runServe(const CliOptions& opts) {
+  namespace analysis = imcdft::analysis;
+  using imcdft::Error;
+
+  // One slot per meaningful input line, in order; lines that fail to read
+  // or parse become error slots instead of aborting the batch.
+  struct Slot {
+    std::string label;
+    std::size_t request = static_cast<std::size_t>(-1);
+    std::string error;
+  };
+  std::vector<Slot> slots;
+  std::vector<analysis::AnalysisRequest> requests;
+
+  std::string raw;
+  std::size_t lineNo = 0;
+  while (std::getline(std::cin, raw)) {
+    ++lineNo;
+    std::istringstream ss(raw);
+    std::string path;
+    ss >> path;
+    if (path.empty() || path[0] == '#') continue;
+    Slot slot;
+    slot.label = path;
+    std::vector<double> times;
+    std::string tok;
+    bool malformed = false;
+    while (ss >> tok) {
+      char* end = nullptr;
+      const double t = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0') {
+        malformed = true;
+        break;
+      }
+      times.push_back(t);
+    }
+    if (malformed) {
+      slot.error = "line " + std::to_string(lineNo) +
+                   ": expected '<model.dft> [time]...', got '" + tok + "'";
+    } else {
+      if (times.empty()) times = opts.times;
+      try {
+        // Read the file up front so a bad path errors on its own line; the
+        // text form also keys dedup purely on content, not path identity.
+        analysis::AnalysisRequest request =
+            analysis::AnalysisRequest::forGalileo(readFile(path), path);
+        configureRequest(request, opts, times);
+        slot.request = requests.size();
+        requests.push_back(std::move(request));
+      } catch (const Error& e) {
+        slot.error = e.what();
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  unsigned workers = opts.workers;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+
+  analysis::Analyzer session;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<analysis::AnalysisReport> reports;
+  try {
+    reports = session.analyzeBatch(requests, workers);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  bool anyFailed = false;
+  for (const Slot& slot : slots) {
+    std::printf("--- %s\n", slot.label.c_str());
+    if (slot.request == static_cast<std::size_t>(-1)) {
+      anyFailed = true;
+      std::printf("error: %s\n", slot.error.c_str());
+      continue;
+    }
+    const analysis::AnalysisReport& report = reports[slot.request];
+    for (const analysis::Diagnostic& d : report.diagnostics)
+      if (d.severity == analysis::Severity::Warning ||
+          (d.severity == analysis::Severity::Info && opts.stats))
+        std::printf("%s: %s\n", severityTag(d.severity), d.message.c_str());
+    if (!printMeasureResults(report)) anyFailed = true;
+  }
+
+  const analysis::CacheStats s = session.cacheStats();
+  std::printf("\nserve summary: %zu request(s) on %u worker(s) in %.3fs",
+              requests.size(), workers, wall);
+  if (wall > 0.0)
+    std::printf(" (%.1f req/s)", static_cast<double>(requests.size()) / wall);
+  std::printf("\n");
+  std::printf("  tree cache:      %zu hit(s), %zu miss(es), %zu in-flight "
+              "join(s)\n",
+              s.treeHits, s.treeMisses, s.inflightJoins);
+  std::printf("  module cache:    %zu hit(s), %zu miss(es), %zu step(s) "
+              "saved\n",
+              s.moduleHits, s.moduleMisses, s.stepsSaved);
+  if (!opts.storeDir.empty())
+    std::printf("  store:           %zu hit(s), %zu miss(es), %zu write(s), "
+                "%zu error(s)\n",
+                s.storeHits, s.storeMisses, s.storeWrites, s.storeErrors);
+  if (s.treeEvictions + s.moduleEvictions + s.chainEvictions +
+          s.curveEvictions >
+      0)
+    std::printf("  evictions:       %zu tree, %zu module, %zu chain, "
+                "%zu curve\n",
+                s.treeEvictions, s.moduleEvictions, s.chainEvictions,
+                s.curveEvictions);
+  return anyFailed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace imcdft;
   CliOptions opts = parseArgs(argc, argv);
+  if (opts.serve) {
+    try {
+      return runServe(opts);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   try {
     dft::Dft tree = dft::parseGalileo(readFile(opts.modelPath));
     std::printf("model: %s (%zu elements, %s%s)\n", opts.modelPath.c_str(),
@@ -209,24 +439,11 @@ int main(int argc, char** argv) {
 
     analysis::AnalysisRequest request =
         analysis::AnalysisRequest::forDft(tree, opts.modelPath);
-    request.options.engine.strategy = opts.strategy;
-    request.options.engine.numThreads = opts.jobs;
-    request.options.engine.symmetry = opts.symmetry;
     // The exports need the composed model, which the numeric path never
     // builds; force the composition pipeline then.
     if (!opts.dotPath.empty() || !opts.autPath.empty())
       opts.staticCombine = false;
-    request.options.engine.staticCombine = opts.staticCombine;
-    request.options.engine.onTheFly = opts.onTheFly;
-    if (opts.bounds)
-      request.measure(analysis::MeasureSpec::unreliabilityBounds(opts.times));
-    else
-      request.measure(analysis::MeasureSpec::unreliability(opts.times));
-    if (opts.unavailability)
-      request.measure(analysis::MeasureSpec::unavailability(opts.times));
-    if (opts.steadyState)
-      request.measure(analysis::MeasureSpec::steadyStateUnavailability());
-    if (opts.mttf) request.measure(analysis::MeasureSpec::mttf());
+    configureRequest(request, opts, opts.times);
 
     analysis::Analyzer session;
     analysis::AnalysisReport report = session.analyze(request);
@@ -276,6 +493,11 @@ int main(int argc, char** argv) {
                   report.timings.total());
       if (opts.jobs != 0)
         std::printf("  worker threads:  %u\n", opts.jobs);
+      if (!opts.storeDir.empty())
+        std::printf("  store:           %zu hit(s), %zu miss(es), "
+                    "%zu write(s), %zu error(s)\n",
+                    report.cache.storeHits, report.cache.storeMisses,
+                    report.cache.storeWrites, report.cache.storeErrors);
       std::printf("  tree fingerprint %016llx\n",
                   static_cast<unsigned long long>(report.treeHash));
     }
@@ -294,40 +516,7 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    bool anyMeasureFailed = false;
-    for (const analysis::MeasureResult& m : report.measures) {
-      if (!m.ok) {
-        anyMeasureFailed = true;
-        std::fprintf(stderr, "error: %s: %s\n",
-                     analysis::measureKindName(m.spec.kind), m.error.c_str());
-        continue;
-      }
-      switch (m.spec.kind) {
-        case analysis::MeasureKind::Unreliability:
-        case analysis::MeasureKind::UnreliabilityBounds:
-          for (std::size_t i = 0; i < m.spec.times.size(); ++i) {
-            if (!m.bounds.empty())
-              std::printf("unreliability in [%.8f, %.8f] at t=%g\n",
-                          m.bounds[i].lower, m.bounds[i].upper,
-                          m.spec.times[i]);
-            else
-              std::printf("unreliability      %.8f at t=%g\n", m.values[i],
-                          m.spec.times[i]);
-          }
-          break;
-        case analysis::MeasureKind::Unavailability:
-          for (std::size_t i = 0; i < m.spec.times.size(); ++i)
-            std::printf("unavailability     %.8f at t=%g\n", m.values[i],
-                        m.spec.times[i]);
-          break;
-        case analysis::MeasureKind::SteadyStateUnavailability:
-          std::printf("steady-state unavailability %.8f\n", m.values[0]);
-          break;
-        case analysis::MeasureKind::Mttf:
-          std::printf("mean time to failure %.8f\n", m.values[0]);
-          break;
-      }
-    }
+    const bool anyMeasureFailed = !printMeasureResults(report);
 
     if (opts.modular) {
       std::printf("\n");
