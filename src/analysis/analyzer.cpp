@@ -13,6 +13,7 @@
 #include "analysis/measures.hpp"
 #include "analysis/static_combine.hpp"
 #include "analysis/symmetry.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ctmc/mttf.hpp"
 #include "ctmc/steady_state.hpp"
@@ -444,8 +445,9 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
 std::vector<double> Analyzer::cachedCurve(
     const StaticCombination& combo, std::size_t chainIndex,
     const std::vector<double>& times,
-    const std::shared_ptr<store::QuotientStore>& store, CacheStats& stats) {
-  if (!opts_.cacheModules) return combo.solveCurve(chainIndex, times);
+    const std::shared_ptr<store::QuotientStore>& store, CacheStats& stats,
+    const CancelToken* cancel) {
+  if (!opts_.cacheModules) return combo.solveCurve(chainIndex, times, cancel);
   std::string key = combo.chains()[chainIndex].key;
   key += '\x1f';
   key += gridKey(times);
@@ -459,7 +461,7 @@ std::vector<double> Analyzer::cachedCurve(
     }
     ++stats.storeMisses;
   }
-  std::vector<double> curve = combo.solveCurve(chainIndex, times);
+  std::vector<double> curve = combo.solveCurve(chainIndex, times, cancel);
   if (store && store->storeCurve(key, curve)) ++stats.storeWrites;
   stats.curveEvictions += curves_.put(std::move(key), curve);
   return curve;
@@ -540,19 +542,44 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   }
   report.timings.parse = secondsSince(phase);
 
+  // --- Resource budget. ---
+  // A limited request gets a CancelToken wired through the engine options
+  // into every hot loop (merge steps, product expansion, refinement
+  // passes, the OTF frontier, uniformization sweeps).  The options *copy*
+  // carries the token; the cache keys below are computed from the same
+  // options and are budget-blind by construction (optionsKey never
+  // serializes the token), so budgeted and unbudgeted requests share the
+  // tree cache — a budget decides whether an answer is produced, never
+  // which answer.
+  AnalysisOptions options = request.options;
+  std::shared_ptr<CancelToken> cancel;
+  if (request.budget.limited()) {
+    cancel = std::make_shared<CancelToken>();
+    if (request.budget.deadlineSeconds > 0.0)
+      cancel->limitDeadline(request.budget.deadlineSeconds);
+    if (request.budget.maxLiveStates > 0)
+      cancel->limitLiveStates(request.budget.maxLiveStates);
+    if (request.budget.maxMemoryBytes > 0)
+      cancel->limitMemoryBytes(request.budget.maxMemoryBytes);
+    if (request.budget.maxCheckpoints > 0)
+      cancel->limitCheckpoints(request.budget.maxCheckpoints);
+    options.engine.cancel = cancel;
+    options.engine.weak.cancel = cancel.get();
+  }
+
   // --- Whole-tree cache lookup / pipeline run. ---
   std::string treeKey = dft::canonicalKey(*tree);
   report.treeHash = dft::fnv1a(treeKey);
   treeKey += '\x1f';
-  treeKey += optionsKey(request.options);
+  treeKey += optionsKey(options);
 
   // Requests with their own symbol table are served one-shot: every cached
   // model (and every model a cached DftAnalysis holds) is interned in the
   // session table, which is not the table such a request asked for.  The
   // persistent store deserializes into the session table too, so it is
   // gated the same way.
-  const bool sessionSymbols = !request.options.conversion.symbols ||
-                              request.options.conversion.symbols == symbols_;
+  const bool sessionSymbols = !options.conversion.symbols ||
+                              options.conversion.symbols == symbols_;
   const bool useTreeCache = opts_.cacheTrees && sessionSymbols;
 
   // Static-layer numeric combination (EngineOptions::staticCombine): only
@@ -565,8 +592,8 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   // probe only the full key.  Layer detection itself — a structural walk
   // over the whole tree — runs only on a cache miss.
   const bool wantNumeric =
-      request.options.engine.staticCombine && sessionSymbols &&
-      request.options.engine.strategy == CompositionStrategy::Modular &&
+      options.engine.staticCombine && sessionSymbols &&
+      options.engine.strategy == CompositionStrategy::Modular &&
       !request.measures.empty() &&
       std::all_of(request.measures.begin(), request.measures.end(),
                   [](const MeasureSpec& m) {
@@ -577,9 +604,8 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   const std::string numericKey = treeKey + ";nc=1";
 
   const std::shared_ptr<store::QuotientStore> storeHandle =
-      sessionSymbols
-          ? openStore(request.options.engine.storeDir, report.diagnostics)
-          : nullptr;
+      sessionSymbols ? openStore(options.engine.storeDir, report.diagnostics)
+                     : nullptr;
 
   auto probeTreeCache = [&]() -> std::shared_ptr<const DftAnalysis> {
     if (!useTreeCache) return nullptr;
@@ -607,7 +633,18 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   // aggregates; identical requests arriving while it runs join its future
   // instead of aggregating again.  The wantNumeric flag is part of the
   // flight key because the two request kinds build different analyses.
-  const std::string flightKey = treeKey + (wantNumeric ? ";wn=1" : ";wn=0");
+  // Budgeted requests never lead or join a flight with differently (or un-)
+  // budgeted ones: a joiner inherits the leader's exception, and a leader
+  // whose budget trips mid-aggregation would fail joiners who asked for no
+  // limit at all.  Identically budgeted concurrent requests still dedup.
+  std::string flightKey = treeKey + (wantNumeric ? ";wn=1" : ";wn=0");
+  if (request.budget.limited()) {
+    const Budget& b = request.budget;
+    flightKey += ";bg=" + std::to_string(b.deadlineSeconds) + ',' +
+                 std::to_string(b.maxLiveStates) + ',' +
+                 std::to_string(b.maxMemoryBytes) + ',' +
+                 std::to_string(b.maxCheckpoints);
+  }
   bool leader = false;
   std::promise<std::shared_ptr<const DftAnalysis>> flightPromise;
   std::shared_future<std::shared_ptr<const DftAnalysis>> flight;
@@ -650,9 +687,9 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
       if (wantNumeric) {
         dft::StaticLayer layer = dft::detectStaticLayer(*tree);
         if (layer.eligible) {
-          analysis = runNumericPipeline(*tree, layer, request.options,
-                                        report.timings, report.cache,
-                                        report.diagnostics, storeHandle);
+          analysis =
+              runNumericPipeline(*tree, layer, options, report.timings,
+                                 report.cache, report.diagnostics, storeHandle);
           if (analysis) storeKey = numericKey;
           // Null = a module was nondeterministic (Warning already
           // attached); the fallen-back full analysis lands under fullKey.
@@ -674,8 +711,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
                 storeHandle->loadTree(fullKey, symbols_)) {
           ioimc::IOIMC absorbedModel =
               ioimc::makeLabelAbsorbing(loaded->model, kDownLabel);
-          absorbedModel =
-              ioimc::aggregate(absorbedModel, request.options.engine.weak);
+          absorbedModel = ioimc::aggregate(absorbedModel, options.engine.weak);
           Extraction absorbed = extract(absorbedModel, kDownLabel);
           DftAnalysis rebuilt{std::move(loaded->model), CompositionStats{},
                               std::move(absorbed), false, loaded->repairable,
@@ -693,8 +729,8 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
         }
       }
       if (!analysis) {
-        analysis = runPipeline(*tree, request.options, report.timings,
-                               report.cache, storeHandle);
+        analysis = runPipeline(*tree, options, report.timings, report.cache,
+                               storeHandle);
         fresh = true;
       }
       if (report.cache.moduleHits > 0)
@@ -772,9 +808,13 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
     return analysis->staticCombo->evaluate(
         times, [&](std::size_t index, const std::vector<double>& ts) {
           return cachedCurve(*analysis->staticCombo, index, ts, storeHandle,
-                             report.cache);
+                             report.cache, cancel.get());
         });
   };
+  // Transient solves of budgeted requests checkpoint once per
+  // uniformization step (null token = zero overhead).
+  ctmc::TransientOptions solveOpts;
+  solveOpts.cancel = cancel.get();
   auto warn = [&](const std::string& message) {
     report.diagnostics.push_back({Severity::Warning, message});
   };
@@ -791,10 +831,23 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
     return false;
   };
 
+  // A budget trip during measure evaluation degrades, it does not fail:
+  // the analysis itself (cached or fresh) is already paid for, so the
+  // measures solved before the trip stay in the report, the tripped and
+  // remaining measures are marked failed, and a Warning flags the report
+  // as partial.  Contrast with a trip during aggregation, which unwinds
+  // analyze() entirely (there is no analysis to report measures against).
+  bool budgetSpent = false;
   for (const MeasureSpec& spec : request.measures) {
     MeasureResult r;
     r.spec = spec;
     r.ok = true;
+    if (budgetSpent) {
+      r.ok = false;
+      r.error = "skipped: resource budget exhausted by an earlier measure";
+      report.measures.push_back(std::move(r));
+      continue;
+    }
     try {
       switch (spec.kind) {
         case MeasureKind::Unreliability:
@@ -810,7 +863,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
                 "Section 4.4): scheduler bounds substituted for point "
                 "unreliability");
           } else {
-            r.values = unreliabilityCurve(*analysis, spec.times);
+            r.values = unreliabilityCurve(*analysis, spec.times, solveOpts);
           }
           break;
         case MeasureKind::UnreliabilityBounds:
@@ -828,7 +881,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
         case MeasureKind::Unavailability:
           if (!requireGrid(r)) break;
           for (double t : spec.times)
-            r.values.push_back(unavailability(*analysis, t));
+            r.values.push_back(unavailability(*analysis, t, solveOpts));
           break;
         case MeasureKind::SteadyStateUnavailability:
           r.values.push_back(steadyStateUnavailability(*analysis));
@@ -853,6 +906,13 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
           break;
         }
       }
+    } catch (const BudgetExceeded& e) {
+      fail(r, e.what());
+      warn(std::string("partial report: resource budget exhausted at '") +
+           e.checkpoint() + "' while evaluating " +
+           measureKindName(spec.kind) +
+           "; remaining measure(s) skipped, earlier results kept");
+      budgetSpent = true;
     } catch (const Error& e) {
       fail(r, e.what());
     }

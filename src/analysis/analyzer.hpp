@@ -62,6 +62,10 @@
 /// the cold aggregation it replaces.  Store failures are soft: they count
 /// as misses, attach Warning diagnostics, and never change an answer.
 
+namespace imcdft {
+class CancelToken;  // common/cancel.hpp
+}
+
 namespace imcdft::store {
 class QuotientStore;  // store/quotient_store.hpp
 }
@@ -169,10 +173,13 @@ class Analyzer {
   /// Serves a numeric-path chain's curve from the session curve cache
   /// (keyed chain fingerprint x time grid), then from the persistent
   /// store, solving on a double miss (and publishing the fresh curve).
+  /// \p cancel (may be null) is checkpointed during the solve; a budget
+  /// trip throws before anything is cached, so caches stay consistent.
   std::vector<double> cachedCurve(
       const StaticCombination& combo, std::size_t chainIndex,
       const std::vector<double>& times,
-      const std::shared_ptr<store::QuotientStore>& store, CacheStats& stats);
+      const std::shared_ptr<store::QuotientStore>& store, CacheStats& stats,
+      const CancelToken* cancel = nullptr);
 
   /// Resolves (and memoizes) the store handle for \p dir; an empty dir
   /// returns null.  A directory that cannot be opened warns once (on the

@@ -120,6 +120,12 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
                       const std::function<bool(ioimc::ActionId)>& usedOutside) {
   require(!live.empty(), "composeCommunity: empty module pool");
   while (live.size() > 1) {
+    // One budget checkpoint per merge step: catches explosion between hot
+    // loops (e.g. a pool whose pairwise products are individually cheap
+    // but whose count is huge).  The live pool size is the step's peak
+    // proxy; the finer-grained accounting happens inside compose / the
+    // fused engine / the refinement loops, which all carry the same token.
+    if (opts.cancel) opts.cancel->checkpoint("merge-step", live.size());
     std::size_t bestI = 0, bestJ = 1;
     double bestCost = std::numeric_limits<double>::infinity();
     bool bestSync = false;
@@ -171,7 +177,7 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
     }
     IOIMC result = [&] {
       if (fused) return std::move(*fused);
-      IOIMC composed = ioimc::compose(*pool[a], *pool[b]);
+      IOIMC composed = ioimc::compose(*pool[a], *pool[b], opts.cancel.get());
       step.composedStates = composed.numStates();
       step.composedTransitions = composed.numTransitions();
       return hideAndAggregatePool(std::move(composed), opts, pool, a, b,

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/converter.hpp"
+#include "common/cancel.hpp"
 #include "dft/model.hpp"
 #include "ioimc/bisimulation.hpp"
 #include "ioimc/model.hpp"
@@ -93,6 +95,16 @@ struct EngineOptions {
   /// identical to cold aggregation, so the same analysis keyed with and
   /// without a store must share cache entries.
   std::string storeDir;
+  /// Cooperative cancellation / resource budget (common/cancel.hpp).  The
+  /// engine checkpoints the token once per merge step and hands it to
+  /// every hot loop below it (compose expansion, refinement iterations,
+  /// the on-the-fly frontier); an exhausted budget unwinds the whole
+  /// composition with BudgetExceeded.  Deliberately NOT part of the
+  /// semantic cache key (optionsKey): a budget never changes a result,
+  /// only whether it is produced.  The Analyzer builds the token from
+  /// AnalysisRequest::budget and mirrors it into weak.cancel; direct
+  /// engine callers who set one should do the same.
+  std::shared_ptr<CancelToken> cancel;
   ioimc::WeakOptions weak;
 };
 

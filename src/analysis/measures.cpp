@@ -33,15 +33,23 @@ double unreliability(const DftAnalysis& analysis, double missionTime) {
 }
 
 std::vector<double> unreliabilityCurve(const DftAnalysis& analysis,
-                                       const std::vector<double>& times) {
-  if (analysis.staticCombo)
-    return analysis.staticCombo->unreliabilityCurve(times);
+                                       const std::vector<double>& times,
+                                       const ctmc::TransientOptions& transient) {
+  if (analysis.staticCombo) {
+    // The numeric path solves its module curves under its own (tighter)
+    // tolerances; only the cancellation token is forwarded.
+    return analysis.staticCombo->evaluate(
+        times, [&](std::size_t index, const std::vector<double>& ts) {
+          return analysis.staticCombo->solveCurve(index, ts, transient.cancel);
+        });
+  }
   require(!analysis.nondeterministic,
           "unreliability: the model is nondeterministic (FDEP simultaneity, "
           "Section 4.4); use unreliabilityBounds()");
   // One shared uniformization sweep for the whole grid (each point is
   // bitwise identical to a per-point unreliability() call).
-  return ctmc::labelCurve(analysis.absorbed.chain, kDownLabel, times);
+  return ctmc::labelCurve(analysis.absorbed.chain, kDownLabel, times,
+                          transient);
 }
 
 ctmdp::ReachabilityBounds unreliabilityBounds(const DftAnalysis& analysis,
@@ -82,9 +90,10 @@ const Extraction& fullExtraction(const DftAnalysis& analysis) {
   return *memo;
 }
 
-double unavailability(const DftAnalysis& analysis, double t) {
+double unavailability(const DftAnalysis& analysis, double t,
+                      const ctmc::TransientOptions& transient) {
   return ctmc::probabilityOfLabelAt(fullExtraction(analysis).chain, kDownLabel,
-                                    t);
+                                    t, transient);
 }
 
 double steadyStateUnavailability(const DftAnalysis& analysis) {

@@ -8,6 +8,7 @@
 #include "analysis/extract.hpp"
 #include "analysis/report.hpp"
 #include "analysis/request.hpp"
+#include "ctmc/transient.hpp"
 #include "ctmdp/reachability.hpp"
 #include "dft/model.hpp"
 
@@ -34,10 +35,13 @@ DftAnalysis analyzeDft(const dft::Dft& dft, const AnalysisOptions& opts = {});
 /// \deprecated Prefer MeasureSpec::unreliability on an Analyzer request.
 double unreliability(const DftAnalysis& analysis, double missionTime);
 
-/// Unreliability evaluated at several mission times.
+/// Unreliability evaluated at several mission times.  \p transient carries
+/// the uniformization tolerances and, for budgeted requests, the
+/// cancellation token checkpointed on every sweep step.
 /// \deprecated Prefer MeasureSpec::unreliability with a time grid.
-std::vector<double> unreliabilityCurve(const DftAnalysis& analysis,
-                                       const std::vector<double>& times);
+std::vector<double> unreliabilityCurve(
+    const DftAnalysis& analysis, const std::vector<double>& times,
+    const ctmc::TransientOptions& transient = {});
 
 /// [min, max] over schedulers, for nondeterministic models (also valid for
 /// deterministic ones, where both bounds coincide).
@@ -47,7 +51,8 @@ ctmdp::ReachabilityBounds unreliabilityBounds(const DftAnalysis& analysis,
 
 /// P(system is down at time t) for repairable models (Section 7.2).
 /// \deprecated Prefer MeasureSpec::unavailability.
-double unavailability(const DftAnalysis& analysis, double t);
+double unavailability(const DftAnalysis& analysis, double t,
+                      const ctmc::TransientOptions& transient = {});
 
 /// Long-run fraction of time the system is down (repairable models).
 /// \deprecated Prefer MeasureSpec::steadyStateUnavailability.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -40,6 +41,31 @@ enum class MeasureKind : std::uint8_t {
   SteadyStateUnavailability,
   /// Mean time to failure (expected first hitting time of the top event).
   Mttf,
+};
+
+/// Resource budget of one request (see common/cancel.hpp for the token it
+/// becomes).  All limits default to 0 = unlimited.  A budget never changes
+/// an answer — only whether the request completes: a tripped request
+/// unwinds with a typed BudgetExceeded (pipeline phase) or degrades to a
+/// partial report with a Warning diagnostic (measure phase), and a re-run
+/// with a larger budget is bitwise identical to an unbudgeted run.
+struct Budget {
+  /// Wall-clock deadline in seconds, measured from the start of analyze().
+  double deadlineSeconds = 0.0;
+  /// Cap on the live states of any single pipeline step (compose product,
+  /// on-the-fly live region, refinement input).
+  std::size_t maxLiveStates = 0;
+  /// Rough memory cap over a step's live model (states and transitions
+  /// charged at nominal per-item sizes; a coarse runaway guard).
+  std::size_t maxMemoryBytes = 0;
+  /// Deterministic cap: trip at exactly the Nth cancellation checkpoint.
+  /// A test hook — production budgets use the limits above.
+  std::uint64_t maxCheckpoints = 0;
+
+  bool limited() const {
+    return deadlineSeconds > 0.0 || maxLiveStates > 0 || maxMemoryBytes > 0 ||
+           maxCheckpoints > 0;
+  }
 };
 
 /// One requested measure.  Time-dependent kinds carry a grid of mission
@@ -87,6 +113,10 @@ struct AnalysisRequest {
   std::string label;
   std::vector<MeasureSpec> measures;
   AnalysisOptions options;
+  /// Resource budget (deadline / live-state / memory caps); default
+  /// unlimited.  Deliberately not part of any cache key except the
+  /// in-flight dedup key: budgets never change answers.
+  Budget budget;
 
   static AnalysisRequest forDft(dft::Dft tree, std::string label = "") {
     AnalysisRequest req;
@@ -117,6 +147,10 @@ struct AnalysisRequest {
   }
   AnalysisRequest& withOptions(AnalysisOptions opts) {
     options = std::move(opts);
+    return *this;
+  }
+  AnalysisRequest& withBudget(Budget b) {
+    budget = b;
     return *this;
   }
 };

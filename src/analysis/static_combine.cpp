@@ -80,7 +80,8 @@ StaticCombination::StaticCombination(dft::Dft layerDft,
 }
 
 std::vector<double> StaticCombination::solveCurve(
-    std::size_t index, const std::vector<double>& times) const {
+    std::size_t index, const std::vector<double>& times,
+    const CancelToken* cancel) const {
   // Module chains are tiny, so the curves are solved tighter than the
   // composition path's default 1e-10 truncation: the structure function
   // combines several per-module errors, and the E14 agreement budget
@@ -88,6 +89,7 @@ std::vector<double> StaticCombination::solveCurve(
   // tolerance) should be spent on the composition side, not here.
   ctmc::TransientOptions opts;
   opts.epsilon = 1e-12;
+  opts.cancel = cancel;
   return ctmc::labelCurve(chains_[index].analysis->absorbed.chain, kDownLabel,
                           times, opts);
 }

@@ -43,6 +43,10 @@
 /// (with a session curve cache keyed chain-fingerprint x grid), and the
 /// free functions in measures.hpp evaluate it cache-less.
 
+namespace imcdft {
+class CancelToken;  // common/cancel.hpp
+}
+
 namespace imcdft::analysis {
 
 /// One frontier module of a solved static combination.  Symmetric siblings
@@ -91,8 +95,11 @@ class StaticCombination {
   }
 
   /// Solves chains()[index]'s curve directly (one uniformization sweep).
+  /// \p cancel, when set, is checkpointed once per uniformization step so a
+  /// budgeted request unwinds mid-sweep (common/cancel.hpp; not owned).
   std::vector<double> solveCurve(std::size_t index,
-                                 const std::vector<double>& times) const;
+                                 const std::vector<double>& times,
+                                 const CancelToken* cancel = nullptr) const;
 
   const std::vector<SolvedChain>& chains() const { return chains_; }
   const std::vector<NumericModule>& modules() const { return modules_; }

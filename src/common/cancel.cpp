@@ -1,0 +1,52 @@
+#include "common/cancel.hpp"
+
+namespace imcdft {
+
+void CancelToken::throwExceeded(const char* where, std::size_t liveStates,
+                                const std::string& what) const {
+  throw BudgetExceeded(where, elapsedSeconds(), liveStates,
+                       "budget exceeded at " + std::string(where) + ": " +
+                           what);
+}
+
+void CancelToken::checkpoint(const char* where, std::size_t liveStates,
+                             std::size_t liveTransitions) const {
+  const std::uint64_t count =
+      checkpoints_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cancelled_.load(std::memory_order_acquire)) {
+    std::string reason;
+    {
+      std::lock_guard<std::mutex> lock(reasonMutex_);
+      reason = cancelReason_;
+    }
+    throwExceeded(where, liveStates, reason);
+  }
+  if (maxCheckpoints_ > 0 && count >= maxCheckpoints_)
+    throwExceeded(where, liveStates,
+                  "checkpoint budget of " + std::to_string(maxCheckpoints_) +
+                      " exhausted");
+  if (maxLiveStates_ > 0 && liveStates > maxLiveStates_)
+    throwExceeded(where, liveStates,
+                  std::to_string(liveStates) +
+                      " live states exceed the cap of " +
+                      std::to_string(maxLiveStates_));
+  if (maxMemoryBytes_ > 0) {
+    const std::size_t rough =
+        liveStates * kStateBytes + liveTransitions * kTransitionBytes;
+    if (rough > maxMemoryBytes_)
+      throwExceeded(where, liveStates,
+                    "~" + std::to_string(rough) +
+                        " bytes of live model exceed the rough cap of " +
+                        std::to_string(maxMemoryBytes_) + " bytes");
+  }
+  if (deadlineSeconds_ > 0.0) {
+    const double elapsed = elapsedSeconds();
+    if (elapsed > deadlineSeconds_)
+      throwExceeded(where, liveStates,
+                    "deadline of " + std::to_string(deadlineSeconds_) +
+                        "s passed (" + std::to_string(elapsed) +
+                        "s elapsed)");
+  }
+}
+
+}  // namespace imcdft

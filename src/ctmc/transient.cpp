@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ctmc/fox_glynn.hpp"
 
@@ -49,10 +50,12 @@ std::vector<double> transientDistribution(const Ctmc& chain,
 
   // Advance to the left truncation point, then accumulate weighted iterates.
   for (std::size_t k = 0; k < pw.left; ++k) {
+    if (opts.cancel) opts.cancel->checkpoint("transient", chain.numStates());
     stepUniformized(chain, lambda, current, next);
     std::swap(current, next);
   }
   for (std::size_t i = 0; i < pw.weights.size(); ++i) {
+    if (opts.cancel) opts.cancel->checkpoint("transient", chain.numStates());
     const double w = pw.weights[i] / pw.totalMass;  // renormalized truncation
     for (StateId s = 0; s < chain.numStates(); ++s)
       result[s] += w * current[s];
@@ -108,6 +111,7 @@ std::vector<std::vector<double>> transientDistributions(
   std::vector<double> current = std::move(initial);
   std::vector<double> next(chain.numStates());
   for (std::size_t k = 0; true; ++k) {
+    if (opts.cancel) opts.cancel->checkpoint("transient", chain.numStates());
     for (std::size_t j = 0; j < times.size(); ++j) {
       if (times[j] == 0.0) continue;
       const PoissonWeights& pw = windows[j];

@@ -10,11 +10,21 @@
 /// paper applies to the final aggregated CTMC to obtain, e.g., the system
 /// unreliability at the mission time.
 
+namespace imcdft {
+class CancelToken;  // common/cancel.hpp
+}
+
 namespace imcdft::ctmc {
 
 struct TransientOptions {
   double epsilon = 1e-10;       ///< truncation error bound
   double uniformizationSlack = 1.02;  ///< Lambda = slack * max exit rate
+  /// Cooperative cancellation: when set, every uniformization step (one
+  /// vector-matrix product) calls CancelToken::checkpoint(), so a sweep
+  /// with a huge truncation window (stiff chain, large lambda*t) unwinds
+  /// on an exhausted budget instead of running to the right edge.  Not
+  /// owned; the caller keeps the token alive across the call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Distribution over states at time \p t starting from chain.initial.

@@ -5,6 +5,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ioimc/builder.hpp"
 #include "ioimc/ops.hpp"
@@ -216,7 +217,8 @@ WeakSig weakSignature(const IOIMC& m, const TauInfo& tau, const Partition& p,
   return sig;
 }
 
-Partition weakBisimulationWithTau(const IOIMC& m, const TauInfo& tau) {
+Partition weakBisimulationWithTau(const IOIMC& m, const TauInfo& tau,
+                                  const CancelToken* cancel) {
   const std::size_t n = m.numStates();
   const std::vector<Role> roles = actionRoles(m);
   Partition p = initialByLabel(m);
@@ -224,8 +226,13 @@ Partition weakBisimulationWithTau(const IOIMC& m, const TauInfo& tau) {
   WeakScratch ws;
   std::vector<std::uint32_t> newClassOf(n);
   while (true) {
+    // One checkpoint per refinement pass, plus a strided one inside the
+    // (possibly huge) per-state interning loop.
+    if (cancel) cancel->checkpoint("weak-refinement", n);
     interner.beginIteration(n);
     for (StateId s = 0; s < n; ++s) {
+      if (cancel && (s & 1023u) == 1023u)
+        cancel->checkpoint("weak-refinement", n);
       auto& out = interner.scratch();
       out.clear();
       out.push_back(p.classOf[s]);
@@ -244,12 +251,13 @@ Partition weakBisimulationWithTau(const IOIMC& m, const TauInfo& tau) {
 }  // namespace
 
 Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts) {
-  return weakBisimulationWithTau(m, detail::computeTauClosure(m, opts.outputsUrgent));
+  return weakBisimulationWithTau(
+      m, detail::computeTauClosure(m, opts.outputsUrgent), opts.cancel);
 }
 
 IOIMC weakQuotient(const IOIMC& m, const WeakOptions& opts) {
   TauInfo tau = detail::computeTauClosure(m, opts.outputsUrgent);
-  Partition p = weakBisimulationWithTau(m, tau);
+  Partition p = weakBisimulationWithTau(m, tau, opts.cancel);
 
   // Representative (lowest state id) per class, and its converged signature.
   std::vector<StateId> rep(p.numClasses, static_cast<StateId>(-1));
@@ -373,7 +381,7 @@ void encodeStrongSignature(const IOIMC& m, const std::vector<Role>& roles,
 
 }  // namespace
 
-Partition strongBisimulation(const IOIMC& m) {
+Partition strongBisimulation(const IOIMC& m, const CancelToken* cancel) {
   const std::size_t n = m.numStates();
   const std::vector<Role> roles = actionRoles(m);
   Partition p = initialByLabel(m);
@@ -381,8 +389,11 @@ Partition strongBisimulation(const IOIMC& m) {
   StrongScratch ss;
   std::vector<std::uint32_t> newClassOf(n);
   while (true) {
+    if (cancel) cancel->checkpoint("strong-refinement", n);
     interner.beginIteration(n);
     for (StateId s = 0; s < n; ++s) {
+      if (cancel && (s & 1023u) == 1023u)
+        cancel->checkpoint("strong-refinement", n);
       auto& out = interner.scratch();
       out.clear();
       out.push_back(p.classOf[s]);

@@ -22,6 +22,10 @@
 /// style) over the tau-closure, which for our model sizes is simple and
 /// fast, followed by quotient construction from the converged signatures.
 
+namespace imcdft {
+class CancelToken;  // common/cancel.hpp
+}
+
 namespace imcdft::ioimc {
 
 /// A computed partition of a model's states.
@@ -35,6 +39,12 @@ struct WeakOptions {
   /// Treat states with enabled output transitions as unstable (I/O-IMC
   /// urgency).  Disable to get plain IMC weak bisimulation.
   bool outputsUrgent = true;
+  /// Cooperative cancellation: when set, every refinement iteration calls
+  /// CancelToken::checkpoint() once per state pass, so an over-budget
+  /// request unwinds from inside the aggregation instead of running it to
+  /// completion.  Never changes a result — only whether it is produced.
+  /// Not owned; the caller keeps the token alive across the call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Computes the weak bisimulation partition of \p m.
@@ -42,8 +52,10 @@ Partition weakBisimulation(const IOIMC& m, const WeakOptions& opts = {});
 
 /// Computes the strong bisimulation partition (no tau abstraction, no
 /// maximal progress — this is exact CTMC lumping when the model has no
-/// interactive transitions).
-Partition strongBisimulation(const IOIMC& m);
+/// interactive transitions).  \p cancel, when set, is checkpointed once
+/// per refinement pass (see WeakOptions::cancel).
+Partition strongBisimulation(const IOIMC& m,
+                             const CancelToken* cancel = nullptr);
 
 /// Builds the quotient model induced by a weak-bisimulation partition.
 /// All internal actions of the quotient are collapsed to the canonical

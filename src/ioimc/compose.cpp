@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ioimc/compose_internal.hpp"
 
@@ -97,7 +98,7 @@ MergedLabels mergeLabels(const IOIMC& a, const IOIMC& b) {
 
 }  // namespace detail
 
-IOIMC compose(const IOIMC& a, const IOIMC& b) {
+IOIMC compose(const IOIMC& a, const IOIMC& b, const CancelToken* cancel) {
   detail::checkCompatible(a, b);
   Signature sig = detail::compositeSignature(a, b);
   detail::MergedLabels labelUnion = detail::mergeLabels(a, b);
@@ -145,6 +146,10 @@ IOIMC compose(const IOIMC& a, const IOIMC& b) {
   while (!frontier.empty()) {
     StateId id = frontier.front();
     frontier.pop();
+    // Cooperative cancellation: the discovered pair set is this loop's
+    // live region — exactly what explodes on pathological products.
+    if (cancel && (id & 255u) == 0u)
+      cancel->checkpoint("compose", pairs.size(), inter.data.size());
     auto [sa, sb] = pairs[id];
     inter.beginState();
     markov.beginState();

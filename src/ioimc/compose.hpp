@@ -19,12 +19,19 @@
 /// The composite signature is: outputs = out(A) u out(B),
 /// inputs = (in(A) u in(B)) \ outputs, internal = int(A) u int(B).
 
+namespace imcdft {
+class CancelToken;  // common/cancel.hpp
+}
+
 namespace imcdft::ioimc {
 
 /// Composes two compatible I/O-IMC, exploring only reachable pairs.
 /// Throws ModelError when the models are incompatible (shared outputs,
 /// different symbol tables, or an internal action of one colliding with a
-/// visible action of the other).
-IOIMC compose(const IOIMC& a, const IOIMC& b);
+/// visible action of the other).  \p cancel, when set, is checkpointed as
+/// the reachable product expands, so an over-budget composition throws
+/// BudgetExceeded instead of materializing the full product.
+IOIMC compose(const IOIMC& a, const IOIMC& b,
+              const CancelToken* cancel = nullptr);
 
 }  // namespace imcdft::ioimc

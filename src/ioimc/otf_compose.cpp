@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ioimc/compose_internal.hpp"
 #include "ioimc/ops.hpp"
@@ -91,6 +92,13 @@ class OtfEngine {
       const StateId id = queue_.back();
       queue_.pop_back();
       if (st_.status[id] != Status::Frontier) continue;  // stale entry
+      // Budget checkpoint before the expansion work.  A BudgetExceeded
+      // from here deliberately does NOT become an OtfAbort: falling back
+      // to the classic chain would just re-explode the same product
+      // without a live-region bound — otfComposeAggregate rethrows it.
+      if (opts_.weak.cancel && (pops_++ & 255u) == 0u)
+        opts_.weak.cancel->checkpoint("otf-frontier", liveStates_,
+                                      liveTransitions_);
       expand(id);
       notePeak();
       if (opts_.maxLiveStates && liveStates_ > opts_.maxLiveStates)
@@ -534,6 +542,7 @@ class OtfEngine {
   /// Representatives that absorbed victims (their rows are class unions).
   std::vector<std::uint8_t> absorbed_;
   std::vector<StateId> queue_;  ///< LIFO exploration stack
+  std::uint32_t pops_ = 0;      ///< frontier pops (budget-checkpoint stride)
   std::size_t liveStates_ = 0;
   std::size_t liveTransitions_ = 0;
   std::size_t lastRefineLive_ = 0;
@@ -554,6 +563,11 @@ OtfResult otfComposeAggregate(const IOIMC& a, const IOIMC& b,
     result.ok = false;
     result.failureReason = abort.reason;
     result.model.reset();
+  } catch (const BudgetExceeded&) {
+    // A tripped budget must unwind the whole request, not trigger the
+    // classic fallback: the classic chain would materialize the very
+    // product the budget just refused to pay for.
+    throw;
   } catch (const Error& e) {
     // Compatibility and validation errors: the classic path will throw the
     // same error — report, let the caller re-raise it there.

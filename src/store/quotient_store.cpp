@@ -72,6 +72,13 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
+/// Process-wide temp-file sequence.  Deliberately not per-instance: two
+/// open handles on the same directory (one per Analyzer store entry, or a
+/// test holding two) would otherwise both count 0, 1, 2, ... and clobber
+/// each other's in-flight `.tmp-<pid>-<seq>` files — publishing one
+/// writer's bytes under the other's key.
+std::atomic<std::uint64_t> gTmpSeq{0};
+
 }  // namespace
 
 std::shared_ptr<QuotientStore> QuotientStore::open(const std::string& dir) {
@@ -110,10 +117,23 @@ std::optional<Record> QuotientStore::loadRecord(const std::string& key,
   if (file.absent()) return std::nullopt;
   std::string error;
   std::optional<Record> record;
-  if (file.emptyFile() || file.unreadable())
+  if (file.emptyFile() || file.unreadable()) {
     error = file.emptyFile() ? "empty record file" : "cannot map record file";
-  else
-    record = decode(file.data(), file.size(), error);
+  } else {
+    const char* data = file.data();
+    std::size_t size = file.size();
+    std::string mutated;  // lifetime spans the decode below
+    if (const std::optional<IoFault::Kind> fault = takeFault(/*write=*/false)) {
+      if (*fault == IoFault::Kind::ShortRead) {
+        size /= 2;
+      } else {  // CorruptRead: one flipped bit mid-record
+        mutated.assign(data, size);
+        mutated[size / 2] = static_cast<char>(mutated[size / 2] ^ 0x40);
+        data = mutated.data();
+      }
+    }
+    record = decode(data, size, error);
+  }
   if (!record && !error.empty()) {
     loadErrors_.fetch_add(1, std::memory_order_relaxed);
     warn("'" + path + "': " + error + " — recomputing");
@@ -163,17 +183,46 @@ bool QuotientStore::publish(const std::string& path,
   if (std::filesystem::exists(path)) return false;
   const std::string tmp = dir_ + "/.tmp-" +
                           std::to_string(static_cast<long>(::getpid())) + "-" +
-                          std::to_string(tmpSeq_.fetch_add(1));
+                          std::to_string(gTmpSeq.fetch_add(1));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) {
     warn("cannot create '" + tmp + "': " + std::strerror(errno));
     return false;
   }
-  const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const std::optional<IoFault::Kind> fault = takeFault(/*write=*/true);
+  bool wrote;
+  if (fault == IoFault::Kind::WriteFails) {
+    errno = ENOSPC;
+    wrote = false;
+  } else if (fault == IoFault::Kind::ShortWrite) {
+    // Leave exactly what a writer killed mid-record would: half the bytes
+    // in the (never published) temp file.
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+    wrote = false;
+  } else {
+    wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  }
+  // Durability before visibility: the record's bytes must be on stable
+  // storage before rename() makes the path observable, or a crash could
+  // publish a torn record — the one corruption the checksum-on-load story
+  // is not meant to need.  An fsync failure poisons the attempt exactly
+  // like a short write (the kernel may have dropped the dirty pages).
+  bool synced = false;
+  if (wrote) {
+    synced = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    if (fault == IoFault::Kind::SyncFails) {
+      errno = EIO;
+      synced = false;
+    }
+  }
   const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) {
-    warn("short write to '" + tmp + "'");
+  if (!wrote || !synced || !closed) {
+    if (fault == IoFault::Kind::WriteFails)
+      warn("cannot write '" + tmp + "': " + std::strerror(ENOSPC));
+    else if (wrote && !synced)
+      warn("cannot sync '" + tmp + "': " + std::strerror(errno));
+    else
+      warn("short write to '" + tmp + "'");
     ::unlink(tmp.c_str());
     return false;
   }
@@ -182,7 +231,44 @@ bool QuotientStore::publish(const std::string& path,
     ::unlink(tmp.c_str());
     return false;
   }
+  // Make the rename itself durable: fsync the containing directory so the
+  // new directory entry survives a crash.  Soft — the record is already
+  // readable either way; a failure here only weakens crash durability.
+  const int dirFd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirFd >= 0) {
+    ::fsync(dirFd);
+    ::close(dirFd);
+  }
   return true;
+}
+
+void QuotientStore::injectFault(IoFault fault) {
+  std::lock_guard<std::mutex> lock(faultsMutex_);
+  faults_.push_back(fault);
+}
+
+void QuotientStore::clearFaults() {
+  std::lock_guard<std::mutex> lock(faultsMutex_);
+  faults_.clear();
+}
+
+std::optional<QuotientStore::IoFault::Kind> QuotientStore::takeFault(
+    bool write) {
+  std::lock_guard<std::mutex> lock(faultsMutex_);
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    const bool matches = write == (it->kind == IoFault::Kind::ShortWrite ||
+                                   it->kind == IoFault::Kind::WriteFails ||
+                                   it->kind == IoFault::Kind::SyncFails);
+    if (!matches) continue;
+    if (it->afterOps > 0) {
+      --it->afterOps;
+      return std::nullopt;
+    }
+    const IoFault::Kind kind = it->kind;
+    faults_.erase(it);
+    return kind;
+  }
+  return std::nullopt;
 }
 
 bool QuotientStore::storeModule(const std::string& key,

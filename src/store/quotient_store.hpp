@@ -84,6 +84,27 @@ class QuotientStore {
 
   const std::string& directory() const { return dir_; }
 
+  /// Deterministic I/O fault injection (tests and the serve-stress
+  /// harness).  Each injected fault makes exactly one matching store
+  /// operation misbehave — write faults hit the next publish, read faults
+  /// the next record load — and is then consumed.  The store must treat
+  /// every injected failure exactly like the real thing: a soft miss plus
+  /// a queued warning, never an exception or a wrong answer.
+  struct IoFault {
+    enum class Kind {
+      ShortWrite,   ///< publish writes only half the record, then "fails"
+      WriteFails,   ///< the record write fails outright (as if ENOSPC)
+      SyncFails,    ///< the pre-publish fsync reports an I/O error
+      ShortRead,    ///< a load observes only the first half of the file
+      CorruptRead,  ///< a load observes one flipped record byte
+    };
+    Kind kind = Kind::ShortWrite;
+    /// Matching operations to let through unharmed before firing.
+    int afterOps = 0;
+  };
+  void injectFault(IoFault fault);
+  void clearFaults();
+
  private:
   explicit QuotientStore(std::string dir) : dir_(std::move(dir)) {}
 
@@ -94,12 +115,16 @@ class QuotientStore {
                                    Decode&& decode);
   bool publish(const std::string& path, const std::string& bytes);
   void warn(std::string message);
+  /// Consumes (and returns) the next armed fault matching a write (\p
+  /// write true) or read operation, counting down afterOps first.
+  std::optional<IoFault::Kind> takeFault(bool write);
 
   std::string dir_;
   std::mutex warningsMutex_;
   std::vector<std::string> warnings_;
   std::atomic<std::uint64_t> loadErrors_{0};
-  std::atomic<std::uint64_t> tmpSeq_{0};
+  std::mutex faultsMutex_;
+  std::vector<IoFault> faults_;
 };
 
 }  // namespace imcdft::store

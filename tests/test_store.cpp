@@ -481,5 +481,134 @@ TEST(Store, UnusableStoreDirectoryDegradesSoftly) {
   EXPECT_NEAR(report.measures[0].values.at(0), 0.6579, 1e-3);
 }
 
+
+// ---------------------------------------------------------------------------
+// Deterministic I/O fault injection (QuotientStore::injectFault): every
+// injected failure must behave exactly like the real thing — a soft miss
+// plus a queued warning, a clean directory, and a correct retry.
+// ---------------------------------------------------------------------------
+
+/// True iff any queued warning contains \p needle (drains the queue).
+bool drainedWarningContains(QuotientStore& store, const std::string& needle) {
+  bool found = false;
+  for (const std::string& w : store.drainWarnings())
+    if (w.find(needle) != std::string::npos) found = true;
+  return found;
+}
+
+TEST(StoreFaultInjection, ShortWriteIsSoftAndLeavesNoDebris) {
+  const std::string dir = freshDir("fault_short_write");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  store->injectFault({QuotientStore::IoFault::Kind::ShortWrite, 0});
+  EXPECT_FALSE(store->storeCurve("k", {0.25, 0.5}));
+  EXPECT_TRUE(drainedWarningContains(*store, "short write"));
+  // Nothing published, no leftover temp file.
+  EXPECT_FALSE(store->loadCurve("k").has_value());
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    ADD_FAILURE() << "unexpected file " << e.path();
+  // The fault was one-shot: the retry publishes and round-trips.
+  EXPECT_TRUE(store->storeCurve("k", {0.25, 0.5}));
+  std::optional<std::vector<double>> got = store->loadCurve("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<double>{0.25, 0.5}));
+  EXPECT_EQ(store->loadErrors(), 0u);
+}
+
+TEST(StoreFaultInjection, WriteFailureReportsEnospcAndRetries) {
+  const std::string dir = freshDir("fault_write_fails");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  store->injectFault({QuotientStore::IoFault::Kind::WriteFails, 0});
+  EXPECT_FALSE(store->storeCurve("k", {1.0}));
+  EXPECT_TRUE(drainedWarningContains(*store, "cannot write"));
+  EXPECT_TRUE(store->storeCurve("k", {1.0}));
+  EXPECT_TRUE(store->loadCurve("k").has_value());
+}
+
+TEST(StoreFaultInjection, SyncFailurePoisonsThePublish) {
+  // An fsync error means the kernel may have dropped the dirty pages;
+  // publishing anyway could expose a torn record after a crash.  The
+  // attempt must be abandoned like a short write.
+  const std::string dir = freshDir("fault_sync_fails");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  store->injectFault({QuotientStore::IoFault::Kind::SyncFails, 0});
+  EXPECT_FALSE(store->storeCurve("k", {1.0}));
+  EXPECT_TRUE(drainedWarningContains(*store, "cannot sync"));
+  EXPECT_FALSE(store->loadCurve("k").has_value());
+  EXPECT_TRUE(store->storeCurve("k", {1.0}));
+}
+
+TEST(StoreFaultInjection, ShortReadDegradesToAMiss) {
+  const std::string dir = freshDir("fault_short_read");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  ASSERT_TRUE(store->storeCurve("k", {0.1, 0.2, 0.3}));
+  store->injectFault({QuotientStore::IoFault::Kind::ShortRead, 0});
+  EXPECT_FALSE(store->loadCurve("k").has_value());
+  EXPECT_EQ(store->loadErrors(), 1u);
+  EXPECT_TRUE(drainedWarningContains(*store, "recomputing"));
+  // One-shot: the record itself is intact.
+  std::optional<std::vector<double>> got = store->loadCurve("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(StoreFaultInjection, CorruptReadIsCaughtByTheChecksum) {
+  const std::string dir = freshDir("fault_corrupt_read");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  ASSERT_TRUE(store->storeCurve("k", {0.1, 0.2, 0.3}));
+  store->injectFault({QuotientStore::IoFault::Kind::CorruptRead, 0});
+  EXPECT_FALSE(store->loadCurve("k").has_value());
+  EXPECT_EQ(store->loadErrors(), 1u);
+  EXPECT_TRUE(drainedWarningContains(*store, "recomputing"));
+  EXPECT_TRUE(store->loadCurve("k").has_value());
+}
+
+TEST(StoreFaultInjection, AfterOpsCountsMatchingOperationsOnly) {
+  const std::string dir = freshDir("fault_after_ops");
+  std::shared_ptr<QuotientStore> store = QuotientStore::open(dir);
+  ASSERT_TRUE(store->storeCurve("a", {1.0}));
+  ASSERT_TRUE(store->storeCurve("b", {2.0}));
+  // Fires on the second *read*; the interleaved write is not counted.
+  store->injectFault({QuotientStore::IoFault::Kind::CorruptRead, 1});
+  EXPECT_TRUE(store->loadCurve("a").has_value());
+  ASSERT_TRUE(store->storeCurve("c", {3.0}));
+  EXPECT_FALSE(store->loadCurve("b").has_value());
+  store->clearFaults();
+  store->drainWarnings();
+}
+
+TEST(StoreFaultInjection, AnalyzerServesThroughInjectedFaults) {
+  // End to end: a session whose store misbehaves still answers, with the
+  // same numbers a store-less session produces, and surfaces the faults
+  // as Warning diagnostics.
+  const std::string dir = freshDir("fault_end_to_end");
+  AnalysisOptions opts;
+  opts.engine.storeDir = dir;
+  auto request = [&] {
+    return AnalysisRequest::forDft(dft::corpus::cas(), "cas")
+        .withOptions(opts)
+        .measure(MeasureSpec::unreliability({1.0}));
+  };
+  double reference;
+  {
+    Analyzer session;
+    reference = session.analyze(request()).measures[0].values.at(0);
+  }
+  // Injected faults are per-handle, and the Analyzer opens its own, so
+  // the corruption is planted at the file level instead: flip one byte
+  // of every record.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    std::string data = readAll(e.path().string());
+    data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
+    writeAll(e.path().string(), data);
+  }
+  Analyzer session;
+  AnalysisReport report = session.analyze(request());
+  EXPECT_TRUE(report.allMeasuresOk());
+  EXPECT_EQ(report.measures[0].values.at(0), reference);
+  EXPECT_GT(report.cache.storeErrors, 0u);
+  EXPECT_TRUE(hasDiagnostic(report, Severity::Warning, "quotient store"));
+}
+
+
 }  // namespace
 }  // namespace imcdft

@@ -35,6 +35,16 @@
 ///                       (default: on; measures are bit-identical either
 ///                       way, invariant failures fall back per step)
 ///     --stats           print composition statistics and phase timings
+///     --deadline SEC    resource budget: give up on a request after SEC
+///                       seconds of wall clock, checked cooperatively at
+///                       every hot-loop checkpoint (compose expansion,
+///                       refinement passes, the on-the-fly frontier,
+///                       uniformization sweeps); an over-budget request
+///                       unwinds cleanly with a typed error and leaves
+///                       every cache consistent
+///     --max-live-states N
+///                       resource budget: abort a request whose live state
+///                       count at any checkpoint exceeds N
 ///     --store DIR       persistent quotient store: read aggregated
 ///                       quotients and solved curves from DIR before
 ///                       composing, publish fresh ones back (created on
@@ -59,12 +69,23 @@
 /// the session's cache, in-flight-dedup and store counters.  Concurrent
 /// identical requests perform exactly one aggregation; with --store, a
 /// warm store turns repeated sweeps into pure record reads.
+///
+/// Serve mode is fault-isolated: every request runs inside its own error
+/// boundary, so a malformed line, an unreadable model, an over-budget
+/// analysis (--deadline / --max-live-states apply per request) or any
+/// other per-request failure claims only its own slot — every healthy
+/// request is still served, and the summary counts completed, over-budget
+/// and failed requests.  The exit status is nonzero iff any slot failed.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -72,6 +93,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/static_combine.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ctmc/transient.hpp"
 #include "dft/galileo.hpp"
@@ -98,6 +120,8 @@ struct CliOptions {
   bool serve = false;
   unsigned jobs = 0;     ///< 0 = hardware_concurrency
   unsigned workers = 0;  ///< serve mode session threads; 0 = hardware
+  double deadline = 0.0;          ///< per-request wall-clock budget; 0 = off
+  std::size_t maxLiveStates = 0;  ///< per-request live-state cap; 0 = off
   std::uint64_t simulateRuns = 0;
   std::string storeDir;
   std::string dotPath;
@@ -114,6 +138,7 @@ struct CliOptions {
                "[--jobs N] [--symmetry on|off]\n"
                "          [--static-combine on|off] [--on-the-fly on|off] "
                "[--stats]\n"
+               "          [--deadline SEC] [--max-live-states N]\n"
                "          [--store DIR] [--dot FILE] [--aut FILE]\n"
                "          [--strategy modular|greedy|declaration] "
                "<model.dft>\n"
@@ -159,6 +184,12 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.workers = static_cast<unsigned>(
           std::strtoul(next().c_str(), nullptr, 10));
       if (opts.workers == 0) usage(argv[0]);
+    } else if (arg == "--deadline") {
+      opts.deadline = std::strtod(next().c_str(), nullptr);
+      if (opts.deadline <= 0.0) usage(argv[0]);
+    } else if (arg == "--max-live-states") {
+      opts.maxLiveStates = std::strtoull(next().c_str(), nullptr, 10);
+      if (opts.maxLiveStates == 0) usage(argv[0]);
     } else if (arg == "--store") {
       opts.storeDir = next();
     } else if (arg == "--symmetry") {
@@ -249,6 +280,8 @@ void configureRequest(imcdft::analysis::AnalysisRequest& request,
   request.options.engine.staticCombine = opts.staticCombine;
   request.options.engine.onTheFly = opts.onTheFly;
   request.options.engine.storeDir = opts.storeDir;
+  request.budget.deadlineSeconds = opts.deadline;
+  request.budget.maxLiveStates = opts.maxLiveStates;
   if (opts.bounds)
     request.measure(analysis::MeasureSpec::unreliabilityBounds(times));
   else
@@ -363,27 +396,72 @@ int runServe(const CliOptions& opts) {
   if (workers == 0) workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
 
+  // Per-request fault isolation: each request runs inside its own error
+  // boundary on a worker pool over session.analyze() — NOT analyzeBatch,
+  // which rethrows the first exception and would let one poisoned request
+  // fail the whole batch.  Every exception type lands in its own slot:
+  // BudgetExceeded (over budget, counted separately), Error (bad input,
+  // unsupported trees), bad_alloc (a request that outgrew memory anyway),
+  // and any other std::exception.  Workers keep draining the queue after
+  // a failure, so every healthy request is still served.
   analysis::Analyzer session;
+  std::vector<analysis::AnalysisReport> reports(requests.size());
+  std::vector<std::string> errors(requests.size());
+  std::vector<char> overBudget(requests.size(), 0);
   const auto start = std::chrono::steady_clock::now();
-  std::vector<analysis::AnalysisReport> reports;
-  try {
-    reports = session.analyzeBatch(requests, workers);
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  {
+    std::atomic<std::size_t> nextRequest{0};
+    auto work = [&]() {
+      for (;;) {
+        const std::size_t i = nextRequest.fetch_add(1);
+        if (i >= requests.size()) return;
+        try {
+          reports[i] = session.analyze(requests[i]);
+        } catch (const imcdft::BudgetExceeded& e) {
+          overBudget[i] = 1;
+          errors[i] = e.what();
+        } catch (const Error& e) {
+          errors[i] = e.what();
+        } catch (const std::bad_alloc&) {
+          errors[i] = "out of memory";
+        } catch (const std::exception& e) {
+          errors[i] = std::string("unexpected error: ") + e.what();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    const unsigned spawned = static_cast<unsigned>(
+        std::min<std::size_t>(workers, requests.size()));
+    pool.reserve(spawned);
+    for (unsigned w = 0; w < spawned; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
   bool anyFailed = false;
+  std::size_t completed = 0, overBudgetCount = 0, failedCount = 0;
   for (const Slot& slot : slots) {
     std::printf("--- %s\n", slot.label.c_str());
     if (slot.request == static_cast<std::size_t>(-1)) {
       anyFailed = true;
+      ++failedCount;
       std::printf("error: %s\n", slot.error.c_str());
       continue;
     }
+    if (!errors[slot.request].empty()) {
+      anyFailed = true;
+      if (overBudget[slot.request]) {
+        ++overBudgetCount;
+        std::printf("error: over budget: %s\n", errors[slot.request].c_str());
+      } else {
+        ++failedCount;
+        std::printf("error: %s\n", errors[slot.request].c_str());
+      }
+      continue;
+    }
+    ++completed;
     const analysis::AnalysisReport& report = reports[slot.request];
     for (const analysis::Diagnostic& d : report.diagnostics)
       if (d.severity == analysis::Severity::Warning ||
@@ -394,10 +472,13 @@ int runServe(const CliOptions& opts) {
 
   const analysis::CacheStats s = session.cacheStats();
   std::printf("\nserve summary: %zu request(s) on %u worker(s) in %.3fs",
-              requests.size(), workers, wall);
+              slots.size(), workers, wall);
   if (wall > 0.0)
-    std::printf(" (%.1f req/s)", static_cast<double>(requests.size()) / wall);
+    std::printf(" (%.1f req/s)", static_cast<double>(slots.size()) / wall);
   std::printf("\n");
+  std::printf("  requests:        %zu completed, %zu over budget, "
+              "%zu failed\n",
+              completed, overBudgetCount, failedCount);
   std::printf("  tree cache:      %zu hit(s), %zu miss(es), %zu in-flight "
               "join(s)\n",
               s.treeHits, s.treeMisses, s.inflightJoins);
