@@ -42,7 +42,7 @@ void printReproduction() {
     simulation::Estimate mc =
         simulation::simulateUnreliability(c.tree, 1.0, {50'000, 17});
     std::printf("%-18s %-14.6f %-14.6f %.6f +- %.6f\n", c.name, exact, mono,
-                mc.value, mc.halfWidth95);
+                mc.value, mc.halfWidth95());
   }
   std::printf("\n");
 }

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Small deterministic PRNG building blocks shared by the random-DFT
+/// generator (dft/generate.hpp) and the Monte-Carlo simulator
+/// (simulation/simulator.hpp).
+///
+/// The generator needs results that are reproducible across standard
+/// libraries and platforms (a CI seed range must mean the same trees
+/// everywhere), so it cannot use std::uniform_int_distribution, whose
+/// output is implementation-defined.  SplitMix64 is a tiny, well-mixed
+/// generator with a closed-form jump: deriving an independent stream per
+/// (seed, index) pair is one addition, which is also exactly what the
+/// simulator's per-run streams need.
+
+namespace imcdft {
+
+/// The SplitMix64 finalizer: one full avalanche round over \p x.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// An independent, well-mixed stream seed for sub-stream \p index of
+/// master seed \p seed (e.g. one Monte-Carlo run, one generator arm).
+inline std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
+/// A minimal SplitMix64 engine with platform-independent sampling
+/// helpers.  Deliberately not a std::uniform_random_bit_generator client:
+/// every method below has one fixed, documented mapping from bits to
+/// values, so generated DFTs are identical across compilers.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound >= 1.  Fixed-point scaling of
+  /// the top 64 bits (the bias is < 2^-64 * bound, irrelevant here and
+  /// identical everywhere).
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace imcdft

@@ -1,6 +1,23 @@
 #include "dft/execution.hpp"
 
+#include <atomic>
+
 namespace imcdft::dft {
+
+namespace {
+
+/// dftfuzz --inject-bug drill flag; see the header comment.
+std::atomic<bool> g_pandOrderMutation{false};
+
+}  // namespace
+
+void setPandOrderMutationForTesting(bool enabled) {
+  g_pandOrderMutation.store(enabled, std::memory_order_relaxed);
+}
+
+bool pandOrderMutationForTesting() {
+  return g_pandOrderMutation.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -202,8 +219,9 @@ void Executor::fail(ExecutionState& state, ElementId x,
         // Order is respected only if everything left of x already failed.
         std::size_t idx = 0;
         while (gate.inputs[idx] != x) ++idx;
-        for (std::size_t j = 0; j < idx; ++j)
-          if (!state.failed[gate.inputs[j]]) state.pandOk[p] = 0;
+        if (!pandOrderMutationForTesting())
+          for (std::size_t j = 0; j < idx; ++j)
+            if (!state.failed[gate.inputs[j]]) state.pandOk[p] = 0;
         if (state.pandOk[p] && countFailedInputs(state, p) == gate.inputs.size())
           queue.push_back(p);
         break;

@@ -22,6 +22,17 @@
 
 namespace imcdft::dft {
 
+/// Fault-injection hook for the differential fuzzing harness (dftfuzz
+/// --inject-bug, tests/test_fuzz.cpp): when enabled, the executor ignores
+/// PAND input order, silently turning every PAND into an AND.  The
+/// compositional pipeline is unaffected, so the oracle must detect the
+/// divergence statistically and the shrinker must reduce it to a minimal
+/// PAND repro — a standing end-to-end drill that the harness actually
+/// catches semantic bugs.  Never enable outside tests; the flag is
+/// process-global (atomic) and defaults to off.
+void setPandOrderMutationForTesting(bool enabled);
+bool pandOrderMutationForTesting();
+
 /// Global configuration of a tree during execution.
 struct ExecutionState {
   std::vector<std::uint8_t> failed;     ///< per element

@@ -1,6 +1,7 @@
 #include "dft/galileo.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 #include <optional>
 #include <vector>
@@ -263,6 +264,79 @@ Dft parseGalileo(const std::string& text) {
 
   if (!sawToplevel) throw ParseError("missing toplevel declaration", 1);
   return builder.build();
+}
+
+namespace {
+
+/// Shortest decimal representation that strtod parses back bit-exactly.
+std::string formatNumber(double value) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  require(ec == std::errc(), "printGalileo: number formatting failed");
+  return std::string(buf, end);
+}
+
+std::string quoted(const std::string& name) { return '"' + name + '"'; }
+
+const char* spareKeyword(SpareKind kind) {
+  switch (kind) {
+    case SpareKind::Cold: return "csp";
+    case SpareKind::Warm: return "wsp";
+    case SpareKind::Hot: return "hsp";
+  }
+  return "wsp";
+}
+
+}  // namespace
+
+std::string printGalileo(const Dft& dft) {
+  std::string out;
+  out += "toplevel " + quoted(dft.element(dft.top()).name) + ";\n";
+
+  for (ElementId id = 0; id < dft.size(); ++id) {
+    const Element& e = dft.element(id);
+    if (e.isBasicEvent()) {
+      out += quoted(e.name) + " lambda=" + formatNumber(e.be.lambda) +
+             " dorm=" + formatNumber(e.be.dormancy);
+      if (e.be.repairRate)
+        out += " mu=" + formatNumber(*e.be.repairRate);
+      if (e.be.phases != 1)
+        out += " phases=" + std::to_string(e.be.phases);
+      out += ";\n";
+      continue;
+    }
+    out += quoted(e.name) + ' ';
+    switch (e.type) {
+      case ElementType::And: out += "and"; break;
+      case ElementType::Or: out += "or"; break;
+      case ElementType::Voting:
+        out += std::to_string(e.votingThreshold) + "of" +
+               std::to_string(e.inputs.size());
+        break;
+      case ElementType::Pand: out += "pand"; break;
+      case ElementType::Spare: out += spareKeyword(e.spareKind); break;
+      case ElementType::Seq: out += "seq"; break;
+      case ElementType::Fdep: out += "fdep"; break;
+      case ElementType::BasicEvent: break;  // handled above
+    }
+    for (ElementId in : e.inputs) out += ' ' + quoted(dft.element(in).name);
+    out += ";\n";
+  }
+
+  // One `inhibit` statement per inhibition, in declaration order, so the
+  // parser rebuilds the inhibitions vector exactly (mutexes were already
+  // expanded pairwise at build time).  Statement names must not collide
+  // with element names; they create no elements, only a label.
+  std::size_t counter = 0;
+  for (const Inhibition& inh : dft.inhibitions()) {
+    std::string label;
+    do {
+      label = "inh" + std::to_string(counter++);
+    } while (dft.findByName(label));
+    out += quoted(label) + " inhibit " + quoted(dft.element(inh.target).name) +
+           ' ' + quoted(dft.element(inh.inhibitor).name) + ";\n";
+  }
+  return out;
 }
 
 }  // namespace imcdft::dft

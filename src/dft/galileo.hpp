@@ -32,4 +32,15 @@ namespace imcdft::dft {
 /// ModelError on structural ones.
 Dft parseGalileo(const std::string& text);
 
+/// Prints \p dft back as Galileo text such that
+/// parseGalileo(printGalileo(dft)) reconstructs the tree exactly:
+/// elements are emitted in id order (the parser assigns ids in statement
+/// order), every basic-event attribute is written explicitly (doubles in
+/// shortest round-trip form via std::to_chars) and each inhibition becomes
+/// its own `inhibit` statement in declaration order.  The fuzzing
+/// shrinker relies on this faithfulness to emit replayable repro files;
+/// the property is enforced over every generator output in
+/// tests/test_generate.cpp.
+std::string printGalileo(const Dft& dft);
+
 }  // namespace imcdft::dft

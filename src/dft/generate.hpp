@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dft/model.hpp"
+
+/// \file generate.hpp
+/// Seeded random-DFT generator, the input side of the mass differential
+/// fuzzing harness (src/fuzz, tools/dftfuzz.cpp).
+///
+/// generateDft(seed) emits a *valid, analyzable* tree over the full gate
+/// vocabulary — AND/OR/K-of-M voting, PAND, SPARE with warm/cold/hot
+/// dormancy sweeps, FDEP (including multi-dependent triggers, which
+/// deliberately produce nondeterministic models), repairable basic events,
+/// Erlang phases and the Section 7 inhibition/mutex extensions — with
+/// tunable depth/width/sharing knobs.  Every output passes Dft validation
+/// *and* the conversion pipeline's checkConvertible, so a generated tree
+/// can always be driven through all three backends (composition,
+/// static-combine, simulation).
+///
+/// Determinism contract: the same (seed, options) pair produces the same
+/// tree on every platform and standard library (the generator samples
+/// through common/rng.hpp, never std::*_distribution), so a CI seed range
+/// names the same corpus everywhere and a failing seed is a repro by
+/// itself.
+///
+/// The per-feature arm mask exists so CI can bisect which feature broke: a
+/// disagreement that appears with `--arms all` but not `--arms
+/// static,pand` indicts the spare/FDEP arms, before any shrinking runs.
+
+namespace imcdft::dft {
+
+/// Feature arms of the generator.  Each bit gates one semantic feature;
+/// the structural AND/OR arms are always available as fallback so every
+/// mask yields valid trees.
+enum GeneratorArm : std::uint32_t {
+  ArmAnd = 1u << 0,
+  ArmOr = 1u << 1,
+  ArmVoting = 1u << 2,
+  ArmPand = 1u << 3,
+  ArmSpare = 1u << 4,    ///< spare gates incl. warm/cold/hot dormancy sweep
+  ArmFdep = 1u << 5,     ///< functional dependencies (multi-dependent too)
+  ArmRepair = 1u << 6,   ///< repairable static trees (Section 7.2)
+  ArmInhibit = 1u << 7,  ///< inhibition pairs (Section 7.1)
+  ArmMutex = 1u << 8,    ///< pairwise mutual exclusion (Section 7.1)
+  ArmErlang = 1u << 9,   ///< Erlang failure phases > 1
+  ArmShare = 1u << 10,   ///< shared basic events / shared spare pools
+};
+
+/// All arms enabled (the default fuzzing vocabulary).
+inline constexpr std::uint32_t kAllArms =
+    ArmAnd | ArmOr | ArmVoting | ArmPand | ArmSpare | ArmFdep | ArmRepair |
+    ArmInhibit | ArmMutex | ArmErlang | ArmShare;
+/// The static subset: AND/OR/VOTING over plain exponential events.
+inline constexpr std::uint32_t kStaticArms = ArmAnd | ArmOr | ArmVoting;
+
+struct GeneratorOptions {
+  std::uint32_t arms = kAllArms;
+  /// Maximum gate nesting depth below the top gate.
+  std::uint32_t maxDepth = 3;
+  /// Maximum inputs per AND/OR/VOTING gate (PANDs cap at 3, spare gates
+  /// carry a primary plus 1-2 spares).
+  std::uint32_t maxChildren = 3;
+  /// Soft cap on total elements; subtree expansion stops once reached.
+  std::uint32_t maxElements = 18;
+  /// Probability that a leaf position reuses an existing shared basic
+  /// event instead of minting a fresh one (ArmShare).
+  double shareProbability = 0.3;
+  /// Probability that a tree with ArmRepair becomes a repairable static
+  /// tree (the framework defines repair only for AND/OR/VOTING trees).
+  double repairableProbability = 0.15;
+  /// Failure-rate range; rates are rounded to 3 decimals for readable
+  /// Galileo repro files.
+  double lambdaMin = 0.2;
+  double lambdaMax = 2.5;
+};
+
+/// Generates the deterministic random tree of \p seed.  The result always
+/// validates and converts (analysis::checkConvertible); internally the
+/// generator retries with progressively tamer feature settings on the rare
+/// structural clash, consuming nothing from the main stream, so the
+/// mapping seed -> tree stays total and deterministic.
+Dft generateDft(std::uint64_t seed, const GeneratorOptions& opts = {});
+
+/// Parses a comma-separated arm list ("pand,spare,share", "all",
+/// "static") into a mask; throws Error on unknown names.
+std::uint32_t parseArms(const std::string& text);
+
+/// Human-readable arm list of \p mask ("and,or,voting,...").
+std::string describeArms(std::uint32_t mask);
+
+}  // namespace imcdft::dft

@@ -1,0 +1,370 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/converter.hpp"
+#include "common/error.hpp"
+#include "dft/builder.hpp"
+
+namespace imcdft::fuzz {
+
+namespace {
+
+using dft::Dft;
+using dft::Element;
+using dft::ElementId;
+using dft::ElementType;
+
+/// Mutable mirror of a Dft.  Elements are addressed by index; edits mark
+/// elements dead instead of erasing so indices stay stable within one
+/// edit, then gc() compacts.
+struct SpecElement {
+  std::string name;
+  ElementType type = ElementType::BasicEvent;
+  std::vector<std::size_t> inputs;
+  std::uint32_t votingThreshold = 0;
+  dft::SpareKind spareKind = dft::SpareKind::Warm;
+  double lambda = 1.0;
+  double dormancy = 1.0;
+  std::optional<double> mu;
+  std::uint32_t phases = 1;
+  bool dead = false;
+};
+
+struct TreeSpec {
+  std::vector<SpecElement> elements;
+  std::size_t top = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> inhibitions;  // (inhibitor, target)
+  std::size_t cloneCounter = 0;  ///< fresh-name counter for de-sharing
+};
+
+TreeSpec fromDft(const Dft& dft) {
+  TreeSpec spec;
+  spec.top = dft.top();
+  spec.elements.reserve(dft.size());
+  for (ElementId id = 0; id < dft.size(); ++id) {
+    const Element& e = dft.element(id);
+    SpecElement s;
+    s.name = e.name;
+    s.type = e.type;
+    for (ElementId in : e.inputs) s.inputs.push_back(in);
+    s.votingThreshold = e.votingThreshold;
+    s.spareKind = e.spareKind;
+    s.lambda = e.be.lambda;
+    s.dormancy = e.be.dormancy;
+    s.mu = e.be.repairRate;
+    s.phases = e.be.phases;
+    spec.elements.push_back(std::move(s));
+  }
+  for (const dft::Inhibition& inh : dft.inhibitions())
+    spec.inhibitions.emplace_back(inh.inhibitor, inh.target);
+  return spec;
+}
+
+/// Drops everything unreachable from the top: the input-closure of the
+/// top element, plus FDEP/SEQ side constraints whose referenced elements
+/// all survived (an FDEP additionally sheds dead dependents, and dies
+/// when its trigger or every dependent died).  Inhibitions with a dead
+/// endpoint are dropped too.
+void gc(TreeSpec& spec) {
+  const std::size_t n = spec.elements.size();
+  std::vector<char> keep(n, 0);
+  // Input-closure of the top element (FDEP/SEQ elements are side
+  // constraints, never inputs of ordinary gates, so they stay out here).
+  std::vector<std::size_t> stack{spec.top};
+  while (!stack.empty()) {
+    const std::size_t x = stack.back();
+    stack.pop_back();
+    if (keep[x] || spec.elements[x].dead) continue;
+    keep[x] = 1;
+    for (std::size_t in : spec.elements[x].inputs) stack.push_back(in);
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    SpecElement& e = spec.elements[x];
+    if (e.dead || keep[x]) continue;
+    if (e.type == ElementType::Fdep) {
+      if (e.inputs.empty() || !keep[e.inputs[0]]) continue;
+      std::vector<std::size_t> dependents;
+      for (std::size_t i = 1; i < e.inputs.size(); ++i)
+        if (keep[e.inputs[i]]) dependents.push_back(e.inputs[i]);
+      if (dependents.empty()) continue;
+      e.inputs.resize(1);
+      e.inputs.insert(e.inputs.end(), dependents.begin(), dependents.end());
+      keep[x] = 1;
+    } else if (e.type == ElementType::Seq) {
+      bool all = !e.inputs.empty();
+      for (std::size_t in : e.inputs) all = all && keep[in];
+      if (all) keep[x] = 1;
+    }
+  }
+  for (std::size_t x = 0; x < n; ++x)
+    if (!keep[x]) spec.elements[x].dead = true;
+  spec.inhibitions.erase(
+      std::remove_if(spec.inhibitions.begin(), spec.inhibitions.end(),
+                     [&](const auto& inh) {
+                       return !keep[inh.first] || !keep[inh.second];
+                     }),
+      spec.inhibitions.end());
+}
+
+/// Lexicographic complexity: any accepted structural edit must decrease
+/// this, which bounds the greedy loop.
+using Score =
+    std::tuple<std::size_t, std::size_t, std::size_t, std::size_t, std::size_t>;
+
+Score scoreOf(const TreeSpec& spec) {
+  std::size_t elements = 0, edges = 0, extras = spec.inhibitions.size(),
+              dynamicGates = 0, attrs = 0;
+  for (const SpecElement& e : spec.elements) {
+    if (e.dead) continue;
+    ++elements;
+    edges += e.inputs.size();
+    if (e.type == ElementType::Pand || e.type == ElementType::Spare ||
+        e.type == ElementType::Fdep || e.type == ElementType::Seq)
+      ++dynamicGates;
+    if (e.type == ElementType::Fdep) extras += e.inputs.size() - 1;
+    if (e.type == ElementType::BasicEvent) {
+      if (e.mu) ++attrs;
+      if (e.phases != 1) ++attrs;
+      if (e.dormancy != 1.0 && e.dormancy != 0.0) ++attrs;
+      if (e.lambda != 1.0) ++attrs;
+    }
+  }
+  return {elements, edges, extras, dynamicGates, attrs};
+}
+
+/// Rebuilds and re-validates through the exact gates the generator uses,
+/// so every accepted candidate is analyzable by all backends.
+std::optional<Dft> tryBuild(const TreeSpec& spec) {
+  try {
+    dft::DftBuilder builder;
+    for (const SpecElement& e : spec.elements) {
+      if (e.dead) continue;
+      std::vector<std::string> inputs;
+      for (std::size_t in : e.inputs) inputs.push_back(spec.elements[in].name);
+      switch (e.type) {
+        case ElementType::BasicEvent:
+          builder.basicEvent(e.name, e.lambda, e.dormancy, e.mu, e.phases);
+          break;
+        case ElementType::And: builder.andGate(e.name, inputs); break;
+        case ElementType::Or: builder.orGate(e.name, inputs); break;
+        case ElementType::Voting:
+          builder.votingGate(e.name, e.votingThreshold, inputs);
+          break;
+        case ElementType::Pand: builder.pandGate(e.name, inputs); break;
+        case ElementType::Spare:
+          builder.spareGate(e.name, e.spareKind, inputs);
+          break;
+        case ElementType::Seq: builder.seqGate(e.name, inputs); break;
+        case ElementType::Fdep:
+          builder.fdep(e.name, inputs.front(),
+                       {inputs.begin() + 1, inputs.end()});
+          break;
+      }
+    }
+    for (const auto& [inhibitor, target] : spec.inhibitions)
+      builder.inhibition(spec.elements[inhibitor].name,
+                         spec.elements[target].name);
+    builder.top(spec.elements[spec.top].name);
+    Dft tree = builder.build();
+    analysis::checkConvertible(tree);
+    analysis::activationContexts(tree);
+    return tree;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+bool isOrdinaryGate(ElementType t) {
+  return t == ElementType::And || t == ElementType::Or ||
+         t == ElementType::Voting || t == ElementType::Pand ||
+         t == ElementType::Spare;
+}
+
+/// One candidate edit: a copy-mutate closure plus a display cost.  Edits
+/// are generated fresh each pass from the current spec.
+using Edit = std::function<void(TreeSpec&)>;
+
+/// All structural/attribute candidates of the current spec, in a fixed
+/// deterministic order (boldest reductions first, so the greedy
+/// first-improvement loop takes big steps while they last).
+std::vector<Edit> structuralEdits(const TreeSpec& spec) {
+  std::vector<Edit> edits;
+  const std::size_t n = spec.elements.size();
+
+  // Replace a gate by one of its children everywhere (including the top):
+  // collapses whole levels at once.
+  for (std::size_t g = 0; g < n; ++g) {
+    const SpecElement& e = spec.elements[g];
+    if (e.dead || !isOrdinaryGate(e.type)) continue;
+    for (std::size_t c = 0; c < e.inputs.size(); ++c) {
+      const std::size_t child = e.inputs[c];
+      edits.push_back([g, child](TreeSpec& s) {
+        for (SpecElement& parent : s.elements) {
+          if (parent.dead) continue;
+          for (std::size_t& in : parent.inputs)
+            if (in == g) in = child;
+        }
+        if (s.top == g) s.top = child;
+        s.elements[g].dead = true;
+      });
+    }
+  }
+
+  // Delete a whole FDEP, or just one of its dependents.
+  for (std::size_t g = 0; g < n; ++g) {
+    const SpecElement& e = spec.elements[g];
+    if (e.dead || e.type != ElementType::Fdep) continue;
+    edits.push_back([g](TreeSpec& s) { s.elements[g].dead = true; });
+    if (e.inputs.size() > 2)
+      for (std::size_t i = 1; i < e.inputs.size(); ++i)
+        edits.push_back([g, i](TreeSpec& s) {
+          s.elements[g].inputs.erase(s.elements[g].inputs.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+        });
+  }
+
+  // Delete one inhibition.
+  for (std::size_t i = 0; i < spec.inhibitions.size(); ++i)
+    edits.push_back([i](TreeSpec& s) {
+      s.inhibitions.erase(s.inhibitions.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    });
+
+  // Drop one gate input (clamping a voting threshold to the new arity).
+  for (std::size_t g = 0; g < n; ++g) {
+    const SpecElement& e = spec.elements[g];
+    if (e.dead || !isOrdinaryGate(e.type) || e.inputs.size() < 2) continue;
+    for (std::size_t i = 0; i < e.inputs.size(); ++i)
+      edits.push_back([g, i](TreeSpec& s) {
+        SpecElement& gate = s.elements[g];
+        gate.inputs.erase(gate.inputs.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        if (gate.type == ElementType::Voting)
+          gate.votingThreshold = std::min<std::uint32_t>(
+              gate.votingThreshold,
+              static_cast<std::uint32_t>(gate.inputs.size()));
+      });
+  }
+
+  // Retype a dynamic/voting gate to plain AND (order-insensitivity often
+  // preserves the failure while simplifying the semantics under test).
+  for (std::size_t g = 0; g < n; ++g) {
+    const SpecElement& e = spec.elements[g];
+    if (e.dead) continue;
+    if (e.type == ElementType::Pand || e.type == ElementType::Spare ||
+        e.type == ElementType::Voting)
+      edits.push_back([g](TreeSpec& s) {
+        s.elements[g].type = ElementType::And;
+        s.elements[g].votingThreshold = 0;
+      });
+  }
+
+  // Attribute simplifications on basic events.
+  for (std::size_t b = 0; b < n; ++b) {
+    const SpecElement& e = spec.elements[b];
+    if (e.dead || e.type != ElementType::BasicEvent) continue;
+    if (e.mu)
+      edits.push_back([b](TreeSpec& s) { s.elements[b].mu.reset(); });
+    if (e.phases != 1)
+      edits.push_back([b](TreeSpec& s) { s.elements[b].phases = 1; });
+    if (e.dormancy != 1.0 && e.dormancy != 0.0)
+      edits.push_back([b](TreeSpec& s) { s.elements[b].dormancy = 1.0; });
+    if (e.lambda != 1.0)
+      edits.push_back([b](TreeSpec& s) { s.elements[b].lambda = 1.0; });
+  }
+  return edits;
+}
+
+/// Greedy first-improvement loop: apply candidate edits until none is
+/// both valid, score-decreasing and still-failing.  Returns the number of
+/// accepted edits; current/currentTree are updated in place.
+std::size_t shrinkToFixpoint(
+    TreeSpec& current, Dft& currentTree,
+    const std::function<bool(const Dft&)>& stillFailing,
+    const ShrinkOptions& opts, std::size_t& checks) {
+  std::size_t accepted = 0;
+  bool progressed = true;
+  while (progressed && checks < opts.maxChecks) {
+    progressed = false;
+    const Score before = scoreOf(current);
+    for (const Edit& edit : structuralEdits(current)) {
+      if (checks >= opts.maxChecks) break;
+      TreeSpec candidate = current;
+      edit(candidate);
+      gc(candidate);
+      if (!(scoreOf(candidate) < before)) continue;
+      std::optional<Dft> tree = tryBuild(candidate);
+      if (!tree) continue;
+      ++checks;
+      if (!stillFailing(*tree)) continue;
+      current = std::move(candidate);
+      currentTree = std::move(*tree);
+      ++accepted;
+      progressed = true;
+      break;  // re-enumerate edits against the new spec
+    }
+  }
+  return accepted;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Dft& start,
+                    const std::function<bool(const Dft&)>& stillFailing,
+                    const ShrinkOptions& opts) {
+  TreeSpec current = fromDft(start);
+  Dft currentTree = start;
+  std::size_t checks = 0;
+  std::size_t accepted =
+      shrinkToFixpoint(current, currentTree, stillFailing, opts, checks);
+
+  // De-sharing pass: clone a multi-parent element for one of its parents,
+  // which *increases* the score, then let the structural loop earn it
+  // back.  A trial is kept only when the follow-up shrink pays for the
+  // clone (final score no worse than before), so the pass both terminates
+  // (one trial per shared element of the fixpoint) and never regresses.
+  for (std::size_t target = 0; target < current.elements.size(); ++target) {
+    if (checks >= opts.maxChecks) break;
+    if (current.elements[target].dead) continue;
+    std::vector<std::size_t> parentGates;
+    for (std::size_t g = 0; g < current.elements.size(); ++g) {
+      if (current.elements[g].dead) continue;
+      for (std::size_t in : current.elements[g].inputs)
+        if (in == target) {
+          parentGates.push_back(g);
+          break;
+        }
+    }
+    if (parentGates.size() < 2) continue;
+
+    TreeSpec candidate = current;
+    SpecElement clone = candidate.elements[target];
+    clone.name += "_c" + std::to_string(candidate.cloneCounter++);
+    const std::size_t cloneIdx = candidate.elements.size();
+    candidate.elements.push_back(std::move(clone));
+    for (std::size_t& in : candidate.elements[parentGates[0]].inputs)
+      if (in == target) in = cloneIdx;
+    std::optional<Dft> tree = tryBuild(candidate);
+    if (!tree) continue;
+    ++checks;
+    if (!stillFailing(*tree)) continue;
+    Dft candidateTree = std::move(*tree);
+    const Score before = scoreOf(current);
+    std::size_t innerAccepted = shrinkToFixpoint(candidate, candidateTree,
+                                                 stillFailing, opts, checks);
+    if (scoreOf(candidate) <= before) {
+      current = std::move(candidate);
+      currentTree = std::move(candidateTree);
+      accepted += 1 + innerAccepted;
+    }
+  }
+
+  return {std::move(currentTree), checks, accepted};
+}
+
+}  // namespace imcdft::fuzz

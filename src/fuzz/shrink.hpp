@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "dft/model.hpp"
+
+/// \file shrink.hpp
+/// Greedy structural minimization of a disagreeing DFT: given a tree on
+/// which the differential oracle fails and a predicate that re-checks the
+/// failure, repeatedly try local simplifications — promote a subtree to
+/// the top, drop or bypass gate inputs, retype dynamic gates to AND,
+/// delete FDEPs/inhibitions, strip basic-event attributes, de-share
+/// events — keeping an edit only while the tree *still fails*.  The
+/// surviving tree is what lands in the repro file: small enough to read,
+/// still exhibiting the bug.
+///
+/// Termination: every accepted structural edit strictly decreases a
+/// lexicographic complexity score (elements, input edges, FDEP/inhibition
+/// extras, dynamic gates, nontrivial attributes), so the greedy loop
+/// reaches a fixpoint.  De-sharing *increases* the element count, so it
+/// runs as a separate bounded pass: each de-share trial must pay for
+/// itself through the follow-up structural shrink (final score no worse
+/// than before the trial) or it is rolled back.
+///
+/// Every candidate is validated through the same gates as the generator
+/// (Dft validation + analysis::checkConvertible) before the predicate
+/// runs, so the shrinker can propose edits freely without tracking the
+/// converter's structural rules itself.
+
+namespace imcdft::fuzz {
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (each typically runs the full oracle).
+  std::size_t maxChecks = 2000;
+};
+
+struct ShrinkResult {
+  dft::Dft tree;             ///< the minimized tree (still failing)
+  std::size_t checks = 0;    ///< predicate evaluations spent
+  std::size_t accepted = 0;  ///< edits that survived
+};
+
+/// Minimizes \p start under \p stillFailing (which must return true for
+/// \p start itself; the shrinker asserts nothing and simply returns the
+/// input unshrunk when no edit keeps the predicate true).
+ShrinkResult shrink(const dft::Dft& start,
+                    const std::function<bool(const dft::Dft&)>& stillFailing,
+                    const ShrinkOptions& opts = {});
+
+}  // namespace imcdft::fuzz

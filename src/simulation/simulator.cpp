@@ -1,10 +1,12 @@
 #include "simulation/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "dft/execution.hpp"
 
 namespace imcdft::simulation {
@@ -85,37 +87,55 @@ RunOutcome simulateOnce(const Executor& executor, double missionTime,
 
 Estimate toEstimate(std::uint64_t hits, std::uint64_t runs) {
   Estimate est;
+  est.hits = hits;
   est.runs = runs;
   est.value = static_cast<double>(hits) / static_cast<double>(runs);
-  double variance = est.value * (1.0 - est.value) / static_cast<double>(runs);
-  est.halfWidth95 = 1.96 * std::sqrt(variance);
+  wilsonInterval(hits, runs, 1.96, &est.low95, &est.high95);
   return est;
+}
+
+template <typename Pick>
+Estimate simulate(const Dft& dft, double missionTime,
+                  const SimulationOptions& opts, Pick pick) {
+  require(opts.runs > 0, "simulate: need at least one run");
+  require(missionTime >= 0.0, "simulate: negative mission time");
+  Executor executor(dft);
+  std::uint64_t hits = 0;
+  for (std::uint64_t r = 0; r < opts.runs; ++r) {
+    // Per-run stream: the trajectory of logical run index (firstRun + r)
+    // depends only on (seed, index), so batches compose bitwise.
+    std::mt19937_64 rng(splitmix64(opts.seed, opts.firstRun + r));
+    if (pick(simulateOnce(executor, missionTime, rng))) ++hits;
+  }
+  return toEstimate(hits, opts.runs);
 }
 
 }  // namespace
 
+void wilsonInterval(std::uint64_t hits, std::uint64_t runs, double z,
+                    double* low, double* high) {
+  require(runs > 0, "wilsonInterval: need at least one trial");
+  const double n = static_cast<double>(runs);
+  const double p = static_cast<double>(hits) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double hw =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  *low = std::max(0.0, center - hw);
+  *high = std::min(1.0, center + hw);
+}
+
 Estimate simulateUnreliability(const Dft& dft, double missionTime,
                                const SimulationOptions& opts) {
-  require(opts.runs > 0, "simulateUnreliability: need at least one run");
-  require(missionTime >= 0.0, "simulateUnreliability: negative mission time");
-  Executor executor(dft);
-  std::mt19937_64 rng(opts.seed);
-  std::uint64_t hits = 0;
-  for (std::uint64_t r = 0; r < opts.runs; ++r)
-    if (simulateOnce(executor, missionTime, rng).everFailed) ++hits;
-  return toEstimate(hits, opts.runs);
+  return simulate(dft, missionTime, opts,
+                  [](const RunOutcome& o) { return o.everFailed; });
 }
 
 Estimate simulateUnavailability(const Dft& dft, double missionTime,
                                 const SimulationOptions& opts) {
-  require(opts.runs > 0, "simulateUnavailability: need at least one run");
-  require(missionTime >= 0.0, "simulateUnavailability: negative mission time");
-  Executor executor(dft);
-  std::mt19937_64 rng(opts.seed);
-  std::uint64_t hits = 0;
-  for (std::uint64_t r = 0; r < opts.runs; ++r)
-    if (simulateOnce(executor, missionTime, rng).downAtEnd) ++hits;
-  return toEstimate(hits, opts.runs);
+  return simulate(dft, missionTime, opts,
+                  [](const RunOutcome& o) { return o.downAtEnd; });
 }
 
 }  // namespace imcdft::simulation

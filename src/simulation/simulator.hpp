@@ -7,32 +7,59 @@
 /// \file simulator.hpp
 /// Discrete-event Monte-Carlo simulation of the DFT execution semantics
 /// (dft::Executor).  A third, statistical implementation of the same
-/// semantics: the differential test suite checks that the simulator's
-/// confidence intervals cover the exact answers of the compositional
-/// I/O-IMC pipeline and the monolithic generator.
+/// semantics: the differential test suite and the dftfuzz oracle check
+/// that the simulator's confidence intervals cover the exact answers of
+/// the compositional I/O-IMC pipeline and the static-combine path.
 ///
 /// All distributions are exponential/Erlang, so the simulation is a simple
 /// race: in every configuration each live basic event carries its current
 /// rate (active, dormancy-scaled, or zero), the winner is sampled, the
 /// instantaneous cascade runs, and time advances.  Repairs race with
 /// failures the same way.
+///
+/// Reproducibility: every run r draws from its own RNG stream derived as
+/// splitmix64(seed, firstRun + r), so an estimate is a pure function of
+/// (tree, missionTime, seed, run-index set) — independent of batching
+/// order.  Splitting a simulation into batches via firstRun and summing
+/// the hit counts is bitwise identical to one big simulation, which is
+/// exactly the seam a future parallel simulator needs to keep results
+/// unchanged (asserted in tests/test_simulation.cpp).
 
 namespace imcdft::simulation {
 
 struct SimulationOptions {
   std::uint64_t runs = 10'000;
   std::uint64_t seed = 42;  ///< deterministic by default
+  /// Index of the first run: run r uses the stream splitmix64(seed,
+  /// firstRun + r).  Lets callers split one logical simulation into
+  /// batches whose combined hit counts are bitwise identical to a single
+  /// sweep (default 0).
+  std::uint64_t firstRun = 0;
 };
 
-/// Point estimate with a normal-approximation confidence interval.
+/// Point estimate with a Wilson score 95% confidence interval.  The
+/// Wilson interval stays informative at the boundaries: an empirical 0/n
+/// or n/n still yields a nonempty interval of width ~z^2/n, so coverage
+/// checks on rare-event trees are never vacuous (a normal-approximation
+/// half-width would collapse to zero there).
 struct Estimate {
-  double value = 0.0;
-  double halfWidth95 = 0.0;  ///< 1.96 * standard error
+  double value = 0.0;   ///< empirical probability hits/runs
+  double low95 = 0.0;   ///< Wilson interval lower endpoint
+  double high95 = 0.0;  ///< Wilson interval upper endpoint
+  std::uint64_t hits = 0;
   std::uint64_t runs = 0;
 
-  double low() const { return value - halfWidth95; }
-  double high() const { return value + halfWidth95; }
+  double low() const { return low95; }
+  double high() const { return high95; }
+  /// Half the interval width (the interval is not centered on value).
+  double halfWidth95() const { return 0.5 * (high95 - low95); }
 };
+
+/// The Wilson score interval for \p hits successes in \p runs trials at
+/// critical value \p z (1.96 = 95%).  Exposed for the fuzzing oracle,
+/// which re-derives the interval at ~5 sigma from Estimate::hits.
+void wilsonInterval(std::uint64_t hits, std::uint64_t runs, double z,
+                    double* low, double* high);
 
 /// Estimates P(system failed by missionTime), i.e. P(the top element has
 /// fired at some point up to t).  Supports everything the executor

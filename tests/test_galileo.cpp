@@ -159,5 +159,30 @@ TEST(Galileo, CorpusModelsParse) {
   EXPECT_TRUE(corpus::cas().isDynamic());
 }
 
+TEST(Galileo, PrinterRoundTripsCorpusModels) {
+  // parse(print(tree)) reconstructs the exact tree: same ids, structure
+  // and bit-exact attributes.  (The generator outputs get the same
+  // property check en masse in test_generate.cpp.)
+  for (auto make : {corpus::cas, corpus::cps, corpus::hecs,
+                    corpus::mutexSwitch, corpus::figure10c}) {
+    Dft tree = make();
+    Dft back = parseGalileo(printGalileo(tree));
+    ASSERT_EQ(back.size(), tree.size());
+    EXPECT_EQ(back.top(), tree.top());
+    for (ElementId id = 0; id < tree.size(); ++id) {
+      const Element& a = tree.element(id);
+      const Element& b = back.element(id);
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.type, b.type);
+      EXPECT_EQ(a.inputs, b.inputs);
+      EXPECT_EQ(a.be.lambda, b.be.lambda);
+      EXPECT_EQ(a.be.dormancy, b.be.dormancy);
+      EXPECT_EQ(a.be.repairRate, b.be.repairRate);
+      EXPECT_EQ(a.be.phases, b.be.phases);
+    }
+    ASSERT_EQ(back.inhibitions().size(), tree.inhibitions().size());
+  }
+}
+
 }  // namespace
 }  // namespace imcdft::dft

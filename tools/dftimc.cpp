@@ -11,7 +11,13 @@
 ///     --mttf            also print the mean time to failure
 ///     --modular         also run the DIFTree-style modular baseline
 ///     --monolithic      also run the DIFTree-style whole-tree baseline
-///     --simulate N      also run N Monte-Carlo trajectories
+///     --simulate [N]    also run a Monte-Carlo simulation (N or --runs
+///                       trajectories, default 10000); prints a Wilson 95%
+///                       interval per time point and the seed in the
+///                       report header (per-run RNG streams, so the
+///                       printed seed replays the estimates exactly)
+///     --runs N          Monte-Carlo trajectory count (implies --simulate)
+///     --seed S          Monte-Carlo master seed (default 42)
 ///     --jobs N          worker threads for module aggregation
 ///                       (default: one per hardware thread; 1 = sequential)
 ///     --symmetry on|off symmetry reduction: aggregate one representative
@@ -122,7 +128,9 @@ struct CliOptions {
   unsigned workers = 0;  ///< serve mode session threads; 0 = hardware
   double deadline = 0.0;          ///< per-request wall-clock budget; 0 = off
   std::size_t maxLiveStates = 0;  ///< per-request live-state cap; 0 = off
-  std::uint64_t simulateRuns = 0;
+  bool simulate = false;
+  std::uint64_t simulateRuns = 10'000;
+  std::uint64_t simulateSeed = 42;
   std::string storeDir;
   std::string dotPath;
   std::string autPath;
@@ -134,8 +142,9 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s [--time T]... [--bounds] [--unavailability] "
                "[--steady-state] [--mttf]\n"
-               "          [--modular] [--monolithic] [--simulate N] "
-               "[--jobs N] [--symmetry on|off]\n"
+               "          [--modular] [--monolithic] [--simulate [N]] "
+               "[--runs N] [--seed S]\n"
+               "          [--jobs N] [--symmetry on|off]\n"
                "          [--static-combine on|off] [--on-the-fly on|off] "
                "[--stats]\n"
                "          [--deadline SEC] [--max-live-states N]\n"
@@ -173,7 +182,19 @@ CliOptions parseArgs(int argc, char** argv) {
     } else if (arg == "--stats") {
       opts.stats = true;
     } else if (arg == "--simulate") {
+      opts.simulate = true;
+      // Back-compat: a bare run count may still follow (`--simulate 5000`);
+      // the flag form composes with --runs / --seed instead.
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::string(argv[i + 1]).find_first_not_of("0123456789") ==
+              std::string::npos)
+        opts.simulateRuns = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--runs") {
+      opts.simulate = true;
       opts.simulateRuns = std::strtoull(next().c_str(), nullptr, 10);
+      if (opts.simulateRuns == 0) usage(argv[0]);
+    } else if (arg == "--seed") {
+      opts.simulateSeed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--jobs") {
       opts.jobs = static_cast<unsigned>(
           std::strtoul(next().c_str(), nullptr, 10));
@@ -242,8 +263,7 @@ CliOptions parseArgs(int argc, char** argv) {
     // Service mode takes its models from stdin; the one-shot extras that
     // need a positional model (baselines, simulation, exports) don't mix.
     if (!opts.modelPath.empty() || opts.modular || opts.monolithic ||
-        opts.simulateRuns > 0 || !opts.dotPath.empty() ||
-        !opts.autPath.empty())
+        opts.simulate || !opts.dotPath.empty() || !opts.autPath.empty())
       usage(argv[0]);
   } else if (opts.modelPath.empty()) {
     usage(argv[0]);
@@ -619,14 +639,28 @@ int main(int argc, char** argv) {
                     ctmc::probabilityOfLabelAt(m.chain, "down", t), t);
     }
 
-    if (opts.simulateRuns > 0) {
-      std::printf("\n");
+    if (opts.simulate) {
+      // The seed in the header makes every simulation report a repro by
+      // itself: per-run RNG streams are derived from (seed, run index), so
+      // re-running with the printed seed reproduces the estimates exactly.
+      std::printf("\nMonte-Carlo simulation: %llu runs, seed %llu\n",
+                  static_cast<unsigned long long>(opts.simulateRuns),
+                  static_cast<unsigned long long>(opts.simulateSeed));
       for (double t : opts.times) {
         simulation::Estimate est = simulation::simulateUnreliability(
-            tree, t, {opts.simulateRuns, 42});
-        std::printf("Monte-Carlo estimate (%llu runs): %.8f +- %.8f at t=%g\n",
-                    static_cast<unsigned long long>(est.runs), est.value,
-                    est.halfWidth95, t);
+            tree, t, {opts.simulateRuns, opts.simulateSeed});
+        std::printf(
+            "Monte-Carlo estimate: %.8f in [%.8f, %.8f] (95%% Wilson) "
+            "at t=%g\n",
+            est.value, est.low(), est.high(), t);
+        if (tree.isRepairable()) {
+          simulation::Estimate un = simulation::simulateUnavailability(
+              tree, t, {opts.simulateRuns, opts.simulateSeed});
+          std::printf(
+              "Monte-Carlo unavailability: %.8f in [%.8f, %.8f] "
+              "(95%% Wilson) at t=%g\n",
+              un.value, un.low(), un.high(), t);
+        }
       }
     }
 
