@@ -118,6 +118,18 @@ struct RunResult {
   std::size_t otfSteps = 0;
   std::size_t otfFallbacks = 0;
   std::size_t otfSavedPeak = 0;
+  /// Fused-engine detail: refinement passes run / deferred by the
+  /// adaptive cadence, intra-step workers, pipelined steps + rollbacks,
+  /// and the per-stage wall breakdown summed over all fused steps.
+  std::size_t otfPassesRun = 0;
+  std::size_t otfPassesSkipped = 0;
+  unsigned otfIntraWorkers = 0;
+  std::size_t otfPipelined = 0;
+  std::size_t otfRollbacks = 0;
+  double otfExpandSeconds = 0.0;
+  double otfRefineSeconds = 0.0;
+  double otfCollapseSeconds = 0.0;
+  double otfRenumberSeconds = 0.0;
 };
 
 RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry,
@@ -152,6 +164,19 @@ RunResult timeCold(const dft::Dft& d, unsigned numThreads, bool symmetry,
       best.otfSteps = rep.stats().onTheFlySteps;
       best.otfFallbacks = rep.stats().onTheFlyFallbacks;
       best.otfSavedPeak = rep.stats().onTheFlySavedPeakStates;
+      best.otfPassesRun = rep.stats().otfRefinePassesRun;
+      best.otfPassesSkipped = rep.stats().otfRefinePassesSkipped;
+      best.otfIntraWorkers = rep.stats().otfIntraWorkers;
+      best.otfPipelined = rep.stats().otfPipelinedSteps;
+      best.otfRollbacks = rep.stats().otfPipelineRollbacks;
+      best.otfExpandSeconds = best.otfRefineSeconds = 0.0;
+      best.otfCollapseSeconds = best.otfRenumberSeconds = 0.0;
+      for (const analysis::CompositionStep& s : rep.stats().steps) {
+        best.otfExpandSeconds += s.otfExpandSeconds;
+        best.otfRefineSeconds += s.otfRefineSeconds;
+        best.otfCollapseSeconds += s.otfCollapseSeconds;
+        best.otfRenumberSeconds += s.otfRenumberSeconds;
+      }
       best.numericApplied = rep.analysis->staticCombo != nullptr;
       if (best.numericApplied) {
         best.numericModules = rep.analysis->staticCombo->modules().size();
@@ -390,27 +415,29 @@ bool runOtfSweep(std::vector<OtfResultRow>& out) {
   const char* families[] = {"cpand_4x2", "cpand_4x3", "cpand_6x2",
                             "cps_8x10", "cps_6x14"};
   std::printf("== E15: fused compose-and-minimize vs classic product ==\n");
-  std::printf("%-12s %11s %11s %10s %10s %8s %6s %5s  %s\n", "family",
-              "off [s]", "on [s]", "peak off", "peak on", "ratio", "fused",
-              "fb", "measures");
+  std::printf("%-12s %11s %11s %7s %10s %10s %8s %6s %5s  %s\n", "family",
+              "off [s]", "on [s]", "w-ratio", "peak off", "peak on", "ratio",
+              "fused", "fb", "measures");
   bool ok = true;
   for (const char* name : families) {
     dft::Dft d = treeFor(name);
     OtfResultRow r;
     r.name = name;
-    // Two repetitions: E15 gates on correctness and peaks, not timing.
+    // Three repetitions: E15 gates on correctness and peaks, not timing,
+    // but the wall ratio below is tracked by run_bench.sh.
     r.off = timeCold(d, 1, /*symmetry=*/true, /*staticCombine=*/false,
-                     /*onTheFly=*/false, /*repetitions=*/2);
+                     /*onTheFly=*/false, /*repetitions=*/3);
     r.on = timeCold(d, 1, /*symmetry=*/true, /*staticCombine=*/false,
-                    /*onTheFly=*/true, /*repetitions=*/2);
+                    /*onTheFly=*/true, /*repetitions=*/3);
     r.bitIdentical = r.on.values == r.off.values && !anyNan(r.on.values);
     r.peakOk = r.on.peakStates < r.off.peakStates &&
                r.on.peakTransitions < r.off.peakTransitions;
     r.fusedOk = r.on.otfSteps == r.on.steps && r.on.otfFallbacks == 0 &&
                 r.off.otfSteps == 0;
     if (!r.bitIdentical || !r.peakOk || !r.fusedOk) ok = false;
-    std::printf("%-12s %11.6f %11.6f %10zu %10zu %7.2fx %6zu %5zu  %s\n",
+    std::printf("%-12s %11.6f %11.6f %7.2f %10zu %10zu %7.2fx %6zu %5zu  %s\n",
                 r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
+                r.on.wallSeconds / r.off.wallSeconds,
                 r.off.peakStates, r.on.peakStates,
                 static_cast<double>(r.off.peakStates) /
                     static_cast<double>(r.on.peakStates),
@@ -419,6 +446,13 @@ bool runOtfSweep(std::vector<OtfResultRow>& out) {
                 : !r.peakOk     ? "PEAK NOT BELOW PRODUCT — BUG"
                 : !r.fusedOk    ? "STEPS FELL BACK — BUG"
                                 : "bit-identical");
+    std::printf("  stages: expand %.4fs refine %.4fs (passes %zu, skipped "
+                "%zu) collapse %.4fs renumber %.4fs workers %u piped %zu "
+                "rollbacks %zu\n",
+                r.on.otfExpandSeconds, r.on.otfRefineSeconds,
+                r.on.otfPassesRun, r.on.otfPassesSkipped,
+                r.on.otfCollapseSeconds, r.on.otfRenumberSeconds,
+                r.on.otfIntraWorkers, r.on.otfPipelined, r.on.otfRollbacks);
     out.push_back(std::move(r));
   }
   std::printf("\n");
@@ -532,22 +566,33 @@ void writeJson(const std::vector<ConfigResult>& results,
     otfBestRatio = std::max(otfBestRatio,
                             static_cast<double>(r.off.peakStates) /
                                 static_cast<double>(r.on.peakStates));
-    char buf[768];
+    char buf[1280];
     std::snprintf(
         buf, sizeof buf,
         "    {\"name\": \"%s\", \"wall_off_seconds\": %.6f, "
-        "\"wall_on_seconds\": %.6f, \"peak_states_off\": %zu, "
+        "\"wall_on_seconds\": %.6f, \"wall_ratio\": %.3f, "
+        "\"peak_states_off\": %zu, "
         "\"peak_states_on\": %zu, \"peak_transitions_off\": %zu, "
         "\"peak_transitions_on\": %zu, \"peak_ratio\": %.3f, "
         "\"fused_steps\": %zu, \"fallbacks\": %zu, "
         "\"saved_vs_product_bound\": %zu, "
+        "\"refine_passes_run\": %zu, \"refine_passes_skipped\": %zu, "
+        "\"intra_workers\": %u, \"pipelined_steps\": %zu, "
+        "\"pipeline_rollbacks\": %zu, "
+        "\"expand_seconds\": %.6f, \"refine_seconds\": %.6f, "
+        "\"collapse_seconds\": %.6f, \"renumber_seconds\": %.6f, "
         "\"measures_bit_identical\": %s}%s\n",
         r.name.c_str(), r.off.wallSeconds, r.on.wallSeconds,
+        r.on.wallSeconds / r.off.wallSeconds,
         r.off.peakStates, r.on.peakStates, r.off.peakTransitions,
         r.on.peakTransitions,
         static_cast<double>(r.off.peakStates) /
             static_cast<double>(r.on.peakStates),
         r.on.otfSteps, r.on.otfFallbacks, r.on.otfSavedPeak,
+        r.on.otfPassesRun, r.on.otfPassesSkipped, r.on.otfIntraWorkers,
+        r.on.otfPipelined, r.on.otfRollbacks,
+        r.on.otfExpandSeconds, r.on.otfRefineSeconds,
+        r.on.otfCollapseSeconds, r.on.otfRenumberSeconds,
         r.bitIdentical ? "true" : "false", i + 1 < otf.size() ? "," : "");
     out << buf;
   }
@@ -578,6 +623,16 @@ bool runSweep() {
   if (mtThreads == 0) mtThreads = 1;
   if (const char* env = std::getenv("BENCH_COMPOSE_THREADS"))
     mtThreads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+
+  // BENCH_COMPOSE_ONLY=otf runs just the E15 sweep (fast verification of
+  // the fused engine; the JSON then has empty E12-E14 sections).
+  const char* only = std::getenv("BENCH_COMPOSE_ONLY");
+  if (only && std::string(only) == "otf") {
+    std::vector<OtfResultRow> otf;
+    bool ok = runOtfSweep(otf);
+    writeJson({}, {}, {}, otf, mtThreads);
+    return ok;
+  }
 
   std::printf("== E12: flat-storage compose/aggregate core vs seed ==\n");
   std::printf("%-10s %12s %12s %12s %9s %9s  %s\n", "config", "seed [s]",

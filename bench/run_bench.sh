@@ -88,6 +88,14 @@ if [ -f "$repo_root/BENCH_compose.json" ]; then
   # On-the-fly fused composition (E15): peak live states vs the classic
   # full product, per family and in total.
   echo "  on-the-fly:  $(grep -o '"otf_total_peak_states_saved": [0-9]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9]*$' || true) peak state(s) never materialized, best reduction $(grep -o '"otf_best_peak_ratio": [0-9.]*' "$repo_root/BENCH_compose.json" | grep -o '[0-9.]*$' || true)x (E15)"
+  # Wall-clock of the fused engine vs the classic chain it replaces
+  # (wall_ratio < 1 means the fused path is faster outright).
+  echo "  per-family E15 wall (classic -> fused, ratio):"
+  grep -o '"name": "[^"]*", "wall_off_seconds": [0-9.]*, "wall_on_seconds": [0-9.]*, "wall_ratio": [0-9.]*' "$repo_root/BENCH_compose.json" \
+    | sed 's/"name": "\([^"]*\)", "wall_off_seconds": \([0-9.]*\), "wall_on_seconds": \([0-9.]*\), "wall_ratio": \([0-9.]*\)/    \1: \2s -> \3s (\4x)/' || true
+  echo "  per-family E15 fused stages (expand/refine/collapse/renumber):"
+  grep -o '"name": "[^"]*", "wall_off_seconds[^{]*"expand_seconds": [0-9.]*, "refine_seconds": [0-9.]*, "collapse_seconds": [0-9.]*, "renumber_seconds": [0-9.]*' "$repo_root/BENCH_compose.json" \
+    | sed 's/"name": "\([^"]*\)".*"expand_seconds": \([0-9.]*\), "refine_seconds": \([0-9.]*\), "collapse_seconds": \([0-9.]*\), "renumber_seconds": \([0-9.]*\)/    \1: \2s \/ \3s \/ \4s \/ \5s/' || true
   echo "  per-family E15 peaks (classic product -> fused live):"
   grep -o '"name": "[^"]*", "wall_off_seconds[^{]*"peak_states_off": [0-9]*, "peak_states_on": [0-9]*[^{]*"fallbacks": [0-9]*' "$repo_root/BENCH_compose.json" \
     | sed 's/"name": "\([^"]*\)".*"peak_states_off": \([0-9]*\), "peak_states_on": \([0-9]*\).*"fallbacks": \([0-9]*\)/    \1: \2 -> \3 states (\4 fallback(s))/' || true

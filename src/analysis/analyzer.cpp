@@ -63,6 +63,15 @@ std::string optionsKey(const AnalysisOptions& opts) {
   key += opts.engine.onTheFly ? '1' : '0';
   key += ";oc=";
   key += std::to_string(opts.engine.onTheFlyMaxVisited);
+  // The refinement cadence and the pipeline drill never change result
+  // bytes, but both change the cached stats (pass counters, rollback
+  // counters), so they are keyed.  otfIntraStepParallel is deliberately
+  // absent: it is bit-identical *and* stat-compatible (otfIntraWorkers is
+  // reported as a max, not cached per entry).
+  key += ";or=";
+  key += std::to_string(opts.engine.otfRefineCadence);
+  key += ";od=";
+  key += opts.engine.otfPipelineDrill ? '1' : '0';
   return key;
 }
 
@@ -394,6 +403,12 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
         stats.onTheFlySteps += sub->stats.onTheFlySteps;
         stats.onTheFlyFallbacks += sub->stats.onTheFlyFallbacks;
         stats.onTheFlySavedPeakStates += sub->stats.onTheFlySavedPeakStates;
+        stats.otfRefinePassesRun += sub->stats.otfRefinePassesRun;
+        stats.otfRefinePassesSkipped += sub->stats.otfRefinePassesSkipped;
+        stats.otfIntraWorkers =
+            std::max(stats.otfIntraWorkers, sub->stats.otfIntraWorkers);
+        stats.otfPipelinedSteps += sub->stats.otfPipelinedSteps;
+        stats.otfPipelineRollbacks += sub->stats.otfPipelineRollbacks;
         for (const std::string& reason : sub->stats.onTheFlyFallbackReasons)
           stats.noteOnTheFlyFallbackReason(reason);
         stats.peakComposedStates =
@@ -501,6 +516,12 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
   timings.compose = secondsSince(phase);
   requestStats.stepsRun += engine.stats.steps.size();
   requestStats.stepsSaved += engine.stats.stepsSaved;
+  requestStats.otfRefinePassesRun += engine.stats.otfRefinePassesRun;
+  requestStats.otfRefinePassesSkipped += engine.stats.otfRefinePassesSkipped;
+  requestStats.otfIntraWorkers =
+      std::max(requestStats.otfIntraWorkers, engine.stats.otfIntraWorkers);
+  requestStats.otfPipelinedSteps += engine.stats.otfPipelinedSteps;
+  requestStats.otfPipelineRollbacks += engine.stats.otfPipelineRollbacks;
 
   // Absorb failure states, re-aggregate (usually shrinks further), extract.
   phase = Clock::now();

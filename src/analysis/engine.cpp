@@ -5,6 +5,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -14,15 +15,18 @@
 
 #include "analysis/symmetry.hpp"
 #include "common/error.hpp"
+#include "common/worker_pool.hpp"
 #include "dft/hash.hpp"
 #include "dft/modules.hpp"
 #include "ioimc/compose.hpp"
 #include "ioimc/ops.hpp"
 #include "ioimc/otf_compose.hpp"
+#include "ioimc/signature_interner.hpp"
 
 namespace imcdft::analysis {
 
 using ioimc::IOIMC;
+
 
 void CompositionStats::noteOnTheFlyFallbackReason(const std::string& reason) {
   if (onTheFlyFallbackReasons.size() >= 8) return;
@@ -93,6 +97,11 @@ void foldPeaks(CompositionStats& stats) {
       ++stats.onTheFlyFallbacks;
       stats.noteOnTheFlyFallbackReason(s.onTheFlyFallbackReason);
     }
+    stats.otfRefinePassesRun += s.otfRefinePassesRun;
+    stats.otfRefinePassesSkipped += s.otfRefinePassesSkipped;
+    stats.otfIntraWorkers = std::max(stats.otfIntraWorkers, s.otfIntraWorkers);
+    if (s.otfPipelined) ++stats.otfPipelinedSteps;
+    if (s.otfPipelineRollback) ++stats.otfPipelineRollbacks;
   }
 }
 
@@ -109,16 +118,119 @@ bool synchronize(const IOIMC& a, const IOIMC& b) {
   return anyShared(sa.outputs(), sb) || anyShared(sa.inputs(), sb);
 }
 
+/// Results below this size verify their deferred fixpoint inline — the
+/// check costs microseconds there and pipelining it would only add thread
+/// churn.
+constexpr std::size_t kPipelineMinStates = 64;
+
+/// In-flight deferred fixpoint verification of one fused step (the
+/// engine-level pipelining): the step's optimistic first-pass result is
+/// already committed to the pool and its verification runs on a background
+/// thread while the merge loop explores the next step.  Joined before the
+/// next step commits anything, so at most one verification is ever
+/// outstanding and every rollback touches only the last committed step.
+struct PendingVerify {
+  std::future<std::optional<IOIMC>> verdict;
+  std::size_t resultSlot = 0;        ///< pool slot of the optimistic model
+  std::size_t stepIndex = 0;         ///< index of the step's record
+  std::size_t aSlot = 0, bSlot = 0;  ///< the operands' pool slots
+  /// The operands, kept alive for the rare classic redo of the step.
+  std::optional<IOIMC> aModel, bModel;
+};
+
 /// Greedily folds the live entries of \p pool into one model, recording
 /// one CompositionStep per pairwise composition into \p steps.  The
 /// cheapest synchronizing pair merges first; \p usedOutside reports
 /// whether an output action has consumers beyond this pool (null = none).
+///
+/// Fused steps run with a deferred fixpoint check: the optimistic
+/// first-pass aggregate is committed immediately and verified on a
+/// background thread while the next step's product is already being
+/// explored.  The verification almost always confirms the bytes (one
+/// quotient pass is a fixpoint on typical models); when it instead amends
+/// them, the overlapped work is discarded and redone against the corrected
+/// model, so the returned model — and every recorded size — is identical
+/// to a fully sequential run.
 std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
                       std::vector<std::size_t> live,
                       const EngineOptions& opts,
                       std::vector<CompositionStep>& steps,
                       const std::function<bool(ioimc::ActionId)>& usedOutside) {
   require(!live.empty(), "composeCommunity: empty module pool");
+  // One encoding pool shared by every fused step of this merge, so
+  // repeated refinement passes reuse the same worker threads instead of
+  // respawning them per step.  Created lazily: only when intra-step
+  // parallelism is on and a step's product bound is big enough that the
+  // parallel encode path could engage at all.
+  std::unique_ptr<WorkerPool> encodePool;
+  auto encodePoolFor = [&](std::size_t leftStates,
+                           std::size_t rightStates) -> WorkerPool* {
+    if (!opts.otfIntraStepParallel) return nullptr;
+    if (!encodePool) {
+      if (leftStates * rightStates < ioimc::detail::kIntraParallelMinStates)
+        return nullptr;
+      const unsigned t = std::thread::hardware_concurrency();
+      if (t > 1) encodePool = std::make_unique<WorkerPool>(t);
+    }
+    return encodePool.get();
+  };
+
+  std::optional<PendingVerify> pending;
+
+  // Joins the outstanding deferred verification.  Returns true when it
+  // amended the pool — the caller's in-flight selection/exploration was
+  // based on stale bytes and must be redone.
+  auto joinPending = [&]() -> bool {
+    if (!pending) return false;
+    PendingVerify p = std::move(*pending);
+    pending.reset();
+    std::optional<IOIMC> corrected;
+    try {
+      corrected = p.verdict.get();
+    } catch (const BudgetExceeded&) {
+      throw;
+    } catch (const Error& e) {
+      // The optimistic bytes cannot be trusted and the correction pass
+      // failed (e.g. an incomplete canonical renumbering): rewind the step
+      // record and serve the step through the classic chain, exactly like
+      // a non-deferred invariant failure would have.  Redone inline —
+      // retrying the fused path would deterministically fail again.
+      steps.resize(p.stepIndex);
+      pool[p.aSlot] = std::move(p.aModel);
+      pool[p.bSlot] = std::move(p.bModel);
+      pool[p.resultSlot].reset();
+      CompositionStep redo;
+      redo.name = pool[p.aSlot]->name() + " || " + pool[p.bSlot]->name();
+      redo.leftStates = pool[p.aSlot]->numStates();
+      redo.rightStates = pool[p.bSlot]->numStates();
+      redo.onTheFlyFallback = true;
+      redo.onTheFlyFallbackReason = e.what();
+      IOIMC composed =
+          ioimc::compose(*pool[p.aSlot], *pool[p.bSlot], opts.cancel.get());
+      redo.composedStates = composed.numStates();
+      redo.composedTransitions = composed.numTransitions();
+      IOIMC redone = hideAndAggregatePool(std::move(composed), opts, pool,
+                                          p.aSlot, p.bSlot, usedOutside);
+      redo.aggregatedStates = redone.numStates();
+      redo.aggregatedTransitions = redone.numTransitions();
+      steps.push_back(std::move(redo));
+      pool[p.aSlot].reset();
+      pool[p.bSlot].reset();
+      pool[p.resultSlot].emplace(std::move(redone));
+      return true;
+    }
+    if (!corrected) return false;  // confirmed: the handed-out bytes stand
+    // The verification found further merges: swap the corrected model into
+    // the step's slot and patch its record.  The overlapped exploration
+    // read the optimistic bytes and is stale.
+    pool[p.resultSlot].emplace(std::move(*corrected));
+    steps[p.stepIndex].aggregatedStates = pool[p.resultSlot]->numStates();
+    steps[p.stepIndex].aggregatedTransitions =
+        pool[p.resultSlot]->numTransitions();
+    steps[p.stepIndex].otfPipelineRollback = true;
+    return true;
+  };
+
   while (live.size() > 1) {
     // One budget checkpoint per merge step: catches explosion between hot
     // loops (e.g. a pool whose pairwise products are individually cheap
@@ -148,6 +260,7 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
     step.leftStates = pool[a]->numStates();
     step.rightStates = pool[b]->numStates();
     std::optional<IOIMC> fused;
+    bool fusedVerified = true;
     if (opts.onTheFly && opts.aggregateEachStep) {
       // The composite's outputs (out(A) u out(B); shared outputs are
       // rejected by compose anyway) determine the hide set without
@@ -160,8 +273,14 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
       outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
       ioimc::otf::OtfOptions fusedOpts;
       fusedOpts.weak = opts.weak;
+      fusedOpts.weak.intraThreads = opts.otfIntraStepParallel ? 0u : 1u;
       fusedOpts.collapseSinks = opts.collapseSinks;
       fusedOpts.maxLiveStates = opts.onTheFlyMaxVisited;
+      fusedOpts.refineCadence = opts.otfRefineCadence;
+      fusedOpts.intraThreads = opts.otfIntraStepParallel ? 0u : 1u;
+      fusedOpts.encodePool =
+          encodePoolFor(step.leftStates, step.rightStates);
+      fusedOpts.deferFixpoint = true;
       ioimc::otf::OtfResult r = ioimc::otf::otfComposeAggregate(
           *pool[a], *pool[b],
           hiddenOutputsFor(outs, pool, a, b, usedOutside), fusedOpts);
@@ -169,12 +288,24 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
         step.onTheFly = true;
         step.composedStates = r.stats.peakLiveStates;
         step.composedTransitions = r.stats.peakLiveTransitions;
+        step.otfRefinePassesRun = r.stats.refinementRounds;
+        step.otfRefinePassesSkipped = r.stats.refinePassesSkipped;
+        step.otfIntraWorkers = r.stats.intraWorkers;
+        step.otfExpandSeconds = r.stats.expandSeconds;
+        step.otfRefineSeconds = r.stats.refineSeconds;
+        step.otfCollapseSeconds = r.stats.collapseSeconds;
+        step.otfRenumberSeconds = r.stats.renumberSeconds;
         fused.emplace(std::move(*r.model));
+        fusedVerified = r.fixpointVerified;
       } else {
         step.onTheFlyFallback = true;
         step.onTheFlyFallbackReason = std::move(r.failureReason);
       }
     }
+    // Join the previous fused step's deferred verification before this
+    // step commits anything: when it amended the pool, this iteration's
+    // selection and exploration were stale — redo the whole iteration.
+    if (joinPending()) continue;
     IOIMC result = [&] {
       if (fused) return std::move(*fused);
       IOIMC composed = ioimc::compose(*pool[a], *pool[b], opts.cancel.get());
@@ -183,8 +314,69 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
       return hideAndAggregatePool(std::move(composed), opts, pool, a, b,
                                   usedOutside);
     }();
+    bool pipelineThis = false;
+    if (fused && !fusedVerified) {
+      // Overlapping the verification only pays when a second core can run
+      // it; on one core the async handoff (model copy + thread) is pure
+      // overhead over the inline check.  The drill forces the overlapped
+      // path regardless, so its rollback machinery stays testable
+      // everywhere.
+      if (opts.otfPipelineDrill ||
+          (std::thread::hardware_concurrency() > 1 &&
+           result.numStates() >= kPipelineMinStates)) {
+        pipelineThis = true;
+      } else {
+        // Small result: complete the deferred check right here — it costs
+        // less than a thread handoff.
+        ioimc::WeakOptions verifyWeak = opts.weak;
+        verifyWeak.intraThreads = 1;
+        try {
+          if (std::optional<IOIMC> v =
+                  ioimc::otf::verifyAggregateFixpoint(result, verifyWeak))
+            result = std::move(*v);
+        } catch (const BudgetExceeded&) {
+          throw;
+        } catch (const Error& e) {
+          step.onTheFly = false;
+          step.onTheFlyFallback = true;
+          step.onTheFlyFallbackReason = e.what();
+          IOIMC composed =
+              ioimc::compose(*pool[a], *pool[b], opts.cancel.get());
+          step.composedStates = composed.numStates();
+          step.composedTransitions = composed.numTransitions();
+          result = hideAndAggregatePool(std::move(composed), opts, pool, a,
+                                        b, usedOutside);
+        }
+      }
+    }
     step.aggregatedStates = result.numStates();
     step.aggregatedTransitions = result.numTransitions();
+    if (pipelineThis) {
+      step.otfPipelined = true;
+      PendingVerify p;
+      p.resultSlot = pool.size();
+      p.stepIndex = steps.size();
+      p.aSlot = a;
+      p.bSlot = b;
+      p.aModel = std::move(pool[a]);
+      p.bModel = std::move(pool[b]);
+      ioimc::WeakOptions verifyWeak = opts.weak;
+      verifyWeak.intraThreads = 1;
+      const bool drill = opts.otfPipelineDrill;
+      IOIMC copy = result;  // verified on a private copy; pool may move
+      p.verdict = std::async(
+          std::launch::async,
+          [m = std::move(copy), verifyWeak,
+           drill]() mutable -> std::optional<IOIMC> {
+            std::optional<IOIMC> v =
+                ioimc::otf::verifyAggregateFixpoint(m, verifyWeak);
+            // Drill: pretend the confirmation was a correction (the bytes
+            // are identical) so the rollback path gets exercised.
+            if (!v && drill) v.emplace(std::move(m));
+            return v;
+          });
+      pending.emplace(std::move(p));
+    }
     steps.push_back(std::move(step));
     pool[a].reset();
     pool[b].reset();
@@ -193,6 +385,9 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
     live.erase(live.begin() + bestI);
     live.push_back(pool.size() - 1);
   }
+  // Drain the last step's verification; a rollback here only swaps or
+  // recomputes the final model in place, so one join settles it.
+  joinPending();
   return live.front();
 }
 

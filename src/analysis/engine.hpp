@@ -86,6 +86,28 @@ struct EngineOptions {
   /// Safety valve for the fused engine: a step whose live region exceeds
   /// this many states falls back to the classic chain.  0 = unlimited.
   std::size_t onTheFlyMaxVisited = 0;
+  /// Base refinement cadence of the fused engine
+  /// (ioimc::otf::OtfOptions::refineCadence): a partial refinement runs
+  /// when the live region grew by this factor since the last pass, and the
+  /// engine backs the working cadence off after unproductive passes.  2.0
+  /// reproduces the old fixed-doubling trigger points while yields last.
+  /// Never changes result bytes — only peak live states vs wall time — but
+  /// it does change reported stats, so it IS part of the semantic cache
+  /// key.  Values below 1 are clamped to 1.
+  double otfRefineCadence = 2.0;
+  /// Parallelize the per-iteration signature encoding *inside* each fused
+  /// composition step (hardware concurrency; off = fully sequential
+  /// refinement).  One worker pool is shared across the steps of a merge.
+  /// Bitwise identical on or off — encoding is block-parallel, interning
+  /// stays sequential in state order — and therefore deliberately NOT part
+  /// of the semantic cache key.
+  bool otfIntraStepParallel = true;
+  /// Test/bench hook: treat every confirmed deferred-fixpoint verification
+  /// as if it had produced a correction, forcing the pipeline rollback
+  /// path to execute with byte-identical inputs.  Results are unchanged;
+  /// CompositionStats::otfPipelineRollbacks counts the forced rollbacks.
+  /// Changes stats, so it IS part of the semantic cache key.
+  bool otfPipelineDrill = false;
   /// Directory of the persistent quotient store (store/quotient_store.hpp).
   /// Empty disables persistence.  The Analyzer reads aggregated module and
   /// whole-tree quotients plus solved curves from it before aggregating,
@@ -126,6 +148,24 @@ struct CompositionStep {
   /// was served by the classic chain instead (reason below).
   bool onTheFlyFallback = false;
   std::string onTheFlyFallbackReason;
+  /// Fused-step detail (all zero on classic steps): partial refinement
+  /// passes run, passes the adaptive cadence deferred relative to the old
+  /// fixed-doubling policy, and the intra-step encoding pool size (0 =
+  /// the refinement never went parallel).
+  std::size_t otfRefinePassesRun = 0;
+  std::size_t otfRefinePassesSkipped = 0;
+  unsigned otfIntraWorkers = 0;
+  /// The step's fixpoint verification was deferred and overlapped with the
+  /// next step's exploration; otfPipelineRollback marks the rare case
+  /// where the verification amended the optimistic result and the
+  /// overlapped work was redone (final bytes are identical either way).
+  bool otfPipelined = false;
+  bool otfPipelineRollback = false;
+  /// Wall-time breakdown of the fused step (see ioimc::otf::OtfStats).
+  double otfExpandSeconds = 0.0;
+  double otfRefineSeconds = 0.0;
+  double otfCollapseSeconds = 0.0;
+  double otfRenumberSeconds = 0.0;
 };
 
 /// Aggregated I/O-IMC of one completed independent module.  Modules that
@@ -170,6 +210,18 @@ struct CompositionStats {
   /// reachable-product size is only known when the classic path runs; the
   /// E15 bench measures that comparison directly).
   std::size_t onTheFlySavedPeakStates = 0;
+  /// Partial refinement passes across all fused steps: run, and deferred
+  /// by the adaptive cadence relative to the old fixed-doubling policy.
+  std::size_t otfRefinePassesRun = 0;
+  std::size_t otfRefinePassesSkipped = 0;
+  /// Largest intra-step encoding pool any fused step used (0 = the
+  /// refinement never went parallel anywhere).
+  unsigned otfIntraWorkers = 0;
+  /// Fused steps whose fixpoint verification overlapped the next step's
+  /// exploration, and how many of those verifications amended the
+  /// optimistic result (forcing the overlapped work to be redone).
+  std::size_t otfPipelinedSteps = 0;
+  std::size_t otfPipelineRollbacks = 0;
   /// Distinct fallback reasons seen (deduplicated, capped; Diagnostics).
   std::vector<std::string> onTheFlyFallbackReasons;
 

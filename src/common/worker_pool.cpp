@@ -1,0 +1,94 @@
+#include "common/worker_pool.hpp"
+
+namespace imcdft {
+
+WorkerPool::WorkerPool(unsigned threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i)
+    workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::run(
+    std::size_t numTasks,
+    const std::function<void(std::size_t, unsigned)>& fn) {
+  if (numTasks == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t t = 0; t < numTasks; ++t) fn(t, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    numTasks_ = numTasks;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    firstError_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  workOn(0);
+  // Wait until every worker has *left* the claim loop for this generation
+  // (not merely until all tasks completed): a worker that is about to poll
+  // the shared task counter one last time must not observe the next run's
+  // reset state.  Workers enter a generation at most once, so after this
+  // wait no thread can touch the job fields again.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) ==
+           static_cast<std::size_t>(workers_.size()) + 1;
+  });
+  fn_ = nullptr;
+  if (firstError_) {
+    std::exception_ptr e = firstError_;
+    firstError_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::workOn(unsigned worker) {
+  while (true) {
+    const std::size_t t = next_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= numTasks_) break;
+    if (!abort_.load(std::memory_order_relaxed)) {
+      try {
+        (*fn_)(t, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_) firstError_ = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      static_cast<std::size_t>(workers_.size()) + 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.notify_all();
+  }
+}
+
+void WorkerPool::workerLoop(unsigned worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    workOn(worker);
+    lock.lock();
+  }
+}
+
+}  // namespace imcdft

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file worker_pool.hpp
+/// A small persistent fork-join pool for data-parallel passes *below* the
+/// module boundary (per-iteration signature encoding, see
+/// ioimc/bisimulation.cpp and ioimc/otf_partition.cpp).
+///
+/// The pool exists because those passes run many times per aggregation
+/// (once per refinement iteration): spawning threads per pass would cost
+/// more than the encode itself on mid-sized models.  Workers park on a
+/// condition variable between run() calls; run() hands out tasks by atomic
+/// claiming, so load balances dynamically — determinism is the *caller's*
+/// property (every task writes only its own disjoint output slots, and the
+/// order-sensitive merge happens sequentially afterwards), never the
+/// pool's.
+///
+/// The calling thread participates as worker 0, so a pool constructed with
+/// N threads spawns only N-1.  The first exception a task throws is
+/// captured, remaining tasks are skipped, and run() rethrows it — a
+/// BudgetExceeded from a cooperative-cancel checkpoint inside a task
+/// unwinds through run() exactly like it does from a sequential loop.
+
+namespace imcdft {
+
+class WorkerPool {
+ public:
+  /// Spawns \p threads - 1 workers (the caller is the remaining one).
+  /// \p threads == 0 or 1 creates no workers; run() then executes inline.
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total workers including the caller (>= 1).
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(task, worker) for every task in [0, numTasks), concurrently.
+  /// \p worker is a dense id in [0, threads()) — use it to index
+  /// per-worker scratch.  Blocks until every task completed; rethrows the
+  /// first exception any task threw (remaining tasks are skipped, not
+  /// aborted mid-flight).
+  void run(std::size_t numTasks,
+           const std::function<void(std::size_t task, unsigned worker)>& fn);
+
+ private:
+  void workerLoop(unsigned worker);
+  void workOn(unsigned worker);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;   ///< workers wait for a new generation
+  std::condition_variable done_;   ///< run() waits for task completion
+  std::uint64_t generation_ = 0;   ///< bumped per run(); guarded by mutex_
+  bool stop_ = false;
+
+  // Per-run job state (valid between the generation bump and completion).
+  const std::function<void(std::size_t, unsigned)>* fn_ = nullptr;
+  std::size_t numTasks_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};  ///< workers that left the claim loop
+  std::atomic<bool> abort_{false};
+  std::exception_ptr firstError_;
+};
+
+}  // namespace imcdft

@@ -45,6 +45,14 @@ struct WeakOptions {
   /// completion.  Never changes a result — only whether it is produced.
   /// Not owned; the caller keeps the token alive across the call.
   const CancelToken* cancel = nullptr;
+  /// Worker threads for the per-iteration signature-encoding pass of the
+  /// weak refinement (0 = hardware concurrency).  Encoding is split into
+  /// fixed state blocks filled concurrently, then interned sequentially in
+  /// ascending state order, so the partition — and every byte downstream —
+  /// is identical for any value; only small models (where the pool costs
+  /// more than it saves) skip the split.  Deliberately excluded from
+  /// semantic cache keys for the same reason.
+  unsigned intraThreads = 1;
 };
 
 /// Computes the weak bisimulation partition of \p m.

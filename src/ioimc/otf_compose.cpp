@@ -1,20 +1,31 @@
 #include "ioimc/otf_compose.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <memory>
+#include <thread>
 #include <unordered_map>
 
 #include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/worker_pool.hpp"
 #include "ioimc/compose_internal.hpp"
 #include "ioimc/ops.hpp"
 #include "ioimc/otf_partition.hpp"
+#include "ioimc/signature_interner.hpp"
 
 namespace imcdft::ioimc::otf {
 
 namespace {
 
 using detail::GroupedModel;
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 enum class Status : std::uint8_t {
   Frontier,  ///< visited, successors not yet generated
@@ -82,6 +93,8 @@ class OtfEngine {
 
   IOIMC run(OtfStats& stats) {
     stats_ = &stats;
+    cadence_ = std::max(1.0, opts_.refineCadence);
+    const auto loopStart = Clock::now();
     stateOf(a_.initial(), b_.initial());
     // LIFO order: subtrees complete early, so dead regions become
     // sink-collapsible and interior states lose their frontier contact
@@ -106,8 +119,14 @@ class OtfEngine {
                        std::to_string(opts_.maxLiveStates) + " states"};
       maybeRefine();
     }
+    // Expansion time is the frontier loop minus the in-loop reductions the
+    // sub-phase timers already claimed.
+    stats_->expandSeconds =
+        std::max(0.0, secondsSince(loopStart) - inLoopReduceSeconds_);
     return finish();
   }
+
+  bool fixpointVerified() const { return fixpointVerified_; }
 
  private:
   static std::uint64_t key(StateId sa, StateId sb) {
@@ -168,11 +187,37 @@ class OtfEngine {
         std::max(stats_->peakLiveTransitions, liveTransitions_);
   }
 
+  /// Adaptive cadence: a pass runs when the live region grew by the
+  /// current cadence factor since the last pass.  After an unproductive
+  /// pass (it removed less than 1/8 of the live states) the working
+  /// cadence doubles, capped at 8x the configured base, so a product
+  /// whose live region genuinely has to grow stops paying for refinements
+  /// that cannot shrink it; the first productive pass resets the cadence.
+  /// Decisions depend only on live-state counts — never on wall time — so
+  /// runs are reproducible, and the knob cannot change result bytes (the
+  /// quotient tail reaches the minimal canonical quotient no matter when
+  /// intermediate passes ran).  A shadow counter tracks what the old
+  /// fixed-doubling policy would have done, so refinePassesSkipped
+  /// reports the passes this policy saved.
   void maybeRefine() {
     if (liveStates_ < opts_.refineThreshold) return;
-    if (liveStates_ < 2 * lastRefineLive_) return;
+    const bool fixedWouldRun = liveStates_ >= 2 * lastFixedLive_;
+    if (static_cast<double>(liveStates_) <
+        cadence_ * static_cast<double>(lastRefineLive_)) {
+      if (fixedWouldRun) {
+        ++stats_->refinePassesSkipped;
+        lastFixedLive_ = std::max(liveStates_, opts_.refineThreshold / 2);
+      }
+      return;
+    }
+    const std::size_t before = liveStates_;
     refineAndPrune();
+    const std::size_t removed = before - liveStates_;
+    const double base = std::max(1.0, opts_.refineCadence);
+    cadence_ = removed * 8 < before ? std::min(cadence_ * 2.0, base * 8.0)
+                                    : base;
     lastRefineLive_ = std::max(liveStates_, opts_.refineThreshold / 2);
+    lastFixedLive_ = lastRefineLive_;
   }
 
   void refineAndPrune() {
@@ -180,9 +225,40 @@ class OtfEngine {
     // The inline sink collapse implements the same abstraction as the
     // classic chain's collapseUnobservableSinks; when the caller disabled
     // that pass, the fused engine must preserve those states too.
+    auto t0 = Clock::now();
     bool changed = opts_.collapseSinks && sinkCollapseInline();
+    double dt = secondsSince(t0);
+    stats_->collapseSeconds += dt;
+    inLoopReduceSeconds_ += dt;
+    t0 = Clock::now();
     changed = weakCollapseInline() || changed;
     if (changed) pruneUnreachable();
+    dt = secondsSince(t0);
+    stats_->refineSeconds += dt;
+    inLoopReduceSeconds_ += dt;
+  }
+
+  /// Encoding pool for refinePartial: the caller's shared pool when
+  /// provided (reused across composition steps), otherwise one created
+  /// lazily — only once the live region is large enough that the parallel
+  /// path can engage at all.
+  WorkerPool* encodingPool() {
+    if (!poolDecided_) {
+      poolDecided_ = true;
+      if (opts_.encodePool) {
+        if (opts_.encodePool->threads() > 1)
+          stats_->intraWorkers = opts_.encodePool->threads();
+      } else {
+        unsigned t = opts_.intraThreads;
+        if (t == 0) t = std::thread::hardware_concurrency();
+        if (t == 0) t = 1;
+        if (t > 1) {
+          pool_ = std::make_unique<WorkerPool>(t);
+          stats_->intraWorkers = pool_->threads();
+        }
+      }
+    }
+    return opts_.encodePool ? opts_.encodePool : pool_.get();
   }
 
   void collectLive(std::vector<StateId>& rep, std::vector<StateId>& live) {
@@ -300,7 +376,11 @@ class OtfEngine {
     g.expanded = &expanded;
     g.roles = &croles_;
     g.outputsUrgent = opts_.weak.outputsUrgent;
-    const PartialPartition part = refinePartial(g, live);
+    WorkerPool* pool = live.size() >= detail::kIntraParallelMinStates
+                           ? encodingPool()
+                           : nullptr;
+    const PartialPartition part =
+        refinePartial(g, live, pool, opts_.weak.cancel);
 
     // Group the members of every multi-member class (in ascending-id
     // order; frontier states are singletons by construction, so every
@@ -458,9 +538,25 @@ class OtfEngine {
     }
   }
 
+  /// One aggregation pass with the completeness check the fused path
+  /// depends on: an incomplete canonical renumbering would leave the state
+  /// order (hence the bytes) a function of the discovery order, which
+  /// differs between the fused and the classic exploration — abort to the
+  /// classic path instead of handing out order-dependent bytes.
+  IOIMC aggregateChecked(const IOIMC& m) {
+    bool canonicalComplete = false;
+    IOIMC out = canonicalRenumber(
+        restrictToReachable(weakQuotient(m, opts_.weak)), &canonicalComplete);
+    if (!canonicalComplete)
+      throw OtfAbort{
+          "canonical renumbering could not separate all quotient states"};
+    return out;
+  }
+
   IOIMC finish() {
     // BFS renumbering of the reduced graph (interactive row first, then
     // Markovian, matching restrictToReachable's traversal convention).
+    auto t0 = Clock::now();
     const StateId root = st_.find(0);
     constexpr StateId kUnvisited = static_cast<StateId>(-1);
     std::vector<StateId> remap(st_.pairs.size(), kUnvisited);
@@ -507,26 +603,34 @@ class OtfEngine {
     IOIMC reduced("(" + a_.name() + "||" + b_.name() + ")", a_.symbols(),
                   std::move(sig_), 0, std::move(inter), std::move(markov),
                   std::move(labels), std::move(labelUnion_.names));
+    stats_->renumberSeconds += secondsSince(t0);
+    t0 = Clock::now();
     if (opts_.collapseSinks) reduced = collapseUnobservableSinks(reduced);
+    stats_->collapseSeconds += secondsSince(t0);
 
     // The classic tail: aggregate to the minimal quotient, exactly like
-    // the classic chain does (hideAndAggregatePool).
-    IOIMC result = aggregateFixpoint(reduced, opts_.weak);
-
-    // Re-verify: the result must be a fixpoint of the existing refinement
-    // (aggregateFixpoint guarantees it; this guards the fused engine
-    // against regressions) and the canonical renumbering must have
-    // separated every state — that completeness is what makes the result
-    // byte-identical to the classic path's.
-    const Partition check = weakBisimulation(result, opts_.weak);
-    if (check.numClasses != result.numStates())
-      throw OtfAbort{
-          "aggregated result is not a fixpoint of the weak refinement"};
-    bool canonicalComplete = false;
-    result = canonicalRenumber(result, &canonicalComplete);
-    if (!canonicalComplete)
-      throw OtfAbort{
-          "canonical renumbering could not separate all quotient states"};
+    // the classic chain's aggregateFixpoint — but with the canonical
+    // completeness checked on every pass (see aggregateChecked) instead of
+    // re-running a whole verification refinement + renumbering on the
+    // converged result: the fixpoint test below already is that
+    // verification, and canonicalRenumber is idempotent on its output.
+    t0 = Clock::now();
+    IOIMC result = aggregateChecked(reduced);
+    if (opts_.deferFixpoint) {
+      // Hand the optimistic first-pass result out now; the caller runs
+      // verifyAggregateFixpoint (typically overlapped with its next
+      // composition step).  On typical models the first pass already is
+      // the fixpoint and the bytes stand unchanged.
+      fixpointVerified_ = false;
+      stats_->renumberSeconds += secondsSince(t0);
+      return result;
+    }
+    while (true) {
+      const Partition check = weakBisimulation(result, opts_.weak);
+      if (check.numClasses == result.numStates()) break;
+      result = aggregateChecked(result);
+    }
+    stats_->renumberSeconds += secondsSince(t0);
     return result;
   }
 
@@ -546,6 +650,12 @@ class OtfEngine {
   std::size_t liveStates_ = 0;
   std::size_t liveTransitions_ = 0;
   std::size_t lastRefineLive_ = 0;
+  std::size_t lastFixedLive_ = 0;  ///< shadow of the old fixed-doubling policy
+  double cadence_ = 2.0;           ///< working cadence (adapts per pass)
+  double inLoopReduceSeconds_ = 0.0;
+  bool poolDecided_ = false;
+  bool fixpointVerified_ = true;
+  std::unique_ptr<WorkerPool> pool_;
   OtfStats* stats_ = nullptr;
 };
 
@@ -558,6 +668,7 @@ OtfResult otfComposeAggregate(const IOIMC& a, const IOIMC& b,
   try {
     OtfEngine engine(a, b, hiddenOutputs, opts);
     result.model.emplace(engine.run(result.stats));
+    result.fixpointVerified = engine.fixpointVerified();
     result.ok = true;
   } catch (const OtfAbort& abort) {
     result.ok = false;
@@ -576,6 +687,24 @@ OtfResult otfComposeAggregate(const IOIMC& a, const IOIMC& b,
     result.model.reset();
   }
   return result;
+}
+
+std::optional<IOIMC> verifyAggregateFixpoint(const IOIMC& m,
+                                             const WeakOptions& weak) {
+  bool changed = false;
+  IOIMC current = m;
+  while (true) {
+    const Partition p = weakBisimulation(current, weak);
+    if (p.numClasses == current.numStates())
+      return changed ? std::optional<IOIMC>(std::move(current)) : std::nullopt;
+    bool canonicalComplete = false;
+    current = canonicalRenumber(
+        restrictToReachable(weakQuotient(current, weak)), &canonicalComplete);
+    require(canonicalComplete,
+            "otf deferred fixpoint: canonical renumbering could not separate "
+            "all quotient states");
+    changed = true;
+  }
 }
 
 }  // namespace imcdft::ioimc::otf

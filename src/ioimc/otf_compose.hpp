@@ -7,6 +7,10 @@
 #include "ioimc/bisimulation.hpp"
 #include "ioimc/model.hpp"
 
+namespace imcdft {
+class WorkerPool;  // common/worker_pool.hpp
+}
+
 /// \file otf_compose.hpp
 /// The fused compose-and-minimize engine: parallel composition that never
 /// materializes the full reachable product.
@@ -51,10 +55,37 @@ struct OtfOptions {
   /// Apply collapseUnobservableSinks to the reduced graph (must mirror
   /// EngineOptions::collapseSinks of the classic path being replaced).
   bool collapseSinks = true;
-  /// Run the first refinement when this many states are live, then again
-  /// at every doubling.  Products smaller than this are simply explored
-  /// whole (the classic quotient then still shrinks them at the end).
+  /// Run the first refinement when this many states are live.  Products
+  /// smaller than this are simply explored whole (the classic quotient
+  /// then still shrinks them at the end).
   std::size_t refineThreshold = 256;
+  /// Adaptive refinement cadence: after a pass leaves L states live, the
+  /// next pass runs when the live region reaches cadence * L.  An
+  /// unproductive pass (it removed almost nothing) backs the working
+  /// cadence off (doubling, capped at 8x this base); a productive pass
+  /// resets it.  2.0 with no backoff is the old fixed-doubling policy.
+  /// The cadence decides only *when* passes run, never what they compute:
+  /// the final quotient + canonical renumbering is the same for every
+  /// value (the engine's tail reaches the minimal quotient regardless), so
+  /// this knob trades peak live states against wall time bit-neutrally.
+  double refineCadence = 2.0;
+  /// Worker threads for the per-iteration signature encoding inside the
+  /// partial refinement (0 = hardware concurrency).  Bitwise identical
+  /// for any value — see otf_partition.hpp / WeakOptions::intraThreads;
+  /// also forwarded to nothing else (the quotient tail takes its own
+  /// thread count from weak.intraThreads).
+  unsigned intraThreads = 1;
+  /// Caller-owned encoding pool, reused across composition steps so a
+  /// chain of fused steps does not respawn worker threads per step.  When
+  /// set it overrides intraThreads; must outlive the call.  Not owned.
+  WorkerPool* encodePool = nullptr;
+  /// Hand out the aggregated result after the *first* quotient pass and
+  /// let the caller run the fixpoint verification later (see
+  /// verifyAggregateFixpoint) — the engine-level pipelining hook: the
+  /// verification of step k then overlaps step k+1's frontier expansion.
+  /// OtfResult::fixpointVerified reports false when the check was skipped;
+  /// callers MUST then verify before trusting the bytes.
+  bool deferFixpoint = false;
   /// Safety valve: fail (so the caller falls back) when the live region
   /// exceeds this many states.  0 = unlimited.
   std::size_t maxLiveStates = 0;
@@ -68,10 +99,24 @@ struct OtfStats {
   /// Distinct product states ever visited (including re-expansions of
   /// revived states).
   std::size_t statesVisited = 0;
-  std::size_t refinementRounds = 0;
+  std::size_t refinementRounds = 0;     ///< refinement passes actually run
+  /// Passes the old fixed-doubling policy would have run but the adaptive
+  /// cadence deferred (the knob's effect, measurable per step).
+  std::size_t refinePassesSkipped = 0;
+  /// Workers of the intra-step encoding pool (0 = never went parallel).
+  unsigned intraWorkers = 0;
   std::size_t statesMerged = 0;         ///< collapsed into a representative
   std::size_t statesSinkCollapsed = 0;  ///< absorbed by the inline sink collapse
   std::size_t statesPruned = 0;         ///< became unreachable, dropped
+  /// Wall-time breakdown of the fused step.  expand covers the frontier
+  /// loop minus in-loop reductions; refine covers the partial weak
+  /// refinement + reachability pruning; collapse covers the inline and
+  /// final sink collapses; renumber covers the final renumbering plus the
+  /// quotient tail (aggregation and its verification when not deferred).
+  double expandSeconds = 0.0;
+  double refineSeconds = 0.0;
+  double collapseSeconds = 0.0;
+  double renumberSeconds = 0.0;
 };
 
 struct OtfResult {
@@ -80,6 +125,9 @@ struct OtfResult {
   std::string failureReason;
   /// The aggregated composite (byte-identical to the classic chain).
   std::optional<IOIMC> model;
+  /// False iff OtfOptions::deferFixpoint skipped the fixpoint
+  /// verification; the caller owns running verifyAggregateFixpoint then.
+  bool fixpointVerified = true;
   OtfStats stats;
 };
 
@@ -91,5 +139,17 @@ struct OtfResult {
 OtfResult otfComposeAggregate(const IOIMC& a, const IOIMC& b,
                               const std::vector<ActionId>& hiddenOutputs,
                               const OtfOptions& opts = {});
+
+/// Completes a deferred fixpoint check (OtfOptions::deferFixpoint): runs
+/// the weak refinement on \p m and, while it still finds merges, re-aggregates
+/// with completeness-checked canonical renumbering.  Returns std::nullopt
+/// when \p m already was the fixpoint (the common case — the handed-out
+/// bytes stand as-is), or the corrected model otherwise.  Throws ModelError
+/// when a renumbering cannot separate all quotient states (caller should
+/// redo the step classically) and lets BudgetExceeded pass through.  Safe
+/// to run concurrently with other work: it only reads \p m and the
+/// internally synchronized symbol table.
+std::optional<IOIMC> verifyAggregateFixpoint(const IOIMC& m,
+                                             const WeakOptions& weak);
 
 }  // namespace imcdft::ioimc::otf

@@ -6,6 +6,11 @@
 
 #include "ioimc/model.hpp"
 
+namespace imcdft {
+class CancelToken;  // common/cancel.hpp
+class WorkerPool;   // common/worker_pool.hpp
+}
+
 /// \file otf_partition.hpp
 /// Signature-based weak-bisimulation refinement over the *partially
 /// explored* synchronized product — the minimization half of the fused
@@ -67,7 +72,18 @@ struct PartialPartition {
 /// expanded state must resolve — through \p g.rep — to a live state, or a
 /// ModelError is thrown (the engine treats that as an invariant failure
 /// and falls back to the classic path).
+///
+/// \p pool, when non-null, parallelizes the per-iteration signature
+/// encoding over fixed state blocks; interning stays sequential in
+/// ascending dense order, so the partition is bitwise identical for any
+/// pool size (including none).  Small live regions ignore the pool.
+/// \p cancel, when non-null, is checkpointed once per encoded block in the
+/// parallel path (site "otf-refine"), so a budget can trip inside the
+/// refinement loop itself; the sequential path relies on the engine's
+/// frontier checkpoints, exactly as before.
 PartialPartition refinePartial(const PartialGraph& g,
-                               const std::vector<StateId>& live);
+                               const std::vector<StateId>& live,
+                               WorkerPool* pool = nullptr,
+                               const CancelToken* cancel = nullptr);
 
 }  // namespace imcdft::ioimc::otf

@@ -44,7 +44,8 @@ TEST(Oracle, AgreesOnCorpusModels) {
                     dft::corpus::figure10c, dft::corpus::mutexSwitch}) {
     const OracleVerdict verdict = crossCheck(make(), fastOracle());
     EXPECT_TRUE(verdict.agreed()) << verdict.detail;
-    EXPECT_EQ(verdict.configsCompared, 4u);
+    // classic, otf, otf-par, parallel, static — the full exact matrix.
+    EXPECT_EQ(verdict.configsCompared, 5u);
   }
 }
 

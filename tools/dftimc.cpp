@@ -40,6 +40,21 @@
 ///                       a step scales with the quotient, not the product
 ///                       (default: on; measures are bit-identical either
 ///                       way, invariant failures fall back per step)
+///     --otf-refine CADENCE
+///                       base refinement cadence of the fused engine: a
+///                       partial refinement pass runs when the live region
+///                       grew by this factor since the last pass, and the
+///                       engine backs the working cadence off after
+///                       unproductive passes (default: 2.0, reproducing
+///                       the old fixed-doubling trigger points while the
+///                       passes keep paying off; never changes measures,
+///                       only peak live states vs wall time)
+///     --otf-parallel on|off
+///                       parallelize the signature encoding inside each
+///                       fused step's refinement passes (default: on;
+///                       bit-identical either way — encoding is
+///                       block-parallel, interning stays sequential in
+///                       state order)
 ///     --stats           print composition statistics and phase timings
 ///     --deadline SEC    resource budget: give up on a request after SEC
 ///                       seconds of wall clock, checked cooperatively at
@@ -123,6 +138,8 @@ struct CliOptions {
   bool symmetry = true;
   bool staticCombine = true;
   bool onTheFly = true;
+  double otfRefineCadence = 2.0;
+  bool otfParallel = true;
   bool serve = false;
   unsigned jobs = 0;     ///< 0 = hardware_concurrency
   unsigned workers = 0;  ///< serve mode session threads; 0 = hardware
@@ -147,6 +164,7 @@ struct CliOptions {
                "          [--jobs N] [--symmetry on|off]\n"
                "          [--static-combine on|off] [--on-the-fly on|off] "
                "[--stats]\n"
+               "          [--otf-refine CADENCE] [--otf-parallel on|off]\n"
                "          [--deadline SEC] [--max-live-states N]\n"
                "          [--store DIR] [--dot FILE] [--aut FILE]\n"
                "          [--strategy modular|greedy|declaration] "
@@ -237,6 +255,21 @@ CliOptions parseArgs(int argc, char** argv) {
         opts.onTheFly = false;
       else
         usage(argv[0]);
+    } else if (arg == "--otf-refine") {
+      try {
+        opts.otfRefineCadence = std::stod(next());
+      } catch (const std::exception&) {
+        usage(argv[0]);
+      }
+      if (!(opts.otfRefineCadence > 0.0)) usage(argv[0]);
+    } else if (arg == "--otf-parallel") {
+      std::string v = next();
+      if (v == "on")
+        opts.otfParallel = true;
+      else if (v == "off")
+        opts.otfParallel = false;
+      else
+        usage(argv[0]);
     } else if (arg == "--dot") {
       opts.dotPath = next();
     } else if (arg == "--aut") {
@@ -299,6 +332,8 @@ void configureRequest(imcdft::analysis::AnalysisRequest& request,
   request.options.engine.symmetry = opts.symmetry;
   request.options.engine.staticCombine = opts.staticCombine;
   request.options.engine.onTheFly = opts.onTheFly;
+  request.options.engine.otfRefineCadence = opts.otfRefineCadence;
+  request.options.engine.otfIntraStepParallel = opts.otfParallel;
   request.options.engine.storeDir = opts.storeDir;
   request.budget.deadlineSeconds = opts.deadline;
   request.budget.maxLiveStates = opts.maxLiveStates;
@@ -505,6 +540,13 @@ int runServe(const CliOptions& opts) {
   std::printf("  module cache:    %zu hit(s), %zu miss(es), %zu step(s) "
               "saved\n",
               s.moduleHits, s.moduleMisses, s.stepsSaved);
+  if (s.otfRefinePassesRun + s.otfRefinePassesSkipped > 0)
+    std::printf("  otf refinement:  %zu pass(es) run, %zu deferred, "
+                "%u encode worker(s), %zu pipelined step(s), "
+                "%zu rollback(s)\n",
+                s.otfRefinePassesRun, s.otfRefinePassesSkipped,
+                s.otfIntraWorkers, s.otfPipelinedSteps,
+                s.otfPipelineRollbacks);
   if (!opts.storeDir.empty())
     std::printf("  store:           %zu hit(s), %zu miss(es), %zu write(s), "
                 "%zu error(s)\n",
@@ -568,12 +610,33 @@ int main(int argc, char** argv) {
                     sc.chains().size(), sc.bddNodes());
       }
       if (report.stats().onTheFlySteps > 0 ||
-          report.stats().onTheFlyFallbacks > 0)
+          report.stats().onTheFlyFallbacks > 0) {
         std::printf("  on-the-fly:      %zu fused step(s), %zu fallback(s), "
                     ">= %zu peak state(s) saved vs the product bound\n",
                     report.stats().onTheFlySteps,
                     report.stats().onTheFlyFallbacks,
                     report.stats().onTheFlySavedPeakStates);
+        std::printf("  otf refinement:  %zu pass(es) run, %zu deferred by "
+                    "the adaptive cadence, %u encode worker(s)\n",
+                    report.stats().otfRefinePassesRun,
+                    report.stats().otfRefinePassesSkipped,
+                    report.stats().otfIntraWorkers);
+        double expand = 0, refine = 0, collapse = 0, renumber = 0;
+        for (const analysis::CompositionStep& st : report.stats().steps) {
+          expand += st.otfExpandSeconds;
+          refine += st.otfRefineSeconds;
+          collapse += st.otfCollapseSeconds;
+          renumber += st.otfRenumberSeconds;
+        }
+        std::printf("  otf stages [s]:  expand %.4f, refine %.4f, "
+                    "collapse %.4f, renumber %.4f\n",
+                    expand, refine, collapse, renumber);
+        if (report.stats().otfPipelinedSteps > 0)
+          std::printf("  otf pipeline:    %zu step(s) overlapped the next "
+                      "step's exploration, %zu rollback(s)\n",
+                      report.stats().otfPipelinedSteps,
+                      report.stats().otfPipelineRollbacks);
+      }
       std::printf("  peak composed:   %zu states, %zu transitions\n",
                   report.stats().peakComposedStates,
                   report.stats().peakComposedTransitions);
