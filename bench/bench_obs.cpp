@@ -1,0 +1,113 @@
+/// \file bench_obs.cpp
+/// Cost of the observability layer itself, backing the overhead argument
+/// in ARCHITECTURE.md "Observability": a disabled span site is one relaxed
+/// load (sub-nanosecond), an enabled span is two clock reads plus one ring
+/// write, and metrics are single relaxed atomics — cheap enough to publish
+/// unconditionally.  Also measures the end-to-end check: a full cps_8x10
+/// analysis with tracing on vs off (the bitwise identity of the *measures*
+/// is enforced in tests and CI; here only the wall cost is visible).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/analyzer.hpp"
+#include "dft/corpus.hpp"
+#include "dft/galileo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace imcdft;
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::setTraceEnabled(false);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.disabled");
+    span.arg("value", 1);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::clearTrace();
+  obs::setTraceEnabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.enabled");
+    span.arg("value", 1);
+  }
+  obs::setTraceEnabled(false);
+  obs::clearTrace();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_InstantEnabled(benchmark::State& state) {
+  obs::clearTrace();
+  obs::setTraceEnabled(true);
+  for (auto _ : state) obs::traceInstant("bench.instant");
+  obs::setTraceEnabled(false);
+  obs::clearTrace();
+}
+BENCHMARK(BM_InstantEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& c =
+      obs::MetricsRegistry::global().counter("bench.obs.counter");
+  for (auto _ : state) c.add();
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("bench.obs.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG spread
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// Whole-pipeline overhead: cps_8x10 aggregation + measure, tracing
+/// on vs off.  A fresh Analyzer per iteration keeps every run cold.
+void analyzeCps(benchmark::State& state, bool traced) {
+  const std::string text =
+      dft::printGalileo(dft::corpus::cascadedPands(8, 10));
+  for (auto _ : state) {
+    obs::clearTrace();
+    obs::setTraceEnabled(traced);
+    analysis::Analyzer session;
+    analysis::AnalysisRequest request =
+        analysis::AnalysisRequest::forGalileo(text, "cps_8x10")
+            .measure(analysis::MeasureSpec::unreliability({1.0}));
+    benchmark::DoNotOptimize(session.analyze(request));
+  }
+  obs::setTraceEnabled(false);
+  obs::clearTrace();
+}
+
+void BM_AnalyzeTracingOff(benchmark::State& state) {
+  analyzeCps(state, false);
+}
+BENCHMARK(BM_AnalyzeTracingOff)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTracingOn(benchmark::State& state) {
+  analyzeCps(state, true);
+}
+BENCHMARK(BM_AnalyzeTracingOn)->Unit(benchmark::kMillisecond);
+
+void printReproduction() {
+  std::printf("# bench_obs: observability-layer overhead "
+              "(span/instant/counter/histogram sites, cps_8x10 on vs off)\n"
+              "# reproduce: ./bench_obs\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

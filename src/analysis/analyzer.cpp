@@ -23,6 +23,8 @@
 #include "dft/modules.hpp"
 #include "ioimc/bisimulation.hpp"
 #include "ioimc/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/quotient_store.hpp"
 
 namespace imcdft::analysis {
@@ -33,6 +35,66 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Auto-assigned request/trace ids (AnalysisRequest::requestId == 0).
+std::uint64_t nextRequestId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Mirrors one finished request's scattered counters into the central
+/// metrics registry.  Runs unconditionally (a handful of relaxed atomic
+/// adds; measure-neutral by construction, like the tracing dead branch).
+void publishRequestMetrics(const AnalysisReport& report, double wallSeconds) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  static obs::Counter& requests = reg.counter("analyzer.requests");
+  static obs::Counter& treeHits = reg.counter("analyzer.cache.tree_hits");
+  static obs::Counter& treeMisses = reg.counter("analyzer.cache.tree_misses");
+  static obs::Counter& moduleHits = reg.counter("analyzer.cache.module_hits");
+  static obs::Counter& moduleMisses =
+      reg.counter("analyzer.cache.module_misses");
+  static obs::Counter& stepsRun = reg.counter("engine.steps_run");
+  static obs::Counter& stepsSaved = reg.counter("engine.steps_saved");
+  static obs::Counter& storeHits = reg.counter("store.hits");
+  static obs::Counter& storeMisses = reg.counter("store.misses");
+  static obs::Counter& storeWrites = reg.counter("store.writes");
+  static obs::Counter& storeErrors = reg.counter("store.errors");
+  static obs::Counter& inflightJoins = reg.counter("analyzer.inflight_joins");
+  static obs::Counter& evictions = reg.counter("analyzer.cache.evictions");
+  static obs::Counter& refineRun = reg.counter("otf.refine_passes_run");
+  static obs::Counter& refineSkipped =
+      reg.counter("otf.refine_passes_skipped");
+  static obs::Counter& pipelined = reg.counter("otf.pipelined_steps");
+  static obs::Counter& rollbacks = reg.counter("otf.pipeline_rollbacks");
+  static obs::Counter& measuresOk = reg.counter("analyzer.measures_ok");
+  static obs::Counter& measuresFailed =
+      reg.counter("analyzer.measures_failed");
+  static obs::Gauge& peakStates = reg.gauge("engine.peak_aggregated_states");
+  static obs::Histogram& wall = reg.histogram("analyzer.request_nanos");
+  requests.add();
+  treeHits.add(report.cache.treeHits);
+  treeMisses.add(report.cache.treeMisses);
+  moduleHits.add(report.cache.moduleHits);
+  moduleMisses.add(report.cache.moduleMisses);
+  stepsRun.add(report.cache.stepsRun);
+  stepsSaved.add(report.cache.stepsSaved);
+  storeHits.add(report.cache.storeHits);
+  storeMisses.add(report.cache.storeMisses);
+  storeWrites.add(report.cache.storeWrites);
+  storeErrors.add(report.cache.storeErrors);
+  inflightJoins.add(report.cache.inflightJoins);
+  evictions.add(report.cache.treeEvictions + report.cache.moduleEvictions +
+                report.cache.chainEvictions + report.cache.curveEvictions);
+  refineRun.add(report.cache.otfRefinePassesRun);
+  refineSkipped.add(report.cache.otfRefinePassesSkipped);
+  pipelined.add(report.cache.otfPipelinedSteps);
+  rollbacks.add(report.cache.otfPipelineRollbacks);
+  for (const MeasureResult& m : report.measures)
+    (m.ok ? measuresOk : measuresFailed).add();
+  if (report.analysis)
+    peakStates.atLeast(report.stats().peakAggregatedStates);
+  wall.record(static_cast<std::uint64_t>(wallSeconds * 1e9));
 }
 
 /// Serialization of every option that influences the composed model (or
@@ -192,10 +254,12 @@ class Analyzer::SessionModuleCache : public ModuleCache {
     }
     if (!entry) {
       ++stats_.moduleMisses;
+      obs::traceInstant("module-cache", dft.element(root).name, {{"hit", 0}});
       return std::nullopt;
     }
     if (!shapeKeyed_ || entry->names == shape.names) {
       ++stats_.moduleHits;
+      obs::traceInstant("module-cache", dft.element(root).name, {{"hit", 1}});
       return CachedModule{entry->model, entry->steps};
     }
     // Same shape, different names: instantiate the stored model under the
@@ -325,6 +389,7 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
     const AnalysisOptions& opts, PhaseTimings& timings,
     CacheStats& requestStats, std::vector<Diagnostic>& diagnostics,
     const std::shared_ptr<store::QuotientStore>& store) {
+  obs::TraceSpan span("numeric-combine");
   // Belt and suspenders: the layer's structural checks already imply that
   // every frontier module is always active (its only referencers are the
   // layer's static gates), but the conversion's activation analysis is the
@@ -377,9 +442,12 @@ std::shared_ptr<const DftAnalysis> Analyzer::runNumericPipeline(
         const dft::Dft moduleDft = dft::extractModule(tree, root);
         PhaseTimings subTimings;
         sub = runPipeline(moduleDft, opts, subTimings, requestStats, store);
-        timings.convert += subTimings.convert;
-        timings.compose += subTimings.compose;
-        timings.extract += subTimings.extract;
+        // Fold *all* phases of the sub-module pipeline (including the
+        // fused-engine stage breakdown), not just convert/compose/extract:
+        // the per-module pipelines are the only place this request spends
+        // pipeline time, so dropping fields would make --stats, the serve
+        // summary and traces disagree.
+        timings.accumulate(subTimings);
         if (sub->nondeterministic) {
           diagnostics.push_back(
               {Severity::Warning,
@@ -492,7 +560,11 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
   if (!conversion.symbols) conversion.symbols = symbols_;
 
   Clock::time_point phase = Clock::now();
+  std::optional<obs::TraceSpan> span;
+  span.emplace("convert");
   Community community = convertDft(tree, conversion);
+  span->arg("models", community.models.size());
+  span.reset();
   timings.convert = secondsSince(phase);
   const bool repairable = community.repairable;
   // Keep the activation contexts alive past the move of the community into
@@ -500,6 +572,7 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
   const std::vector<ActivationContext> contexts = community.contexts;
 
   phase = Clock::now();
+  span.emplace("compose");
   // Cached module models are interned in the session table; a community
   // built over a caller-supplied table cannot exchange models with them.
   const bool useModuleCache =
@@ -513,7 +586,18 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
       composeCommunity(std::move(community), tree, opts.engine,
                        useModuleCache ? &moduleCache : nullptr);
   moduleCache.foldInto(requestStats);
+  span->arg("steps", engine.stats.steps.size());
+  span->arg("states", engine.model.numStates());
+  span.reset();
   timings.compose = secondsSince(phase);
+  // Roll the fused engine's per-stage wall time into the one PhaseTimings
+  // accounting (the per-step values stay in CompositionStats for drill-in).
+  for (const CompositionStep& step : engine.stats.steps) {
+    timings.otfExpand += step.otfExpandSeconds;
+    timings.otfRefine += step.otfRefineSeconds;
+    timings.otfCollapse += step.otfCollapseSeconds;
+    timings.otfRenumber += step.otfRenumberSeconds;
+  }
   requestStats.stepsRun += engine.stats.steps.size();
   requestStats.stepsSaved += engine.stats.stepsSaved;
   requestStats.otfRefinePassesRun += engine.stats.otfRefinePassesRun;
@@ -525,10 +609,12 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
 
   // Absorb failure states, re-aggregate (usually shrinks further), extract.
   phase = Clock::now();
+  span.emplace("extract");
   ioimc::IOIMC absorbedModel =
       ioimc::makeLabelAbsorbing(engine.model, kDownLabel);
   absorbedModel = ioimc::aggregate(absorbedModel, opts.engine.weak);
   Extraction absorbed = extract(absorbedModel, kDownLabel);
+  span.reset();
   timings.extract = secondsSince(phase);
 
   DftAnalysis result{std::move(engine.model), std::move(engine.stats),
@@ -541,25 +627,38 @@ std::shared_ptr<const DftAnalysis> Analyzer::runPipeline(
 AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   AnalysisReport report;
   report.label = request.label;
+  report.requestId =
+      request.requestId != 0 ? request.requestId : nextRequestId();
+
+  // Every span this request emits (including those from engine worker
+  // threads, which re-establish the context) carries the request id as its
+  // trace context; the Chrome export groups them into one per-request
+  // track.  The context guard outlives the request span (declared first).
+  const Clock::time_point requestStart = Clock::now();
+  obs::ScopedTraceContext traceCtx(report.requestId);
+  obs::TraceSpan requestSpan("request", request.label);
 
   // --- Resolve the DFT source. ---
   Clock::time_point phase = Clock::now();
   std::optional<dft::Dft> parsed;
   const dft::Dft* tree = nullptr;
-  switch (request.source) {
-    case AnalysisRequest::Source::InMemory:
-      require(request.tree.has_value(),
-              "AnalysisRequest: in-memory request without a tree");
-      tree = &*request.tree;
-      break;
-    case AnalysisRequest::Source::GalileoText:
-      parsed = dft::parseGalileo(request.galileo);
-      tree = &*parsed;
-      break;
-    case AnalysisRequest::Source::GalileoFile:
-      parsed = dft::parseGalileo(readFile(request.galileo));
-      tree = &*parsed;
-      break;
+  {
+    obs::TraceSpan parseSpan("parse");
+    switch (request.source) {
+      case AnalysisRequest::Source::InMemory:
+        require(request.tree.has_value(),
+                "AnalysisRequest: in-memory request without a tree");
+        tree = &*request.tree;
+        break;
+      case AnalysisRequest::Source::GalileoText:
+        parsed = dft::parseGalileo(request.galileo);
+        tree = &*parsed;
+        break;
+      case AnalysisRequest::Source::GalileoFile:
+        parsed = dft::parseGalileo(readFile(request.galileo));
+        tree = &*parsed;
+        break;
+    }
   }
   report.timings.parse = secondsSince(phase);
 
@@ -642,6 +741,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   auto noteTreeHit = [&]() {
     report.fromCache = true;
     ++report.cache.treeHits;
+    obs::traceInstant("tree-cache", request.label, {{"hit", 1}});
     report.diagnostics.push_back(
         {Severity::Info, "composition served from the whole-tree cache"});
   };
@@ -705,6 +805,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
     std::string storeKey = fullKey;
     try {
       ++report.cache.treeMisses;
+      obs::traceInstant("tree-cache", request.label, {{"hit", 0}});
       if (wantNumeric) {
         dft::StaticLayer layer = dft::detectStaticLayer(*tree);
         if (layer.eligible) {
@@ -740,6 +841,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
           rebuilt.nondeterministic = !rebuilt.absorbed.deterministic;
           analysis = std::make_shared<DftAnalysis>(std::move(rebuilt));
           ++report.cache.storeHits;
+          obs::traceInstant("store-probe", request.label, {{"hit", 1}});
           report.timings.extract += secondsSince(phase);
           report.diagnostics.push_back(
               {Severity::Info,
@@ -747,6 +849,7 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
                "(composition skipped)"});
         } else {
           ++report.cache.storeMisses;
+          obs::traceInstant("store-probe", request.label, {{"hit", 0}});
         }
       }
       if (!analysis) {
@@ -860,6 +963,8 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
   // analyze() entirely (there is no analysis to report measures against).
   bool budgetSpent = false;
   for (const MeasureSpec& spec : request.measures) {
+    obs::TraceSpan measureSpan("measure", measureKindName(spec.kind));
+    measureSpan.arg("points", spec.times.size());
     MeasureResult r;
     r.spec = spec;
     r.ok = true;
@@ -955,6 +1060,9 @@ AnalysisReport Analyzer::analyze(const AnalysisRequest& request) {
     std::lock_guard<std::mutex> lock(statsMutex_);
     sessionStats_.accumulate(report.cache);
   }
+  requestSpan.arg("from_cache", report.fromCache ? 1 : 0);
+  requestSpan.arg("measures", report.measures.size());
+  publishRequestMetrics(report, secondsSince(requestStart));
   return report;
 }
 

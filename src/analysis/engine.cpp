@@ -22,6 +22,7 @@
 #include "ioimc/ops.hpp"
 #include "ioimc/otf_compose.hpp"
 #include "ioimc/signature_interner.hpp"
+#include "obs/trace.hpp"
 
 namespace imcdft::analysis {
 
@@ -205,6 +206,7 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
       redo.rightStates = pool[p.bSlot]->numStates();
       redo.onTheFlyFallback = true;
       redo.onTheFlyFallbackReason = e.what();
+      obs::traceInstant("otf-fallback", redo.onTheFlyFallbackReason);
       IOIMC composed =
           ioimc::compose(*pool[p.aSlot], *pool[p.bSlot], opts.cancel.get());
       redo.composedStates = composed.numStates();
@@ -228,6 +230,7 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
     steps[p.stepIndex].aggregatedTransitions =
         pool[p.resultSlot]->numTransitions();
     steps[p.stepIndex].otfPipelineRollback = true;
+    obs::traceInstant("otf-rollback", steps[p.stepIndex].name);
     return true;
   };
 
@@ -259,6 +262,9 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
     step.name = pool[a]->name() + " || " + pool[b]->name();
     step.leftStates = pool[a]->numStates();
     step.rightStates = pool[b]->numStates();
+    obs::TraceSpan stepSpan("compose.step", step.name);
+    stepSpan.arg("left_states", step.leftStates);
+    stepSpan.arg("right_states", step.rightStates);
     std::optional<IOIMC> fused;
     bool fusedVerified = true;
     if (opts.onTheFly && opts.aggregateEachStep) {
@@ -300,6 +306,7 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
       } else {
         step.onTheFlyFallback = true;
         step.onTheFlyFallbackReason = std::move(r.failureReason);
+        obs::traceInstant("otf-fallback", step.onTheFlyFallbackReason);
       }
     }
     // Join the previous fused step's deferred verification before this
@@ -340,6 +347,7 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
           step.onTheFly = false;
           step.onTheFlyFallback = true;
           step.onTheFlyFallbackReason = e.what();
+          obs::traceInstant("otf-fallback", step.onTheFlyFallbackReason);
           IOIMC composed =
               ioimc::compose(*pool[a], *pool[b], opts.cancel.get());
           step.composedStates = composed.numStates();
@@ -364,10 +372,13 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
       verifyWeak.intraThreads = 1;
       const bool drill = opts.otfPipelineDrill;
       IOIMC copy = result;  // verified on a private copy; pool may move
+      const std::uint64_t traceCtx = obs::currentTraceContext();
       p.verdict = std::async(
           std::launch::async,
-          [m = std::move(copy), verifyWeak,
-           drill]() mutable -> std::optional<IOIMC> {
+          [m = std::move(copy), verifyWeak, drill,
+           traceCtx]() mutable -> std::optional<IOIMC> {
+            obs::ScopedTraceContext ctxGuard(traceCtx);
+            obs::TraceSpan span("otf.verify");
             std::optional<IOIMC> v =
                 ioimc::otf::verifyAggregateFixpoint(m, verifyWeak);
             // Drill: pretend the confirmation was a correction (the bytes
@@ -377,6 +388,8 @@ std::size_t mergePool(std::vector<std::optional<IOIMC>>& pool,
           });
       pending.emplace(std::move(p));
     }
+    stepSpan.arg("aggregated_states", step.aggregatedStates);
+    stepSpan.arg("otf", step.onTheFly ? 1 : 0);
     steps.push_back(std::move(step));
     pool[a].reset();
     pool[b].reset();
@@ -826,6 +839,9 @@ class ModularAggregator {
     }
     std::vector<std::thread> workers;
     auto workerLoop = [this] {
+      // Module-task spans of this worker land in the submitting request's
+      // trace group (the context was captured at aggregator construction).
+      obs::ScopedTraceContext ctxGuard(traceCtx_);
       std::unique_lock<std::mutex> lock(mutex_);
       while (true) {
         cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
@@ -879,6 +895,7 @@ class ModularAggregator {
 
   void runModuleTask(int nodeIdx) {
     const ModuleNode& node = nodes_[nodeIdx];
+    obs::TraceSpan span("module", node.name);
     std::vector<std::optional<IOIMC>> pool;
     std::vector<std::size_t> live;
     pool.reserve(node.ownModels.size() + node.childModules.size());
@@ -905,6 +922,8 @@ class ModularAggregator {
     if (cache_ && properModule && nodeIdx != rootNode_)
       cache_->store(dft_, modules_[nodeIdx].root, *pool[merged],
                     subtreeSteps(nodeIdx));
+    span.arg("states", pool[merged]->numStates());
+    span.arg("transitions", pool[merged]->numTransitions());
     results_[nodeIdx].emplace(std::move(*pool[merged]));
   }
 
@@ -988,6 +1007,8 @@ class ModularAggregator {
   std::size_t symmetricBuckets_ = 0;
 
   std::size_t numTasks_ = 0;  ///< scheduled (non-spliced) module tasks
+  /// The submitting request's trace context, re-established in workers.
+  const std::uint64_t traceCtx_ = obs::currentTraceContext();
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<int> ready_;
@@ -1015,10 +1036,12 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
     slots.emplace_back(std::move(m.model));
 
   auto finishResult = [&](EngineResult result) {
+    obs::TraceSpan span("finalize");
     result.model = ioimc::hideAllOutputs(result.model);
     if (opts.collapseSinks)
       result.model = ioimc::collapseUnobservableSinks(result.model);
     result.model = ioimc::aggregate(result.model, opts.weak);
+    span.arg("states", result.model.numStates());
     return result;
   };
 
@@ -1050,6 +1073,8 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
 
   // Build the module containment tree (modules sorted by size, so a
   // module's parent is the first later module that contains its root).
+  std::optional<obs::TraceSpan> modularizeSpan;
+  modularizeSpan.emplace("modularize");
   std::vector<dft::ModuleInfo> modules = dft::independentModules(dft);
   std::vector<ModuleNode> nodes(modules.size());
   std::vector<int> parent(modules.size(), -1);
@@ -1112,6 +1137,8 @@ EngineResult composeCommunity(Community community, const dft::Dft& dft,
     numThreads = std::thread::hardware_concurrency();
     if (numThreads == 0) numThreads = 1;
   }
+  modularizeSpan->arg("modules", modules.size());
+  modularizeSpan.reset();
 
   ModularAggregator aggregator(std::move(slots), std::move(nodes), rootNode,
                                modules, std::move(parent), dft, modelElements,

@@ -89,8 +89,32 @@ struct PhaseTimings {
   double compose = 0.0;  ///< compose/hide/aggregate folding
   double extract = 0.0;  ///< absorption + CTMC/CTMDP extraction
   double measure = 0.0;  ///< numerical solvers over all measures
+  /// Fused-engine stage breakdown of `compose`, summed over every
+  /// on-the-fly step of the request (including sub-module pipelines of
+  /// the numeric path).  These are subsets of `compose`, not extra
+  /// phases, so total() deliberately excludes them; `--stats`, the serve
+  /// summary and exported traces all read this one accounting.
+  double otfExpand = 0.0;
+  double otfRefine = 0.0;
+  double otfCollapse = 0.0;
+  double otfRenumber = 0.0;
   double total() const {
     return parse + convert + compose + extract + measure;
+  }
+  double otfStages() const {
+    return otfExpand + otfRefine + otfCollapse + otfRenumber;
+  }
+  /// Field-wise sum (sub-module pipelines and serve-batch aggregation).
+  void accumulate(const PhaseTimings& other) {
+    parse += other.parse;
+    convert += other.convert;
+    compose += other.compose;
+    extract += other.extract;
+    measure += other.measure;
+    otfExpand += other.otfExpand;
+    otfRefine += other.otfRefine;
+    otfCollapse += other.otfCollapse;
+    otfRenumber += other.otfRenumber;
   }
 };
 
@@ -171,6 +195,10 @@ struct CacheStats {
 /// Response to one AnalysisRequest.
 struct AnalysisReport {
   std::string label;  ///< echo of the request label
+  /// The request/trace id this report was served under (the requested id,
+  /// or the auto-assigned one when the request left it 0).  Matches the
+  /// "pid" of every span the request emitted into a `--trace` export.
+  std::uint64_t requestId = 0;
   /// Canonical fingerprint of the analyzed tree (dft::canonicalHash).
   std::uint64_t treeHash = 0;
   /// True when the whole-tree cache served this request (a pure lookup).

@@ -117,6 +117,12 @@ struct AnalysisRequest {
   /// unlimited.  Deliberately not part of any cache key except the
   /// in-flight dedup key: budgets never change answers.
   Budget budget;
+  /// Stable request/trace id echoed in the report, stamped on every span
+  /// this request emits (the Chrome trace "pid") and printed in serve-mode
+  /// slot headers and slow-request log lines, so a trace file, a
+  /// diagnostic and a serve summary row can be joined.  0 = let the
+  /// Analyzer assign the next id from a process-wide counter.
+  std::uint64_t requestId = 0;
 
   static AnalysisRequest forDft(dft::Dft tree, std::string label = "") {
     AnalysisRequest req;
@@ -151,6 +157,10 @@ struct AnalysisRequest {
   }
   AnalysisRequest& withBudget(Budget b) {
     budget = b;
+    return *this;
+  }
+  AnalysisRequest& withRequestId(std::uint64_t id) {
+    requestId = id;
     return *this;
   }
 };

@@ -1,9 +1,19 @@
 #include "common/cancel.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace imcdft {
 
 void CancelToken::throwExceeded(const char* where, std::size_t liveStates,
                                 const std::string& what) const {
+  // Every budget trip funnels through here: one instant event on the trace
+  // (joinable with the request's diagnostics via the trace context) and one
+  // central counter, then the typed unwind.
+  obs::traceInstant("budget-trip", where, {{"live_states", liveStates}});
+  static obs::Counter& trips =
+      obs::MetricsRegistry::global().counter("budget.trips");
+  trips.add();
   throw BudgetExceeded(where, elapsedSeconds(), liveStates,
                        "budget exceeded at " + std::string(where) + ": " +
                            what);

@@ -5,6 +5,7 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ctmc/fox_glynn.hpp"
+#include "obs/trace.hpp"
 
 namespace imcdft::ctmc {
 
@@ -43,6 +44,10 @@ std::vector<double> transientDistribution(const Ctmc& chain,
 
   const double lambda = opts.uniformizationSlack * maxExit;
   PoissonWeights pw = poissonWeights(lambda * t, opts.epsilon);
+
+  obs::TraceSpan span("ctmc.solve");
+  span.arg("states", chain.numStates());
+  span.arg("iterations", pw.left + pw.weights.size());
 
   std::vector<double> current = std::move(initial);
   std::vector<double> next(chain.numStates());
@@ -107,6 +112,11 @@ std::vector<std::vector<double>> transientDistributions(
     out[j].assign(chain.numStates(), 0.0);
   }
   if (!anyPositive) return out;
+
+  obs::TraceSpan span("ctmc.solve");
+  span.arg("states", chain.numStates());
+  span.arg("points", times.size());
+  span.arg("iterations", maxRight + 1);
 
   std::vector<double> current = std::move(initial);
   std::vector<double> next(chain.numStates());

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -14,6 +15,7 @@
 #include "ioimc/ops.hpp"
 #include "ioimc/otf_partition.hpp"
 #include "ioimc/signature_interner.hpp"
+#include "obs/trace.hpp"
 
 namespace imcdft::ioimc::otf {
 
@@ -95,6 +97,8 @@ class OtfEngine {
     stats_ = &stats;
     cadence_ = std::max(1.0, opts_.refineCadence);
     const auto loopStart = Clock::now();
+    std::optional<obs::TraceSpan> span;
+    span.emplace("otf.explore");
     stateOf(a_.initial(), b_.initial());
     // LIFO order: subtrees complete early, so dead regions become
     // sink-collapsible and interior states lose their frontier contact
@@ -123,6 +127,10 @@ class OtfEngine {
     // sub-phase timers already claimed.
     stats_->expandSeconds =
         std::max(0.0, secondsSince(loopStart) - inLoopReduceSeconds_);
+    span->arg("visited", stats_->statesVisited);
+    span->arg("refine_rounds", stats_->refinementRounds);
+    span.reset();
+    span.emplace("otf.finish");
     return finish();
   }
 
@@ -226,13 +234,20 @@ class OtfEngine {
     // classic chain's collapseUnobservableSinks; when the caller disabled
     // that pass, the fused engine must preserve those states too.
     auto t0 = Clock::now();
-    bool changed = opts_.collapseSinks && sinkCollapseInline();
+    bool changed;
+    {
+      obs::TraceSpan span("otf.collapse");
+      changed = opts_.collapseSinks && sinkCollapseInline();
+    }
     double dt = secondsSince(t0);
     stats_->collapseSeconds += dt;
     inLoopReduceSeconds_ += dt;
     t0 = Clock::now();
-    changed = weakCollapseInline() || changed;
-    if (changed) pruneUnreachable();
+    {
+      obs::TraceSpan span("otf.refine");
+      changed = weakCollapseInline() || changed;
+      if (changed) pruneUnreachable();
+    }
     dt = secondsSince(t0);
     stats_->refineSeconds += dt;
     inLoopReduceSeconds_ += dt;

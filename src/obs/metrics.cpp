@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace imcdft::obs {
+
+namespace {
+
+/// Raise-to / lower-to CAS loops for the min/max watermarks.
+void atomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucketIndex(std::uint64_t v) {
+  if (v < 16) return static_cast<std::size_t>(v);
+  const int octave = 63 - std::countl_zero(v);  // >= 4
+  const std::uint64_t sub = (v >> (octave - 4)) & 15u;
+  return 16 + static_cast<std::size_t>(octave - 4) * 16 +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucketMid(std::size_t index) {
+  if (index < 16) return static_cast<double>(index);
+  const std::size_t octave = 4 + (index - 16) / 16;
+  const std::uint64_t sub = (index - 16) % 16;
+  const double lower = std::ldexp(1.0, static_cast<int>(octave)) +
+                       static_cast<double>(sub) *
+                           std::ldexp(1.0, static_cast<int>(octave) - 4);
+  const double width = std::ldexp(1.0, static_cast<int>(octave) - 4);
+  return lower + width / 2.0;
+}
+
+void Histogram::record(std::uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomicMin(min_, v);
+  atomicMax(max_, v);
+  buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::minValue() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ull ? 0 : m;
+}
+
+std::uint64_t Histogram::maxValue() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // Clamp the bucket estimate into the observed range so tiny
+      // populations report sane numbers.
+      double est = bucketMid(i);
+      est = std::max(est, static_cast<double>(minValue()));
+      est = std::min(est, static_cast<double>(maxValue()));
+      return est;
+    }
+  }
+  return static_cast<double>(maxValue());
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // usable during exit
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end())
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end())
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end())
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::writeJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string body;
+  body += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    \"";
+    appendEscaped(body, name);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "\": %llu",
+                  static_cast<unsigned long long>(c->value()));
+    body += buf;
+  }
+  body += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    \"";
+    appendEscaped(body, name);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "\": %llu",
+                  static_cast<unsigned long long>(g->value()));
+    body += buf;
+  }
+  body += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    \"";
+    appendEscaped(body, name);
+    body += "\": {";
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                  "\"max\": %llu, ",
+                  static_cast<unsigned long long>(h->count()),
+                  static_cast<unsigned long long>(h->sum()),
+                  static_cast<unsigned long long>(h->minValue()),
+                  static_cast<unsigned long long>(h->maxValue()));
+    body += buf;
+    body += "\"mean\": ";
+    appendNumber(body, h->mean());
+    body += ", \"p50\": ";
+    appendNumber(body, h->quantile(0.50));
+    body += ", \"p90\": ";
+    appendNumber(body, h->quantile(0.90));
+    body += ", \"p95\": ";
+    appendNumber(body, h->quantile(0.95));
+    body += ", \"p99\": ";
+    appendNumber(body, h->quantile(0.99));
+    body += "}";
+  }
+  body += "\n  }\n}\n";
+  out << body;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+}  // namespace imcdft::obs

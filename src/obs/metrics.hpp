@@ -1,0 +1,115 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+/// \file metrics.hpp
+/// Central metrics registry: named counters, gauges and log-linear
+/// histograms behind one interface.  All update paths are single atomic
+/// operations (wait-free); registration returns stable references, so hot
+/// paths resolve a metric once (function-local static) and never touch the
+/// registry again.  The whole registry serialises to JSON for the
+/// `dftimc --metrics-json` end-of-run dump.
+namespace imcdft::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins (or high-watermark) gauge.
+class Gauge {
+ public:
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raise to `v` if larger (high-watermark use, e.g. peak live states).
+  void atLeast(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log-linear histogram over non-negative integer samples (16 sub-buckets
+/// per power of two, ~6% relative quantile error).  Units are up to the
+/// caller; latency histograms record nanoseconds.
+class Histogram {
+ public:
+  /// Values 0..15 map to exact buckets; larger values land in bucket
+  /// 16*(octave-3)+sub, giving 16 + 60*16 buckets over the uint64 range.
+  static constexpr std::size_t kBuckets = 16 + 60 * 16;
+
+  void record(std::uint64_t v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t minValue() const;  ///< 0 when empty
+  std::uint64_t maxValue() const;
+  double mean() const;
+  /// Approximate quantile (bucket-midpoint interpolation); q in [0,1].
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+  void reset();
+
+ private:
+  static std::size_t bucketIndex(std::uint64_t v);
+  static double bucketMid(std::size_t index);
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Name -> metric map.  counter()/gauge()/histogram() register on first
+/// use and return references that stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every pipeline metric lives in.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Serialise every registered metric, sorted by name:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,mean,p50,p90,p95,p99}}}.  Every emitted number is finite.
+  void writeJson(std::ostream& out) const;
+
+  /// Zero all values (registrations and references stay valid).
+  void reset();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace imcdft::obs

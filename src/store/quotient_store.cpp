@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace imcdft::store {
 
@@ -113,8 +114,14 @@ std::optional<Record> QuotientStore::loadRecord(const std::string& key,
                                                 RecordKind kind,
                                                 Decode&& decode) {
   const std::string path = entryPath(key, kind);
+  const char tag = kindTag(kind);
+  obs::TraceSpan span("store.load", std::string_view(&tag, 1));
   MappedFile file(path);
-  if (file.absent()) return std::nullopt;
+  span.arg("bytes", file.size());
+  if (file.absent()) {
+    span.arg("hit", 0);
+    return std::nullopt;
+  }
   std::string error;
   std::optional<Record> record;
   if (file.emptyFile() || file.unreadable()) {
@@ -138,6 +145,7 @@ std::optional<Record> QuotientStore::loadRecord(const std::string& key,
     loadErrors_.fetch_add(1, std::memory_order_relaxed);
     warn("'" + path + "': " + error + " — recomputing");
   }
+  span.arg("hit", record ? 1 : 0);
   return record;
 }
 
@@ -177,6 +185,8 @@ std::optional<QuotientStore::LoadedTree> QuotientStore::loadTree(
 
 bool QuotientStore::publish(const std::string& path,
                             const std::string& bytes) {
+  obs::TraceSpan span("store.publish");
+  span.arg("bytes", bytes.size());
   // Content-addressing makes rewrites pointless: an existing record for
   // this path already holds these bytes (or a colliding key's — which a
   // rewrite would clobber for no gain either way).

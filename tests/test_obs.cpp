@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "common/cancel.hpp"
+#include "dft/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+/// \file test_obs.cpp
+/// The observability layer's contract: metrics registry semantics
+/// (ObsMetrics) and trace well-formedness under real concurrency
+/// (ConcurrentTraceObs — the suite name puts it in the TSan CI filter).
+/// The well-formedness invariants are the ones scripts/check_trace.py
+/// enforces on exported files: balanced begin/end per thread, monotonic
+/// per-thread timestamps, laminar (properly nested) span families — plus
+/// the bitwise on-vs-off measure identity the dead-branch design promises.
+
+namespace imcdft {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::AnalysisRequest;
+using analysis::Analyzer;
+using analysis::MeasureSpec;
+
+/// Every trace test leaves the process with tracing off and the rings
+/// drained, so suites can run in any order.
+struct TraceGuard {
+  TraceGuard() {
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+  }
+  ~TraceGuard() {
+    obs::setTraceEnabled(false);
+    obs::clearTrace();
+  }
+};
+
+std::vector<double> unreliabilityValues(const AnalysisReport& report) {
+  std::vector<double> out;
+  for (const analysis::MeasureResult& m : report.measures) {
+    EXPECT_TRUE(m.ok) << m.error;
+    out.insert(out.end(), m.values.begin(), m.values.end());
+  }
+  return out;
+}
+
+TEST(ObsMetrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& c = reg.counter("test.obs.counter");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+  // Same name, same object: hot paths may cache the reference.
+  EXPECT_EQ(&c, &reg.counter("test.obs.counter"));
+
+  obs::Gauge& g = reg.gauge("test.obs.gauge");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7u);
+  g.atLeast(3);  // lower than current: no change
+  EXPECT_EQ(g.value(), 7u);
+  g.atLeast(19);
+  EXPECT_EQ(g.value(), 19u);
+}
+
+TEST(ObsMetrics, HistogramExactBelowSixteen) {
+  obs::Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.minValue(), 0u);
+  EXPECT_EQ(h.maxValue(), 15u);
+  // Small values land in exact unit buckets, so quantiles are exact.
+  EXPECT_EQ(h.quantile(0.5), 7.0);
+  EXPECT_EQ(h.quantile(1.0), 15.0);
+}
+
+TEST(ObsMetrics, HistogramQuantilesWithinBucketError) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100'000u);
+  // Log-linear buckets with 16 sub-buckets per octave: any quantile is
+  // within one sub-bucket width, i.e. ~1/16 relative error.
+  EXPECT_NEAR(h.quantile(0.5), 50'000.0, 50'000.0 / 8.0);
+  EXPECT_NEAR(h.quantile(0.95), 95'000.0, 95'000.0 / 8.0);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 100'000.0);
+  EXPECT_NEAR(h.mean(), 50'000.5, 1.0);
+}
+
+TEST(ObsMetrics, WriteJsonIsFiniteAndContainsRegisteredNames) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("test.obs.json_counter").add(3);
+  reg.gauge("test.obs.json_gauge").set(11);
+  obs::Histogram& h = reg.histogram("test.obs.json_histogram");
+  h.record(1);
+  h.record(1'000'000);
+
+  std::ostringstream out;
+  reg.writeJson(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.find_last_not_of(" \n")], '}');
+  EXPECT_NE(json.find("\"test.obs.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_histogram\""), std::string::npos);
+  // Every emitted number must be finite JSON: no NaN/Inf spellings.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+/// Replays the export expansion at the record level and asserts the three
+/// invariants: begin/end balance (implied by complete records), monotonic
+/// per-thread timestamps in sequence order, and laminarity (two spans on
+/// one thread either nest or are disjoint — never partially overlap).
+void expectWellFormed(const obs::TraceSnapshot& snap) {
+  std::map<std::uint32_t, std::vector<const obs::TraceRecord*>> byTid;
+  for (const obs::TraceRecord& rec : snap.records) {
+    EXPECT_LE(rec.beginSeq, rec.endSeq);
+    if (rec.instant) EXPECT_EQ(rec.beginSeq, rec.endSeq);
+    EXPECT_LE(rec.args.size(), obs::kMaxTraceArgs);
+    byTid[rec.tid].push_back(&rec);
+  }
+  for (const auto& [tid, recs] : byTid) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> events;
+    for (const obs::TraceRecord* r : recs) {
+      events.emplace_back(r->beginSeq, r->beginNanos);
+      if (!r->instant)
+        events.emplace_back(r->endSeq, r->beginNanos + r->durNanos);
+    }
+    std::sort(events.begin(), events.end());
+    for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+      EXPECT_LT(events[i].first, events[i + 1].first)
+          << "duplicate sequence number on tid " << tid;
+      EXPECT_LE(events[i].second, events[i + 1].second)
+          << "non-monotonic timestamps on tid " << tid;
+    }
+    for (std::size_t i = 0; i < recs.size(); ++i)
+      for (std::size_t j = i + 1; j < recs.size(); ++j) {
+        const auto& a = *recs[i];
+        const auto& b = *recs[j];
+        const bool disjoint =
+            a.endSeq < b.beginSeq || b.endSeq < a.beginSeq;
+        const bool aInB = b.beginSeq < a.beginSeq && a.endSeq < b.endSeq;
+        const bool bInA = a.beginSeq < b.beginSeq && b.endSeq < a.endSeq;
+        EXPECT_TRUE(disjoint || aInB || bInA)
+            << "partially overlapping spans '" << a.name << "' and '"
+            << b.name << "' on tid " << tid;
+      }
+  }
+}
+
+TEST(ConcurrentTraceObs, WellFormedAfterConcurrentBatch) {
+  TraceGuard guard;
+  Analyzer session;
+  const std::vector<std::string> models = {
+      dft::corpus::galileoCas(), dft::corpus::galileoCps(),
+      dft::corpus::galileoHecs(), dft::corpus::galileoCas()};
+
+  std::vector<std::thread> pool;
+  for (std::size_t i = 0; i < models.size(); ++i)
+    pool.emplace_back([&session, &models, i] {
+      AnalysisRequest request =
+          AnalysisRequest::forGalileo(models[i],
+                                      "m" + std::to_string(i))
+              .withRequestId(i + 1)
+              .measure(MeasureSpec::unreliability({1.0}));
+      const AnalysisReport report = session.analyze(request);
+      EXPECT_EQ(report.requestId, i + 1);
+    });
+  for (std::thread& t : pool) t.join();
+
+  const obs::TraceSnapshot snap = obs::snapshotTrace();
+  EXPECT_FALSE(snap.records.empty());
+  expectWellFormed(snap);
+
+  // Every span lands in one of the four request groups (context 0 would
+  // mean a worker lost its submitting request's context).
+  std::size_t requestSpans = 0;
+  for (const obs::TraceRecord& rec : snap.records) {
+    EXPECT_GE(rec.ctx, 1u);
+    EXPECT_LE(rec.ctx, models.size());
+    if (std::strcmp(rec.name, "request") == 0) ++requestSpans;
+  }
+  EXPECT_EQ(requestSpans, models.size());
+
+  // The exported JSON balances its begin/end events.
+  std::ostringstream out;
+  const obs::TraceWriteStats stats = obs::writeChromeTrace(out);
+  EXPECT_GT(stats.spans, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  const std::string json = out.str();
+  auto countOf = [&json](const char* needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(countOf("\"ph\":\"B\""), countOf("\"ph\":\"E\""));
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(ConcurrentTraceObs, RingOverflowStaysWellFormed) {
+  obs::clearTrace();
+  obs::setTraceCapacity(8);
+  obs::setTraceEnabled(true);
+  // A fresh thread gets the tiny ring; nested spans overflow it hard.
+  std::thread t([] {
+    for (int i = 0; i < 50; ++i) {
+      obs::TraceSpan outer("outer");
+      obs::TraceSpan inner("inner");
+      obs::traceInstant("tick");
+    }
+  });
+  t.join();
+  obs::setTraceEnabled(false);
+  const obs::TraceSnapshot snap = obs::snapshotTrace();
+  obs::setTraceCapacity(8192);
+  obs::clearTrace();
+  EXPECT_GT(snap.dropped, 0u);
+  EXPECT_FALSE(snap.records.empty());
+  expectWellFormed(snap);
+}
+
+TEST(ConcurrentTraceObs, MeasuresBitwiseIdenticalOnVsOff) {
+  const std::vector<std::string> models = {dft::corpus::galileoCas(),
+                                           dft::corpus::galileoCps(),
+                                           dft::corpus::galileoHecs()};
+  const std::vector<double> times = {0.5, 1.0, 2.0};
+  for (const std::string& text : models) {
+    obs::setTraceEnabled(false);
+    Analyzer coldSession;
+    AnalysisRequest request = AnalysisRequest::forGalileo(text).measure(
+        MeasureSpec::unreliability(times));
+    const std::vector<double> off =
+        unreliabilityValues(coldSession.analyze(request));
+
+    std::vector<double> on;
+    {
+      TraceGuard guard;
+      Analyzer tracedSession;
+      on = unreliabilityValues(tracedSession.analyze(request));
+    }
+    ASSERT_EQ(off.size(), on.size());
+    // Bitwise, not approximate: tracing must be a pure observer.
+    EXPECT_EQ(std::memcmp(off.data(), on.data(),
+                          off.size() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(ConcurrentTraceObs, BudgetTripEmitsInstantEvent) {
+  TraceGuard guard;
+  Analyzer session;
+  AnalysisRequest request =
+      AnalysisRequest::forGalileo(dft::corpus::galileoCps(), "tiny-budget")
+          .withRequestId(77)
+          .measure(MeasureSpec::unreliability({1.0}));
+  request.budget.maxLiveStates = 2;
+  EXPECT_THROW(session.analyze(request), BudgetExceeded);
+
+  const obs::TraceSnapshot snap = obs::snapshotTrace();
+  bool sawTrip = false;
+  for (const obs::TraceRecord& rec : snap.records)
+    if (std::strcmp(rec.name, "budget-trip") == 0) {
+      sawTrip = true;
+      EXPECT_TRUE(rec.instant);
+      EXPECT_EQ(rec.ctx, 77u);
+      bool sawLiveStates = false;
+      for (const obs::TraceArg& a : rec.args)
+        if (std::strcmp(a.key, "live_states") == 0) sawLiveStates = true;
+      EXPECT_TRUE(sawLiveStates);
+    }
+  EXPECT_TRUE(sawTrip);
+  expectWellFormed(snap);
+}
+
+}  // namespace
+}  // namespace imcdft

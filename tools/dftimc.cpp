@@ -74,6 +74,26 @@
 ///     --dot FILE        write the final aggregated I/O-IMC as Graphviz
 ///     --aut FILE        write it in Aldebaran format
 ///     --strategy S      composition order: modular | greedy | declaration
+///     --trace FILE      export a Chrome trace-event JSON file (loadable in
+///                       Perfetto / chrome://tracing) with one span per
+///                       pipeline stage — parse, modularize, per-module
+///                       aggregation, every compose step's fused stages,
+///                       CTMC solve, each measure — grouped per request;
+///                       budget trips and fallbacks appear as instants
+///     --metrics-json FILE
+///                       dump the process-wide metrics registry (counters,
+///                       gauges, latency histograms) as JSON at exit
+///     --slow-threshold SEC
+///                       serve mode: log any request slower than SEC
+///                       seconds to stderr with its stable request id
+///                       (default 1.0; 0 disables the slow log)
+///
+/// Wherever a model path is expected (the positional argument or a serve
+/// request line), `corpus:NAME` refers to the built-in paper corpus
+/// instead of a file: `corpus:cas`, `corpus:cps`, `corpus:hecs`, or a
+/// parametric family instance such as `corpus:cps_8x10` (cascaded PANDs
+/// over 8 modules of 10 basic events), `corpus:pand_4x3`,
+/// `corpus:sensors_4x2`, `corpus:voter_4x2`.
 ///
 /// Every requested measure — including the baselines and the simulator —
 /// is evaluated at every --time point.
@@ -97,12 +117,20 @@
 /// other per-request failure claims only its own slot — every healthy
 /// request is still served, and the summary counts completed, over-budget
 /// and failed requests.  The exit status is nonzero iff any slot failed.
+///
+/// Every serve slot carries a stable request id ([rN] in the slot header,
+/// in error slots, in slow-request log lines, and as the "pid" of the
+/// request's spans in a --trace export), and the summary reports exact
+/// p50/p95/p99 request latencies plus the batch's aggregated phase
+/// timings — the same accounting --stats prints for a one-shot run.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -117,10 +145,13 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "ctmc/transient.hpp"
+#include "dft/corpus.hpp"
 #include "dft/galileo.hpp"
 #include "diftree/modular.hpp"
 #include "diftree/monolithic.hpp"
 #include "ioimc/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simulation/simulator.hpp"
 
 namespace {
@@ -151,6 +182,9 @@ struct CliOptions {
   std::string storeDir;
   std::string dotPath;
   std::string autPath;
+  std::string tracePath;        ///< Chrome trace-event JSON export; "" = off
+  std::string metricsJsonPath;  ///< metrics registry JSON dump; "" = off
+  double slowThreshold = 1.0;   ///< serve slow-request log floor; 0 = off
   imcdft::analysis::CompositionStrategy strategy =
       imcdft::analysis::CompositionStrategy::Modular;
 };
@@ -167,10 +201,13 @@ struct CliOptions {
                "          [--otf-refine CADENCE] [--otf-parallel on|off]\n"
                "          [--deadline SEC] [--max-live-states N]\n"
                "          [--store DIR] [--dot FILE] [--aut FILE]\n"
+               "          [--trace FILE] [--metrics-json FILE]\n"
                "          [--strategy modular|greedy|declaration] "
-               "<model.dft>\n"
-               "       %s --serve [--workers N] [options]   "
-               "(requests on stdin: '<model.dft> [time]...')\n",
+               "<model.dft | corpus:NAME>\n"
+               "       %s --serve [--workers N] [--slow-threshold SEC] "
+               "[options]\n"
+               "          (requests on stdin: "
+               "'<model.dft | corpus:NAME> [time]...')\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -274,6 +311,18 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.dotPath = next();
     } else if (arg == "--aut") {
       opts.autPath = next();
+    } else if (arg == "--trace") {
+      opts.tracePath = next();
+      if (opts.tracePath.empty()) usage(argv[0]);
+    } else if (arg == "--metrics-json") {
+      opts.metricsJsonPath = next();
+      if (opts.metricsJsonPath.empty()) usage(argv[0]);
+    } else if (arg == "--slow-threshold") {
+      char* end = nullptr;
+      const std::string v = next();
+      opts.slowThreshold = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || opts.slowThreshold < 0.0)
+        usage(argv[0]);
     } else if (arg == "--strategy") {
       std::string s = next();
       if (s == "modular")
@@ -311,6 +360,74 @@ std::string readFile(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Resolves a model reference to Galileo text.  `corpus:NAME` names a
+/// built-in model (paper examples or an AxB instance of a parametric
+/// family, printed through the faithful Galileo round-trip); anything else
+/// is a file path.
+std::string resolveModelText(const std::string& ref) {
+  namespace corpus = imcdft::dft::corpus;
+  if (ref.rfind("corpus:", 0) != 0) return readFile(ref);
+  const std::string name = ref.substr(7);
+  if (name == "cas") return corpus::galileoCas();
+  if (name == "cps") return corpus::galileoCps();
+  if (name == "hecs") return corpus::galileoHecs();
+  // Family instances: `<family>_<A>x<B>`, both dimensions positive.
+  auto dims = [&name](const char* prefix, int& a, int& b) {
+    if (name.rfind(prefix, 0) != 0) return false;
+    const char* s = name.c_str() + std::strlen(prefix);
+    char* end = nullptr;
+    const long x = std::strtol(s, &end, 10);
+    if (end == s || *end != 'x' || x <= 0) return false;
+    s = end + 1;
+    const long y = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || y <= 0) return false;
+    a = static_cast<int>(x);
+    b = static_cast<int>(y);
+    return true;
+  };
+  int a = 0, b = 0;
+  if (dims("cps_", a, b))
+    return imcdft::dft::printGalileo(corpus::cascadedPands(a, b));
+  if (dims("pand_", a, b))
+    return imcdft::dft::printGalileo(corpus::cascadedPand(a, b));
+  if (dims("sensors_", a, b))
+    return imcdft::dft::printGalileo(corpus::sensorBanks(a, b));
+  if (dims("voter_", a, b))
+    return imcdft::dft::printGalileo(corpus::voterFarm(a, b));
+  throw imcdft::Error("unknown corpus model '" + name +
+                      "' (try cas, cps, hecs, or a family instance such as "
+                      "cps_8x10, pand_4x3, sensors_4x2, voter_4x2)");
+}
+
+/// End-of-run exports: the Chrome trace (--trace) and the metrics registry
+/// dump (--metrics-json).  Called after all worker threads have joined, as
+/// the trace snapshot requires.  Best-effort: an unwritable path warns on
+/// stderr without changing the exit status.
+void writeObservabilityOutputs(const CliOptions& opts) {
+  if (!opts.tracePath.empty()) {
+    std::ofstream out(opts.tracePath);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write trace file '%s'\n",
+                   opts.tracePath.c_str());
+    } else {
+      const imcdft::obs::TraceWriteStats w = imcdft::obs::writeChromeTrace(out);
+      std::fprintf(stderr,
+                   "trace: %zu event(s) from %zu span(s), %zu dropped -> %s\n",
+                   w.events, w.spans, w.dropped, opts.tracePath.c_str());
+    }
+  }
+  if (!opts.metricsJsonPath.empty()) {
+    std::ofstream out(opts.metricsJsonPath);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write metrics file '%s'\n",
+                   opts.metricsJsonPath.c_str());
+    } else {
+      imcdft::obs::MetricsRegistry::global().writeJson(out);
+      out << '\n';
+    }
+  }
 }
 
 const char* severityTag(imcdft::analysis::Severity s) {
@@ -393,12 +510,16 @@ bool printMeasureResults(const imcdft::analysis::AnalysisReport& report) {
 /// session summary (cache, in-flight dedup, store counters).
 int runServe(const CliOptions& opts) {
   namespace analysis = imcdft::analysis;
+  namespace obs = imcdft::obs;
   using imcdft::Error;
 
   // One slot per meaningful input line, in order; lines that fail to read
-  // or parse become error slots instead of aborting the batch.
+  // or parse become error slots instead of aborting the batch.  Every slot
+  // gets a stable request id — [rN] in its header, in slow-request log
+  // lines, and as the "pid" of the request's spans in a --trace export.
   struct Slot {
     std::string label;
+    std::uint64_t id = 0;
     std::size_t request = static_cast<std::size_t>(-1);
     std::string error;
   };
@@ -415,6 +536,7 @@ int runServe(const CliOptions& opts) {
     if (path.empty() || path[0] == '#') continue;
     Slot slot;
     slot.label = path;
+    slot.id = slots.size() + 1;
     std::vector<double> times;
     std::string tok;
     bool malformed = false;
@@ -433,11 +555,14 @@ int runServe(const CliOptions& opts) {
     } else {
       if (times.empty()) times = opts.times;
       try {
-        // Read the file up front so a bad path errors on its own line; the
-        // text form also keys dedup purely on content, not path identity.
+        // Resolve the model text up front so a bad path or corpus name
+        // errors on its own line; the text form also keys dedup purely on
+        // content, not path identity.
         analysis::AnalysisRequest request =
-            analysis::AnalysisRequest::forGalileo(readFile(path), path);
+            analysis::AnalysisRequest::forGalileo(resolveModelText(path),
+                                                  path);
         configureRequest(request, opts, times);
+        request.withRequestId(slot.id);
         slot.request = requests.size();
         requests.push_back(std::move(request));
       } catch (const Error& e) {
@@ -463,13 +588,17 @@ int runServe(const CliOptions& opts) {
   std::vector<analysis::AnalysisReport> reports(requests.size());
   std::vector<std::string> errors(requests.size());
   std::vector<char> overBudget(requests.size(), 0);
+  std::vector<double> walls(requests.size(), 0.0);
   const auto start = std::chrono::steady_clock::now();
   {
     std::atomic<std::size_t> nextRequest{0};
     auto work = [&]() {
+      obs::Histogram& latency =
+          obs::MetricsRegistry::global().histogram("serve.request_nanos");
       for (;;) {
         const std::size_t i = nextRequest.fetch_add(1);
         if (i >= requests.size()) return;
+        const auto t0 = std::chrono::steady_clock::now();
         try {
           reports[i] = session.analyze(requests[i]);
         } catch (const imcdft::BudgetExceeded& e) {
@@ -482,6 +611,21 @@ int runServe(const CliOptions& opts) {
         } catch (const std::exception& e) {
           errors[i] = std::string("unexpected error: ") + e.what();
         }
+        const double w = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        walls[i] = w;
+        latency.record(static_cast<std::uint64_t>(w * 1e9));
+        // The slow-request log goes to stderr as the request finishes (one
+        // fprintf per line keeps concurrent writers whole), carrying the
+        // same id the slot header and the trace export use.
+        if (opts.slowThreshold > 0.0 && w >= opts.slowThreshold)
+          std::fprintf(stderr,
+                       "slow request [r%llu] %s: %.3fs (threshold %.3fs)%s\n",
+                       static_cast<unsigned long long>(
+                           requests[i].requestId),
+                       requests[i].label.c_str(), w, opts.slowThreshold,
+                       errors[i].empty() ? "" : " [failed]");
       }
     };
     std::vector<std::thread> pool;
@@ -498,7 +642,9 @@ int runServe(const CliOptions& opts) {
   bool anyFailed = false;
   std::size_t completed = 0, overBudgetCount = 0, failedCount = 0;
   for (const Slot& slot : slots) {
-    std::printf("--- %s\n", slot.label.c_str());
+    std::printf("--- [r%llu] %s\n",
+                static_cast<unsigned long long>(slot.id),
+                slot.label.c_str());
     if (slot.request == static_cast<std::size_t>(-1)) {
       anyFailed = true;
       ++failedCount;
@@ -534,6 +680,38 @@ int runServe(const CliOptions& opts) {
   std::printf("  requests:        %zu completed, %zu over budget, "
               "%zu failed\n",
               completed, overBudgetCount, failedCount);
+  if (!walls.empty()) {
+    // Exact nearest-rank percentiles over every executed request (the
+    // error slots never ran, so they carry no latency).
+    std::vector<double> sorted = walls;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&sorted](double p) {
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(p * static_cast<double>(sorted.size())));
+      return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+    };
+    std::printf("  latency [s]:     p50 %.3f, p95 %.3f, p99 %.3f, "
+                "max %.3f\n",
+                pct(0.50), pct(0.95), pct(0.99), sorted.back());
+  }
+  {
+    // One accounting: the batch's aggregated phase timings use the same
+    // PhaseTimings every one-shot --stats line and trace export read.
+    analysis::PhaseTimings phases;
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (errors[i].empty()) phases.accumulate(reports[i].timings);
+    if (phases.total() > 0.0) {
+      std::printf("  phases [s]:      parse %.4f, convert %.4f, "
+                  "compose %.4f, extract %.4f, measure %.4f\n",
+                  phases.parse, phases.convert, phases.compose,
+                  phases.extract, phases.measure);
+      if (phases.otfStages() > 0.0)
+        std::printf("  otf stages [s]:  expand %.4f, refine %.4f, "
+                    "collapse %.4f, renumber %.4f\n",
+                    phases.otfExpand, phases.otfRefine, phases.otfCollapse,
+                    phases.otfRenumber);
+    }
+  }
   std::printf("  tree cache:      %zu hit(s), %zu miss(es), %zu in-flight "
               "join(s)\n",
               s.treeHits, s.treeMisses, s.inflightJoins);
@@ -561,21 +739,13 @@ int runServe(const CliOptions& opts) {
   return anyFailed ? 1 : 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// One-shot mode: a single model, measures on stdout, optional baselines,
+/// simulation and exports.  Mutates \p opts (the exports force the
+/// composition pipeline).
+int runOneShot(CliOptions& opts) {
   using namespace imcdft;
-  CliOptions opts = parseArgs(argc, argv);
-  if (opts.serve) {
-    try {
-      return runServe(opts);
-    } catch (const Error& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
-    }
-  }
-  try {
-    dft::Dft tree = dft::parseGalileo(readFile(opts.modelPath));
+  {
+    dft::Dft tree = dft::parseGalileo(resolveModelText(opts.modelPath));
     std::printf("model: %s (%zu elements, %s%s)\n", opts.modelPath.c_str(),
                 tree.size(), tree.isDynamic() ? "dynamic" : "static",
                 tree.isRepairable() ? ", repairable" : "");
@@ -621,16 +791,13 @@ int main(int argc, char** argv) {
                     report.stats().otfRefinePassesRun,
                     report.stats().otfRefinePassesSkipped,
                     report.stats().otfIntraWorkers);
-        double expand = 0, refine = 0, collapse = 0, renumber = 0;
-        for (const analysis::CompositionStep& st : report.stats().steps) {
-          expand += st.otfExpandSeconds;
-          refine += st.otfRefineSeconds;
-          collapse += st.otfCollapseSeconds;
-          renumber += st.otfRenumberSeconds;
-        }
+        // Read the PhaseTimings roll-up rather than re-summing the steps:
+        // it includes the sub-module pipelines of the numeric path, and it
+        // is the same accounting the serve summary and traces report.
         std::printf("  otf stages [s]:  expand %.4f, refine %.4f, "
                     "collapse %.4f, renumber %.4f\n",
-                    expand, refine, collapse, renumber);
+                    report.timings.otfExpand, report.timings.otfRefine,
+                    report.timings.otfCollapse, report.timings.otfRenumber);
         if (report.stats().otfPipelinedSteps > 0)
           std::printf("  otf pipeline:    %zu step(s) overlapped the next "
                       "step's exploration, %zu rollback(s)\n",
@@ -650,11 +817,11 @@ int main(int argc, char** argv) {
         std::printf("  final model:     %zu states, %zu transitions\n",
                     report.analysis->closedModel.numStates(),
                     report.analysis->closedModel.numTransitions());
-      std::printf("  phases [s]:      convert %.4f, compose %.4f, "
-                  "extract %.4f, measure %.4f  (total %.4f)\n",
-                  report.timings.convert, report.timings.compose,
-                  report.timings.extract, report.timings.measure,
-                  report.timings.total());
+      std::printf("  phases [s]:      parse %.4f, convert %.4f, "
+                  "compose %.4f, extract %.4f, measure %.4f  (total %.4f)\n",
+                  report.timings.parse, report.timings.convert,
+                  report.timings.compose, report.timings.extract,
+                  report.timings.measure, report.timings.total());
       if (opts.jobs != 0)
         std::printf("  worker threads:  %u\n", opts.jobs);
       if (!opts.storeDir.empty())
@@ -734,8 +901,26 @@ int main(int argc, char** argv) {
       std::ofstream(opts.autPath)
           << ioimc::toAut(report.analysis->closedModel);
     return anyMeasureFailed ? 1 : 0;
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts = parseArgs(argc, argv);
+  // Tracing must be live before any pipeline work; with no --trace it
+  // stays a dead branch (one relaxed load per span site) and no ring is
+  // ever allocated.
+  if (!opts.tracePath.empty()) imcdft::obs::setTraceEnabled(true);
+  int rc = 1;
+  try {
+    rc = opts.serve ? runServe(opts) : runOneShot(opts);
+  } catch (const imcdft::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  // Both modes have joined their workers by now, which is exactly the
+  // quiescence the trace snapshot requires.
+  writeObservabilityOutputs(opts);
+  return rc;
 }
